@@ -1,0 +1,150 @@
+// E11 (extension) — itemset-level knowledge escalation (the paper's
+// Section 8.2 "ongoing work"): how fast does disclosure risk grow when
+// the hacker knows ball-park co-occurrence frequencies of popular pairs
+// on top of item frequencies?
+//
+// Small synthetic baskets (exact constrained enumeration is the ground
+// truth); item-level belief fixed at the compliant delta_med interval;
+// pair constraints added most-frequent-first.
+
+#include <iostream>
+
+#include "belief/builders.h"
+#include "bench_common.h"
+#include "core/graph_oestimate.h"
+#include "data/frequency.h"
+#include "datagen/quest.h"
+#include "graph/bipartite_graph.h"
+#include "mining/miner.h"
+#include "powerset/constrained_attack.h"
+#include "powerset/itemset_belief.h"
+#include "powerset/pair_attack.h"
+#include "powerset/pair_belief.h"
+#include "powerset/support_oracle.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+using namespace anonsafe::bench;
+
+int main() {
+  PrintBanner("E11 / pair-belief escalation",
+              "disclosure risk vs number of known co-occurrence pairs");
+
+  const size_t kPairCounts[] = {0, 1, 2, 4, 8, 16, 32};
+  const int kTrials = 25;
+
+  TablePrinter table({"known pairs", "mean exact E(X)", "mean AC-pruned OE",
+                      "mean surviving mappings"});
+  CsvWriter csv({"pairs", "exact", "pruned_oe", "mappings"});
+
+  for (size_t pairs_known : kPairCounts) {
+    std::vector<double> exacts, oes, mapping_counts;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      QuestParams params;
+      params.num_items = 10;
+      params.num_transactions = 80;
+      params.avg_txn_size = 3.5;
+      params.num_patterns = 8;
+      params.seed = 1000 + trial;
+      auto db = GenerateQuestDatabase(params);
+      if (!db.ok()) continue;
+      auto tbl = FrequencyTable::Compute(*db);
+      if (!tbl.ok()) continue;
+      FrequencyGroups groups = FrequencyGroups::Build(*tbl);
+      auto pair_supports = PairSupportMatrix::Compute(*db);
+      if (!pair_supports.ok()) continue;
+
+      auto item_belief =
+          MakeCompliantIntervalBelief(*tbl, groups.MedianGap());
+      if (!item_belief.ok()) continue;
+      auto graph = BipartiteGraph::Build(groups, *item_belief);
+      if (!graph.ok()) continue;
+      auto pair_belief =
+          MakeCompliantPairBelief(*pair_supports, pairs_known, 0.01);
+      if (!pair_belief.ok()) continue;
+
+      auto dist = EnumerateConstrainedCrackDistribution(
+          *graph, *pair_supports, *pair_belief);
+      if (!dist.ok() || dist->num_matchings == 0) continue;
+      auto pruned =
+          PruneWithPairBeliefs(*graph, *pair_supports, *pair_belief);
+      if (!pruned.ok()) continue;
+      auto oe = ComputeOEstimateOnGraph(pruned->graph);
+      if (!oe.ok()) continue;
+
+      exacts.push_back(dist->expected);
+      oes.push_back(oe->expected_cracks);
+      mapping_counts.push_back(static_cast<double>(dist->num_matchings));
+    }
+    table.AddRow({TablePrinter::Fmt(pairs_known),
+                  TablePrinter::Fmt(Mean(exacts), 3),
+                  TablePrinter::Fmt(Mean(oes), 3),
+                  TablePrinter::Fmt(Mean(mapping_counts), 1)});
+    csv.AddRow({TablePrinter::Fmt(pairs_known),
+                TablePrinter::FmtG(Mean(exacts)),
+                TablePrinter::FmtG(Mean(oes)),
+                TablePrinter::FmtG(Mean(mapping_counts))});
+  }
+
+  std::cout << "\nn = 10 items, 80 transactions, " << kTrials
+            << " random baskets per row; item-level belief fixed at the "
+               "compliant\ndelta_med interval; pairs constrained "
+               "most-frequent-first with width 0.01.\n\n"
+            << table.ToString();
+  // ---- Second sweep: general mined-itemset knowledge ------------------
+  TablePrinter itemsets({"known itemsets", "mean exact E(X)",
+                         "mean surviving mappings"});
+  for (size_t sets_known : kPairCounts) {
+    std::vector<double> exacts, mapping_counts;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      QuestParams params;
+      params.num_items = 10;
+      params.num_transactions = 80;
+      params.avg_txn_size = 3.5;
+      params.num_patterns = 8;
+      params.seed = 1000 + trial;
+      auto db = GenerateQuestDatabase(params);
+      if (!db.ok()) continue;
+      auto tbl = FrequencyTable::Compute(*db);
+      if (!tbl.ok()) continue;
+      FrequencyGroups groups = FrequencyGroups::Build(*tbl);
+      auto oracle = SupportOracle::Build(*db);
+      if (!oracle.ok()) continue;
+      auto item_belief =
+          MakeCompliantIntervalBelief(*tbl, groups.MedianGap());
+      if (!item_belief.ok()) continue;
+      auto graph = BipartiteGraph::Build(groups, *item_belief);
+      if (!graph.ok()) continue;
+      MiningOptions mining;
+      mining.min_support = 0.05;
+      mining.max_itemset_size = 3;
+      auto frequent = MineFPGrowth(*db, mining);
+      if (!frequent.ok()) continue;
+      auto belief =
+          MakeCompliantItemsetBelief(*oracle, *frequent, sets_known, 0.01);
+      if (!belief.ok()) continue;
+      auto dist = EnumerateItemsetConstrainedDistribution(*graph, *oracle,
+                                                          *belief);
+      if (!dist.ok() || dist->num_matchings == 0) continue;
+      exacts.push_back(dist->expected);
+      mapping_counts.push_back(static_cast<double>(dist->num_matchings));
+    }
+    itemsets.AddRow({TablePrinter::Fmt(sets_known),
+                     TablePrinter::Fmt(Mean(exacts), 3),
+                     TablePrinter::Fmt(Mean(mapping_counts), 1)});
+  }
+  std::cout << "\nSame baskets, general mined-itemset knowledge (sizes up "
+               "to 3, FP-Growth\ntop itemsets, width 0.01):\n\n"
+            << itemsets.ToString();
+
+  std::cout << "\nReading: a handful of co-occurrence facts collapses the "
+               "space of consistent\nmappings by orders of magnitude and "
+               "pushes expected cracks toward total\ndisclosure — "
+               "frequency-group camouflage does not survive itemset-level\n"
+               "knowledge. This quantifies the paper's closing example "
+               "({1',2'} -> {1,2}).\n";
+  MaybeWriteCsv(csv, "pair_belief_escalation");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "datagen/profile.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+namespace bench {
+
+double GetScale() {
+  const char* env = std::getenv("ANONSAFE_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return (v > 0.0 && v <= 1.0) ? v : 1.0;
+}
+
+bool SimulationEnabled() {
+  const char* env = std::getenv("ANONSAFE_SIM");
+  return env == nullptr || std::string(env) != "0";
+}
+
+Result<Dataset> MakeDataset(Benchmark b, double scale, bool with_database,
+                            uint64_t seed) {
+  Rng rng(seed);
+  Dataset out;
+  out.spec = GetBenchmarkSpec(b);
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyProfile profile,
+                            MakeBenchmarkProfile(b, &rng));
+  if (scale != 1.0) {
+    ANONSAFE_ASSIGN_OR_RETURN(profile, profile.Scaled(scale));
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      out.table, FrequencyTable::FromSupports(profile.ItemSupports(),
+                                              profile.num_transactions()));
+  out.groups = FrequencyGroups::Build(out.table);
+  if (with_database) {
+    ANONSAFE_ASSIGN_OR_RETURN(out.database, GenerateDatabase(profile, &rng));
+    out.has_database = true;
+  }
+  return out;
+}
+
+void MaybeWriteCsv(const CsvWriter& csv, const std::string& name) {
+  const char* dir = std::getenv("ANONSAFE_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  Status st = csv.WriteFile(path);
+  if (st.ok()) {
+    std::cout << "[csv written to " << path << "]\n";
+  } else {
+    std::cerr << "[csv write failed: " << st << "]\n";
+  }
+}
+
+void PrintBanner(const std::string& experiment, const std::string& title) {
+  std::cout << "==================================================="
+               "=============================\n"
+            << experiment << ": " << title << "\n"
+            << "Reproduction of Lakshmanan, Ng, Ramesh: \"To Do or Not To "
+               "Do\" (SIGMOD 2005).\n"
+            << "Datasets are synthetic stand-ins calibrated to the paper's "
+               "Figure 9 statistics\n"
+            << "(see DESIGN.md section 4); compare shapes, not absolute "
+               "decimals.\n"
+            << "==================================================="
+               "=============================\n";
+}
+
+}  // namespace bench
+}  // namespace anonsafe

@@ -1,0 +1,141 @@
+// E10 (extension) — the defense tradeoff: when the Fig. 8 recipe says the
+// anonymized data is unsafe, how much support perturbation buys how much
+// safety? Sweeps the group-merge gap threshold on the CONNECT stand-in
+// (the paper's "think twice" dataset) and reports, per threshold:
+// remaining frequency groups (the Lemma 3 worst case), the δ_med interval
+// O-estimate fraction, the support distortion, and mining fidelity
+// (Jaccard similarity of the frequent-itemset collections at a fixed
+// minimum support).
+
+#include <algorithm>
+#include <iostream>
+#include <set>
+
+#include "belief/builders.h"
+#include "bench_common.h"
+#include "core/oestimate.h"
+#include "defense/group_merge.h"
+#include "mining/miner.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+using namespace anonsafe::bench;
+
+namespace {
+
+double ItemsetJaccard(const std::vector<FrequentItemset>& a,
+                      const std::vector<FrequentItemset>& b) {
+  std::set<Itemset> sa, sb;
+  for (const auto& fi : a) sa.insert(fi.items);
+  for (const auto& fi : b) sb.insert(fi.items);
+  size_t inter = 0;
+  for (const auto& s : sa) inter += sb.count(s);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) /
+                              static_cast<double>(uni);
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("E10 / defense tradeoff",
+              "risk vs distortion vs mining fidelity (CONNECT stand-in)");
+  double scale = GetScale();
+  if (std::getenv("ANONSAFE_SCALE") == nullptr) scale = 0.3;
+  std::cout << "[dataset scale " << scale << "]\n";
+
+  Rng rng(2027);
+  auto ds = MakeDataset(Benchmark::kConnect, scale, /*with_database=*/true,
+                        /*seed=*/2027);
+  if (!ds.ok()) {
+    std::cerr << ds.status() << "\n";
+    return 1;
+  }
+  const double n = static_cast<double>(ds->database.num_items());
+  auto table = FrequencyTable::Compute(ds->database);
+  if (!table.ok()) {
+    std::cerr << table.status() << "\n";
+    return 1;
+  }
+
+  MiningOptions mining;
+  mining.min_support = 0.35;
+  mining.max_itemset_size = 2;  // item+pair level is enough for fidelity
+  auto baseline_patterns = MineFPGrowth(ds->database, mining);
+  if (!baseline_patterns.ok()) {
+    std::cerr << baseline_patterns.status() << "\n";
+    return 1;
+  }
+
+  FrequencyGroups original = FrequencyGroups::Build(*table);
+  const double base_gap = original.MedianGap();
+
+  TablePrinter sweep({"merge gap", "groups g", "g frac", "OE frac",
+                      "support distortion", "itemset Jaccard"});
+  CsvWriter csv({"merge_gap", "groups", "g_fraction", "oe_fraction",
+                 "distortion", "jaccard"});
+  for (double factor : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    double gap = base_gap * factor;
+    auto report = MergeGroupsBelowGap(*table, gap);
+    if (!report.ok()) {
+      std::cerr << report.status() << "\n";
+      return 1;
+    }
+    auto defended_db =
+        ApplySupportChanges(ds->database, report->new_supports, &rng);
+    if (!defended_db.ok()) {
+      std::cerr << defended_db.status() << "\n";
+      return 1;
+    }
+    auto defended_table = FrequencyTable::Compute(*defended_db);
+    if (!defended_table.ok()) {
+      std::cerr << defended_table.status() << "\n";
+      return 1;
+    }
+    FrequencyGroups groups = FrequencyGroups::Build(*defended_table);
+    auto belief =
+        MakeCompliantIntervalBelief(*defended_table, groups.MedianGap());
+    if (!belief.ok()) {
+      std::cerr << belief.status() << "\n";
+      return 1;
+    }
+    auto oe = ComputeOEstimate(groups, *belief);
+    if (!oe.ok()) {
+      std::cerr << oe.status() << "\n";
+      return 1;
+    }
+    auto patterns = MineFPGrowth(*defended_db, mining);
+    if (!patterns.ok()) {
+      std::cerr << patterns.status() << "\n";
+      return 1;
+    }
+    double jaccard = ItemsetJaccard(*baseline_patterns, *patterns);
+
+    sweep.AddRow({TablePrinter::FmtG(gap, 3),
+                  TablePrinter::Fmt(groups.num_groups()),
+                  TablePrinter::Fmt(
+                      static_cast<double>(groups.num_groups()) / n, 3),
+                  TablePrinter::Fmt(oe->fraction, 3),
+                  TablePrinter::Fmt(report->relative_distortion * 100.0, 2) +
+                      "%",
+                  TablePrinter::Fmt(jaccard, 3)});
+    csv.AddRow({TablePrinter::FmtG(gap), TablePrinter::Fmt(
+                                             groups.num_groups()),
+                TablePrinter::FmtG(static_cast<double>(
+                                       groups.num_groups()) / n),
+                TablePrinter::FmtG(oe->fraction),
+                TablePrinter::FmtG(report->relative_distortion),
+                TablePrinter::FmtG(jaccard)});
+  }
+
+  std::cout << "\n" << sweep.ToString();
+  std::cout << "\nReading: merging sub-delta_med groups already collapses "
+               "much of the worst\ncase at sub-percent support distortion "
+               "and near-perfect mining fidelity;\npushing the O-estimate "
+               "fraction to a 0.1 tolerance costs visibly more.\nThe "
+               "defense is the owner's constructive follow-up to a "
+               "negative recipe verdict.\n";
+  MaybeWriteCsv(csv, "defense_tradeoff");
+  return 0;
+}

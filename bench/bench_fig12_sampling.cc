@@ -1,0 +1,90 @@
+// E5 — Figure 12: "Degrees of Compliancy from Similar Data".
+// Runs the Similarity-by-Sampling procedure (Figure 13) on ACCIDENTS and
+// RETAIL: for each sample size p, draws 10 transaction samples, builds
+// the sample-holder's belief function (sampled frequencies ± sampled
+// median gap) and measures its degree of compliancy alpha against the
+// full data. Also reproduces the Section 7.4 remark that the sampled
+// *average* gap saturates compliancy near 0.99 at every sample size.
+//
+// Shape targets: ACCIDENTS rises with sample size and exceeds 0.7 already
+// at a 10% sample; RETAIL *dips* until ~50% (frequency groups separating
+// as supports become determined) before the normal trend resumes.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/similarity.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+using namespace anonsafe::bench;
+
+int main() {
+  PrintBanner("E5 / Figure 12", "degree of compliancy from similar data");
+  double scale = GetScale();
+  // The full ACCIDENTS database is ~50M occurrences; default this bench
+  // to a 30% stand-in unless the user explicitly set a scale.
+  if (std::getenv("ANONSAFE_SCALE") == nullptr) scale = 0.3;
+  std::cout << "[dataset scale " << scale << "]\n";
+
+  const Benchmark figure12[] = {Benchmark::kAccidents, Benchmark::kRetail};
+  CsvWriter csv({"dataset", "sample_pct", "alpha_median_gap",
+                 "alpha_stddev", "alpha_average_gap", "mean_groups"});
+
+  for (Benchmark b : figure12) {
+    auto ds = MakeDataset(b, scale, /*with_database=*/true);
+    if (!ds.ok()) {
+      std::cerr << ds.status() << "\n";
+      return 1;
+    }
+
+    SimilarityOptions options;
+    options.sample_fractions = {0.01, 0.05, 0.10, 0.20, 0.30,
+                                0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
+    options.samples_per_fraction = 10;
+    options.seed = 63;
+    auto median_curve = SimilarityBySampling(ds->database, options);
+    if (!median_curve.ok()) {
+      std::cerr << median_curve.status() << "\n";
+      return 1;
+    }
+    options.use_average_gap = true;
+    options.samples_per_fraction = 3;  // the remark needs less precision
+    auto average_curve = SimilarityBySampling(ds->database, options);
+    if (!average_curve.ok()) {
+      std::cerr << average_curve.status() << "\n";
+      return 1;
+    }
+
+    TablePrinter table({"sample %", "alpha (median gap)", "stddev",
+                        "alpha (average gap)", "sample groups"});
+    for (size_t i = 0; i < median_curve->size(); ++i) {
+      const SimilarityPoint& p = (*median_curve)[i];
+      const SimilarityPoint& q = (*average_curve)[i];
+      table.AddRow({TablePrinter::Fmt(p.sample_fraction * 100.0, 0),
+                    TablePrinter::Fmt(p.mean_alpha, 4),
+                    TablePrinter::Fmt(p.stddev_alpha, 4),
+                    TablePrinter::Fmt(q.mean_alpha, 4),
+                    TablePrinter::Fmt(p.mean_groups, 0)});
+      csv.AddRow({ds->spec.name,
+                  TablePrinter::Fmt(p.sample_fraction * 100.0, 0),
+                  TablePrinter::FmtG(p.mean_alpha),
+                  TablePrinter::FmtG(p.stddev_alpha),
+                  TablePrinter::FmtG(q.mean_alpha),
+                  TablePrinter::FmtG(p.mean_groups)});
+    }
+    std::cout << "\n--- " << ds->spec.name << " ("
+              << ds->database.DebugString() << ") ---\n"
+              << table.ToString();
+  }
+
+  std::cout << "\nReading: even small samples achieve high compliancy "
+               "(contra Clifton's\nsmall-sample-is-safe argument); RETAIL "
+               "dips while its under-determined\nfrequency groups "
+               "separate, then recovers; the sampled-average width "
+               "saturates\nnear 1.0 uniformly — using the average gap is "
+               "misleading.\n";
+  MaybeWriteCsv(csv, "fig12_sampling");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E8 — the Assess-Risk recipe (Figure 8) end-to-end on all six
+// benchmarks at the paper's tolerance tau = 0.1, reporting each decision
+// and alpha_max. Narrative targets from Section 7.3: RETAIL is a clear
+// disclose; PUMSB and ACCIDENTS give alpha_max around 0.65-0.7 (owner
+// likely comfortable); CONNECT gives alpha_max around 0.2 (owner should
+// think twice).
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/recipe.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+using namespace anonsafe::bench;
+
+int main() {
+  PrintBanner("E8 / Figure 8 recipe", "Assess-Risk on all six benchmarks");
+  const double scale = GetScale();
+  if (scale != 1.0) std::cout << "[ANONSAFE_SCALE=" << scale << "]\n";
+
+  TablePrinter table({"Dataset", "n", "g", "delta_med", "interval OE",
+                      "OE frac", "decision", "alpha_max", "secs"});
+  CsvWriter csv({"dataset", "n", "g", "delta_med", "interval_oe",
+                 "decision", "alpha_max", "seconds"});
+
+  for (const BenchmarkSpec& spec : AllBenchmarkSpecs()) {
+    auto ds = MakeDataset(spec.id, scale, /*with_database=*/false);
+    if (!ds.ok()) {
+      std::cerr << spec.name << ": " << ds.status() << "\n";
+      return 1;
+    }
+    RecipeOptions options;
+    options.tolerance = 0.1;
+    options.alpha_runs = 5;
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = AssessRisk(ds->table, options);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!result.ok()) {
+      std::cerr << spec.name << ": " << result.status() << "\n";
+      return 1;
+    }
+    double seconds = std::chrono::duration<double>(t1 - t0).count();
+    double oe_fraction =
+        result->interval_oe / static_cast<double>(result->num_items);
+    std::string alpha_cell =
+        result->decision == RecipeDecision::kAlphaBound
+            ? TablePrinter::Fmt(result->alpha_max, 3)
+            : "- (disclose)";
+    // delta_med and the interval OE are only computed when the recipe
+    // reaches step 3 (i.e., the point-valued check did not already pass).
+    bool reached_interval =
+        result->decision != RecipeDecision::kDiscloseAtPointValued;
+    table.AddRow({spec.name, TablePrinter::Fmt(result->num_items),
+                  TablePrinter::Fmt(result->num_groups),
+                  reached_interval ? TablePrinter::FmtG(result->delta_med, 3)
+                                   : "-",
+                  reached_interval ? TablePrinter::Fmt(result->interval_oe, 1)
+                                   : "-",
+                  reached_interval ? TablePrinter::Fmt(oe_fraction, 3) : "-",
+                  ToString(result->decision), alpha_cell,
+                  TablePrinter::Fmt(seconds, 2)});
+    csv.AddRow({spec.name, TablePrinter::Fmt(result->num_items),
+                TablePrinter::Fmt(result->num_groups),
+                TablePrinter::FmtG(result->delta_med),
+                TablePrinter::FmtG(result->interval_oe),
+                ToString(result->decision),
+                TablePrinter::FmtG(result->alpha_max),
+                TablePrinter::FmtG(seconds)});
+  }
+
+  std::cout << "\n" << table.ToString();
+  std::cout << "\nPaper targets: RETAIL discloses outright; CONNECT's "
+               "alpha_max ~ 0.2 (withhold);\nPUMSB/ACCIDENTS ~ 0.65-0.7 "
+               "(comfortable). Our stand-ins reproduce the RETAIL\nand "
+               "CONNECT endpoints and PUMSB's middle band; synthetic "
+               "ACCIDENTS lands lower\nthan the paper's (gap "
+               "micro-structure, see EXPERIMENTS.md).\n";
+  MaybeWriteCsv(csv, "fig8_recipe");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// E2 — Figure 9: "Frequency Statistics for Various Benchmarks".
+// Regenerates both tables of Figure 9 (dataset shapes and frequency-gap
+// statistics) from the synthetic stand-ins, side by side with the
+// published values. The structural columns (#items, #trans, #groups,
+// #singleton groups) must match exactly by construction; the gap columns
+// are calibration targets.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+using namespace anonsafe::bench;
+
+int main() {
+  PrintBanner("E2 / Figure 9", "dataset statistics for the six benchmarks");
+  const double scale = GetScale();
+  if (scale != 1.0) std::cout << "[ANONSAFE_SCALE=" << scale << "]\n";
+
+  TablePrinter shape({"Dataset", "# items", "# Trans.", "# Gps.",
+                      "Size 1 Gps.", "paper # Gps.", "paper Size 1"});
+  TablePrinter gaps({"Dataset", "Mean", "Median", "Min.", "Max.",
+                     "paper Mean", "paper Median", "paper Min.",
+                     "paper Max."});
+  CsvWriter csv({"dataset", "items", "transactions", "groups", "singletons",
+                 "mean_gap", "median_gap", "min_gap", "max_gap"});
+
+  for (const BenchmarkSpec& spec : AllBenchmarkSpecs()) {
+    auto ds = MakeDataset(spec.id, scale, /*with_database=*/true);
+    if (!ds.ok()) {
+      std::cerr << spec.name << ": " << ds.status() << "\n";
+      return 1;
+    }
+    // Statistics measured from the *generated transaction database*, the
+    // same way the paper measured its real files.
+    auto measured_table = FrequencyTable::Compute(ds->database);
+    if (!measured_table.ok()) {
+      std::cerr << spec.name << ": " << measured_table.status() << "\n";
+      return 1;
+    }
+    FrequencyGroups fg = FrequencyGroups::Build(*measured_table);
+    Summary gap = fg.GapSummary();
+
+    shape.AddRow({spec.name, TablePrinter::Fmt(ds->database.num_items()),
+                  TablePrinter::Fmt(ds->database.num_transactions()),
+                  TablePrinter::Fmt(fg.num_groups()),
+                  TablePrinter::Fmt(fg.num_singleton_groups()),
+                  TablePrinter::Fmt(spec.num_groups),
+                  TablePrinter::Fmt(spec.num_singleton_groups)});
+    gaps.AddRow({spec.name, TablePrinter::FmtG(gap.mean, 3),
+                 TablePrinter::FmtG(gap.median, 3),
+                 TablePrinter::FmtG(gap.min, 3),
+                 TablePrinter::FmtG(gap.max, 3),
+                 TablePrinter::FmtG(spec.mean_gap, 3),
+                 TablePrinter::FmtG(spec.median_gap, 3),
+                 TablePrinter::FmtG(spec.min_gap, 3),
+                 TablePrinter::FmtG(spec.max_gap, 3)});
+    csv.AddRow({spec.name, TablePrinter::Fmt(ds->database.num_items()),
+                TablePrinter::Fmt(ds->database.num_transactions()),
+                TablePrinter::Fmt(fg.num_groups()),
+                TablePrinter::Fmt(fg.num_singleton_groups()),
+                TablePrinter::FmtG(gap.mean), TablePrinter::FmtG(gap.median),
+                TablePrinter::FmtG(gap.min), TablePrinter::FmtG(gap.max)});
+  }
+
+  std::cout << "\nDataset shapes (generated vs paper):\n"
+            << shape.ToString();
+  std::cout << "\nFrequency gaps between successive groups (generated vs "
+               "paper):\n"
+            << gaps.ToString();
+  std::cout << "\nReading: singleton groups dominate every dataset except "
+               "RETAIL's low end,\nso the point-valued worst case is near "
+               "total disclosure; the median gap is far\nbelow the mean — "
+               "the skew that motivates delta_med in the recipe.\n";
+  MaybeWriteCsv(csv, "fig9_dataset_stats");
+  return 0;
+}

@@ -1,0 +1,217 @@
+// E7 — performance microbenchmarks (google-benchmark) backing the
+// paper's complexity claims:
+//   * Figure 5 claims the O-estimate runs in O(|D| + n log n): BM_OEstimate
+//     sweeps the domain size and should scale near-linearly;
+//   * Section 7.2 remarks the RETAIL O-estimate "takes only a few
+//     seconds" on 2005 hardware: BM_OEstimateRetail measures it here;
+//   * Ryser's permanent is O(2^n n): BM_Permanent shows the exponential
+//     wall that motivates the O-estimate;
+//   * sampler sweeps and propagation are the costs of the simulated
+//     estimator and of Figure 7.
+
+#include <benchmark/benchmark.h>
+
+#include "belief/builders.h"
+#include "datagen/quest.h"
+#include "mining/miner.h"
+#include "core/oestimate.h"
+#include "data/frequency.h"
+#include "datagen/benchmark_profiles.h"
+#include "datagen/profile.h"
+#include "graph/consistency.h"
+#include "graph/matching_sampler.h"
+#include "graph/permanent.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+namespace {
+
+/// Synthetic frequency table: n items, ~n/4 groups, m = 16n transactions.
+FrequencyTable MakeTable(size_t n) {
+  Rng rng(n * 2654435761u + 1);
+  const size_t m = 16 * n;
+  std::vector<SupportCount> supports(n);
+  const size_t groups = std::max<size_t>(2, n / 4);
+  for (size_t i = 0; i < n; ++i) {
+    supports[i] = 1 + (rng.UniformUint64(groups) * m) / (groups + 1);
+  }
+  return *FrequencyTable::FromSupports(std::move(supports), m);
+}
+
+void BM_FrequencyGroupsBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  FrequencyTable table = MakeTable(n);
+  for (auto _ : state) {
+    FrequencyGroups fg = FrequencyGroups::Build(table);
+    benchmark::DoNotOptimize(fg.num_groups());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FrequencyGroupsBuild)->Range(1 << 10, 1 << 17)->Complexity();
+
+void BM_OEstimate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  FrequencyTable table = MakeTable(n);
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  BeliefFunction belief =
+      *MakeCompliantIntervalBelief(table, groups.MedianGap());
+  OEstimateOptions options;
+  options.propagate = false;
+  for (auto _ : state) {
+    auto oe = ComputeOEstimate(groups, belief, options);
+    benchmark::DoNotOptimize(oe->expected_cracks);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_OEstimate)->Range(1 << 10, 1 << 17)->Complexity();
+
+void BM_OEstimateWithPropagation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  FrequencyTable table = MakeTable(n);
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  BeliefFunction belief =
+      *MakeCompliantIntervalBelief(table, groups.MedianGap());
+  for (auto _ : state) {
+    auto oe = ComputeOEstimate(groups, belief);
+    benchmark::DoNotOptimize(oe->expected_cracks);
+  }
+}
+BENCHMARK(BM_OEstimateWithPropagation)->Range(1 << 10, 1 << 15);
+
+void BM_OEstimateRetail(benchmark::State& state) {
+  // The Section 7.2 claim, on the full-size RETAIL stand-in.
+  Rng rng(2005);
+  auto profile = MakeBenchmarkProfile(Benchmark::kRetail, &rng);
+  auto table = FrequencyTable::FromSupports(profile->ItemSupports(),
+                                            profile->num_transactions());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  BeliefFunction belief =
+      *MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  for (auto _ : state) {
+    auto oe = ComputeOEstimate(groups, belief);
+    benchmark::DoNotOptimize(oe->expected_cracks);
+  }
+}
+BENCHMARK(BM_OEstimateRetail);
+
+void BM_ConsistencyBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  FrequencyTable table = MakeTable(n);
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  BeliefFunction belief =
+      *MakeCompliantIntervalBelief(table, 2.0 * groups.MedianGap());
+  for (auto _ : state) {
+    auto cs = ConsistencyStructure::Build(groups, belief);
+    benchmark::DoNotOptimize(cs->num_groups());
+  }
+}
+BENCHMARK(BM_ConsistencyBuild)->Range(1 << 10, 1 << 16);
+
+void BM_SamplerSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  FrequencyTable table = MakeTable(n);
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  BeliefFunction belief =
+      *MakeCompliantIntervalBelief(table, groups.MedianGap());
+  SamplerOptions options;
+  options.num_samples = 8;
+  options.burn_in_sweeps = 1;
+  options.burn_in_scale = 0.0;  // measure sweeps, not adaptive burn-in
+  options.thinning_sweeps = 1;
+  options.samples_per_seed = 8;
+  auto sampler = MatchingSampler::Create(groups, belief, options);
+  for (auto _ : state) {
+    // Eight samples at thinning 1 == eight sweeps + eight crack counts.
+    benchmark::DoNotOptimize(sampler->SampleCrackCounts());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 8 *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SamplerSweep)->Range(1 << 10, 1 << 13);
+
+void BM_Permanent(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(n);
+  std::vector<uint64_t> rows(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.6)) rows[i] |= (1ULL << j);
+    }
+    rows[i] |= (1ULL << i);  // keep a perfect matching plausible
+  }
+  for (auto _ : state) {
+    auto p = PermanentRyser(rows);
+    benchmark::DoNotOptimize(*p);
+  }
+}
+BENCHMARK(BM_Permanent)->DenseRange(8, 22, 2);
+
+void BM_Propagation(benchmark::State& state) {
+  // Worst-case staircase: every pass forces one item (Figure 6(a) at n).
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t m = 4 * n;
+  std::vector<SupportCount> supports(n);
+  for (size_t i = 0; i < n; ++i) supports[i] = i + 1;
+  auto table = FrequencyTable::FromSupports(supports, m);
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  std::vector<BeliefInterval> intervals(n);
+  for (size_t i = 0; i < n; ++i) {
+    intervals[i] = {0.0, (static_cast<double>(i + 1) + 0.5) /
+                             static_cast<double>(m)};
+  }
+  BeliefFunction belief = *BeliefFunction::Create(std::move(intervals));
+  for (auto _ : state) {
+    auto cs = ConsistencyStructure::Build(groups, belief);
+    auto stats = cs->PropagateDegreeOne();
+    benchmark::DoNotOptimize(stats.forced_pairs);
+  }
+}
+BENCHMARK(BM_Propagation)->Range(1 << 6, 1 << 10);
+
+Database QuestFixture(size_t num_transactions) {
+  QuestParams params;
+  params.num_items = 120;
+  params.num_transactions = num_transactions;
+  params.avg_txn_size = 8.0;
+  params.num_patterns = 40;
+  params.seed = 9;
+  return *GenerateQuestDatabase(params);
+}
+
+void BM_MineApriori(benchmark::State& state) {
+  Database db = QuestFixture(static_cast<size_t>(state.range(0)));
+  MiningOptions options;
+  options.min_support = 0.05;
+  for (auto _ : state) {
+    auto result = MineApriori(db, options);
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_MineApriori)->Range(512, 4096);
+
+void BM_MineFPGrowth(benchmark::State& state) {
+  Database db = QuestFixture(static_cast<size_t>(state.range(0)));
+  MiningOptions options;
+  options.min_support = 0.05;
+  for (auto _ : state) {
+    auto result = MineFPGrowth(db, options);
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_MineFPGrowth)->Range(512, 4096);
+
+void BM_MineEclat(benchmark::State& state) {
+  Database db = QuestFixture(static_cast<size_t>(state.range(0)));
+  MiningOptions options;
+  options.min_support = 0.05;
+  for (auto _ : state) {
+    auto result = MineEclat(db, options);
+    benchmark::DoNotOptimize(result->size());
+  }
+}
+BENCHMARK(BM_MineEclat)->Range(512, 4096);
+
+}  // namespace
+}  // namespace anonsafe
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E12 (extension) — Section 8.1 at benchmark scale: disclosure risk of an
+// anonymized categorical relation as a function of (a) how many attribute
+// values the hacker knows per individual and (b) population size.
+// Includes the set-level disclosure view (certain cracks / identified
+// small sets) that record "twins" create.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/graph_oestimate.h"
+#include "graph/edge_pruning.h"
+#include "relational/knowledge.h"
+#include "relational/record_table.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+using namespace anonsafe::bench;
+
+int main() {
+  PrintBanner("E12 / relational disclosure",
+              "risk of an anonymized relation vs hacker attribute knowledge");
+
+  const std::vector<AttributeSchema> schema = {
+      {"age_bucket", 12}, {"ethnicity", 8}, {"car_model", 30},
+      {"region", 10}, {"household", 5}};
+
+  CsvWriter csv({"population", "attrs_known", "oe", "refined_oe",
+                 "certain_cracks", "small_sets"});
+  for (size_t population : {200u, 1000u, 5000u}) {
+    Rng rng(4000 + population);
+    auto table = GeneratePopulation(schema, population, 0.9, &rng);
+    if (!table.ok()) {
+      std::cerr << table.status() << "\n";
+      return 1;
+    }
+
+    TablePrinter sweep({"attrs known", "OE cracks", "OE fraction",
+                        "refined OE", "certain cracks",
+                        "identified sets <=2"});
+    for (size_t known = 0; known <= schema.size(); ++known) {
+      Rng krng(100 + known);
+      auto knowledge = MakeAttributeKnowledge(*table, known, &krng);
+      if (!knowledge.ok()) {
+        std::cerr << knowledge.status() << "\n";
+        return 1;
+      }
+      auto graph = knowledge->BuildConsistencyGraph(*table);
+      if (!graph.ok()) {
+        std::cerr << graph.status() << "\n";
+        return 1;
+      }
+      auto oe = ComputeOEstimateOnGraph(*graph);
+      if (!oe.ok()) {
+        std::cerr << oe.status() << "\n";
+        return 1;
+      }
+      std::string refined_cell = "-", cracks_cell = "-", sets_cell = "-";
+      double refined_value = -1.0;
+      size_t certain = 0, small_sets = 0;
+      auto refined = ComputeRefinedOEstimateOnGraph(*graph);
+      if (refined.ok()) {
+        refined_value = refined->expected_cracks;
+        refined_cell = TablePrinter::Fmt(refined_value, 1);
+      }
+      auto sets = AnalyzeSetDisclosure(*graph, 2);
+      if (sets.ok()) {
+        certain = sets->certain_cracks;
+        small_sets = sets->small_sets;
+        cracks_cell = TablePrinter::Fmt(certain);
+        sets_cell = TablePrinter::Fmt(small_sets);
+      }
+      sweep.AddRow({TablePrinter::Fmt(known),
+                    TablePrinter::Fmt(oe->expected_cracks, 1),
+                    TablePrinter::Fmt(oe->fraction, 3), refined_cell,
+                    cracks_cell, sets_cell});
+      csv.AddRow({TablePrinter::Fmt(population), TablePrinter::Fmt(known),
+                  TablePrinter::FmtG(oe->expected_cracks),
+                  TablePrinter::FmtG(refined_value),
+                  TablePrinter::Fmt(certain), TablePrinter::Fmt(small_sets)});
+    }
+    std::cout << "\n--- population " << population << " (5 attributes, "
+              << "Zipf skew 0.9) ---\n"
+              << sweep.ToString();
+  }
+
+  std::cout << "\nReading: the ignorant row reproduces Lemma 1 (1 expected "
+               "crack at any size);\neach known attribute multiplies the "
+               "risk, and at full knowledge most records\nare certain "
+               "cracks — except 'twins' (identical records), which survive "
+               "as\nsize-2 identified sets. Larger populations dilute the "
+               "FRACTION at fixed\nknowledge, but quasi-identifier "
+               "combinations keep absolute crack counts high\n— the "
+               "relational face of the paper's camouflage analysis.\n";
+  MaybeWriteCsv(csv, "relational_risk");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// The powerset attack (paper Section 8.2, "ongoing work"): frequent-set
+// mining is not just the reason the data is released — it is an attack
+// vector. A hacker who mines *their own similar data* learns ball-park
+// frequencies of whole itemsets; co-occurrence survives anonymization,
+// so those itemset beliefs prune the space of consistent crack mappings
+// far harder than item frequencies alone.
+//
+// The example stages the full escalation on one database:
+//   1. item-level knowledge only          (the paper's core model)
+//   2. + pair constraints                 (AC-3 pruning, exact counts)
+//   3. + mined multi-itemset constraints  (constrained enumeration/MCMC)
+//
+// Build & run:  cmake --build build && ./build/examples/powerset_attack
+
+#include <iostream>
+
+#include "belief/builders.h"
+#include "data/frequency.h"
+#include "datagen/quest.h"
+#include "graph/bipartite_graph.h"
+#include "graph/permanent.h"
+#include "mining/miner.h"
+#include "powerset/constrained_attack.h"
+#include "powerset/itemset_belief.h"
+#include "powerset/pair_attack.h"
+#include "powerset/support_oracle.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // -- The owner's baskets: small enough for exact enumeration.
+  QuestParams params;
+  params.num_items = 12;
+  params.num_transactions = 200;
+  params.avg_txn_size = 4.0;
+  params.num_patterns = 10;
+  params.seed = 41;
+  auto db = GenerateQuestDatabase(params);
+  if (!db.ok()) return Fail(db.status());
+  auto table = FrequencyTable::Compute(*db);
+  if (!table.ok()) return Fail(table.status());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto oracle = SupportOracle::Build(*db);
+  if (!oracle.ok()) return Fail(oracle.status());
+  std::cout << "Owner database: " << db->DebugString() << ", "
+            << groups.num_groups() << " frequency groups\n\n";
+
+  // -- Item-level knowledge: compliant delta_med intervals.
+  auto item_belief =
+      MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  if (!item_belief.ok()) return Fail(item_belief.status());
+  auto graph = BipartiteGraph::Build(groups, *item_belief);
+  if (!graph.ok()) return Fail(graph.status());
+
+  auto item_only = ExactExpectedCracksByPermanent(*graph);
+  if (!item_only.ok()) return Fail(item_only.status());
+  auto matchings = CountPerfectMatchings(*graph);
+  if (!matchings.ok()) return Fail(matchings.status());
+
+  TablePrinter escalation({"hacker knowledge", "consistent mappings",
+                           "expected cracks", "fraction"});
+  const double n = static_cast<double>(db->num_items());
+  escalation.AddRow({"item frequencies (paper core model)",
+                     TablePrinter::Fmt(*matchings, 0),
+                     TablePrinter::Fmt(*item_only, 2),
+                     TablePrinter::Fmt(*item_only / n, 3)});
+
+  // -- + pair constraints: the hacker knows co-occurrence rates of the
+  //    top pairs (e.g. from public market-basket statistics).
+  auto pair_supports = PairSupportMatrix::Compute(*db);
+  if (!pair_supports.ok()) return Fail(pair_supports.status());
+  for (size_t pairs_known : {3u, 8u}) {
+    auto pair_belief =
+        MakeCompliantPairBelief(*pair_supports, pairs_known, 0.02);
+    if (!pair_belief.ok()) return Fail(pair_belief.status());
+    auto dist = EnumerateConstrainedCrackDistribution(*graph, *pair_supports,
+                                                      *pair_belief);
+    if (!dist.ok()) return Fail(dist.status());
+    escalation.AddRow({"+ " + std::to_string(pairs_known) +
+                           " pair co-occurrence facts",
+                       TablePrinter::Fmt(dist->num_matchings),
+                       TablePrinter::Fmt(dist->expected, 2),
+                       TablePrinter::Fmt(dist->expected / n, 3)});
+  }
+
+  // -- + mined itemset constraints: the hacker runs FP-Growth on similar
+  //    data and constrains the frequent itemsets it finds.
+  MiningOptions mining;
+  mining.min_support = 0.05;
+  mining.max_itemset_size = 3;
+  auto frequent = MineFPGrowth(*db, mining);
+  if (!frequent.ok()) return Fail(frequent.status());
+  for (size_t sets_known : {5u, 15u}) {
+    auto belief =
+        MakeCompliantItemsetBelief(*oracle, *frequent, sets_known, 0.02);
+    if (!belief.ok()) return Fail(belief.status());
+    auto dist =
+        EnumerateItemsetConstrainedDistribution(*graph, *oracle, *belief);
+    if (!dist.ok()) return Fail(dist.status());
+    escalation.AddRow({"+ " + std::to_string(belief->num_constraints()) +
+                           " mined frequent-itemset facts",
+                       TablePrinter::Fmt(dist->num_matchings),
+                       TablePrinter::Fmt(dist->expected, 2),
+                       TablePrinter::Fmt(dist->expected / n, 3)});
+
+    // The MCMC path gives the same answer where enumeration would not
+    // scale — shown once for the larger knowledge set.
+    if (sets_known == 15u) {
+      SamplerOptions sampler_options;
+      sampler_options.num_samples = 1500;
+      sampler_options.thinning_sweeps = 4;
+      sampler_options.seed = 5;
+      auto sampler = ConstrainedMatchingSampler::Create(*graph, *belief,
+                                                        *oracle,
+                                                        sampler_options);
+      if (!sampler.ok()) return Fail(sampler.status());
+      std::vector<size_t> counts = sampler->SampleCrackCounts();
+      double mean = 0.0;
+      for (size_t c : counts) mean += static_cast<double>(c);
+      mean /= static_cast<double>(counts.size());
+      escalation.AddRow({"    (same, by constrained MCMC)", "-",
+                         TablePrinter::Fmt(mean, 2),
+                         TablePrinter::Fmt(mean / n, 3)});
+    }
+  }
+
+  std::cout << escalation.ToString();
+  std::cout << "\nEach layer of powerset knowledge shrinks the space of "
+               "consistent mappings\nand pushes the expected cracks toward "
+               "total disclosure: the frequency-group\ncamouflage that "
+               "bounds item-level risk does not survive itemset-level\n"
+               "knowledge. Owners of basket data should treat public "
+               "co-occurrence\nstatistics as part of the hacker's prior.\n";
+  return 0;
+}

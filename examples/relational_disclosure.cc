@@ -1,0 +1,125 @@
+// "Beyond frequent sets" (paper Section 8.1): the same disclosure-risk
+// machinery on a *relational* release. The owner wants to publish an
+// anonymized relation (age bucket, ethnicity, car model) for a
+// classification task; a hacker holds partial facts about individuals
+// ("John is Chinese owning a Toyota", "Mary's age is between 30-35").
+// Once those facts are compiled into a consistency graph, every
+// estimator of the library applies unchanged.
+//
+// Build & run:  cmake --build build && ./build/examples/relational_disclosure
+
+#include <iostream>
+
+#include "core/graph_oestimate.h"
+#include "graph/edge_pruning.h"
+#include "graph/permanent.h"
+#include "relational/knowledge.h"
+#include "relational/record_table.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+
+using namespace anonsafe;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(81);
+
+  // -- 1. The owner's relation: 2000 customers, four categorical
+  //       attributes with realistic skew.
+  auto population = GeneratePopulation(
+      {{"age_bucket", 12}, {"ethnicity", 8}, {"car_model", 30},
+       {"region", 10}},
+      2000, /*skew=*/0.9, &rng);
+  if (!population.ok()) return Fail(population.status());
+  std::cout << "Relation: " << population->num_records()
+            << " records x " << population->num_attributes()
+            << " categorical attributes\n\n";
+
+  // -- 2. Risk as a function of how many attribute values the hacker
+  //       knows per individual (all facts true; the relational analogue
+  //       of sweeping the belief-interval width).
+  TablePrinter sweep({"attrs known", "O-estimate", "refined OE",
+                      "certain cracks", "identified sets (<=2)"});
+  for (size_t known = 0; known <= population->num_attributes(); ++known) {
+    Rng krng(500 + known);
+    auto knowledge = MakeAttributeKnowledge(*population, known, &krng);
+    if (!knowledge.ok()) return Fail(knowledge.status());
+    auto graph = knowledge->BuildConsistencyGraph(*population);
+    if (!graph.ok()) return Fail(graph.status());
+
+    auto oe = ComputeOEstimateOnGraph(*graph);
+    if (!oe.ok()) return Fail(oe.status());
+    auto refined = ComputeRefinedOEstimateOnGraph(*graph);
+    auto sets = AnalyzeSetDisclosure(*graph, 2);
+    std::string refined_cell =
+        refined.ok() ? TablePrinter::Fmt(refined->expected_cracks, 1) : "n/a";
+    std::string cracks_cell = "n/a", sets_cell = "n/a";
+    if (sets.ok()) {
+      cracks_cell = TablePrinter::Fmt(sets->certain_cracks);
+      sets_cell = TablePrinter::Fmt(sets->small_sets);
+    }
+    sweep.AddRow({TablePrinter::Fmt(known),
+                  TablePrinter::Fmt(oe->expected_cracks, 1), refined_cell,
+                  cracks_cell, sets_cell});
+  }
+  std::cout << "Risk vs hacker knowledge (2000 records):\n"
+            << sweep.ToString()
+            << "Knowing zero attributes cracks ~1 record in expectation "
+               "(Lemma 1 carries over);\neach extra known attribute "
+               "multiplies the expected cracks.\n\n";
+
+  // -- 3. The paper's concrete scenario, on a small relation where the
+  //       exact permanent-based expectation is computable.
+  auto table = RecordTable::Create(
+      {{"age_bucket", 12}, {"ethnicity", 8}, {"car_model", 30}});
+  if (!table.ok()) return Fail(table.status());
+  Rng prng(7);
+  for (int r = 0; r < 12; ++r) {
+    std::vector<uint32_t> rec = {
+        static_cast<uint32_t>(prng.UniformUint64(12)),
+        static_cast<uint32_t>(prng.UniformUint64(8)),
+        static_cast<uint32_t>(prng.UniformUint64(30))};
+    if (auto st = table->AddRecord(rec); !st.ok()) return Fail(st);
+  }
+  RelationalKnowledge partial(12, 3);
+  // "John (record 0) is Chinese owning a Toyota":
+  partial.predicate(0).RestrictTo(1, {table->value(0, 1)});
+  partial.predicate(0).RestrictTo(2, {table->value(0, 2)});
+  // "Mary's (record 1) age is between buckets 30-35":
+  uint32_t mary_age = table->value(1, 0);
+  partial.predicate(1).RestrictRange(0, mary_age > 0 ? mary_age - 1 : 0,
+                                     mary_age + 1);
+  // Bob (record 2) and everyone else: no knowledge.
+
+  auto graph = partial.BuildConsistencyGraph(*table);
+  if (!graph.ok()) return Fail(graph.status());
+  auto exact = ExactExpectedCracksByPermanent(*graph);
+  auto oe = ComputeOEstimateOnGraph(*graph);
+  auto refined = ComputeRefinedOEstimateOnGraph(*graph);
+  if (!exact.ok()) return Fail(exact.status());
+  if (!oe.ok()) return Fail(oe.status());
+  if (!refined.ok()) return Fail(refined.status());
+
+  std::cout << "Section 8.1 scenario (12 people; facts about John and "
+               "Mary only):\n";
+  TablePrinter small({"estimator", "expected cracks"});
+  small.AddRow({"O-estimate (Fig. 5 + Fig. 7)",
+                TablePrinter::Fmt(oe->expected_cracks, 3)});
+  small.AddRow({"refined O-estimate (matching cover)",
+                TablePrinter::Fmt(refined->expected_cracks, 3)});
+  small.AddRow({"exact (permanent direct method)",
+                TablePrinter::Fmt(*exact, 3)});
+  std::cout << small.ToString()
+            << "Even two casual facts lift the expected cracks well above "
+               "the ignorant\nbaseline of 1.0 — anonymized relations leak "
+               "through side knowledge exactly\nlike anonymized baskets.\n";
+  return 0;
+}

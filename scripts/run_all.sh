@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, regenerate every paper
+# table/figure and extension ablation, and run the examples — tee'ing
+# outputs next to the repo root.
+#
+# Usage:
+#   scripts/run_all.sh [--fast]
+#
+# --fast shrinks the synthetic datasets (ANONSAFE_SCALE=0.2) and skips
+# the MCMC overlays (ANONSAFE_SIM=0) for a quick smoke pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fast" ]]; then
+  export ANONSAFE_SCALE=0.2
+  export ANONSAFE_SIM=0
+  echo "[fast mode: ANONSAFE_SCALE=0.2, ANONSAFE_SIM=0]"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [[ -x "$b" && -f "$b" ]] || continue
+    echo
+    echo "################  $(basename "$b")  ################"
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+{
+  for e in build/examples/*; do
+    [[ -x "$e" && -f "$e" ]] || continue
+    echo
+    echo "################  $(basename "$e")  ################"
+    "$e"
+  done
+} 2>&1 | tee examples_output.txt
+
+echo
+echo "Done. Outputs: test_output.txt bench_output.txt examples_output.txt"

@@ -1,0 +1,70 @@
+#ifndef ANONSAFE_ANONYMIZE_ANONYMIZER_H_
+#define ANONSAFE_ANONYMIZE_ANONYMIZER_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "data/types.h"
+#include "mining/itemset.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief A bijective anonymization mapping between the original domain I
+/// and the anonymized domain J (Section 2.1 of the paper).
+///
+/// Both domains are the dense range `{0, ..., n-1}`; an `ItemId` is
+/// interpreted as original or anonymized depending on which side of the
+/// mapping it is on. The mapping is applied uniformly across all
+/// transactions — if item 1 is anonymized to 1', this happens everywhere —
+/// which is exactly why observed frequencies of anonymized items equal the
+/// true frequencies of their counterparts (the property the whole attack
+/// model rests on).
+class Anonymizer {
+ public:
+  /// \brief Identity mapping (x -> x). The owner-side analyses use this
+  /// WLOG: every risk metric is invariant under the actual permutation.
+  static Anonymizer Identity(size_t num_items);
+
+  /// \brief Uniformly random bijection.
+  static Anonymizer Random(size_t num_items, Rng* rng);
+
+  /// \brief Builds from an explicit mapping `original -> anonymized`.
+  /// Fails with InvalidArgument unless `mapping` is a permutation.
+  static Result<Anonymizer> FromMapping(std::vector<ItemId> mapping);
+
+  size_t num_items() const { return forward_.size(); }
+
+  /// \brief Maps an original item to its anonymized identity.
+  ItemId Anonymize(ItemId original) const { return forward_[original]; }
+
+  /// \brief Maps an anonymized item back to its original identity.
+  ItemId Deanonymize(ItemId anonymized) const { return backward_[anonymized]; }
+
+  /// \brief Anonymizes every transaction of `db` (item order re-sorted).
+  /// Fails if the database domain differs from the mapping's.
+  Result<Database> AnonymizeDatabase(const Database& db) const;
+
+  /// \brief Maps an itemset into the anonymized domain (sorted result).
+  Itemset AnonymizeItemset(const Itemset& items) const;
+
+  /// \brief Maps an itemset back to the original domain (sorted result).
+  Itemset DeanonymizeItemset(const Itemset& items) const;
+
+  /// \brief Maps mined patterns back to the original domain; supports are
+  /// untouched (anonymization never perturbs them). Results re-sorted
+  /// canonically.
+  std::vector<FrequentItemset> DeanonymizePatterns(
+      std::vector<FrequentItemset> patterns) const;
+
+ private:
+  explicit Anonymizer(std::vector<ItemId> forward);
+
+  std::vector<ItemId> forward_;   // original -> anonymized
+  std::vector<ItemId> backward_;  // anonymized -> original
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_ANONYMIZE_ANONYMIZER_H_

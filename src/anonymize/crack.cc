@@ -1,0 +1,65 @@
+#include "anonymize/crack.h"
+
+namespace anonsafe {
+
+size_t CrackMapping::num_assigned() const {
+  size_t count = 0;
+  for (ItemId x : guess_of_anon) {
+    if (x != kInvalidItem) ++count;
+  }
+  return count;
+}
+
+Status ValidateCrackMapping(const CrackMapping& crack, size_t num_items) {
+  if (crack.guess_of_anon.size() != num_items) {
+    return Status::InvalidArgument(
+        "crack mapping covers " + std::to_string(crack.guess_of_anon.size()) +
+        " anonymized items, expected " + std::to_string(num_items));
+  }
+  std::vector<bool> used(num_items, false);
+  for (ItemId x : crack.guess_of_anon) {
+    if (x == kInvalidItem) continue;
+    if (x >= num_items) {
+      return Status::InvalidArgument("guess outside original domain");
+    }
+    if (used[x]) {
+      return Status::InvalidArgument(
+          "crack mapping assigns item " + std::to_string(x) + " twice");
+    }
+    used[x] = true;
+  }
+  return Status::OK();
+}
+
+Result<size_t> CountCracks(const CrackMapping& crack,
+                           const Anonymizer& truth) {
+  ANONSAFE_RETURN_IF_ERROR(ValidateCrackMapping(crack, truth.num_items()));
+  size_t cracks = 0;
+  for (size_t a = 0; a < crack.guess_of_anon.size(); ++a) {
+    ItemId guess = crack.guess_of_anon[a];
+    if (guess != kInvalidItem &&
+        guess == truth.Deanonymize(static_cast<ItemId>(a))) {
+      ++cracks;
+    }
+  }
+  return cracks;
+}
+
+Result<size_t> CountCracksOfInterest(const CrackMapping& crack,
+                                     const Anonymizer& truth,
+                                     const std::vector<bool>& interest) {
+  if (interest.size() != truth.num_items()) {
+    return Status::InvalidArgument("interest mask size mismatch");
+  }
+  ANONSAFE_RETURN_IF_ERROR(ValidateCrackMapping(crack, truth.num_items()));
+  size_t cracks = 0;
+  for (size_t a = 0; a < crack.guess_of_anon.size(); ++a) {
+    ItemId guess = crack.guess_of_anon[a];
+    if (guess == kInvalidItem) continue;
+    ItemId true_item = truth.Deanonymize(static_cast<ItemId>(a));
+    if (guess == true_item && interest[true_item]) ++cracks;
+  }
+  return cracks;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,45 @@
+#ifndef ANONSAFE_ANONYMIZE_CRACK_H_
+#define ANONSAFE_ANONYMIZE_CRACK_H_
+
+#include <vector>
+
+#include "anonymize/anonymizer.h"
+#include "data/types.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief A hacker's crack mapping C : J -> I (Section 2.3).
+///
+/// `guess_of_anon[a]` is the original item the hacker assigns to the
+/// anonymized item `a`, or `kInvalidItem` when the hacker leaves `a`
+/// unassigned (partial mappings arise under non-compliant beliefs where
+/// no perfect matching exists). Assigned guesses must be distinct — the
+/// paper restricts hackers to 1-1 mappings.
+struct CrackMapping {
+  std::vector<ItemId> guess_of_anon;
+
+  size_t num_items() const { return guess_of_anon.size(); }
+  size_t num_assigned() const;
+};
+
+/// \brief Validates that a crack mapping is 1-1 over its assigned entries
+/// and stays inside the domain.
+Status ValidateCrackMapping(const CrackMapping& crack, size_t num_items);
+
+/// \brief Counts cracks: anonymized items whose guess equals their true
+/// original identity under `truth`. Fails when sizes mismatch or the
+/// mapping is invalid.
+Result<size_t> CountCracks(const CrackMapping& crack,
+                           const Anonymizer& truth);
+
+/// \brief Counts cracks restricted to a set of original items of interest
+/// (the Lemma 2 / Lemma 4 scenario: e.g. only the best-selling products
+/// matter to the owner). `interest` is a mask over original item ids.
+Result<size_t> CountCracksOfInterest(const CrackMapping& crack,
+                                     const Anonymizer& truth,
+                                     const std::vector<bool>& interest);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_ANONYMIZE_CRACK_H_

@@ -1,0 +1,65 @@
+#include "belief/belief_function.h"
+
+#include <string>
+
+namespace anonsafe {
+
+Result<BeliefFunction> BeliefFunction::Create(
+    std::vector<BeliefInterval> intervals) {
+  for (size_t x = 0; x < intervals.size(); ++x) {
+    const BeliefInterval& iv = intervals[x];
+    if (!(iv.lo <= iv.hi)) {
+      return Status::InvalidArgument("inverted interval for item " +
+                                     std::to_string(x));
+    }
+    if (iv.lo < 0.0 || iv.hi > 1.0) {
+      return Status::InvalidArgument("interval of item " + std::to_string(x) +
+                                     " escapes [0, 1]");
+    }
+  }
+  return BeliefFunction(std::move(intervals));
+}
+
+Result<double> BeliefFunction::ComplianceFraction(
+    const FrequencyTable& truth) const {
+  ANONSAFE_ASSIGN_OR_RETURN(std::vector<bool> mask, ComplianceMask(truth));
+  if (mask.empty()) return 1.0;
+  size_t compliant = 0;
+  for (bool c : mask) {
+    if (c) ++compliant;
+  }
+  return static_cast<double>(compliant) / static_cast<double>(mask.size());
+}
+
+Result<std::vector<bool>> BeliefFunction::ComplianceMask(
+    const FrequencyTable& truth) const {
+  if (truth.num_items() != num_items()) {
+    return Status::InvalidArgument(
+        "belief function covers " + std::to_string(num_items()) +
+        " items, ground truth has " + std::to_string(truth.num_items()));
+  }
+  std::vector<bool> mask(num_items());
+  for (ItemId x = 0; x < num_items(); ++x) {
+    mask[x] = IsCompliantFor(x, truth.frequency(x));
+  }
+  return mask;
+}
+
+bool BeliefFunction::Refines(const BeliefFunction& other) const {
+  if (other.num_items() != num_items()) return false;
+  for (ItemId x = 0; x < num_items(); ++x) {
+    if (!intervals_[x].IsSubsetOf(other.intervals_[x])) return false;
+  }
+  return true;
+}
+
+bool BeliefFunction::IsIntervalValued() const {
+  for (const auto& iv : intervals_) {
+    if (!iv.IsPoint()) return true;
+  }
+  return false;
+}
+
+bool BeliefFunction::IsPointValued() const { return !IsIntervalValued(); }
+
+}  // namespace anonsafe

@@ -1,0 +1,86 @@
+#ifndef ANONSAFE_BELIEF_BELIEF_FUNCTION_H_
+#define ANONSAFE_BELIEF_BELIEF_FUNCTION_H_
+
+#include <vector>
+
+#include "data/frequency.h"
+#include "data/types.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief One item's believed frequency range [lo, hi] ⊆ [0, 1].
+struct BeliefInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+
+  bool Contains(double f) const { return lo <= f && f <= hi; }
+  bool IsPoint() const { return lo == hi; }
+  double Width() const { return hi - lo; }
+
+  /// β1(x) ⊆ β2(x): this interval refines (is contained in) `other`.
+  bool IsSubsetOf(const BeliefInterval& other) const {
+    return lo >= other.lo && hi <= other.hi;
+  }
+
+  bool operator==(const BeliefInterval& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+};
+
+/// \brief The hacker's prior knowledge: a frequency interval per item
+/// (Section 2.2 of the paper).
+///
+/// The special shapes of the paper are all instances:
+///  - *ignorant*: every interval is [0, 1];
+///  - *point-valued*: every interval is a single frequency;
+///  - *interval*: at least one interval is a true range;
+///  - *compliant*: every interval contains the item's true frequency;
+///  - *α-compliant*: only a fraction α of intervals do.
+class BeliefFunction {
+ public:
+  /// \brief Wraps validated intervals. Fails with InvalidArgument when an
+  /// interval is inverted (lo > hi) or escapes [0, 1].
+  static Result<BeliefFunction> Create(std::vector<BeliefInterval> intervals);
+
+  size_t num_items() const { return intervals_.size(); }
+
+  const BeliefInterval& interval(ItemId x) const { return intervals_[x]; }
+  const std::vector<BeliefInterval>& intervals() const { return intervals_; }
+
+  /// \brief True when `x`'s interval contains `true_frequency` — the
+  /// paper's compliancy condition for a single item.
+  bool IsCompliantFor(ItemId x, double true_frequency) const {
+    return intervals_[x].Contains(true_frequency);
+  }
+
+  /// \brief Measured degree of compliancy α against ground truth: the
+  /// fraction of items whose interval contains their true frequency.
+  /// This is exactly step (d) of the Similarity-by-Sampling procedure
+  /// (Fig. 13). Fails on domain size mismatch.
+  Result<double> ComplianceFraction(const FrequencyTable& truth) const;
+
+  /// \brief Mask of compliant items against ground truth.
+  Result<std::vector<bool>> ComplianceMask(const FrequencyTable& truth) const;
+
+  /// \brief β refines `other` (written β ≼ other in Definition 7): every
+  /// interval of β is contained in the corresponding interval of `other`.
+  /// The O-estimate is monotone along this order (Lemma 8).
+  bool Refines(const BeliefFunction& other) const;
+
+  /// \brief True when at least one interval is a true range (lo < hi).
+  bool IsIntervalValued() const;
+
+  /// \brief True when every interval is a point.
+  bool IsPointValued() const;
+
+ private:
+  explicit BeliefFunction(std::vector<BeliefInterval> intervals)
+      : intervals_(std::move(intervals)) {}
+
+  std::vector<BeliefInterval> intervals_;
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_BELIEF_BELIEF_FUNCTION_H_

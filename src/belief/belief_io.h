@@ -1,0 +1,39 @@
+#ifndef ANONSAFE_BELIEF_BELIEF_IO_H_
+#define ANONSAFE_BELIEF_BELIEF_IO_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "belief/belief_function.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Text format for belief functions, so hacker models can be
+/// stored, shared and fed to the CLI's `attack` command.
+///
+/// One line per item: `<item-id> <lo> <hi>`. Items not mentioned default
+/// to the ignorant interval [0, 1]. Blank lines and `#` comments are
+/// skipped. Ids must lie in `[0, num_items)`; intervals must satisfy
+/// `0 <= lo <= hi <= 1`. A repeated id *intersects* with the previous
+/// interval (multiple facts about one item combine conjunctively); an
+/// empty intersection fails with InvalidArgument.
+Result<BeliefFunction> ReadBeliefFunction(std::istream& in,
+                                          size_t num_items);
+
+/// \brief Reads a belief function from a file (see `ReadBeliefFunction`).
+Result<BeliefFunction> ReadBeliefFunctionFile(const std::string& path,
+                                              size_t num_items);
+
+/// \brief Writes every non-ignorant interval, one line per item, with a
+/// header comment. Round-trips through `ReadBeliefFunction`.
+Status WriteBeliefFunction(const BeliefFunction& belief, std::ostream& out);
+
+/// \brief Writes a belief function to a file.
+Status WriteBeliefFunctionFile(const BeliefFunction& belief,
+                               const std::string& path);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_BELIEF_BELIEF_IO_H_

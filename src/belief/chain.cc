@@ -1,0 +1,221 @@
+#include "belief/chain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace anonsafe {
+namespace {
+
+/// Runs the chain flow recursion. On success fills `L` and `R` with the
+/// per-shared-group membership counts (L[i] items of S_i truly in group i,
+/// R[i] in group i+1; 0-based, size k-1).
+Status SolveChainFlow(const ChainSpec& spec, std::vector<double>* L,
+                      std::vector<double>* R) {
+  const size_t k = spec.length();
+  if (k == 0) return Status::InvalidArgument("chain must have length >= 1");
+  if (spec.e.size() != k || spec.s.size() != k - 1) {
+    return Status::InvalidArgument(
+        "chain needs k frequency groups, k exclusive and k-1 shared sizes");
+  }
+  size_t items = 0, anon = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (spec.n[i] == 0) {
+      return Status::InvalidArgument("frequency group sizes must be >= 1");
+    }
+    anon += spec.n[i];
+    items += spec.e[i];
+  }
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (spec.s[i] == 0) {
+      return Status::InvalidArgument(
+          "shared group sizes must be >= 1 (use two chains otherwise)");
+    }
+    items += spec.s[i];
+  }
+  if (items != anon) {
+    return Status::InvalidArgument(
+        "chain is unbalanced: " + std::to_string(items) + " items vs " +
+        std::to_string(anon) + " anonymized items");
+  }
+
+  L->assign(k > 1 ? k - 1 : 0, 0.0);
+  R->assign(k > 1 ? k - 1 : 0, 0.0);
+  double prev_r = 0.0;  // R_0 = 0
+  for (size_t i = 0; i + 1 < k; ++i) {
+    double l = static_cast<double>(spec.n[i]) -
+               static_cast<double>(spec.e[i]) - prev_r;
+    double r = static_cast<double>(spec.s[i]) - l;
+    if (l < 0.0 || r < 0.0) {
+      return Status::InvalidArgument(
+          "chain flow infeasible at shared group " + std::to_string(i + 1));
+    }
+    (*L)[i] = l;
+    (*R)[i] = r;
+    prev_r = r;
+  }
+  // Last frequency group must be exactly covered by its exclusive items
+  // plus the inflow from S_{k-1}.
+  double residue = static_cast<double>(spec.n[k - 1]) -
+                   static_cast<double>(spec.e[k - 1]) - prev_r;
+  if (residue != 0.0) {
+    return Status::InvalidArgument("chain does not balance at group k");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+size_t ChainSpec::num_items() const {
+  size_t total = 0;
+  for (size_t v : e) total += v;
+  for (size_t v : s) total += v;
+  return total;
+}
+
+Status ValidateChain(const ChainSpec& spec) {
+  std::vector<double> L, R;
+  return SolveChainFlow(spec, &L, &R);
+}
+
+Result<double> ChainExactExpectedCracks(const ChainSpec& spec) {
+  std::vector<double> L, R;
+  ANONSAFE_RETURN_IF_ERROR(SolveChainFlow(spec, &L, &R));
+  const size_t k = spec.length();
+  double expected = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    expected += static_cast<double>(spec.e[j]) /
+                static_cast<double>(spec.n[j]);
+  }
+  for (size_t i = 0; i + 1 < k; ++i) {
+    double si = static_cast<double>(spec.s[i]);
+    expected += L[i] * L[i] / (si * static_cast<double>(spec.n[i]));
+    expected += R[i] * R[i] / (si * static_cast<double>(spec.n[i + 1]));
+  }
+  return expected;
+}
+
+Result<double> ChainOEstimate(const ChainSpec& spec) {
+  ANONSAFE_RETURN_IF_ERROR(ValidateChain(spec));
+  const size_t k = spec.length();
+  double oe = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    oe += static_cast<double>(spec.e[j]) / static_cast<double>(spec.n[j]);
+  }
+  for (size_t j = 0; j + 1 < k; ++j) {
+    oe += static_cast<double>(spec.s[j]) /
+          static_cast<double>(spec.n[j] + spec.n[j + 1]);
+  }
+  return oe;
+}
+
+Result<double> ChainOEstimateRelativeError(const ChainSpec& spec) {
+  ANONSAFE_ASSIGN_OR_RETURN(double exact, ChainExactExpectedCracks(spec));
+  ANONSAFE_ASSIGN_OR_RETURN(double oe, ChainOEstimate(spec));
+  if (exact == 0.0) {
+    return Status::FailedPrecondition("exact expected cracks is zero");
+  }
+  return (exact - oe) / exact;
+}
+
+BeliefFunction ChainRealization::MakeEmptyBelief() {
+  return *BeliefFunction::Create({});
+}
+
+Result<ChainRealization> RealizeChain(const ChainSpec& spec,
+                                      size_t num_transactions) {
+  std::vector<double> L, R;
+  ANONSAFE_RETURN_IF_ERROR(SolveChainFlow(spec, &L, &R));
+  const size_t k = spec.length();
+  if (num_transactions < 2 * k + 2) {
+    return Status::InvalidArgument(
+        "need at least 2k+2 transactions to separate " + std::to_string(k) +
+        " support levels");
+  }
+
+  // Support levels spread evenly across [m/(k+1), k*m/(k+1)].
+  const double m = static_cast<double>(num_transactions);
+  std::vector<SupportCount> level(k);
+  std::vector<double> freq(k);
+  for (size_t i = 0; i < k; ++i) {
+    level[i] = static_cast<SupportCount>(
+        (i + 1) * num_transactions / (k + 1));
+    if (level[i] == 0) level[i] = 1;
+    if (i > 0 && level[i] <= level[i - 1]) level[i] = level[i - 1] + 1;
+    freq[i] = static_cast<double>(level[i]) / m;
+  }
+  // Interval slack: small enough that a shared interval covers exactly
+  // its two intended levels.
+  double min_spacing = 1.0;
+  for (size_t i = 1; i < k; ++i) {
+    min_spacing = std::min(min_spacing, freq[i] - freq[i - 1]);
+  }
+  const double eps = min_spacing / 4.0;
+
+  ChainRealization out;
+  out.num_transactions = num_transactions;
+  std::vector<BeliefInterval> intervals;
+  // Layout: E_1, S_1, E_2, S_2, ..., E_k.
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < spec.e[i]; ++j) {
+      out.item_supports.push_back(level[i]);
+      intervals.push_back({freq[i], freq[i]});
+    }
+    if (i + 1 < k) {
+      const auto li = static_cast<size_t>(L[i]);
+      for (size_t j = 0; j < spec.s[i]; ++j) {
+        out.item_supports.push_back(j < li ? level[i] : level[i + 1]);
+        intervals.push_back({std::max(0.0, freq[i] - eps),
+                             std::min(1.0, freq[i + 1] + eps)});
+      }
+    }
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(out.belief,
+                            BeliefFunction::Create(std::move(intervals)));
+  return out;
+}
+
+Result<ChainSpec> DetectChain(const FrequencyGroups& observed,
+                              const BeliefFunction& belief) {
+  if (belief.num_items() != observed.num_items()) {
+    return Status::InvalidArgument("belief/observed domain size mismatch");
+  }
+  const size_t k = observed.num_groups();
+  ChainSpec spec;
+  spec.n.resize(k);
+  spec.e.assign(k, 0);
+  spec.s.assign(k > 0 ? k - 1 : 0, 0);
+  for (size_t g = 0; g < k; ++g) spec.n[g] = observed.group_size(g);
+
+  for (ItemId x = 0; x < belief.num_items(); ++x) {
+    const BeliefInterval& iv = belief.interval(x);
+    size_t lo = 0, hi = 0;
+    if (!observed.StabRange(iv.lo, iv.hi, &lo, &hi)) {
+      return Status::NotFound("item " + std::to_string(x) +
+                              " has no candidate group; not a chain");
+    }
+    if (lo == hi) {
+      spec.e[lo] += 1;
+    } else if (hi == lo + 1) {
+      spec.s[lo] += 1;
+    } else {
+      return Status::NotFound(
+          "item " + std::to_string(x) +
+          " spans more than two frequency groups; not a chain");
+    }
+  }
+  // Degenerate shared groups of size 0 are allowed by detection only when
+  // the chain splits; the exact formula requires s_i >= 1, so surface the
+  // structure as non-chain in that case.
+  for (size_t i = 0; i + 1 < k; ++i) {
+    if (spec.s[i] == 0) {
+      return Status::NotFound(
+          "no shared group between frequency groups " + std::to_string(i) +
+          " and " + std::to_string(i + 1) + "; analyze as separate chains");
+    }
+  }
+  ANONSAFE_RETURN_IF_ERROR(ValidateChain(spec));
+  return spec;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,88 @@
+#ifndef ANONSAFE_BELIEF_CHAIN_H_
+#define ANONSAFE_BELIEF_CHAIN_H_
+
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief A *chain* interval belief function (Section 4.2, Fig. 4(b)).
+///
+/// The anonymized items fall into k frequency groups of sizes n_1..n_k
+/// (ascending frequency). The original items partition into k exclusive
+/// belief groups E_i (mapping only to frequency group i) of sizes e_i and
+/// k-1 shared belief groups S_i (mapping to groups i and i+1) of sizes
+/// s_i. Chains are the largest belief-function class for which the paper
+/// derives an *exact* expected-crack formula (Lemmas 5–6).
+struct ChainSpec {
+  std::vector<size_t> n;  ///< frequency group sizes, length k
+  std::vector<size_t> e;  ///< exclusive belief group sizes, length k
+  std::vector<size_t> s;  ///< shared belief group sizes, length k-1
+
+  size_t length() const { return n.size(); }
+  size_t num_items() const;
+};
+
+/// \brief Structural validation of a chain.
+///
+/// Checks: lengths consistent; every n_i >= 1 and s_i >= 1; the flow
+/// recursion L_i = n_i - e_i - R_{i-1}, R_i = s_i - L_i stays non-negative
+/// (L_i items of S_i truly belong to group i, R_i to group i+1); and the
+/// chain balances (n_k = e_k + R_{k-1}).
+Status ValidateChain(const ChainSpec& spec);
+
+/// \brief Exact expected number of cracks of a chain (Lemma 6):
+///
+///   E(X) = Σ_j e_j/n_j + Σ_i [ L_i²/(s_i·n_i) + R_i²/(s_i·n_{i+1}) ].
+///
+/// Lemma 5 is the k = 2 special case. Fails if the spec is invalid.
+Result<double> ChainExactExpectedCracks(const ChainSpec& spec);
+
+/// \brief Closed-form O-estimate of a chain (Section 5.2):
+///
+///   OE = Σ_j e_j/n_j + Σ_j s_j/(n_j + n_{j+1}).
+///
+/// Fails if the spec is invalid.
+Result<double> ChainOEstimate(const ChainSpec& spec);
+
+/// \brief Signed estimation error of the O-estimate on a chain,
+/// (exact - OE) / exact, matching the "percentage error" column of the
+/// Section 5.2 table when multiplied by 100.
+Result<double> ChainOEstimateRelativeError(const ChainSpec& spec);
+
+/// \brief A chain realized as concrete data: per-item supports (ground
+/// truth), the chain belief function, and the number of transactions.
+///
+/// Item ids are laid out as E_1, S_1, E_2, S_2, ..., E_k; within S_i the
+/// first L_i items truly belong to frequency group i. Useful for
+/// cross-validating the closed forms against the generic graph machinery.
+struct ChainRealization {
+  std::vector<SupportCount> item_supports;
+  BeliefFunction belief{MakeEmptyBelief()};
+  size_t num_transactions = 0;
+
+  static BeliefFunction MakeEmptyBelief();
+};
+
+/// \brief Realizes a chain with k well-separated support levels inside a
+/// database of `num_transactions` transactions. Requires
+/// `num_transactions >= 2k + 2` so the levels stay distinct and the
+/// shared intervals can be made to span exactly two groups.
+Result<ChainRealization> RealizeChain(const ChainSpec& spec,
+                                      size_t num_transactions);
+
+/// \brief Detects whether (observed groups, belief) forms a chain and
+/// recovers its spec if so. An interval belief function is a chain when
+/// every belief group (items with identical candidate group ranges) spans
+/// exactly one frequency group or two *successive* ones.
+///
+/// Returns NotFound when the structure is not a chain.
+Result<ChainSpec> DetectChain(const FrequencyGroups& observed,
+                              const BeliefFunction& belief);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_BELIEF_CHAIN_H_

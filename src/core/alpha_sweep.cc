@@ -1,0 +1,102 @@
+#include "core/alpha_sweep.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace anonsafe {
+
+Result<AlphaCompliancySweep> AlphaCompliancySweep::Create(
+    const FrequencyTable& truth, const BeliefFunction& base, size_t num_runs,
+    uint64_t seed) {
+  if (num_runs == 0) {
+    return Status::InvalidArgument("need at least one run");
+  }
+  if (base.num_items() != truth.num_items()) {
+    return Status::InvalidArgument("belief/truth domain size mismatch");
+  }
+  const size_t n = base.num_items();
+  for (ItemId x = 0; x < n; ++x) {
+    if (!base.IsCompliantFor(x, truth.frequency(x))) {
+      return Status::FailedPrecondition(
+          "base belief must be fully compliant (item " + std::to_string(x) +
+          " is not)");
+    }
+  }
+
+  Rng rng(seed);
+  std::vector<BeliefInterval> displaced(n);
+  for (ItemId x = 0; x < n; ++x) {
+    displaced[x] = MakeNonCompliantInterval(base.interval(x),
+                                            truth.frequency(x), &rng);
+  }
+  std::vector<std::vector<size_t>> orders;
+  orders.reserve(num_runs);
+  for (size_t r = 0; r < num_runs; ++r) {
+    orders.push_back(rng.Permutation(n));
+  }
+  return AlphaCompliancySweep(base, std::move(displaced), std::move(orders));
+}
+
+AlphaCompliantBelief AlphaCompliancySweep::BeliefAt(size_t run,
+                                                    double alpha) const {
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  const size_t n = num_items();
+  const auto num_compliant = static_cast<size_t>(
+      std::llround(alpha * static_cast<double>(n)));
+  const std::vector<size_t>& order = orders_[run];
+
+  std::vector<BeliefInterval> intervals = base_.intervals();
+  std::vector<bool> mask(n, true);
+  for (size_t i = num_compliant; i < n; ++i) {
+    size_t x = order[i];
+    intervals[x] = displaced_[x];
+    mask[x] = false;
+  }
+  AlphaCompliantBelief out;
+  // Intervals were validated at construction; re-wrapping cannot fail.
+  out.belief = *BeliefFunction::Create(std::move(intervals));
+  out.compliant_mask = std::move(mask);
+  out.requested_alpha = alpha;
+  return out;
+}
+
+Result<double> AlphaCompliancySweep::AverageOEstimate(
+    const FrequencyGroups& observed, double alpha,
+    const OEstimateOptions& options) const {
+  double sum = 0.0;
+  for (size_t r = 0; r < num_runs(); ++r) {
+    AlphaCompliantBelief ab = BeliefAt(r, alpha);
+    ANONSAFE_ASSIGN_OR_RETURN(
+        OEstimateResult oe,
+        ComputeOEstimateRestricted(observed, ab.belief, ab.compliant_mask,
+                                   options));
+    sum += oe.expected_cracks;
+  }
+  return sum / static_cast<double>(num_runs());
+}
+
+Result<double> AlphaCompliancySweep::AverageOEstimateForItems(
+    const FrequencyGroups& observed, double alpha,
+    const std::vector<bool>& interest,
+    const OEstimateOptions& options) const {
+  if (interest.size() != num_items()) {
+    return Status::InvalidArgument("interest mask size mismatch");
+  }
+  double sum = 0.0;
+  for (size_t r = 0; r < num_runs(); ++r) {
+    AlphaCompliantBelief ab = BeliefAt(r, alpha);
+    std::vector<bool> mask(num_items());
+    for (size_t x = 0; x < num_items(); ++x) {
+      mask[x] = ab.compliant_mask[x] && interest[x];
+    }
+    ANONSAFE_ASSIGN_OR_RETURN(
+        OEstimateResult oe,
+        ComputeOEstimateRestricted(observed, ab.belief, mask, options));
+    sum += oe.expected_cracks;
+  }
+  return sum / static_cast<double>(num_runs());
+}
+
+}  // namespace anonsafe

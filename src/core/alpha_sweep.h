@@ -1,0 +1,69 @@
+#ifndef ANONSAFE_CORE_ALPHA_SWEEP_H_
+#define ANONSAFE_CORE_ALPHA_SWEEP_H_
+
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "belief/builders.h"
+#include "core/oestimate.h"
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Evaluates α-compliant disclosure risk over a *nested* family of
+/// compliant subsets, the anchoring required by Lemma 10 (Section 6.2).
+///
+/// For each of `num_runs` independent runs the sweep fixes (i) a random
+/// item order and (ii) a displaced (non-compliant) interval per item.
+/// At degree α, run r's belief keeps the base (compliant) intervals on the
+/// first ceil(α·n) items of its order and the displaced intervals on the
+/// rest. Lowering α therefore only moves items from compliant to
+/// non-compliant without touching anyone else — exactly the partial order
+/// β2 ≼_C β1 of Definition 9 — so the averaged O-estimate is monotone in α
+/// and the recipe's binary search is well-founded.
+class AlphaCompliancySweep {
+ public:
+  /// \brief Precomputes per-run orders and displacements. `base` must be
+  /// fully compliant w.r.t. `truth`.
+  static Result<AlphaCompliancySweep> Create(const FrequencyTable& truth,
+                                             const BeliefFunction& base,
+                                             size_t num_runs, uint64_t seed);
+
+  size_t num_runs() const { return orders_.size(); }
+  size_t num_items() const { return base_.num_items(); }
+
+  /// \brief The α-compliant belief of run `run` (with its compliant mask).
+  /// alpha is clamped to [0, 1].
+  AlphaCompliantBelief BeliefAt(size_t run, double alpha) const;
+
+  /// \brief Average over runs of the α-restricted O-estimate (absolute
+  /// expected cracks, Section 5.3).
+  Result<double> AverageOEstimate(const FrequencyGroups& observed,
+                                  double alpha,
+                                  const OEstimateOptions& options = {}) const;
+
+  /// \brief Same, but additionally restricted to items with
+  /// `interest[x]` true (the Lemma 4 "items of interest" scenario): each
+  /// run sums only over compliant ∧ interesting items.
+  Result<double> AverageOEstimateForItems(
+      const FrequencyGroups& observed, double alpha,
+      const std::vector<bool>& interest,
+      const OEstimateOptions& options = {}) const;
+
+ private:
+  AlphaCompliancySweep(BeliefFunction base,
+                       std::vector<BeliefInterval> displaced,
+                       std::vector<std::vector<size_t>> orders)
+      : base_(std::move(base)),
+        displaced_(std::move(displaced)),
+        orders_(std::move(orders)) {}
+
+  BeliefFunction base_;
+  std::vector<BeliefInterval> displaced_;       // shared across runs
+  std::vector<std::vector<size_t>> orders_;     // per-run item order
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_ALPHA_SWEEP_H_

@@ -1,0 +1,22 @@
+#include "core/direct_method.h"
+
+#include "graph/bipartite_graph.h"
+
+namespace anonsafe {
+
+Result<double> DirectExpectedCracks(const FrequencyGroups& observed,
+                                    const BeliefFunction& belief) {
+  ANONSAFE_ASSIGN_OR_RETURN(BipartiteGraph graph,
+                            BipartiteGraph::Build(observed, belief));
+  return ExactExpectedCracksByPermanent(graph);
+}
+
+Result<CrackDistribution> DirectCrackDistribution(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    uint64_t max_matchings) {
+  ANONSAFE_ASSIGN_OR_RETURN(BipartiteGraph graph,
+                            BipartiteGraph::Build(observed, belief));
+  return EnumerateCrackDistribution(graph, max_matchings);
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,30 @@
+#ifndef ANONSAFE_CORE_DIRECT_METHOD_H_
+#define ANONSAFE_CORE_DIRECT_METHOD_H_
+
+#include "belief/belief_function.h"
+#include "data/frequency.h"
+#include "graph/permanent.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief The exact "direct method" of Section 4.1: expected cracks via
+/// matrix permanents of the consistency graph's adjacency matrix.
+///
+/// Exponential — the permanent is #P-complete (Valiant), and even the JSV
+/// polynomial approximation runs in O(n^22) — so this is a ground-truth
+/// oracle for small domains (n <= kMaxPermanentN), used to validate the
+/// O-estimate and the sampler. Fails with OutOfRange for larger n and
+/// FailedPrecondition when no perfect matching exists.
+Result<double> DirectExpectedCracks(const FrequencyGroups& observed,
+                                    const BeliefFunction& belief);
+
+/// \brief Exact full crack distribution P(X = k) by enumerating every
+/// perfect matching — only for tiny instances (tests, illustrations).
+Result<CrackDistribution> DirectCrackDistribution(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    uint64_t max_matchings = 20'000'000);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_DIRECT_METHOD_H_

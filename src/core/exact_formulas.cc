@@ -1,0 +1,41 @@
+#include "core/exact_formulas.h"
+
+#include <cassert>
+
+namespace anonsafe {
+
+double IgnorantExpectedCracks(size_t num_items) {
+  return num_items == 0 ? 0.0 : 1.0;
+}
+
+double IgnorantExpectedCracksOfInterest(size_t num_items,
+                                        size_t num_interest) {
+  assert(num_interest <= num_items);
+  if (num_items == 0) return 0.0;
+  return static_cast<double>(num_interest) / static_cast<double>(num_items);
+}
+
+double PointValuedExpectedCracks(const FrequencyGroups& observed) {
+  return static_cast<double>(observed.num_groups());
+}
+
+Result<double> PointValuedExpectedCracksOfInterest(
+    const FrequencyGroups& observed, const std::vector<bool>& interest) {
+  if (interest.size() != observed.num_items()) {
+    return Status::InvalidArgument("interest mask size mismatch");
+  }
+  double expected = 0.0;
+  for (size_t g = 0; g < observed.num_groups(); ++g) {
+    size_t c = 0;
+    for (ItemId x : observed.group_items(g)) {
+      if (interest[x]) ++c;
+    }
+    if (c > 0) {
+      expected += static_cast<double>(c) /
+                  static_cast<double>(observed.group_size(g));
+    }
+  }
+  return expected;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,39 @@
+#ifndef ANONSAFE_CORE_EXACT_FORMULAS_H_
+#define ANONSAFE_CORE_EXACT_FORMULAS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Lemma 1: under the ignorant belief function (complete bipartite
+/// graph) the expected number of cracks is exactly 1, independent of the
+/// domain size (0 for an empty domain). The expected *fraction* cracked is
+/// therefore 1/n — the larger the domain, the safer plain anonymization.
+double IgnorantExpectedCracks(size_t num_items);
+
+/// \brief Lemma 2: expected cracks restricted to `num_interest` items of
+/// interest (e.g. the frequent or high-margin items): n1 / n.
+/// Requires num_interest <= num_items.
+double IgnorantExpectedCracksOfInterest(size_t num_items,
+                                        size_t num_interest);
+
+/// \brief Lemma 3: under the compliant point-valued belief function the
+/// consistency graph splits into one complete component per frequency
+/// group, so the expected number of cracks equals the number of distinct
+/// observed frequencies g. Items sharing a frequency camouflage each
+/// other — g can be far below n.
+double PointValuedExpectedCracks(const FrequencyGroups& observed);
+
+/// \brief Lemma 4: point-valued worst case restricted to items of
+/// interest: Σ_i c_i / n_i over frequency groups, where c_i counts the
+/// interesting items in group i. `interest` is a mask over item ids.
+Result<double> PointValuedExpectedCracksOfInterest(
+    const FrequencyGroups& observed, const std::vector<bool>& interest);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_EXACT_FORMULAS_H_

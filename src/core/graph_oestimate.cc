@@ -1,0 +1,178 @@
+#include "core/graph_oestimate.h"
+
+#include <deque>
+#include <vector>
+
+#include "graph/edge_pruning.h"
+
+namespace anonsafe {
+namespace {
+
+/// Degree-1 propagation on an explicit graph (Figure 7 verbatim).
+///
+/// Maintains live degrees on both sides; any vertex whose degree drops to
+/// 1 forces its unique partner, removing both vertices. Returns per-item
+/// states mirroring ConsistencyStructure's semantics.
+struct ExplicitPropagation {
+  std::vector<size_t> item_degree;
+  std::vector<size_t> anon_degree;
+  std::vector<bool> item_removed;
+  std::vector<bool> anon_removed;
+  std::vector<bool> item_forced;
+  size_t forced_pairs = 0;
+  bool contradiction = false;
+};
+
+ExplicitPropagation Propagate(const BipartiteGraph& graph) {
+  const size_t n = graph.num_items();
+  ExplicitPropagation p;
+  p.item_degree.resize(n);
+  p.anon_degree.resize(n);
+  p.item_removed.assign(n, false);
+  p.anon_removed.assign(n, false);
+  p.item_forced.assign(n, false);
+
+  std::deque<std::pair<bool, ItemId>> queue;  // (is_item, vertex)
+  for (ItemId v = 0; v < n; ++v) {
+    p.item_degree[v] = graph.item_outdegree(v);
+    p.anon_degree[v] = graph.anon_degree(v);
+    if (p.item_degree[v] == 1) queue.emplace_back(true, v);
+    if (p.anon_degree[v] == 1) queue.emplace_back(false, v);
+    if (p.item_degree[v] == 0) p.item_removed[v] = true;  // dead item
+    if (p.item_degree[v] == 0 || p.anon_degree[v] == 0) {
+      p.contradiction = true;
+    }
+  }
+
+  auto remove_anon = [&](ItemId a) {
+    p.anon_removed[a] = true;
+    for (ItemId y : graph.items_of_anon(a)) {
+      if (p.item_removed[y]) continue;
+      if (--p.item_degree[y] == 1) queue.emplace_back(true, y);
+      if (p.item_degree[y] == 0) {
+        p.item_removed[y] = true;
+        p.contradiction = true;
+      }
+    }
+  };
+  auto remove_item = [&](ItemId x) {
+    p.item_removed[x] = true;
+    for (ItemId b : graph.anons_of_item(x)) {
+      if (p.anon_removed[b]) continue;
+      if (--p.anon_degree[b] == 1) queue.emplace_back(false, b);
+      if (p.anon_degree[b] == 0) {
+        p.anon_removed[b] = true;
+        p.contradiction = true;
+      }
+    }
+  };
+
+  while (!queue.empty()) {
+    auto [is_item, v] = queue.front();
+    queue.pop_front();
+    if (is_item) {
+      if (p.item_removed[v] || p.item_degree[v] != 1) continue;
+      // Find the unique live anonymized partner.
+      ItemId partner = kInvalidItem;
+      for (ItemId a : graph.anons_of_item(v)) {
+        if (!p.anon_removed[a]) {
+          partner = a;
+          break;
+        }
+      }
+      if (partner == kInvalidItem) continue;
+      p.item_forced[v] = true;
+      ++p.forced_pairs;
+      p.item_removed[v] = true;
+      remove_anon(partner);
+      // v itself no longer constrains others (its remaining edge was the
+      // matched one); other incident edges were removed when their anon
+      // endpoints dropped. Removing v's residual contributions:
+      remove_item(v);
+    } else {
+      if (p.anon_removed[v] || p.anon_degree[v] != 1) continue;
+      ItemId partner = kInvalidItem;
+      for (ItemId x : graph.items_of_anon(v)) {
+        if (!p.item_removed[x]) {
+          partner = x;
+          break;
+        }
+      }
+      if (partner == kInvalidItem) continue;
+      p.item_forced[partner] = true;
+      ++p.forced_pairs;
+      p.anon_removed[v] = true;
+      remove_item(partner);
+      remove_anon(v);
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<OEstimateResult> ComputeOEstimateOnGraph(
+    const BipartiteGraph& graph, const OEstimateOptions& options) {
+  const size_t n = graph.num_items();
+  OEstimateResult out;
+
+  if (!options.propagate) {
+    for (ItemId x = 0; x < n; ++x) {
+      size_t degree = graph.item_outdegree(x);
+      if (degree == 0) {
+        ++out.dead_items;
+        out.contradiction = true;
+      } else {
+        out.expected_cracks += 1.0 / static_cast<double>(degree);
+      }
+    }
+    out.fraction =
+        n == 0 ? 0.0 : out.expected_cracks / static_cast<double>(n);
+    return out;
+  }
+
+  ExplicitPropagation p = Propagate(graph);
+  out.contradiction = p.contradiction;
+  out.forced_items = p.forced_pairs;
+  out.propagation_passes = 1;  // queue-based: single logical fixpoint
+  for (ItemId x = 0; x < n; ++x) {
+    if (p.item_forced[x]) {
+      out.expected_cracks += 1.0;
+      continue;
+    }
+    if (p.item_removed[x] || p.item_degree[x] == 0) {
+      ++out.dead_items;
+      continue;
+    }
+    out.expected_cracks += 1.0 / static_cast<double>(p.item_degree[x]);
+  }
+  out.fraction = n == 0 ? 0.0 : out.expected_cracks / static_cast<double>(n);
+  return out;
+}
+
+Result<OEstimateResult> ComputeRefinedOEstimateOnGraph(
+    const BipartiteGraph& graph) {
+  ANONSAFE_ASSIGN_OR_RETURN(MatchingCover cover, ComputeMatchingCover(graph));
+  const size_t n = cover.graph.num_items();
+  OEstimateResult out;
+  for (ItemId x = 0; x < n; ++x) {
+    size_t degree = cover.graph.item_outdegree(x);
+    // Pruning a perfectly matchable graph leaves every vertex its matched
+    // edge, so degree >= 1 always.
+    if (degree == 1) ++out.forced_items;
+    out.expected_cracks += 1.0 / static_cast<double>(degree);
+  }
+  out.fraction = n == 0 ? 0.0 : out.expected_cracks / static_cast<double>(n);
+  return out;
+}
+
+Result<OEstimateResult> ComputeRefinedOEstimate(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    size_t max_edges) {
+  ANONSAFE_ASSIGN_OR_RETURN(
+      BipartiteGraph graph,
+      BipartiteGraph::Build(observed, belief, max_edges));
+  return ComputeRefinedOEstimateOnGraph(graph);
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,54 @@
+#include "core/oestimate.h"
+
+#include "graph/consistency.h"
+
+namespace anonsafe {
+namespace {
+
+Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
+                                    const BeliefFunction& belief,
+                                    const std::vector<bool>* include,
+                                    const OEstimateOptions& options) {
+  if (include != nullptr && include->size() != belief.num_items()) {
+    return Status::InvalidArgument("include mask size mismatch");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(ConsistencyStructure cs,
+                            ConsistencyStructure::Build(observed, belief));
+  OEstimateResult out;
+  if (options.propagate) {
+    ConsistencyStructure::PropagationStats stats = cs.PropagateDegreeOne();
+    out.propagation_passes = stats.passes;
+  }
+  out.contradiction = cs.contradiction();
+
+  const size_t n = cs.num_items();
+  for (ItemId x = 0; x < n; ++x) {
+    if (include != nullptr && !(*include)[x]) continue;
+    if (cs.item_dead(x)) {
+      ++out.dead_items;
+      continue;
+    }
+    if (cs.item_forced(x)) ++out.forced_items;
+    size_t degree = cs.outdegree(x);
+    out.expected_cracks += 1.0 / static_cast<double>(degree);
+  }
+  out.fraction = n == 0 ? 0.0
+                        : out.expected_cracks / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace
+
+Result<OEstimateResult> ComputeOEstimate(const FrequencyGroups& observed,
+                                         const BeliefFunction& belief,
+                                         const OEstimateOptions& options) {
+  return ComputeImpl(observed, belief, nullptr, options);
+}
+
+Result<OEstimateResult> ComputeOEstimateRestricted(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const std::vector<bool>& include, const OEstimateOptions& options) {
+  return ComputeImpl(observed, belief, &include, options);
+}
+
+}  // namespace anonsafe

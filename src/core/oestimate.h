@@ -1,0 +1,65 @@
+#ifndef ANONSAFE_CORE_OESTIMATE_H_
+#define ANONSAFE_CORE_OESTIMATE_H_
+
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Options of the O-estimate computation.
+struct OEstimateOptions {
+  /// Apply the degree-1 propagation of Figure 7 before reading outdegrees.
+  /// The paper's convention after Section 5.2 ("whenever we refer to
+  /// outdegrees, we assume that this algorithm has been applied").
+  bool propagate = true;
+};
+
+/// \brief Result of an O-estimate computation.
+struct OEstimateResult {
+  /// OE(β, D) = Σ_x 1/O_x over the counted items (Figure 5; restricted to
+  /// the compliant items I_C for α-compliant beliefs, Section 5.3).
+  double expected_cracks = 0.0;
+
+  /// Of which: items pinned by propagation (outdegree 1 after Figure 7).
+  size_t forced_items = 0;
+
+  /// Counted items with no candidate anonymized item at all (contribute
+  /// 0 — a consistent mapping can never crack them).
+  size_t dead_items = 0;
+
+  /// True when the consistency graph admits no perfect matching (only
+  /// possible under non-compliant beliefs).
+  bool contradiction = false;
+
+  /// Propagation fixpoint iterations (0 when propagation disabled).
+  size_t propagation_passes = 0;
+
+  /// Convenience: expected_cracks / n.
+  double fraction = 0.0;
+};
+
+/// \brief Computes the O-estimate OE(β, D) of the expected number of
+/// cracks for a general interval belief function (Section 5.1, Fig. 5).
+///
+/// Runs in O(n log n) on top of the observed frequency groups: each
+/// item's candidate set is a contiguous group range, outdegrees are
+/// prefix-sum lookups, and propagation (when enabled) refines them.
+Result<OEstimateResult> ComputeOEstimate(const FrequencyGroups& observed,
+                                         const BeliefFunction& belief,
+                                         const OEstimateOptions& options = {});
+
+/// \brief O-estimate restricted to items with `include[x]` true: the
+/// α-compliant estimate of Section 5.3 (pass the compliant mask), or a
+/// Lemma 2/4-style "items of interest" estimate. The graph (and
+/// propagation) still involves *all* items — only the final sum is
+/// restricted. `fraction` stays relative to the full domain size.
+Result<OEstimateResult> ComputeOEstimateRestricted(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const std::vector<bool>& include, const OEstimateOptions& options = {});
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_OESTIMATE_H_

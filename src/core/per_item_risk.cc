@@ -1,0 +1,51 @@
+#include "core/per_item_risk.h"
+
+#include <algorithm>
+
+#include "graph/consistency.h"
+
+namespace anonsafe {
+
+std::vector<ItemId> PerItemRiskReport::ItemsAbove(double threshold) const {
+  std::vector<ItemId> out;
+  for (const ItemRisk& r : ranked) {
+    if (r.crack_probability >= threshold) {
+      out.push_back(r.item);
+    } else {
+      break;  // ranked is sorted descending
+    }
+  }
+  return out;
+}
+
+Result<PerItemRiskReport> ComputePerItemRisk(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const OEstimateOptions& options) {
+  ANONSAFE_ASSIGN_OR_RETURN(ConsistencyStructure cs,
+                            ConsistencyStructure::Build(observed, belief));
+  if (options.propagate) cs.PropagateDegreeOne();
+
+  PerItemRiskReport report;
+  report.ranked.reserve(cs.num_items());
+  for (ItemId x = 0; x < cs.num_items(); ++x) {
+    ItemRisk risk;
+    risk.item = x;
+    risk.outdegree = cs.outdegree(x);
+    risk.forced = cs.item_forced(x);
+    if (risk.outdegree > 0) {
+      risk.crack_probability = 1.0 / static_cast<double>(risk.outdegree);
+      report.total_expected_cracks += risk.crack_probability;
+    }
+    report.ranked.push_back(risk);
+  }
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const ItemRisk& a, const ItemRisk& b) {
+              if (a.crack_probability != b.crack_probability) {
+                return a.crack_probability > b.crack_probability;
+              }
+              return a.item < b.item;
+            });
+  return report;
+}
+
+}  // namespace anonsafe

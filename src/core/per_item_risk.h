@@ -1,0 +1,50 @@
+#ifndef ANONSAFE_CORE_PER_ITEM_RISK_H_
+#define ANONSAFE_CORE_PER_ITEM_RISK_H_
+
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "core/oestimate.h"
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Disclosure risk of one item under a belief function.
+struct ItemRisk {
+  ItemId item = 0;
+  /// The O-estimate's per-item crack probability 1/O_x (1.0 when the item
+  /// is pinned by propagation; 0.0 for dead items).
+  double crack_probability = 0.0;
+  /// Outdegree O_x after optional propagation (candidate anonymized
+  /// items); 0 for dead items.
+  size_t outdegree = 0;
+  /// True when Figure 7 propagation pinned this item (a certain crack
+  /// under a compliant belief).
+  bool forced = false;
+};
+
+/// \brief Result of a per-item risk analysis: items ranked most-exposed
+/// first (ties by item id), plus the aggregate O-estimate for context.
+struct PerItemRiskReport {
+  std::vector<ItemRisk> ranked;  ///< descending crack probability
+  double total_expected_cracks = 0.0;
+
+  /// \brief Items with crack probability >= `threshold`, in rank order.
+  std::vector<ItemId> ItemsAbove(double threshold) const;
+};
+
+/// \brief Decomposes the O-estimate into per-item crack probabilities.
+///
+/// The aggregate `OE = Σ_x 1/O_x` hides *which* items are exposed; the
+/// owner usually cares most about a specific subset (the best sellers,
+/// the sensitive diagnoses). This ranking is also what the suppression
+/// defense consumes: removing the top-ranked items from the release is
+/// the cheapest way (in items) to cut the O-estimate.
+Result<PerItemRiskReport> ComputePerItemRisk(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const OEstimateOptions& options = {});
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_PER_ITEM_RISK_H_

@@ -1,0 +1,195 @@
+#include "core/recipe.h"
+
+#include <sstream>
+
+#include "belief/builders.h"
+#include "core/alpha_sweep.h"
+#include "core/exact_formulas.h"
+
+namespace anonsafe {
+
+const char* ToString(RecipeDecision decision) {
+  switch (decision) {
+    case RecipeDecision::kDiscloseAtPointValued:
+      return "DiscloseAtPointValued";
+    case RecipeDecision::kDiscloseAtInterval:
+      return "DiscloseAtInterval";
+    case RecipeDecision::kAlphaBound:
+      return "AlphaBound";
+  }
+  return "Unknown";
+}
+
+std::string RecipeResult::Summary() const {
+  std::ostringstream oss;
+  oss << "n=" << num_items << ", tolerance=" << tolerance
+      << " (budget " << crack_budget << " cracks). ";
+  switch (decision) {
+    case RecipeDecision::kDiscloseAtPointValued:
+      oss << "Even the point-valued worst case (g=" << num_groups
+          << ") is within tolerance: DISCLOSE.";
+      break;
+    case RecipeDecision::kDiscloseAtInterval:
+      oss << "Point-valued worst case g=" << num_groups
+          << " exceeds tolerance, but the compliant-interval O-estimate "
+          << interval_oe << " at width delta_med=" << delta_med
+          << " is within tolerance: DISCLOSE.";
+      break;
+    case RecipeDecision::kAlphaBound:
+      oss << "Full compliance is over budget (g=" << num_groups
+          << ", interval OE=" << interval_oe
+          << "). The hacker must correctly guess the intervals of more "
+          << "than alpha_max=" << alpha_max
+          << " of the items to exceed the tolerance; the owner must judge "
+          << "whether that degree of prior knowledge is plausible.";
+      break;
+  }
+  return oss.str();
+}
+
+Result<RecipeResult> AssessRisk(const FrequencyTable& table,
+                                const RecipeOptions& options) {
+  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
+    return Status::InvalidArgument("tolerance must lie in (0, 1]");
+  }
+  if (options.alpha_runs == 0) {
+    return Status::InvalidArgument("alpha_runs must be positive");
+  }
+
+  RecipeResult out;
+  out.tolerance = options.tolerance;
+  out.num_items = table.num_items();
+  out.crack_budget =
+      options.tolerance * static_cast<double>(table.num_items());
+
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  out.num_groups = groups.num_groups();
+
+  // Steps 1-2: the point-valued worst case (Lemma 3).
+  if (static_cast<double>(out.num_groups) <= out.crack_budget) {
+    out.decision = RecipeDecision::kDiscloseAtPointValued;
+    return out;
+  }
+
+  // Steps 3-5: compliant interval belief of half-width delta_med.
+  out.delta_med = groups.MedianGap();
+  ANONSAFE_ASSIGN_OR_RETURN(
+      BeliefFunction base,
+      MakeCompliantIntervalBelief(table, out.delta_med));
+
+  // Steps 6-7: O-estimate under full compliance.
+  ANONSAFE_ASSIGN_OR_RETURN(
+      OEstimateResult oe,
+      ComputeOEstimate(groups, base, options.oestimate));
+  out.interval_oe = oe.expected_cracks;
+  if (out.interval_oe <= out.crack_budget) {
+    out.decision = RecipeDecision::kDiscloseAtInterval;
+    return out;
+  }
+
+  // Steps 8-9: binary search for the largest alpha within tolerance,
+  // averaging over nested random compliant subsets (Lemma 10 anchoring).
+  ANONSAFE_ASSIGN_OR_RETURN(
+      AlphaCompliancySweep sweep,
+      AlphaCompliancySweep::Create(table, base, options.alpha_runs,
+                                   options.seed));
+  double lo = 0.0;  // OE(0) = 0 <= budget always
+  double hi = 1.0;  // OE(1) > budget (checked above)
+  for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    ANONSAFE_ASSIGN_OR_RETURN(
+        double avg_oe,
+        sweep.AverageOEstimate(groups, mid, options.oestimate));
+    if (avg_oe <= out.crack_budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.alpha_max = lo;
+  out.decision = RecipeDecision::kAlphaBound;
+  return out;
+}
+
+Result<RecipeResult> AssessRiskOnDatabase(const Database& db,
+                                          const RecipeOptions& options) {
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable table, FrequencyTable::Compute(db));
+  return AssessRisk(table, options);
+}
+
+Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
+                                        const std::vector<bool>& interest,
+                                        const RecipeOptions& options) {
+  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
+    return Status::InvalidArgument("tolerance must lie in (0, 1]");
+  }
+  if (options.alpha_runs == 0) {
+    return Status::InvalidArgument("alpha_runs must be positive");
+  }
+  if (interest.size() != table.num_items()) {
+    return Status::InvalidArgument("interest mask size mismatch");
+  }
+  size_t num_interest = 0;
+  for (bool b : interest) {
+    if (b) ++num_interest;
+  }
+  if (num_interest == 0) {
+    return Status::InvalidArgument("interest mask selects no items");
+  }
+
+  RecipeResult out;
+  out.tolerance = options.tolerance;
+  out.num_items = num_interest;  // decisions are relative to |interest|
+  out.crack_budget = options.tolerance * static_cast<double>(num_interest);
+
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  out.num_groups = groups.num_groups();
+
+  // Step 2, Lemma 4 form: sum of c_i/n_i over frequency groups.
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double point_valued,
+      PointValuedExpectedCracksOfInterest(groups, interest));
+  if (point_valued <= out.crack_budget) {
+    out.decision = RecipeDecision::kDiscloseAtPointValued;
+    return out;
+  }
+
+  out.delta_med = groups.MedianGap();
+  ANONSAFE_ASSIGN_OR_RETURN(
+      BeliefFunction base,
+      MakeCompliantIntervalBelief(table, out.delta_med));
+
+  ANONSAFE_ASSIGN_OR_RETURN(
+      OEstimateResult oe,
+      ComputeOEstimateRestricted(groups, base, interest,
+                                 options.oestimate));
+  out.interval_oe = oe.expected_cracks;
+  if (out.interval_oe <= out.crack_budget) {
+    out.decision = RecipeDecision::kDiscloseAtInterval;
+    return out;
+  }
+
+  ANONSAFE_ASSIGN_OR_RETURN(
+      AlphaCompliancySweep sweep,
+      AlphaCompliancySweep::Create(table, base, options.alpha_runs,
+                                   options.seed));
+  double lo = 0.0;
+  double hi = 1.0;
+  for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    ANONSAFE_ASSIGN_OR_RETURN(
+        double avg_oe,
+        sweep.AverageOEstimateForItems(groups, mid, interest,
+                                       options.oestimate));
+    if (avg_oe <= out.crack_budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  out.alpha_max = lo;
+  out.decision = RecipeDecision::kAlphaBound;
+  return out;
+}
+
+}  // namespace anonsafe

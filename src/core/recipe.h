@@ -1,0 +1,90 @@
+#ifndef ANONSAFE_CORE_RECIPE_H_
+#define ANONSAFE_CORE_RECIPE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/oestimate.h"
+#include "data/database.h"
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Options of the Assess-Risk recipe (Figure 8).
+struct RecipeOptions {
+  /// Degree of tolerance τ: the fraction of items the owner can tolerate
+  /// being cracked. Must lie in (0, 1].
+  double tolerance = 0.1;
+
+  /// Random compliant subsets averaged at each α probe (the paper uses 5).
+  size_t alpha_runs = 5;
+
+  /// Bisection steps of the α search; resolution is 2^-iterations.
+  size_t binary_search_iterations = 12;
+
+  uint64_t seed = 7;
+
+  /// O-estimate configuration (propagation on by default).
+  OEstimateOptions oestimate;
+};
+
+/// \brief Which stopping rule of Figure 8 fired.
+enum class RecipeDecision {
+  /// Step 2: even the point-valued worst case g is within tolerance —
+  /// disclose.
+  kDiscloseAtPointValued,
+  /// Step 7: the δ_med compliant-interval O-estimate is within tolerance —
+  /// disclose.
+  kDiscloseAtInterval,
+  /// Steps 8–10: full compliance exceeds tolerance; α_max reports how
+  /// much of the domain the hacker must guess right before the owner's
+  /// tolerance is breached. The owner decides whether that is comfortable.
+  kAlphaBound,
+};
+
+const char* ToString(RecipeDecision decision);
+
+/// \brief Output of the recipe.
+struct RecipeResult {
+  RecipeDecision decision = RecipeDecision::kAlphaBound;
+  size_t num_items = 0;
+  size_t num_groups = 0;       ///< g, the Lemma 3 point-valued worst case
+  double delta_med = 0.0;      ///< median frequency-group gap (step 3)
+  double interval_oe = 0.0;    ///< OE at full compliance, width δ_med
+  double alpha_max = 1.0;      ///< largest α within tolerance (step 9)
+  double tolerance = 0.0;      ///< the τ used
+  double crack_budget = 0.0;   ///< τ · n, the comparison threshold
+
+  /// One-paragraph human-readable summary of the decision.
+  std::string Summary() const;
+};
+
+/// \brief Runs the Assess-Risk recipe of Figure 8 on the (anonymized)
+/// frequency table. All quantities are computable owner-side before
+/// release; by frequency-preservation the anonymized and original tables
+/// give identical results.
+Result<RecipeResult> AssessRisk(const FrequencyTable& table,
+                                const RecipeOptions& options = {});
+
+/// \brief Convenience overload counting frequencies from a database.
+Result<RecipeResult> AssessRiskOnDatabase(const Database& db,
+                                          const RecipeOptions& options = {});
+
+/// \brief The recipe restricted to *items of interest* (the Lemma 2/4
+/// scenario: the owner only cares about, say, the best-selling products
+/// or the sensitive diagnoses).
+///
+/// Identical control flow to Figure 8 with every quantity restricted:
+/// step 2 uses the Lemma 4 worst case Σ c_i/n_i against τ·|interest|;
+/// steps 6-9 use interest-restricted O-estimates. The full domain still
+/// participates in the graph — uninteresting items keep camouflaging the
+/// interesting ones — only the crack accounting is restricted.
+/// `interest` is a mask over item ids; it must select at least one item.
+Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
+                                        const std::vector<bool>& interest,
+                                        const RecipeOptions& options = {});
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_RECIPE_H_

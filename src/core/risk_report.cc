@@ -1,0 +1,142 @@
+#include "core/risk_report.h"
+
+#include <sstream>
+
+#include "core/exact_formulas.h"
+#include "data/frequency.h"
+#include "util/table_printer.h"
+
+namespace anonsafe {
+
+std::string RiskReport::ToText() const {
+  std::ostringstream oss;
+  oss << "=== Disclosure Risk Report ===\n\n";
+
+  TablePrinter stats({"statistic", "value"});
+  stats.AddRow({"items (n)", TablePrinter::Fmt(num_items)});
+  stats.AddRow({"transactions (m)", TablePrinter::Fmt(num_transactions)});
+  stats.AddRow({"frequency groups (g)", TablePrinter::Fmt(num_groups)});
+  stats.AddRow({"singleton groups", TablePrinter::Fmt(num_singleton_groups)});
+  stats.AddRow({"median frequency gap", TablePrinter::FmtG(median_gap)});
+  stats.AddRow({"mean frequency gap", TablePrinter::FmtG(mean_gap)});
+  oss << stats.ToString() << '\n';
+
+  TablePrinter extremes({"hacker prior", "expected cracks", "fraction"});
+  extremes.AddRow({"ignorant (Lemma 1)",
+                   TablePrinter::Fmt(ignorant_expected_cracks, 2),
+                   TablePrinter::FmtG(ignorant_expected_cracks /
+                                      static_cast<double>(num_items))});
+  extremes.AddRow({"point-valued, compliant (Lemma 3)",
+                   TablePrinter::Fmt(point_valued_expected_cracks, 2),
+                   TablePrinter::FmtG(point_valued_expected_cracks /
+                                      static_cast<double>(num_items))});
+  extremes.AddRow({"interval delta_med, compliant (O-est.)",
+                   TablePrinter::Fmt(recipe.interval_oe, 2),
+                   TablePrinter::FmtG(recipe.interval_oe /
+                                      static_cast<double>(num_items))});
+  oss << extremes.ToString() << '\n';
+
+  oss << "Recipe (Fig. 8) decision: " << ToString(recipe.decision) << '\n'
+      << recipe.Summary() << "\n\n";
+
+  if (!similarity_curve.empty()) {
+    TablePrinter sim({"sample %", "mean alpha", "stddev", "delta'_med"});
+    for (const SimilarityPoint& p : similarity_curve) {
+      sim.AddRow({TablePrinter::Fmt(p.sample_fraction * 100.0, 0),
+                  TablePrinter::Fmt(p.mean_alpha, 4),
+                  TablePrinter::Fmt(p.stddev_alpha, 4),
+                  TablePrinter::FmtG(p.mean_delta)});
+    }
+    oss << "Similarity by sampling (Fig. 13):\n" << sim.ToString() << '\n';
+    if (recipe.decision == RecipeDecision::kAlphaBound) {
+      if (breaching_sample_fraction > 0.0) {
+        oss << "WARNING: a sample of only "
+            << TablePrinter::Fmt(breaching_sample_fraction * 100.0, 0)
+            << "% of the data already yields compliancy >= alpha_max="
+            << TablePrinter::Fmt(recipe.alpha_max, 3)
+            << "; similar data in a competitor's hands would breach the "
+            << "tolerance. Recommendation: DO NOT DISCLOSE.\n";
+      } else {
+        oss << "No sampled fraction reaches alpha_max="
+            << TablePrinter::Fmt(recipe.alpha_max, 3)
+            << "; a hacker would need better-than-similar data to breach "
+            << "the tolerance.\n";
+      }
+    }
+  }
+  return oss.str();
+}
+
+std::string RiskReport::ToMarkdown() const {
+  std::ostringstream oss;
+  oss << "## Disclosure risk report\n\n"
+      << "| statistic | value |\n|---|---|\n"
+      << "| items (n) | " << num_items << " |\n"
+      << "| transactions (m) | " << num_transactions << " |\n"
+      << "| frequency groups (g) | " << num_groups << " |\n"
+      << "| singleton groups | " << num_singleton_groups << " |\n"
+      << "| median frequency gap | " << TablePrinter::FmtG(median_gap)
+      << " |\n\n";
+  oss << "| hacker prior | expected cracks | fraction |\n|---|---|---|\n"
+      << "| ignorant (Lemma 1) | "
+      << TablePrinter::Fmt(ignorant_expected_cracks, 2) << " | "
+      << TablePrinter::FmtG(ignorant_expected_cracks /
+                            static_cast<double>(num_items), 3)
+      << " |\n"
+      << "| point-valued (Lemma 3) | "
+      << TablePrinter::Fmt(point_valued_expected_cracks, 2) << " | "
+      << TablePrinter::FmtG(point_valued_expected_cracks /
+                            static_cast<double>(num_items), 3)
+      << " |\n"
+      << "| interval delta_med (O-estimate) | "
+      << TablePrinter::Fmt(recipe.interval_oe, 2) << " | "
+      << TablePrinter::FmtG(recipe.interval_oe /
+                            static_cast<double>(num_items), 3)
+      << " |\n\n";
+  oss << "**Recipe decision (Fig. 8):** `" << ToString(recipe.decision)
+      << "` — " << recipe.Summary() << "\n";
+  if (!similarity_curve.empty()) {
+    oss << "\n| sample % | mean alpha | stddev |\n|---|---|---|\n";
+    for (const SimilarityPoint& p : similarity_curve) {
+      oss << "| " << TablePrinter::Fmt(p.sample_fraction * 100.0, 0)
+          << " | " << TablePrinter::Fmt(p.mean_alpha, 4) << " | "
+          << TablePrinter::Fmt(p.stddev_alpha, 4) << " |\n";
+    }
+  }
+  return oss.str();
+}
+
+Result<RiskReport> BuildRiskReport(const Database& db,
+                                   const RiskReportOptions& options) {
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable table, FrequencyTable::Compute(db));
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+
+  RiskReport report;
+  report.num_items = db.num_items();
+  report.num_transactions = db.num_transactions();
+  report.num_groups = groups.num_groups();
+  report.num_singleton_groups = groups.num_singleton_groups();
+  report.median_gap = groups.MedianGap();
+  report.mean_gap = groups.GapSummary().mean;
+  report.ignorant_expected_cracks = IgnorantExpectedCracks(db.num_items());
+  report.point_valued_expected_cracks = PointValuedExpectedCracks(groups);
+
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe,
+                            AssessRisk(table, options.recipe));
+
+  if (options.include_similarity_curve) {
+    ANONSAFE_ASSIGN_OR_RETURN(report.similarity_curve,
+                              SimilarityBySampling(db, options.similarity));
+    if (report.recipe.decision == RecipeDecision::kAlphaBound) {
+      for (const SimilarityPoint& p : report.similarity_curve) {
+        if (p.mean_alpha >= report.recipe.alpha_max) {
+          report.breaching_sample_fraction = p.sample_fraction;
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace anonsafe

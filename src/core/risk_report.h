@@ -1,0 +1,60 @@
+#ifndef ANONSAFE_CORE_RISK_REPORT_H_
+#define ANONSAFE_CORE_RISK_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/recipe.h"
+#include "core/similarity.h"
+#include "data/database.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Options of the composite owner-side risk report.
+struct RiskReportOptions {
+  RecipeOptions recipe;
+  SimilarityOptions similarity;
+  bool include_similarity_curve = true;
+};
+
+/// \brief Everything a data owner needs to decide the paper's dilemma:
+/// dataset statistics, the extreme-case crack counts (Lemmas 1 and 3),
+/// the Figure 8 recipe outcome and, optionally, the Figure 13
+/// similarity-by-sampling calibration of plausible hacker compliancy.
+struct RiskReport {
+  size_t num_items = 0;
+  size_t num_transactions = 0;
+  size_t num_groups = 0;
+  size_t num_singleton_groups = 0;
+  double median_gap = 0.0;
+  double mean_gap = 0.0;
+
+  double ignorant_expected_cracks = 0.0;      ///< Lemma 1 (always 1)
+  double point_valued_expected_cracks = 0.0;  ///< Lemma 3 (g)
+
+  RecipeResult recipe;
+  std::vector<SimilarityPoint> similarity_curve;
+
+  /// \brief When the recipe returned an α bound and the similarity curve
+  /// is present: the smallest sampled fraction whose mean compliancy
+  /// reaches α_max (0 when none does). A small value warns the owner that
+  /// modest "similar data" already breaches the tolerance.
+  double breaching_sample_fraction = 0.0;
+
+  /// \brief Renders the full report as readable text (tables + verdict).
+  std::string ToText() const;
+
+  /// \brief Renders the report as GitHub-flavored Markdown (for pasting
+  /// into reviews or data-release tickets).
+  std::string ToMarkdown() const;
+};
+
+/// \brief Computes the composite report for a database the owner intends
+/// to anonymize and release.
+Result<RiskReport> BuildRiskReport(const Database& db,
+                                   const RiskReportOptions& options = {});
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_RISK_REPORT_H_

@@ -1,0 +1,58 @@
+#include "core/similarity.h"
+
+#include "belief/builders.h"
+#include "data/frequency.h"
+#include "data/sampling.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace anonsafe {
+
+Result<std::vector<SimilarityPoint>> SimilarityBySampling(
+    const Database& db, const SimilarityOptions& options) {
+  if (options.samples_per_fraction == 0) {
+    return Status::InvalidArgument("samples_per_fraction must be positive");
+  }
+  if (options.sample_fractions.empty()) {
+    return Status::InvalidArgument("need at least one sample fraction");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable truth, FrequencyTable::Compute(db));
+
+  Rng rng(options.seed);
+  std::vector<SimilarityPoint> curve;
+  curve.reserve(options.sample_fractions.size());
+  for (double p : options.sample_fractions) {
+    if (!(p > 0.0) || p > 1.0) {
+      return Status::InvalidArgument("sample fraction outside (0, 1]");
+    }
+    std::vector<double> alphas, deltas, group_counts;
+    for (size_t rep = 0; rep < options.samples_per_fraction; ++rep) {
+      ANONSAFE_ASSIGN_OR_RETURN(Database sample,
+                                SampleFraction(db, p, &rng));
+      double delta = 0.0;
+      Result<BeliefFunction> belief =
+          options.use_average_gap
+              ? MakeBeliefFromSampleAverageGap(sample, &delta)
+              : MakeBeliefFromSample(sample, &delta);
+      ANONSAFE_RETURN_IF_ERROR(belief.status());
+      ANONSAFE_ASSIGN_OR_RETURN(double alpha,
+                                belief->ComplianceFraction(truth));
+      ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable sample_table,
+                                FrequencyTable::Compute(sample));
+      alphas.push_back(alpha);
+      deltas.push_back(delta);
+      group_counts.push_back(static_cast<double>(
+          FrequencyGroups::Build(sample_table).num_groups()));
+    }
+    SimilarityPoint point;
+    point.sample_fraction = p;
+    point.mean_alpha = Mean(alphas);
+    point.stddev_alpha = SampleStdDev(alphas);
+    point.mean_delta = Mean(deltas);
+    point.mean_groups = Mean(group_counts);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,58 @@
+#include "core/simulated.h"
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace anonsafe {
+namespace {
+
+Result<SimulationResult> SimulateImpl(const FrequencyGroups& observed,
+                                      const BeliefFunction& belief,
+                                      const std::vector<bool>* interest,
+                                      const SimulationOptions& options) {
+  if (options.num_runs == 0) {
+    return Status::InvalidArgument("need at least one simulation run");
+  }
+  Rng master(options.seed);
+  SimulationResult out;
+  out.samples_per_run = options.sampler.num_samples;
+  for (size_t run = 0; run < options.num_runs; ++run) {
+    SamplerOptions per_run = options.sampler;
+    per_run.seed = master.Next();
+    ANONSAFE_ASSIGN_OR_RETURN(
+        MatchingSampler sampler,
+        MatchingSampler::Create(observed, belief, per_run));
+    if (run == 0) out.seed_was_perfect = sampler.seed_is_perfect();
+
+    std::vector<size_t> counts;
+    if (interest == nullptr) {
+      counts = sampler.SampleCrackCounts();
+    } else {
+      ANONSAFE_ASSIGN_OR_RETURN(counts,
+                                sampler.SampleCrackCounts(*interest));
+    }
+    double sum = 0.0;
+    for (size_t c : counts) sum += static_cast<double>(c);
+    out.run_means.push_back(
+        counts.empty() ? 0.0 : sum / static_cast<double>(counts.size()));
+  }
+  out.mean = Mean(out.run_means);
+  out.stddev = SampleStdDev(out.run_means);
+  return out;
+}
+
+}  // namespace
+
+Result<SimulationResult> SimulateExpectedCracks(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const SimulationOptions& options) {
+  return SimulateImpl(observed, belief, nullptr, options);
+}
+
+Result<SimulationResult> SimulateExpectedCracksOfInterest(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const std::vector<bool>& interest, const SimulationOptions& options) {
+  return SimulateImpl(observed, belief, &interest, options);
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,45 @@
+#ifndef ANONSAFE_CORE_SIMULATED_H_
+#define ANONSAFE_CORE_SIMULATED_H_
+
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "data/frequency.h"
+#include "graph/matching_sampler.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Options of the simulated estimator (Section 7.1: the paper
+/// averages 5 independent simulation runs and reports the standard
+/// deviation across them).
+struct SimulationOptions {
+  size_t num_runs = 5;
+  SamplerOptions sampler;  ///< per-run sampler configuration
+  uint64_t seed = 1;       ///< master seed; each run forks its own
+};
+
+/// \brief A simulated estimate of the expected number of cracks.
+struct SimulationResult {
+  double mean = 0.0;     ///< mean of the per-run means
+  double stddev = 0.0;   ///< sample stddev across runs
+  std::vector<double> run_means;
+  size_t samples_per_run = 0;
+  bool seed_was_perfect = true;  ///< sampler found a perfect seed matching
+};
+
+/// \brief Estimates the expected number of cracks by MCMC sampling of
+/// consistent matchings (the paper's "average simulated estimates" that
+/// Figures 10 and 11 compare the O-estimate against).
+Result<SimulationResult> SimulateExpectedCracks(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const SimulationOptions& options = {});
+
+/// \brief Same, counting only cracks of items with `interest[x]` true.
+Result<SimulationResult> SimulateExpectedCracksOfInterest(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const std::vector<bool>& interest, const SimulationOptions& options = {});
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_CORE_SIMULATED_H_

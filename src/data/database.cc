@@ -1,0 +1,82 @@
+#include "data/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace anonsafe {
+
+Status Database::AddTransaction(Transaction items) {
+  if (items.empty()) {
+    return Status::InvalidArgument("transaction must be non-empty");
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  if (items.back() >= num_items_) {
+    return Status::InvalidArgument(
+        "item id " + std::to_string(items.back()) +
+        " outside domain of size " + std::to_string(num_items_));
+  }
+  transactions_.push_back(std::move(items));
+  return Status::OK();
+}
+
+void Database::AddTransactionUnchecked(Transaction items) {
+  assert(!items.empty());
+  assert(std::is_sorted(items.begin(), items.end()));
+  assert(std::adjacent_find(items.begin(), items.end()) == items.end());
+  assert(items.back() < num_items_);
+  transactions_.push_back(std::move(items));
+}
+
+size_t Database::TotalSize() const {
+  size_t total = 0;
+  for (const auto& t : transactions_) total += t.size();
+  return total;
+}
+
+bool Database::Contains(size_t t, ItemId item) const {
+  const Transaction& txn = transactions_[t];
+  return std::binary_search(txn.begin(), txn.end(), item);
+}
+
+Result<Database> Database::FromTransactions(
+    size_t num_items, std::vector<Transaction> transactions) {
+  Database db(num_items);
+  for (auto& t : transactions) {
+    ANONSAFE_RETURN_IF_ERROR(db.AddTransaction(std::move(t)));
+  }
+  return db;
+}
+
+std::string Database::DebugString() const {
+  std::ostringstream oss;
+  oss << "Database{n=" << num_items_ << ", m=" << num_transactions()
+      << ", occurrences=" << TotalSize() << "}";
+  return oss.str();
+}
+
+Result<Database> ConcatDatabases(
+    const std::vector<const Database*>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("need at least one database to pool");
+  }
+  const size_t n = parts.front()->num_items();
+  for (const Database* part : parts) {
+    if (part->num_items() != n) {
+      return Status::InvalidArgument(
+          "pooled databases must share one item domain (" +
+          std::to_string(part->num_items()) + " vs " + std::to_string(n) +
+          ")");
+    }
+  }
+  Database out(n);
+  for (const Database* part : parts) {
+    for (const Transaction& txn : part->transactions()) {
+      out.AddTransactionUnchecked(txn);
+    }
+  }
+  return out;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,73 @@
+#ifndef ANONSAFE_DATA_DATABASE_H_
+#define ANONSAFE_DATA_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace anonsafe {
+
+/// \brief An in-memory transaction database over a dense item domain.
+///
+/// Matches the paper's Section 2.1 model: a database D is a sequence of
+/// transactions <T_1, ..., T_m>, each a non-empty subset of the universe
+/// I with |I| = n. Transactions are stored as sorted, duplicate-free item
+/// vectors. The domain size is fixed at construction; items not appearing
+/// in any transaction are still part of the domain (with frequency 0).
+class Database {
+ public:
+  /// Creates an empty database over the domain `{0, ..., num_items-1}`.
+  explicit Database(size_t num_items) : num_items_(num_items) {}
+
+  /// \brief Appends a transaction.
+  ///
+  /// The items are sorted and deduplicated. Fails with InvalidArgument if
+  /// the transaction is empty or references an item outside the domain.
+  Status AddTransaction(Transaction items);
+
+  /// \brief Appends a transaction known to be sorted, unique and in-domain.
+  /// Used by generators on hot paths; validated only in debug builds.
+  void AddTransactionUnchecked(Transaction items);
+
+  size_t num_items() const { return num_items_; }
+  size_t num_transactions() const { return transactions_.size(); }
+
+  /// \brief Returns transaction `t` (0-based). Requires `t` in range.
+  const Transaction& transaction(size_t t) const { return transactions_[t]; }
+
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+
+  /// \brief Total number of (transaction, item) occurrences.
+  size_t TotalSize() const;
+
+  /// \brief True if transaction `t` contains `item` (binary search).
+  bool Contains(size_t t, ItemId item) const;
+
+  /// \brief Builds a database directly from a vector of raw transactions.
+  /// Each is validated as in `AddTransaction`.
+  static Result<Database> FromTransactions(
+      size_t num_items, std::vector<Transaction> transactions);
+
+  /// \brief One-line human-readable summary ("n=130 m=67557 occ=...").
+  std::string DebugString() const;
+
+ private:
+  size_t num_items_;
+  std::vector<Transaction> transactions_;
+};
+
+/// \brief Pools several databases over one shared item domain — the
+/// paper's "mining for the common good" consortium scenario, where
+/// partners contribute transaction sets over a common catalogue.
+/// Transactions are concatenated in input order. Fails when the inputs
+/// disagree on the domain size or the list is empty.
+Result<Database> ConcatDatabases(const std::vector<const Database*>& parts);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DATA_DATABASE_H_

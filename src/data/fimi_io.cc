@@ -1,0 +1,71 @@
+#include "data/fimi_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+namespace anonsafe {
+
+Result<LabeledDatabase> ReadFimi(std::istream& in) {
+  std::unordered_map<int64_t, ItemId> label_to_id;
+  std::vector<int64_t> labels;
+  std::vector<Transaction> transactions;
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    Transaction txn;
+    int64_t label;
+    while (ls >> label) {
+      if (label < 0) {
+        return Status::InvalidArgument("negative item label at line " +
+                                       std::to_string(line_no));
+      }
+      auto [it, inserted] =
+          label_to_id.emplace(label, static_cast<ItemId>(labels.size()));
+      if (inserted) labels.push_back(label);
+      txn.push_back(it->second);
+    }
+    if (!ls.eof()) {
+      return Status::InvalidArgument("malformed token at line " +
+                                     std::to_string(line_no));
+    }
+    if (!txn.empty()) transactions.push_back(std::move(txn));
+  }
+  if (in.bad()) return Status::IOError("stream read failure");
+
+  LabeledDatabase out;
+  out.labels = std::move(labels);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      out.database,
+      Database::FromTransactions(out.labels.size(), std::move(transactions)));
+  return out;
+}
+
+Result<LabeledDatabase> ReadFimiFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  return ReadFimi(in);
+}
+
+Status WriteFimi(const Database& db, std::ostream& out) {
+  for (const Transaction& t : db.transactions()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i) out << ' ';
+      out << t[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("stream write failure");
+  return Status::OK();
+}
+
+Status WriteFimiFile(const Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  return WriteFimi(db, out);
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,26 @@
+#ifndef ANONSAFE_DATA_SAMPLING_H_
+#define ANONSAFE_DATA_SAMPLING_H_
+
+#include "data/database.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief Draws a uniform transaction sample of exactly `k` transactions
+/// without replacement, preserving the original domain.
+///
+/// This models the "similar data" a partner/competitor might hold
+/// (Section 7.4): a subset of the owner's transactions over the same item
+/// universe. Fails with InvalidArgument when `k` is 0 or exceeds the
+/// number of transactions.
+Result<Database> SampleTransactions(const Database& db, size_t k, Rng* rng);
+
+/// \brief Draws a sample of `round(fraction * m)` transactions (at least 1).
+/// `fraction` must lie in (0, 1].
+Result<Database> SampleFraction(const Database& db, double fraction,
+                                Rng* rng);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DATA_SAMPLING_H_

@@ -1,0 +1,29 @@
+#ifndef ANONSAFE_DATA_TYPES_H_
+#define ANONSAFE_DATA_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace anonsafe {
+
+/// \brief Dense identifier of an item in the original domain I.
+///
+/// The universe of items is `{0, 1, ..., n-1}`. External label spaces
+/// (e.g. FIMI files with sparse ids, product SKUs) are mapped to this dense
+/// range at the IO boundary; the anonymized domain J reuses the same dense
+/// range under a bijective `Anonymizer` mapping.
+using ItemId = uint32_t;
+
+/// \brief Sentinel for "no item" (used by crack mappings and matchings).
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+
+/// \brief A transaction is a set of distinct items, stored sorted ascending.
+using Transaction = std::vector<ItemId>;
+
+/// \brief Support counts are exact integers; frequency = support / m.
+using SupportCount = uint64_t;
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DATA_TYPES_H_

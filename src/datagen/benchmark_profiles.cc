@@ -1,0 +1,212 @@
+#include "datagen/benchmark_profiles.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+
+namespace anonsafe {
+namespace {
+
+std::vector<BenchmarkSpec> MakeSpecs() {
+  // Values transcribed from Figure 9 of the paper (both tables).
+  return {
+      {Benchmark::kConnect, "CONNECT", 130, 67557, 125, 122,
+       0.0081, 0.0029, 0.000015, 0.0519},
+      {Benchmark::kPumsb, "PUMSB", 2113, 49046, 650, 421,
+       0.00154, 0.000041, 0.00002, 0.0536},
+      {Benchmark::kAccidents, "ACCIDENTS", 469, 340184, 310, 286,
+       0.00324, 0.000176, 0.000029, 0.04966},
+      {Benchmark::kRetail, "RETAIL", 16470, 88163, 582, 218,
+       0.00099, 0.0000113, 0.0000113, 0.30102},
+      {Benchmark::kMushroom, "MUSHROOM", 120, 8124, 90, 77,
+       0.01124, 0.00394, 0.00049, 0.1477},
+      {Benchmark::kChess, "CHESS", 75, 3196, 73, 71,
+       0.01389, 0.00657, 0.000313, 0.0494},
+  };
+}
+
+/// Draws the (num_groups - 1) frequency gaps of the profile.
+std::vector<double> DrawGaps(const BenchmarkSpec& spec, Rng* rng) {
+  const size_t k = spec.num_groups - 1;
+  std::vector<double> gaps(k);
+  if (k == 0) return gaps;
+
+  // Log-normal calibrated to the published median and mean:
+  // median = e^mu, mean = e^(mu + sigma^2/2).
+  const double mu = std::log(spec.median_gap);
+  const double ratio = spec.mean_gap / spec.median_gap;
+  const double sigma = ratio > 1.0 ? std::sqrt(2.0 * std::log(ratio)) : 0.0;
+
+  for (size_t i = 0; i < k; ++i) {
+    double g = rng->LogNormal(mu, sigma);
+    gaps[i] = std::clamp(g, spec.min_gap, spec.max_gap);
+  }
+  // Pin the extremes so min/max land exactly on the published values.
+  if (k >= 1) gaps[0] = spec.max_gap;
+  if (k >= 2) gaps[1] = spec.min_gap;
+
+  // The cumulative frequency span must fit inside (0, 1). When the drawn
+  // gaps overflow the available span, shrink only the gaps above the
+  // median so the median/min statistics stay on target.
+  const double available = 0.995;
+  double total = 0.0;
+  for (double g : gaps) total += g;
+  if (total > available) {
+    double median = spec.median_gap;
+    double small_sum = 0.0, large_sum = 0.0;
+    for (double g : gaps) {
+      (g <= median ? small_sum : large_sum) += g;
+    }
+    if (large_sum > 0.0) {
+      double t = (available - small_sum) / large_sum;
+      t = std::clamp(t, 0.0, 1.0);
+      for (double& g : gaps) {
+        if (g > median) g = std::max(median, g * t);
+      }
+    }
+  }
+  // Real benchmark data clusters its small gaps at the low-frequency end
+  // (rare items have near-identical supports) and its large gaps among
+  // the few high-frequency items. Reproduce that by sorting the gaps
+  // ascending and then shuffling only within local windows, so gap size
+  // is rank-correlated with position instead of i.i.d. along the axis.
+  std::sort(gaps.begin(), gaps.end());
+  const size_t window = std::max<size_t>(2, k / 10);
+  for (size_t i = 0; i < k; ++i) {
+    size_t lo = i >= window ? i - window : 0;
+    size_t j = lo + static_cast<size_t>(rng->UniformUint64(i - lo + 1));
+    std::swap(gaps[i], gaps[j]);
+  }
+  return gaps;
+}
+
+/// Converts frequency gaps to strictly increasing support counts.
+std::vector<SupportCount> GapsToSupports(const BenchmarkSpec& spec,
+                                         const std::vector<double>& gaps) {
+  const double m = static_cast<double>(spec.num_transactions);
+  std::vector<SupportCount> supports;
+  supports.reserve(gaps.size() + 1);
+  // Base support: one transaction, the natural floor for rare items.
+  SupportCount cur = 1;
+  supports.push_back(cur);
+  for (double g : gaps) {
+    auto delta = static_cast<SupportCount>(std::llround(g * m));
+    if (delta == 0) delta = 1;
+    cur += delta;
+    supports.push_back(cur);
+  }
+  // Clamp from the top if quantization pushed past m.
+  SupportCount cap = spec.num_transactions;
+  for (size_t i = supports.size(); i-- > 0;) {
+    if (supports[i] > cap) supports[i] = cap;
+    assert(cap >= 1);
+    cap = supports[i] - 1;
+  }
+  return supports;
+}
+
+/// Assigns the published singleton count and distributes the remaining
+/// items over the low-frequency groups with 1/rank weights.
+std::vector<size_t> AssignGroupSizes(const BenchmarkSpec& spec) {
+  const size_t g = spec.num_groups;
+  const size_t singles = spec.num_singleton_groups;
+  assert(singles <= g);
+  const size_t big = g - singles;  // non-singleton groups, low-freq end
+  std::vector<size_t> sizes(g, 1);
+  if (big == 0) return sizes;
+
+  size_t extra = spec.num_items - g;  // items beyond one-per-group
+  // Every non-singleton group needs at least 2 members.
+  for (size_t j = 0; j < big && extra > 0; ++j) {
+    sizes[j] = 2;
+    --extra;
+  }
+  if (extra == 0) return sizes;
+
+  // Largest-remainder apportionment with harmonic weights: the lowest-
+  // frequency group is the largest (many rare items are indistinguishable).
+  std::vector<double> weights(big);
+  double wsum = 0.0;
+  for (size_t j = 0; j < big; ++j) {
+    weights[j] = 1.0 / static_cast<double>(j + 1);
+    wsum += weights[j];
+  }
+  size_t assigned = 0;
+  std::vector<std::pair<double, size_t>> remainders(big);
+  for (size_t j = 0; j < big; ++j) {
+    double share = static_cast<double>(extra) * weights[j] / wsum;
+    auto whole = static_cast<size_t>(share);
+    sizes[j] += whole;
+    assigned += whole;
+    remainders[j] = {share - static_cast<double>(whole), j};
+  }
+  std::sort(remainders.begin(), remainders.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (size_t r = 0; assigned < extra; ++r) {
+    sizes[remainders[r % big].second] += 1;
+    ++assigned;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& AllBenchmarkSpecs() {
+  static const std::vector<BenchmarkSpec> specs = MakeSpecs();
+  return specs;
+}
+
+const BenchmarkSpec& GetBenchmarkSpec(Benchmark b) {
+  for (const auto& spec : AllBenchmarkSpecs()) {
+    if (spec.id == b) return spec;
+  }
+  // All enum values are present in the table; reaching here is a bug.
+  assert(false);
+  return AllBenchmarkSpecs().front();
+}
+
+Result<Benchmark> BenchmarkByName(const std::string& name) {
+  std::string upper = name;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  for (const auto& spec : AllBenchmarkSpecs()) {
+    if (spec.name == upper) return spec.id;
+  }
+  return Status::NotFound("unknown benchmark: " + name);
+}
+
+Result<FrequencyProfile> MakeProfileFromSpec(const BenchmarkSpec& spec,
+                                             Rng* rng) {
+  if (spec.num_groups == 0 || spec.num_items < spec.num_groups) {
+    return Status::InvalidArgument("spec group/item counts inconsistent");
+  }
+  if (spec.num_groups > spec.num_transactions) {
+    return Status::InvalidArgument(
+        "more groups than possible distinct supports");
+  }
+  std::vector<double> gaps = DrawGaps(spec, rng);
+  std::vector<SupportCount> supports = GapsToSupports(spec, gaps);
+  std::vector<size_t> sizes = AssignGroupSizes(spec);
+  assert(supports.size() == sizes.size());
+
+  std::vector<ProfileGroup> groups(supports.size());
+  for (size_t i = 0; i < supports.size(); ++i) {
+    groups[i] = {supports[i], sizes[i]};
+  }
+  return FrequencyProfile::Create(spec.num_transactions, std::move(groups));
+}
+
+Result<FrequencyProfile> MakeBenchmarkProfile(Benchmark b, Rng* rng) {
+  return MakeProfileFromSpec(GetBenchmarkSpec(b), rng);
+}
+
+Result<Database> MakeBenchmarkDatabase(Benchmark b, Rng* rng, double scale) {
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyProfile profile,
+                            MakeBenchmarkProfile(b, rng));
+  if (scale != 1.0) {
+    ANONSAFE_ASSIGN_OR_RETURN(profile, profile.Scaled(scale));
+  }
+  return GenerateDatabase(profile, rng);
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,73 @@
+#ifndef ANONSAFE_DATAGEN_BENCHMARK_PROFILES_H_
+#define ANONSAFE_DATAGEN_BENCHMARK_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/profile.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief The six UCI/FIMI benchmarks of the paper's evaluation (Fig. 9).
+enum class Benchmark {
+  kConnect,
+  kPumsb,
+  kAccidents,
+  kRetail,
+  kMushroom,
+  kChess,
+};
+
+/// \brief Published Figure 9 statistics of one benchmark. These are the
+/// calibration targets for the synthetic stand-ins (see DESIGN.md §4).
+struct BenchmarkSpec {
+  Benchmark id;
+  std::string name;
+  size_t num_items;
+  size_t num_transactions;
+  size_t num_groups;
+  size_t num_singleton_groups;
+  double mean_gap;
+  double median_gap;
+  double min_gap;
+  double max_gap;
+};
+
+/// \brief Returns the specs of all six benchmarks, in Figure 9 order.
+const std::vector<BenchmarkSpec>& AllBenchmarkSpecs();
+
+/// \brief Returns the spec for one benchmark.
+const BenchmarkSpec& GetBenchmarkSpec(Benchmark b);
+
+/// \brief Parses a benchmark by its Figure 9 name (case-insensitive).
+Result<Benchmark> BenchmarkByName(const std::string& name);
+
+/// \brief Synthesizes a frequency profile matching `spec`.
+///
+/// Gap model: successive group-frequency gaps are drawn from a log-normal
+/// calibrated so its median and mean match the published values, clamped
+/// to [min_gap, max_gap] with one gap pinned to each extreme; oversized
+/// totals are absorbed by shrinking only the above-median gaps so the
+/// median and minimum stay on target. Gaps are then quantized to integer
+/// support deltas (>= 1 transaction, reproducing the paper's min gaps of
+/// about 1/m). Group sizes place the published number of singletons at the
+/// high-frequency end and distribute the remaining items over the
+/// low-frequency groups with 1/rank weights — many rare items sharing
+/// small supports, exactly the "sparse" behaviour RETAIL exhibits.
+Result<FrequencyProfile> MakeProfileFromSpec(const BenchmarkSpec& spec,
+                                             Rng* rng);
+
+/// \brief Convenience: synthesize the profile of a named benchmark.
+Result<FrequencyProfile> MakeBenchmarkProfile(Benchmark b, Rng* rng);
+
+/// \brief Synthesize profile and materialize the transaction database.
+/// `scale` in (0, 1] optionally shrinks the dataset (both m and supports)
+/// for fast test/CI runs; 1.0 reproduces the full published size.
+Result<Database> MakeBenchmarkDatabase(Benchmark b, Rng* rng,
+                                       double scale = 1.0);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DATAGEN_BENCHMARK_PROFILES_H_

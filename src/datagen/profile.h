@@ -1,0 +1,99 @@
+#ifndef ANONSAFE_DATAGEN_PROFILE_H_
+#define ANONSAFE_DATAGEN_PROFILE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/database.h"
+#include "data/frequency.h"
+#include "data/types.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief One frequency group of a profile: `size` items sharing `support`.
+struct ProfileGroup {
+  SupportCount support = 0;
+  size_t size = 0;
+};
+
+/// \brief A complete frequency-group specification of a dataset.
+///
+/// Every quantity the paper measures — the group count `g`, the gap
+/// statistics driving δ_med, O-estimates, the α sweeps and the sampling
+/// compliancy curves — is a function of the dataset's frequency profile
+/// alone, never of transaction co-occurrence. A `FrequencyProfile` is
+/// therefore the exact degree of freedom our synthetic benchmark stand-ins
+/// control (see DESIGN.md §4), and `GenerateDatabase` realizes any profile
+/// as a concrete transaction database with *exactly* those supports.
+class FrequencyProfile {
+ public:
+  /// \brief Validates and normalizes a profile.
+  ///
+  /// Requirements: at least one group; every support in [1, m]; every
+  /// group size >= 1; supports pairwise distinct. Groups are stored in
+  /// ascending support order.
+  static Result<FrequencyProfile> Create(size_t num_transactions,
+                                         std::vector<ProfileGroup> groups);
+
+  size_t num_transactions() const { return num_transactions_; }
+  size_t num_groups() const { return groups_.size(); }
+  const std::vector<ProfileGroup>& groups() const { return groups_; }
+
+  /// \brief Total number of items across all groups.
+  size_t num_items() const;
+
+  /// \brief Expands the profile to a per-item support vector. Item ids are
+  /// assigned in ascending group order: group 0's items come first.
+  std::vector<SupportCount> ItemSupports() const;
+
+  /// \brief Views the profile through the standard grouping structure
+  /// (useful for gap statistics without generating a database).
+  FrequencyGroups ToFrequencyGroups() const;
+
+  /// \brief Rescales the profile to `factor` times the transactions while
+  /// preserving the group count (supports are re-spaced minimally when
+  /// rounding collides). Fails when the scaled transaction count cannot
+  /// host `num_groups()` distinct supports.
+  Result<FrequencyProfile> Scaled(double factor) const;
+
+ private:
+  FrequencyProfile(size_t num_transactions, std::vector<ProfileGroup> groups)
+      : num_transactions_(num_transactions), groups_(std::move(groups)) {}
+
+  size_t num_transactions_;
+  std::vector<ProfileGroup> groups_;  // ascending by support
+};
+
+/// \brief Materializes a profile as a transaction database.
+///
+/// Each item of support `s` is placed into `s` distinct uniformly random
+/// transactions, so the generated database's `FrequencyGroups` equal the
+/// profile exactly. Transactions left empty by the random placement are
+/// repaired by moving a single occurrence from a transaction with >= 2
+/// items (supports are preserved). Fails when the total number of
+/// occurrences is smaller than the number of transactions (no non-empty
+/// assignment exists).
+Result<Database> GenerateDatabase(const FrequencyProfile& profile, Rng* rng);
+
+/// \brief Test helper: a database of `m` transactions, each a uniformly
+/// random `txn_size`-subset of an `n`-item domain.
+Result<Database> GenerateUniformDatabase(size_t num_items,
+                                         size_t num_transactions,
+                                         size_t txn_size, Rng* rng);
+
+/// \brief A generic Zipf-shaped frequency profile: item i gets an ideal
+/// support proportional to 1/(i+1)^exponent, scaled so the most frequent
+/// item has frequency `max_frequency`, quantized to integer supports
+/// (>= 1) and collapsed into groups of equal support. The heavy tail of
+/// retail-like data in one knob. `exponent` > 0; `max_frequency` in
+/// (0, 1].
+Result<FrequencyProfile> MakeZipfProfile(size_t num_items,
+                                         size_t num_transactions,
+                                         double exponent,
+                                         double max_frequency);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DATAGEN_PROFILE_H_

@@ -1,0 +1,74 @@
+#ifndef ANONSAFE_DEFENSE_GROUP_MERGE_H_
+#define ANONSAFE_DEFENSE_GROUP_MERGE_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "data/frequency.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief Outcome of a support-perturbation defense.
+///
+/// The paper's analysis is deliberately about *pure* anonymization, which
+/// never perturbs the data; its conclusion for datasets like CONNECT is
+/// simply "think twice before releasing". This module answers the obvious
+/// follow-up: if the recipe says the anonymized data is unsafe, what is
+/// the *cheapest perturbation* that makes it safe? The lever is exactly
+/// the quantity the attack exploits: distinct frequencies. Merging nearby
+/// frequency groups onto a common support restores camouflage (Lemma 3's
+/// g drops; interval O-estimates drop with it) at the cost of a measured
+/// distortion in item supports.
+struct DefenseReport {
+  std::vector<SupportCount> new_supports;  ///< per item
+  size_t groups_before = 0;
+  size_t groups_after = 0;
+  /// Σ |new_support - old_support| (absolute occurrence edits needed).
+  uint64_t l1_distortion = 0;
+  /// l1_distortion / Σ old_support — the fraction of occurrences touched.
+  double relative_distortion = 0.0;
+  /// The gap threshold actually applied.
+  double merged_gap = 0.0;
+};
+
+/// \brief Merges every run of frequency groups whose consecutive gaps are
+/// all below `min_gap` (in frequency units) onto one support — the
+/// size-weighted median support of the run, which minimizes the L1
+/// distortion among single-support choices.
+Result<DefenseReport> MergeGroupsBelowGap(const FrequencyTable& table,
+                                          double min_gap);
+
+/// \brief Options of the tolerance-driven defense search.
+struct DefenseOptions {
+  double tolerance = 0.1;          ///< τ of the recipe
+  size_t binary_search_iters = 24; ///< gap-threshold bisection steps
+  /// Safety criterion: when true, require the point-valued worst case
+  /// g <= τn (paranoid owner); when false, require the δ_med interval
+  /// O-estimate <= τn (the recipe's step-7 criterion).
+  bool point_valued_criterion = false;
+};
+
+/// \brief Finds (by bisection over the gap threshold) the smallest-
+/// distortion group merge whose perturbed profile passes the chosen
+/// safety criterion at tolerance τ. Fails with FailedPrecondition when
+/// even merging everything into one group cannot pass (never happens for
+/// τ·n >= 1).
+Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
+                                        const DefenseOptions& options = {});
+
+/// \brief Applies a support change to a concrete database: items gain
+/// occurrences in random transactions that lack them and lose occurrences
+/// from random transactions that hold them (never emptying a
+/// transaction). The resulting database realizes `new_supports` exactly.
+///
+/// Fails with InvalidArgument on size mismatch or unrealizable targets
+/// (support > m, or removals that would empty every holder).
+Result<Database> ApplySupportChanges(
+    const Database& db, const std::vector<SupportCount>& new_supports,
+    Rng* rng);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DEFENSE_GROUP_MERGE_H_

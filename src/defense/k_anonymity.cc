@@ -1,0 +1,74 @@
+#include "defense/k_anonymity.h"
+
+#include <algorithm>
+#include <string>
+
+namespace anonsafe {
+
+size_t FrequencyKAnonymity(const FrequencyGroups& groups) {
+  if (groups.num_groups() == 0) return 0;
+  size_t min_size = groups.group_size(0);
+  for (size_t g = 1; g < groups.num_groups(); ++g) {
+    min_size = std::min(min_size, groups.group_size(g));
+  }
+  return min_size;
+}
+
+double KAnonymityCrackBound(size_t num_items, size_t k) {
+  if (k == 0) return static_cast<double>(num_items);
+  return static_cast<double>(num_items) / static_cast<double>(k);
+}
+
+Result<DefenseReport> DefendToKAnonymity(const FrequencyTable& table,
+                                         size_t k,
+                                         size_t binary_search_iters) {
+  const size_t n = table.num_items();
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument(
+        "k must lie in [1, n]; got k=" + std::to_string(k) + " for n=" +
+        std::to_string(n));
+  }
+
+  auto anonymity_of = [&](const DefenseReport& report) -> Result<size_t> {
+    ANONSAFE_ASSIGN_OR_RETURN(
+        FrequencyTable merged,
+        FrequencyTable::FromSupports(report.new_supports,
+                                     table.num_transactions()));
+    return FrequencyKAnonymity(FrequencyGroups::Build(merged));
+  };
+
+  ANONSAFE_ASSIGN_OR_RETURN(DefenseReport none,
+                            MergeGroupsBelowGap(table, 0.0));
+  ANONSAFE_ASSIGN_OR_RETURN(size_t base_k, anonymity_of(none));
+  if (base_k >= k) return none;  // already k-anonymous
+
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  double hi = groups.GapSummary().max * 2.0 +
+              2.0 / static_cast<double>(table.num_transactions());
+  ANONSAFE_ASSIGN_OR_RETURN(DefenseReport full,
+                            MergeGroupsBelowGap(table, hi));
+  ANONSAFE_ASSIGN_OR_RETURN(size_t full_k, anonymity_of(full));
+  if (full_k < k) {
+    return Status::FailedPrecondition(
+        "even a full merge yields only " + std::to_string(full_k) +
+        "-anonymity");
+  }
+
+  double lo = 0.0;
+  DefenseReport best = std::move(full);
+  for (size_t iter = 0; iter < binary_search_iters; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    ANONSAFE_ASSIGN_OR_RETURN(DefenseReport candidate,
+                              MergeGroupsBelowGap(table, mid));
+    ANONSAFE_ASSIGN_OR_RETURN(size_t candidate_k, anonymity_of(candidate));
+    if (candidate_k >= k) {
+      hi = mid;
+      best = std::move(candidate);
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace anonsafe

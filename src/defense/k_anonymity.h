@@ -1,0 +1,37 @@
+#ifndef ANONSAFE_DEFENSE_K_ANONYMITY_H_
+#define ANONSAFE_DEFENSE_K_ANONYMITY_H_
+
+#include "data/frequency.h"
+#include "defense/group_merge.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Frequency k-anonymity: the size of the smallest frequency group.
+///
+/// The bridge to the k-anonymity literature the paper cites ([22], [23]):
+/// in the frequency-disclosure model, an item is "k-anonymous" when at
+/// least k-1 other items share its exact frequency — the camouflage of
+/// Lemma 3. A dataset whose every group has size >= k bounds the
+/// point-valued worst case by n/k cracks, and every single item's crack
+/// probability by 1/k under any compliant belief (each item's candidate
+/// set contains its whole group).
+size_t FrequencyKAnonymity(const FrequencyGroups& groups);
+
+/// \brief The point-valued worst-case bound implied by k-anonymity:
+/// expected cracks <= n / k (tight when every group has exactly size k).
+double KAnonymityCrackBound(size_t num_items, size_t k);
+
+/// \brief Finds (by bisection over the merge-gap threshold) the cheapest
+/// group merge achieving frequency k-anonymity of at least `k`.
+///
+/// Fails with InvalidArgument for k < 1 or k > n, and with
+/// FailedPrecondition when even the full merge cannot reach k (only
+/// possible when n < k).
+Result<DefenseReport> DefendToKAnonymity(const FrequencyTable& table,
+                                         size_t k,
+                                         size_t binary_search_iters = 24);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DEFENSE_K_ANONYMITY_H_

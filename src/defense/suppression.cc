@@ -1,0 +1,126 @@
+#include "defense/suppression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "belief/builders.h"
+#include "core/per_item_risk.h"
+
+namespace anonsafe {
+namespace {
+
+/// The δ_med interval O-estimate over a sub-domain, with the per-item
+/// ranking mapped back to original item ids.
+struct SubdomainRisk {
+  double oe = 0.0;
+  std::vector<ItemId> ranked_original_ids;  // descending risk
+};
+
+Result<SubdomainRisk> AnalyzeSubdomain(const FrequencyTable& table,
+                                       const std::vector<bool>& alive) {
+  std::vector<ItemId> original_of_dense;
+  std::vector<SupportCount> supports;
+  for (ItemId x = 0; x < table.num_items(); ++x) {
+    if (alive[x]) {
+      original_of_dense.push_back(x);
+      supports.push_back(table.support(x));
+    }
+  }
+  if (original_of_dense.empty()) {
+    return SubdomainRisk{};  // nothing left to leak
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      FrequencyTable sub,
+      FrequencyTable::FromSupports(supports, table.num_transactions()));
+  FrequencyGroups groups = FrequencyGroups::Build(sub);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      BeliefFunction belief,
+      MakeCompliantIntervalBelief(sub, groups.MedianGap()));
+  ANONSAFE_ASSIGN_OR_RETURN(PerItemRiskReport risk,
+                            ComputePerItemRisk(groups, belief));
+  SubdomainRisk out;
+  out.oe = risk.total_expected_cracks;
+  out.ranked_original_ids.reserve(risk.ranked.size());
+  for (const ItemRisk& r : risk.ranked) {
+    out.ranked_original_ids.push_back(original_of_dense[r.item]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SuppressionReport> PlanSuppression(const FrequencyTable& table,
+                                          const SuppressionOptions& options) {
+  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
+    return Status::InvalidArgument("tolerance must lie in (0, 1]");
+  }
+  if (options.rerank_batch == 0) {
+    return Status::InvalidArgument("rerank_batch must be positive");
+  }
+  const size_t n = table.num_items();
+  const double budget = options.tolerance * static_cast<double>(n);
+  const auto max_suppressed = static_cast<size_t>(
+      std::floor(options.max_suppressed_fraction * static_cast<double>(n)));
+
+  SuppressionReport report;
+  report.items_before = n;
+
+  std::vector<bool> alive(n, true);
+  ANONSAFE_ASSIGN_OR_RETURN(SubdomainRisk risk,
+                            AnalyzeSubdomain(table, alive));
+  report.oe_before = risk.oe;
+
+  while (risk.oe > budget) {
+    if (report.suppressed.size() >= max_suppressed ||
+        risk.ranked_original_ids.empty()) {
+      return Status::FailedPrecondition(
+          "suppression cap reached (" +
+          std::to_string(report.suppressed.size()) +
+          " items) before the tolerance was met; use a frequency-merge "
+          "defense instead");
+    }
+    size_t batch = std::min(options.rerank_batch,
+                            risk.ranked_original_ids.size());
+    batch = std::min(batch, max_suppressed - report.suppressed.size());
+    if (batch == 0) batch = 1;
+    for (size_t i = 0; i < batch; ++i) {
+      ItemId victim = risk.ranked_original_ids[i];
+      alive[victim] = false;
+      report.suppressed.push_back(victim);
+    }
+    ANONSAFE_ASSIGN_OR_RETURN(risk, AnalyzeSubdomain(table, alive));
+  }
+
+  report.oe_after = risk.oe;
+  report.items_after = n - report.suppressed.size();
+  uint64_t total = 0, lost = 0;
+  for (ItemId x = 0; x < n; ++x) total += table.support(x);
+  for (ItemId x : report.suppressed) lost += table.support(x);
+  report.occurrence_loss =
+      total == 0 ? 0.0
+                 : static_cast<double>(lost) / static_cast<double>(total);
+  return report;
+}
+
+Result<Database> ApplySuppression(const Database& db,
+                                  const std::vector<ItemId>& suppressed) {
+  std::vector<bool> drop(db.num_items(), false);
+  for (ItemId x : suppressed) {
+    if (x >= db.num_items()) {
+      return Status::InvalidArgument("suppressed item outside domain");
+    }
+    drop[x] = true;
+  }
+  Database out(db.num_items());
+  for (const Transaction& txn : db.transactions()) {
+    Transaction kept;
+    kept.reserve(txn.size());
+    for (ItemId x : txn) {
+      if (!drop[x]) kept.push_back(x);
+    }
+    if (!kept.empty()) out.AddTransactionUnchecked(std::move(kept));
+  }
+  return out;
+}
+
+}  // namespace anonsafe

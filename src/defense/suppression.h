@@ -1,0 +1,56 @@
+#ifndef ANONSAFE_DEFENSE_SUPPRESSION_H_
+#define ANONSAFE_DEFENSE_SUPPRESSION_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Outcome of an item-suppression defense.
+///
+/// The second defense lever (complementing `MergeGroupsBelowGap`): instead
+/// of perturbing frequencies, remove the most exposed items from the
+/// release entirely — the classic cell-suppression idea of the statistical
+/// disclosure-control literature the paper cites ([17], [11], [9]). Items
+/// whose per-item crack probability is highest (frequency-unique items)
+/// are dropped greedily until the δ_med interval O-estimate over the
+/// remaining items fits the tolerance.
+struct SuppressionReport {
+  std::vector<ItemId> suppressed;  ///< in suppression order
+  size_t items_before = 0;
+  size_t items_after = 0;
+  double oe_before = 0.0;  ///< delta_med interval OE of the full domain
+  double oe_after = 0.0;   ///< same metric over the reduced domain
+  /// Fraction of occurrences removed with the items.
+  double occurrence_loss = 0.0;
+};
+
+/// \brief Options of the suppression search.
+struct SuppressionOptions {
+  double tolerance = 0.1;  ///< τ relative to the ORIGINAL domain size
+  /// Cap on the fraction of items that may be suppressed before giving
+  /// up with FailedPrecondition.
+  double max_suppressed_fraction = 0.5;
+  /// Re-rank after every batch of this many suppressions (suppressing an
+  /// item changes the group structure and thus everyone's outdegrees).
+  size_t rerank_batch = 8;
+};
+
+/// \brief Plans a suppression: which items to drop so the remaining
+/// release passes `tolerance`. Pure planning — no database is modified.
+Result<SuppressionReport> PlanSuppression(
+    const FrequencyTable& table, const SuppressionOptions& options = {});
+
+/// \brief Applies a suppression plan to a database: removes the items
+/// from every transaction and drops transactions that become empty. The
+/// domain keeps its size (suppressed items simply have support 0), so
+/// item ids remain stable.
+Result<Database> ApplySuppression(const Database& db,
+                                  const std::vector<ItemId>& suppressed);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DEFENSE_SUPPRESSION_H_

@@ -1,0 +1,102 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace anonsafe {
+
+Result<BipartiteGraph> BipartiteGraph::Build(const FrequencyGroups& observed,
+                                             const BeliefFunction& belief,
+                                             size_t max_edges) {
+  if (observed.num_items() != belief.num_items()) {
+    return Status::InvalidArgument(
+        "observed data covers " + std::to_string(observed.num_items()) +
+        " items, belief function " + std::to_string(belief.num_items()));
+  }
+  const size_t n = observed.num_items();
+
+  // First pass: total edge count via the O(log k) range counts.
+  size_t total_edges = 0;
+  std::vector<std::pair<size_t, size_t>> ranges(n);
+  std::vector<bool> has_range(n, false);
+  for (ItemId x = 0; x < n; ++x) {
+    const BeliefInterval& iv = belief.interval(x);
+    size_t lo = 0, hi = 0;
+    if (observed.StabRange(iv.lo, iv.hi, &lo, &hi)) {
+      has_range[x] = true;
+      ranges[x] = {lo, hi};
+      total_edges += observed.RangeItemCount(lo, hi);
+    }
+  }
+  if (total_edges > max_edges) {
+    return Status::OutOfRange(
+        "explicit graph would have " + std::to_string(total_edges) +
+        " edges, budget is " + std::to_string(max_edges) +
+        "; use ConsistencyStructure for large instances");
+  }
+
+  BipartiteGraph g;
+  g.items_of_anon_.assign(n, {});
+  g.anons_of_item_.assign(n, {});
+  g.num_edges_ = total_edges;
+  for (ItemId x = 0; x < n; ++x) {
+    if (!has_range[x]) continue;
+    auto [lo, hi] = ranges[x];
+    auto& anons = g.anons_of_item_[x];
+    anons.reserve(observed.RangeItemCount(lo, hi));
+    for (size_t grp = lo; grp <= hi; ++grp) {
+      for (ItemId a : observed.group_items(grp)) {
+        anons.push_back(a);
+        g.items_of_anon_[a].push_back(x);
+      }
+    }
+    std::sort(anons.begin(), anons.end());
+  }
+  // items_of_anon_ lists are filled in ascending x order already.
+  return g;
+}
+
+Result<BipartiteGraph> BipartiteGraph::FromAdjacency(
+    size_t num_items, std::vector<std::vector<ItemId>> items_of_anon) {
+  if (items_of_anon.size() != num_items) {
+    return Status::InvalidArgument("adjacency must have one row per item");
+  }
+  BipartiteGraph g;
+  g.items_of_anon_ = std::move(items_of_anon);
+  g.anons_of_item_.assign(num_items, {});
+  for (size_t a = 0; a < num_items; ++a) {
+    auto& row = g.items_of_anon_[a];
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    if (!row.empty() && row.back() >= num_items) {
+      return Status::InvalidArgument("edge endpoint outside domain");
+    }
+    for (ItemId x : row) {
+      g.anons_of_item_[x].push_back(static_cast<ItemId>(a));
+    }
+    g.num_edges_ += row.size();
+  }
+  return g;
+}
+
+bool BipartiteGraph::HasEdge(ItemId a, ItemId x) const {
+  const auto& row = items_of_anon_[a];
+  return std::binary_search(row.begin(), row.end(), x);
+}
+
+Result<std::vector<uint64_t>> BipartiteGraph::ToRowMasks() const {
+  if (num_items() > 64) {
+    return Status::OutOfRange(
+        "bitmask form limited to 64 items, graph has " +
+        std::to_string(num_items()));
+  }
+  std::vector<uint64_t> rows(num_items(), 0);
+  for (size_t a = 0; a < num_items(); ++a) {
+    for (ItemId x : items_of_anon_[a]) {
+      rows[a] |= (1ULL << x);
+    }
+  }
+  return rows;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,79 @@
+#ifndef ANONSAFE_GRAPH_BIPARTITE_GRAPH_H_
+#define ANONSAFE_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "data/frequency.h"
+#include "data/types.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief The explicit consistency graph G = (J ∪ I, E) of Section 2.3.
+///
+/// Left vertices are anonymized items, right vertices are original items;
+/// the edge (a, x) means "the hacker may map anonymized item a to item x",
+/// i.e. the observed frequency of a lies inside β(x). Throughout the
+/// library the *identity surrogate* convention is used: anonymized item a
+/// truly corresponds to original item a, so a crack of a matching M is a
+/// fixed point M(a) = a. Every risk metric is invariant under the real
+/// permutation (see `Anonymizer`), which makes this WLOG.
+///
+/// The explicit representation materializes all edges and is meant for
+/// small-to-medium n (exact methods, tests, sampling on explicit graphs).
+/// The compressed `ConsistencyStructure` is the large-n path.
+class BipartiteGraph {
+ public:
+  /// \brief Default edge budget for `Build` (64M edges ≈ 256 MB).
+  static constexpr size_t kDefaultMaxEdges = 64u * 1024 * 1024;
+
+  /// \brief Builds the graph from observed frequency groups and a belief
+  /// function. Fails with InvalidArgument on domain mismatch and with
+  /// OutOfRange when the edge count would exceed `max_edges`.
+  static Result<BipartiteGraph> Build(const FrequencyGroups& observed,
+                                      const BeliefFunction& belief,
+                                      size_t max_edges = kDefaultMaxEdges);
+
+  /// \brief Builds from explicit adjacency: `items_of_anon[a]` lists the
+  /// original items that anonymized item `a` may map to. Lists are sorted
+  /// and deduplicated; out-of-domain entries fail.
+  static Result<BipartiteGraph> FromAdjacency(
+      size_t num_items, std::vector<std::vector<ItemId>> items_of_anon);
+
+  size_t num_items() const { return items_of_anon_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// \brief Original items adjacent to anonymized item `a`, sorted.
+  const std::vector<ItemId>& items_of_anon(ItemId a) const {
+    return items_of_anon_[a];
+  }
+
+  /// \brief Anonymized items adjacent to original item `x`, sorted.
+  /// The size of this list is the paper's outdegree O_x.
+  const std::vector<ItemId>& anons_of_item(ItemId x) const {
+    return anons_of_item_[x];
+  }
+
+  size_t item_outdegree(ItemId x) const { return anons_of_item_[x].size(); }
+  size_t anon_degree(ItemId a) const { return items_of_anon_[a].size(); }
+
+  bool HasEdge(ItemId a, ItemId x) const;
+
+  /// \brief Adjacency as row bitmasks: bit x of row a is set iff edge
+  /// (a, x) exists. Only valid for n <= 64 (the exact-method regime);
+  /// fails with OutOfRange otherwise.
+  Result<std::vector<uint64_t>> ToRowMasks() const;
+
+ private:
+  BipartiteGraph() = default;
+
+  std::vector<std::vector<ItemId>> items_of_anon_;
+  std::vector<std::vector<ItemId>> anons_of_item_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,198 @@
+#include "graph/consistency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace anonsafe {
+namespace {
+
+// Fenwick tree helpers over 1-based internal indexing.
+void FenwickAdd(std::vector<int64_t>* tree, size_t i, int64_t delta) {
+  for (size_t p = i + 1; p < tree->size(); p += p & (~p + 1)) {
+    (*tree)[p] += delta;
+  }
+}
+
+int64_t FenwickPrefix(const std::vector<int64_t>& tree, size_t count) {
+  int64_t sum = 0;
+  for (size_t p = count; p > 0; p -= p & (~p + 1)) {
+    sum += tree[p];
+  }
+  return sum;
+}
+
+}  // namespace
+
+Result<ConsistencyStructure> ConsistencyStructure::Build(
+    const FrequencyGroups& observed, const BeliefFunction& belief) {
+  if (observed.num_items() != belief.num_items()) {
+    return Status::InvalidArgument(
+        "observed data covers " + std::to_string(observed.num_items()) +
+        " items, belief function " + std::to_string(belief.num_items()));
+  }
+  const size_t n = observed.num_items();
+  const size_t k = observed.num_groups();
+
+  ConsistencyStructure cs;
+  cs.item_state_.assign(n, ItemState::kAlive);
+  cs.item_lo_.assign(n, 0);
+  cs.item_hi_.assign(n, 0);
+  cs.group_remaining_.resize(k);
+  cs.size_tree_.assign(k + 1, 0);
+  cs.cover_tree_.assign(k + 2, 0);
+
+  for (size_t g = 0; g < k; ++g) {
+    cs.group_remaining_[g] = observed.group_size(g);
+    FenwickAdd(&cs.size_tree_, g,
+               static_cast<int64_t>(observed.group_size(g)));
+  }
+  for (ItemId x = 0; x < n; ++x) {
+    const BeliefInterval& iv = belief.interval(x);
+    size_t lo = 0, hi = 0;
+    if (observed.StabRange(iv.lo, iv.hi, &lo, &hi)) {
+      cs.item_lo_[x] = lo;
+      cs.item_hi_[x] = hi;
+      cs.AddCover(lo, hi, +1);
+    } else {
+      cs.item_state_[x] = ItemState::kDead;
+      ++cs.num_dead_;
+    }
+  }
+  // An item without candidates certifies that no perfect consistent
+  // matching exists (the paper's Section 2.3 example).
+  cs.contradiction_ = cs.num_dead_ > 0;
+  return cs;
+}
+
+size_t ConsistencyStructure::RangeRemaining(size_t lo, size_t hi) const {
+  return static_cast<size_t>(FenwickPrefix(size_tree_, hi + 1) -
+                             FenwickPrefix(size_tree_, lo));
+}
+
+size_t ConsistencyStructure::CoverCount(size_t g) const {
+  return static_cast<size_t>(FenwickPrefix(cover_tree_, g + 1));
+}
+
+void ConsistencyStructure::AddCover(size_t lo, size_t hi, int delta) {
+  FenwickAdd(&cover_tree_, lo, delta);
+  FenwickAdd(&cover_tree_, hi + 1, -delta);
+}
+
+size_t ConsistencyStructure::FindFirstNonEmptyGroup(size_t lo,
+                                                    size_t hi) const {
+  for (size_t g = lo; g <= hi; ++g) {
+    if (group_remaining_[g] > 0) return g;
+  }
+  assert(false && "no non-empty group in range");
+  return hi;
+}
+
+size_t ConsistencyStructure::outdegree(ItemId x) const {
+  switch (item_state_[x]) {
+    case ItemState::kDead:
+      return 0;
+    case ItemState::kForced:
+      return 1;
+    case ItemState::kAlive:
+      return RangeRemaining(item_lo_[x], item_hi_[x]);
+  }
+  return 0;
+}
+
+ConsistencyStructure::PropagationStats
+ConsistencyStructure::PropagateDegreeOne() {
+  PropagationStats stats;
+  propagated_ = true;
+
+  const size_t n = num_items();
+  const size_t k = num_groups();
+
+  auto force_item = [&](ItemId x, size_t g) {
+    assert(item_state_[x] == ItemState::kAlive);
+    assert(group_remaining_[g] == 1);
+    AddCover(item_lo_[x], item_hi_[x], -1);
+    item_state_[x] = ItemState::kForced;
+    group_remaining_[g] -= 1;
+    FenwickAdd(&size_tree_, g, -1);
+    ++stats.forced_pairs;
+  };
+
+  // Best-effort fixpoint: under a compliant belief every step below is the
+  // sound degree-1 rule of Figure 7. Under non-compliant beliefs a perfect
+  // matching may not exist; then the rules model what a hacker (who
+  // cannot tell) would still deduce, inconsistencies are flagged via
+  // `contradiction` and affected items become dead instead of aborting.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++stats.passes;
+
+    // Anonymized side: degree of every anonymized item in group g is the
+    // number of alive items covering g.
+    for (size_t g = 0; g < k; ++g) {
+      size_t remaining = group_remaining_[g];
+      if (remaining == 0) continue;
+      size_t cover = CoverCount(g);
+      if (cover < remaining) {
+        stats.contradiction = true;  // Hall violation; no forcing possible
+        continue;
+      }
+      if (remaining == 1 && cover == 1) {
+        // The unique covering item is forced onto this group's sole
+        // remaining anonymized item; locate it by scan (rare event).
+        for (ItemId x = 0; x < n; ++x) {
+          if (item_state_[x] == ItemState::kAlive && item_lo_[x] <= g &&
+              g <= item_hi_[x]) {
+            force_item(x, g);
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    // Item side: an alive item with exactly one remaining candidate is
+    // forced; one with none left becomes dead.
+    for (ItemId x = 0; x < n; ++x) {
+      if (item_state_[x] != ItemState::kAlive) continue;
+      size_t rr = RangeRemaining(item_lo_[x], item_hi_[x]);
+      if (rr == 0) {
+        AddCover(item_lo_[x], item_hi_[x], -1);
+        item_state_[x] = ItemState::kDead;
+        ++num_dead_;
+        stats.contradiction = true;
+        changed = true;
+      } else if (rr == 1) {
+        size_t g = FindFirstNonEmptyGroup(item_lo_[x], item_hi_[x]);
+        force_item(x, g);
+        changed = true;
+      }
+    }
+  }
+
+  stats.contradiction = stats.contradiction || contradiction_;
+  contradiction_ = stats.contradiction;
+  return stats;
+}
+
+std::vector<std::vector<ItemId>> ConsistencyStructure::BeliefGroups() const {
+  std::map<std::pair<size_t, size_t>, std::vector<ItemId>> by_range;
+  std::vector<ItemId> dead;
+  for (ItemId x = 0; x < num_items(); ++x) {
+    if (item_state_[x] == ItemState::kDead) {
+      dead.push_back(x);
+    } else {
+      by_range[{item_lo_[x], item_hi_[x]}].push_back(x);
+    }
+  }
+  std::vector<std::vector<ItemId>> out;
+  out.reserve(by_range.size() + (dead.empty() ? 0 : 1));
+  for (auto& [range, members] : by_range) {
+    out.push_back(std::move(members));
+  }
+  if (!dead.empty()) out.push_back(std::move(dead));
+  return out;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,133 @@
+#ifndef ANONSAFE_GRAPH_CONSISTENCY_H_
+#define ANONSAFE_GRAPH_CONSISTENCY_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "data/frequency.h"
+#include "data/types.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Compressed representation of the consistency graph.
+///
+/// Because the observed frequency groups are sorted, the candidate set of
+/// every item is a *contiguous range of groups*; the structure stores one
+/// `(lo, hi)` range per item plus per-group remaining sizes, so outdegrees
+/// are O(log k) range sums over a Fenwick tree and the whole object is
+/// O(n + k) space regardless of how dense the graph is. This is the
+/// `O(|D| + n log n)` path promised by Figure 5 and the only
+/// representation that scales to RETAIL-sized domains.
+///
+/// The structure also implements the degree-1 propagation of Figure 7:
+/// while some vertex on either side has a single remaining candidate, the
+/// pair is forced, both vertices leave the graph, and degrees shrink.
+/// Under a compliant belief every forced pair is a true crack (the true
+/// counterpart edge always exists, so the unique candidate is it).
+class ConsistencyStructure {
+ public:
+  /// \brief Builds ranges and degree tables. Fails on domain mismatch.
+  static Result<ConsistencyStructure> Build(const FrequencyGroups& observed,
+                                            const BeliefFunction& belief);
+
+  size_t num_items() const { return item_state_.size(); }
+  size_t num_groups() const { return group_remaining_.size(); }
+
+  /// \brief Item never had a candidate (its interval stabs no group).
+  /// Such items can never be cracked by a consistent mapping — but they
+  /// also certify that no *perfect* consistent matching exists.
+  bool item_dead(ItemId x) const {
+    return item_state_[x] == ItemState::kDead;
+  }
+
+  /// \brief Item was matched during propagation (certain crack under a
+  /// compliant belief).
+  bool item_forced(ItemId x) const {
+    return item_state_[x] == ItemState::kForced;
+  }
+
+  /// \brief Item still has >= 1 candidate and is unmatched.
+  bool item_alive(ItemId x) const {
+    return item_state_[x] == ItemState::kAlive;
+  }
+
+  /// \brief Candidate group range of an alive item in the *current*
+  /// (possibly propagated) structure. Only meaningful for alive items.
+  std::pair<size_t, size_t> item_range(ItemId x) const {
+    return {item_lo_[x], item_hi_[x]};
+  }
+
+  /// \brief Current outdegree O_x: forced items count 1, dead items 0,
+  /// alive items the number of remaining candidate anonymized items.
+  size_t outdegree(ItemId x) const;
+
+  /// \brief Anonymized items of group `g` not yet consumed by forcing.
+  size_t group_remaining(size_t g) const { return group_remaining_[g]; }
+
+  /// \brief Outcome of a propagation run.
+  struct PropagationStats {
+    size_t forced_pairs = 0;   ///< vertex pairs removed by forcing
+    size_t passes = 0;         ///< fixpoint iterations
+    bool contradiction = false;///< no perfect matching can exist
+  };
+
+  /// \brief Runs degree-1 propagation to fixpoint (Figure 7).
+  ///
+  /// Item side: an alive item with exactly one remaining candidate is
+  /// matched to it; one with zero becomes dead. Anonymized side: a group
+  /// with one remaining anonymized item covered by exactly one alive item
+  /// forces that pair. The procedure is best-effort: under a compliant
+  /// belief it is exactly Figure 7 (and every forced pair is a true
+  /// crack); under non-compliant beliefs, where no perfect matching may
+  /// exist, inconsistencies (Hall violations, emptied items) set
+  /// `contradiction` and the affected items go dead, but propagation
+  /// continues — modeling a hacker who cannot tell the belief is wrong.
+  /// Idempotent.
+  PropagationStats PropagateDegreeOne();
+
+  /// \brief True when some item started with no candidates or propagation
+  /// found a contradiction; no perfect consistent matching exists.
+  bool contradiction() const { return contradiction_; }
+
+  /// \brief Number of items with no candidates at build time.
+  size_t num_dead_items() const { return num_dead_; }
+
+  /// \brief Belief groups: maximal sets of items with identical candidate
+  /// ranges (the grouping of Figure 3(b)), computed on the *initial*
+  /// ranges. Dead items form their own group at the end if present.
+  std::vector<std::vector<ItemId>> BeliefGroups() const;
+
+ private:
+  enum class ItemState : uint8_t { kAlive, kForced, kDead };
+
+  ConsistencyStructure() = default;
+
+  size_t RangeRemaining(size_t lo, size_t hi) const;
+  size_t CoverCount(size_t g) const;
+  void AddCover(size_t lo, size_t hi, int delta);
+
+  /// Finds the unique non-empty group in [lo, hi]; requires
+  /// RangeRemaining(lo, hi) to be the size of that group.
+  size_t FindFirstNonEmptyGroup(size_t lo, size_t hi) const;
+
+  std::vector<ItemState> item_state_;
+  std::vector<size_t> item_lo_, item_hi_;   // initial ranges (for alive items
+                                            // the current range too; groups
+                                            // inside may be empty)
+  std::vector<size_t> group_remaining_;
+  // Fenwick tree over remaining group sizes (point update, prefix sum).
+  std::vector<int64_t> size_tree_;
+  // Fenwick tree over cover deltas (range update, point query): number of
+  // alive items whose range covers a group.
+  std::vector<int64_t> cover_tree_;
+  size_t num_dead_ = 0;
+  bool contradiction_ = false;
+  bool propagated_ = false;
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_GRAPH_CONSISTENCY_H_

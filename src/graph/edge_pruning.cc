@@ -1,0 +1,199 @@
+#include "graph/edge_pruning.h"
+
+#include <algorithm>
+
+namespace anonsafe {
+namespace {
+
+/// Iterative Tarjan SCC over the alternating-structure digraph.
+///
+/// Vertices 0..n-1 are anonymized items, n..2n-1 are original items.
+/// Arcs: for each edge (a, x): if M(a) == x then x -> a, else a -> x.
+/// (Any consistent orientation convention works; this one makes each
+/// alternating cycle a directed cycle.)
+class SccSolver {
+ public:
+  SccSolver(const BipartiteGraph& graph, const Matching& matching)
+      : graph_(graph),
+        matching_(matching),
+        n_(graph.num_items()),
+        index_(2 * n_, kUnvisited),
+        lowlink_(2 * n_, 0),
+        on_stack_(2 * n_, false),
+        component_(2 * n_, 0) {}
+
+  void Run() {
+    for (size_t v = 0; v < 2 * n_; ++v) {
+      if (index_[v] == kUnvisited) Visit(v);
+    }
+  }
+
+  size_t component(size_t v) const { return component_[v]; }
+  size_t num_components() const { return num_components_; }
+
+ private:
+  static constexpr size_t kUnvisited = static_cast<size_t>(-1);
+
+  // Successors of vertex v in the digraph.
+  // anon a (v = a): arcs a -> x for unmatched edges (a, x).
+  // item x (v = n + x): single arc x -> M(x) (its matched anon), if any.
+  template <typename Fn>
+  void ForEachSuccessor(size_t v, Fn&& fn) const {
+    if (v < n_) {
+      const auto a = static_cast<ItemId>(v);
+      for (ItemId x : graph_.items_of_anon(a)) {
+        if (matching_.item_of_anon[a] != x) fn(n_ + x);
+      }
+    } else {
+      const auto x = static_cast<ItemId>(v - n_);
+      ItemId a = matching_.anon_of_item[x];
+      if (a != kInvalidItem) fn(static_cast<size_t>(a));
+    }
+  }
+
+  void Visit(size_t root) {
+    // Explicit DFS stack: (vertex, next-successor cursor). Successor
+    // lists are materialized per frame to keep the code simple; the
+    // digraph has at most E + n arcs total.
+    struct Frame {
+      size_t v;
+      std::vector<size_t> succ;
+      size_t cursor = 0;
+    };
+    std::vector<Frame> stack;
+    auto push = [&](size_t v) {
+      index_[v] = lowlink_[v] = next_index_++;
+      scc_stack_.push_back(v);
+      on_stack_[v] = true;
+      Frame f;
+      f.v = v;
+      ForEachSuccessor(v, [&](size_t w) { f.succ.push_back(w); });
+      stack.push_back(std::move(f));
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      if (frame.cursor < frame.succ.size()) {
+        size_t w = frame.succ[frame.cursor++];
+        if (index_[w] == kUnvisited) {
+          push(w);
+        } else if (on_stack_[w]) {
+          lowlink_[frame.v] = std::min(lowlink_[frame.v], index_[w]);
+        }
+      } else {
+        size_t v = frame.v;
+        if (lowlink_[v] == index_[v]) {
+          // v is an SCC root: pop its component.
+          for (;;) {
+            size_t w = scc_stack_.back();
+            scc_stack_.pop_back();
+            on_stack_[w] = false;
+            component_[w] = num_components_;
+            if (w == v) break;
+          }
+          ++num_components_;
+        }
+        stack.pop_back();
+        if (!stack.empty()) {
+          size_t parent = stack.back().v;
+          lowlink_[parent] = std::min(lowlink_[parent], lowlink_[v]);
+        }
+      }
+    }
+  }
+
+  const BipartiteGraph& graph_;
+  const Matching& matching_;
+  const size_t n_;
+  std::vector<size_t> index_, lowlink_;
+  std::vector<bool> on_stack_;
+  std::vector<size_t> component_;
+  std::vector<size_t> scc_stack_;
+  size_t next_index_ = 0;
+  size_t num_components_ = 0;
+};
+
+}  // namespace
+
+Result<MatchingCover> ComputeMatchingCover(const BipartiteGraph& graph) {
+  const size_t n = graph.num_items();
+  Matching matching = HopcroftKarp(graph);
+  if (!matching.IsPerfect()) {
+    return Status::FailedPrecondition(
+        "graph has no perfect matching; the matching cover is empty");
+  }
+
+  SccSolver scc(graph, matching);
+  scc.Run();
+
+  MatchingCover cover;
+  cover.component_of_anon.resize(n);
+  cover.component_of_item.resize(n);
+  // Compact component ids to a contiguous range over used ids.
+  std::vector<size_t> remap(scc.num_components(), static_cast<size_t>(-1));
+  size_t next_id = 0;
+  auto map_id = [&](size_t raw) {
+    if (remap[raw] == static_cast<size_t>(-1)) remap[raw] = next_id++;
+    return remap[raw];
+  };
+  for (size_t a = 0; a < n; ++a) {
+    cover.component_of_anon[a] = map_id(scc.component(a));
+  }
+  for (size_t x = 0; x < n; ++x) {
+    cover.component_of_item[x] = map_id(scc.component(n + x));
+  }
+  cover.num_components = next_id;
+
+  // Keep an edge iff it is matched or joins vertices of one SCC.
+  std::vector<std::vector<ItemId>> kept(n);
+  size_t kept_edges = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (ItemId x : graph.items_of_anon(static_cast<ItemId>(a))) {
+      bool usable = matching.item_of_anon[a] == x ||
+                    cover.component_of_anon[a] == cover.component_of_item[x];
+      if (usable) {
+        kept[a].push_back(x);
+        ++kept_edges;
+      }
+    }
+  }
+  cover.pruned_edges = graph.num_edges() - kept_edges;
+  ANONSAFE_ASSIGN_OR_RETURN(cover.graph,
+                            BipartiteGraph::FromAdjacency(n, std::move(kept)));
+  return cover;
+}
+
+Result<SetDisclosure> AnalyzeSetDisclosure(const BipartiteGraph& graph,
+                                           size_t small_set_threshold) {
+  ANONSAFE_ASSIGN_OR_RETURN(MatchingCover cover, ComputeMatchingCover(graph));
+  const size_t n = graph.num_items();
+
+  std::vector<std::vector<ItemId>> sets(cover.num_components);
+  for (ItemId x = 0; x < n; ++x) {
+    sets[cover.component_of_item[x]].push_back(x);
+  }
+  // Matched pairs put every anon item in the same component as some item,
+  // so no component is item-empty; still, drop empties defensively.
+  sets.erase(std::remove_if(sets.begin(), sets.end(),
+                            [](const std::vector<ItemId>& s) {
+                              return s.empty();
+                            }),
+             sets.end());
+  std::sort(sets.begin(), sets.end(),
+            [](const std::vector<ItemId>& a, const std::vector<ItemId>& b) {
+              return a.front() < b.front();
+            });
+
+  SetDisclosure out;
+  for (const auto& s : sets) {
+    if (s.size() == 1) ++out.certain_cracks;
+    if (s.size() <= small_set_threshold) {
+      ++out.small_sets;
+      out.items_in_small_sets += s.size();
+    }
+  }
+  out.identified_sets = std::move(sets);
+  return out;
+}
+
+}  // namespace anonsafe

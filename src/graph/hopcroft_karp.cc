@@ -1,0 +1,111 @@
+#include "graph/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+namespace anonsafe {
+namespace {
+
+constexpr size_t kInf = std::numeric_limits<size_t>::max();
+
+class HkSolver {
+ public:
+  explicit HkSolver(const BipartiteGraph& graph)
+      : graph_(graph),
+        n_(graph.num_items()),
+        match_anon_(n_, kInvalidItem),
+        match_item_(n_, kInvalidItem),
+        dist_(n_, kInf) {}
+
+  Matching Solve() {
+    size_t matched = 0;
+    while (Bfs()) {
+      for (ItemId a = 0; a < n_; ++a) {
+        if (match_anon_[a] == kInvalidItem && Dfs(a)) ++matched;
+      }
+    }
+    Matching m;
+    m.item_of_anon = std::move(match_anon_);
+    m.anon_of_item = std::move(match_item_);
+    m.size = matched;
+    return m;
+  }
+
+ private:
+  /// Layers free anonymized vertices; returns true if an augmenting path
+  /// exists.
+  bool Bfs() {
+    std::queue<ItemId> q;
+    for (ItemId a = 0; a < n_; ++a) {
+      if (match_anon_[a] == kInvalidItem) {
+        dist_[a] = 0;
+        q.push(a);
+      } else {
+        dist_[a] = kInf;
+      }
+    }
+    bool found_free_item = false;
+    while (!q.empty()) {
+      ItemId a = q.front();
+      q.pop();
+      for (ItemId x : graph_.items_of_anon(a)) {
+        ItemId next = match_item_[x];
+        if (next == kInvalidItem) {
+          found_free_item = true;
+        } else if (dist_[next] == kInf) {
+          dist_[next] = dist_[a] + 1;
+          q.push(next);
+        }
+      }
+    }
+    return found_free_item;
+  }
+
+  bool Dfs(ItemId a) {
+    for (ItemId x : graph_.items_of_anon(a)) {
+      ItemId next = match_item_[x];
+      if (next == kInvalidItem ||
+          (dist_[next] == dist_[a] + 1 && Dfs(next))) {
+        match_anon_[a] = x;
+        match_item_[x] = a;
+        return true;
+      }
+    }
+    dist_[a] = kInf;
+    return false;
+  }
+
+  const BipartiteGraph& graph_;
+  size_t n_;
+  std::vector<ItemId> match_anon_;
+  std::vector<ItemId> match_item_;
+  std::vector<size_t> dist_;
+};
+
+}  // namespace
+
+Matching HopcroftKarp(const BipartiteGraph& graph) {
+  return HkSolver(graph).Solve();
+}
+
+bool IsValidMatching(const BipartiteGraph& graph, const Matching& m) {
+  const size_t n = graph.num_items();
+  if (m.item_of_anon.size() != n || m.anon_of_item.size() != n) return false;
+  size_t count = 0;
+  for (ItemId a = 0; a < n; ++a) {
+    ItemId x = m.item_of_anon[a];
+    if (x == kInvalidItem) continue;
+    if (x >= n || m.anon_of_item[x] != a) return false;
+    if (!graph.HasEdge(a, x)) return false;
+    ++count;
+  }
+  if (count != m.size) return false;
+  for (ItemId x = 0; x < n; ++x) {
+    ItemId a = m.anon_of_item[x];
+    if (a == kInvalidItem) continue;
+    if (a >= n || m.item_of_anon[a] != x) return false;
+  }
+  return true;
+}
+
+}  // namespace anonsafe

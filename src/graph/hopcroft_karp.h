@@ -1,0 +1,35 @@
+#ifndef ANONSAFE_GRAPH_HOPCROFT_KARP_H_
+#define ANONSAFE_GRAPH_HOPCROFT_KARP_H_
+
+#include <vector>
+
+#include "data/types.h"
+#include "graph/bipartite_graph.h"
+
+namespace anonsafe {
+
+/// \brief A (possibly partial) matching in the consistency graph.
+struct Matching {
+  /// item matched to anonymized item a, or kInvalidItem.
+  std::vector<ItemId> item_of_anon;
+  /// anonymized item matched to item x, or kInvalidItem.
+  std::vector<ItemId> anon_of_item;
+  size_t size = 0;
+
+  bool IsPerfect() const { return size == item_of_anon.size(); }
+};
+
+/// \brief Hopcroft–Karp maximum bipartite matching, O(E·sqrt(V)).
+///
+/// Used to (i) decide whether any consistent 1-1 crack mapping exists at
+/// all (a perfect matching), and (ii) seed the MCMC matching sampler when
+/// the identity seed is inconsistent (non-compliant beliefs).
+Matching HopcroftKarp(const BipartiteGraph& graph);
+
+/// \brief Verifies that `m` is a valid matching of `graph` (mutual,
+/// consistent with edges). Used by tests and debug assertions.
+bool IsValidMatching(const BipartiteGraph& graph, const Matching& m);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_GRAPH_HOPCROFT_KARP_H_

@@ -1,0 +1,246 @@
+#include "graph/matching_sampler.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace anonsafe {
+
+size_t SamplerOptions::EffectiveBurnIn(size_t n) const {
+  double scaled = burn_in_scale * static_cast<double>(n);
+  auto scaled_sweeps = static_cast<size_t>(scaled);
+  return scaled_sweeps > burn_in_sweeps ? scaled_sweeps : burn_in_sweeps;
+}
+
+Result<MatchingSampler> MatchingSampler::Create(
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    const SamplerOptions& options) {
+  if (observed.num_items() != belief.num_items()) {
+    return Status::InvalidArgument(
+        "observed data covers " + std::to_string(observed.num_items()) +
+        " items, belief function " + std::to_string(belief.num_items()));
+  }
+  const size_t n = observed.num_items();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot sample over an empty domain");
+  }
+
+  MatchingSampler s;
+  s.options_ = options;
+  s.rng_ = Rng(options.seed);
+  s.group_of_anon_.resize(n);
+  s.item_lo_.assign(n, 0);
+  s.item_hi_.assign(n, 0);
+  s.item_has_range_.assign(n, false);
+  for (ItemId x = 0; x < n; ++x) {
+    // Identity-surrogate convention: anonymized item x truly corresponds
+    // to item x, so its observed frequency group is x's true group.
+    s.group_of_anon_[x] = observed.group_of_item(x);
+    const BeliefInterval& iv = belief.interval(x);
+    size_t lo = 0, hi = 0;
+    if (observed.StabRange(iv.lo, iv.hi, &lo, &hi)) {
+      s.item_lo_[x] = lo;
+      s.item_hi_[x] = hi;
+      s.item_has_range_[x] = true;
+    }
+  }
+
+  // Seed matching: identity when consistent (the paper's choice — every
+  // item starts cracked), otherwise exchange-greedy maximum matching for
+  // the interval structure.
+  bool identity_ok = true;
+  for (ItemId a = 0; a < n; ++a) {
+    if (!s.Consistent(a, a)) {
+      identity_ok = false;
+      break;
+    }
+  }
+  s.seed_item_of_anon_.assign(n, kInvalidItem);
+  if (identity_ok) {
+    for (ItemId a = 0; a < n; ++a) s.seed_item_of_anon_[a] = a;
+    s.seed_size_ = n;
+  } else {
+    // Sort items by range start; sweep groups ascending; always match the
+    // item whose range ends earliest (exchange argument => maximum).
+    std::vector<ItemId> by_lo;
+    for (ItemId x = 0; x < n; ++x) {
+      if (s.item_has_range_[x]) by_lo.push_back(x);
+    }
+    std::sort(by_lo.begin(), by_lo.end(), [&](ItemId p, ItemId q) {
+      return s.item_lo_[p] < s.item_lo_[q];
+    });
+    using HeapEntry = std::pair<size_t, ItemId>;  // (hi, item)
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>> heap;
+    size_t next = 0;
+    for (size_t g = 0; g < observed.num_groups(); ++g) {
+      while (next < by_lo.size() && s.item_lo_[by_lo[next]] <= g) {
+        heap.emplace(s.item_hi_[by_lo[next]], by_lo[next]);
+        ++next;
+      }
+      for (ItemId a : observed.group_items(g)) {
+        while (!heap.empty() && heap.top().first < g) heap.pop();
+        if (heap.empty()) break;
+        s.seed_item_of_anon_[a] = heap.top().second;
+        ++s.seed_size_;
+        heap.pop();
+      }
+    }
+  }
+  s.ReseedState();
+  return s;
+}
+
+void MatchingSampler::ReseedState() {
+  const size_t n = num_items();
+  item_of_anon_ = seed_item_of_anon_;
+  anon_of_item_.assign(n, kInvalidItem);
+  for (ItemId a = 0; a < n; ++a) {
+    if (item_of_anon_[a] != kInvalidItem) {
+      anon_of_item_[item_of_anon_[a]] = a;
+    }
+  }
+  unmatched_items_.clear();
+  for (ItemId x = 0; x < n; ++x) {
+    if (anon_of_item_[x] == kInvalidItem && item_has_range_[x]) {
+      unmatched_items_.push_back(x);
+    }
+  }
+}
+
+void MatchingSampler::Sweep() {
+  const size_t n = num_items();
+  // One move attempt per anonymized item. The partner is drawn uniformly
+  // per step rather than from a permutation as in the paper's Section 7.1
+  // procedure: pairing i with P(i) makes every 2-cycle of P swap and then
+  // un-swap the same pair within one sweep (at n = 2 the chain would
+  // never leave its seed at all).
+  for (size_t i = 0; i < n; ++i) {
+    const auto a = static_cast<ItemId>(i);
+    const auto b = static_cast<ItemId>(rng_.UniformUint64(n));
+
+    const double u = rng_.UniformDouble();
+
+    // Replacement move: swap a matched item for an unmatched one. Only
+    // meaningful when the matching is imperfect.
+    if (!unmatched_items_.empty() && u < 0.3) {
+      size_t pick = rng_.UniformUint64(unmatched_items_.size());
+      ItemId y = unmatched_items_[pick];
+      ItemId x = item_of_anon_[a];
+      if (x != kInvalidItem && x != y && Consistent(a, y)) {
+        item_of_anon_[a] = y;
+        anon_of_item_[y] = a;
+        anon_of_item_[x] = kInvalidItem;
+        unmatched_items_[pick] = x;
+      }
+      continue;
+    }
+
+    // 3-cycle rotation: reaches matchings that pair swaps cannot.
+    if (u < options_.cycle_move_fraction && n >= 3) {
+      const auto c = static_cast<ItemId>(rng_.UniformUint64(n));
+      if (a == b || b == c || a == c) continue;
+      ItemId x = item_of_anon_[a], y = item_of_anon_[b],
+             z = item_of_anon_[c];
+      if (x == kInvalidItem || y == kInvalidItem || z == kInvalidItem) {
+        continue;
+      }
+      if (Consistent(a, z) && Consistent(b, x) && Consistent(c, y)) {
+        item_of_anon_[a] = z;
+        item_of_anon_[b] = x;
+        item_of_anon_[c] = y;
+        anon_of_item_[z] = a;
+        anon_of_item_[x] = b;
+        anon_of_item_[y] = c;
+      }
+      continue;
+    }
+
+    // Pair move (the paper's swap), with single-edge transfers when one
+    // endpoint is unmatched.
+    if (a == b) continue;
+    ItemId x = item_of_anon_[a];
+    ItemId y = item_of_anon_[b];
+    if (x != kInvalidItem && y != kInvalidItem) {
+      if (Consistent(a, y) && Consistent(b, x)) {
+        item_of_anon_[a] = y;
+        item_of_anon_[b] = x;
+        anon_of_item_[y] = a;
+        anon_of_item_[x] = b;
+      }
+    } else if (x != kInvalidItem && y == kInvalidItem) {
+      if (Consistent(b, x)) {
+        item_of_anon_[b] = x;
+        item_of_anon_[a] = kInvalidItem;
+        anon_of_item_[x] = b;
+      }
+    } else if (x == kInvalidItem && y != kInvalidItem) {
+      if (Consistent(a, y)) {
+        item_of_anon_[a] = y;
+        item_of_anon_[b] = kInvalidItem;
+        anon_of_item_[y] = a;
+      }
+    }
+  }
+}
+
+size_t MatchingSampler::CountCracksState(
+    const std::vector<bool>* interest) const {
+  size_t cracks = 0;
+  for (ItemId a = 0; a < num_items(); ++a) {
+    if (item_of_anon_[a] == a && (interest == nullptr || (*interest)[a])) {
+      ++cracks;
+    }
+  }
+  return cracks;
+}
+
+std::vector<size_t> MatchingSampler::SampleImpl(
+    const std::vector<bool>* interest) {
+  std::vector<size_t> samples;
+  samples.reserve(options_.num_samples);
+  const size_t burn_in = options_.EffectiveBurnIn(num_items());
+  while (samples.size() < options_.num_samples) {
+    ReseedState();
+    for (size_t sweep = 0; sweep < burn_in; ++sweep) {
+      Sweep();
+    }
+    for (size_t s = 0;
+         s < options_.samples_per_seed && samples.size() < options_.num_samples;
+         ++s) {
+      if (s > 0) {
+        for (size_t sweep = 0; sweep < options_.thinning_sweeps; ++sweep) {
+          Sweep();
+        }
+      }
+      samples.push_back(CountCracksState(interest));
+    }
+  }
+  return samples;
+}
+
+std::vector<size_t> MatchingSampler::SampleCrackCounts() {
+  return SampleImpl(nullptr);
+}
+
+Result<std::vector<size_t>> MatchingSampler::SampleCrackCounts(
+    const std::vector<bool>& interest) {
+  if (interest.size() != num_items()) {
+    return Status::InvalidArgument("interest mask size mismatch");
+  }
+  return SampleImpl(&interest);
+}
+
+bool MatchingSampler::CurrentStateConsistent() const {
+  const size_t n = num_items();
+  std::vector<bool> used(n, false);
+  for (ItemId a = 0; a < n; ++a) {
+    ItemId x = item_of_anon_[a];
+    if (x == kInvalidItem) continue;
+    if (x >= n || used[x] || !Consistent(a, x)) return false;
+    if (anon_of_item_[x] != a) return false;
+    used[x] = true;
+  }
+  return true;
+}
+
+}  // namespace anonsafe

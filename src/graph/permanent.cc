@@ -1,0 +1,179 @@
+#include "graph/permanent.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+namespace anonsafe {
+namespace {
+
+/// Ryser with Gray code on the *columns included* set:
+///   perm(A) = (-1)^n Σ_{∅≠S⊆[n]} (-1)^{|S|} Π_i row_sum_i(S).
+/// `col_sums[i]` tracks Π-free per-row partial sums as S changes by one
+/// column per Gray step.
+double RyserImpl(const std::vector<uint64_t>& rows) {
+  const size_t n = rows.size();
+  if (n == 0) return 1.0;  // empty product convention
+
+  std::vector<double> row_sums(n, 0.0);
+  long double total = 0.0L;
+  uint64_t gray = 0;
+  const uint64_t limit = 1ULL << n;
+  for (uint64_t iter = 1; iter < limit; ++iter) {
+    uint64_t new_gray = iter ^ (iter >> 1);
+    uint64_t diff = gray ^ new_gray;
+    int col = std::countr_zero(diff);
+    double sign_col = (new_gray & diff) ? 1.0 : -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (rows[i] & (1ULL << col)) row_sums[i] += sign_col;
+    }
+    gray = new_gray;
+
+    long double prod = 1.0L;
+    for (size_t i = 0; i < n; ++i) {
+      prod *= row_sums[i];
+      if (prod == 0.0L) break;
+    }
+    int bits = std::popcount(new_gray);
+    // (-1)^n (-1)^{|S|} = (-1)^{n - |S|}
+    if ((n - static_cast<size_t>(bits)) & 1) {
+      total -= prod;
+    } else {
+      total += prod;
+    }
+  }
+  return static_cast<double>(total);
+}
+
+}  // namespace
+
+Result<double> PermanentRyser(const std::vector<uint64_t>& rows) {
+  if (rows.size() > kMaxPermanentN) {
+    return Status::OutOfRange(
+        "permanent limited to n <= " + std::to_string(kMaxPermanentN) +
+        ", got " + std::to_string(rows.size()));
+  }
+  for (uint64_t row : rows) {
+    if (rows.size() < 64 && (row >> rows.size()) != 0) {
+      return Status::InvalidArgument("row mask wider than the matrix");
+    }
+  }
+  return RyserImpl(rows);
+}
+
+Result<double> CountPerfectMatchings(const BipartiteGraph& graph) {
+  if (graph.num_items() > kMaxPermanentN) {
+    return Status::OutOfRange(
+        "matching count limited to n <= " + std::to_string(kMaxPermanentN));
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(std::vector<uint64_t> rows, graph.ToRowMasks());
+  return PermanentRyser(rows);
+}
+
+Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph) {
+  const size_t n = graph.num_items();
+  if (n > kMaxPermanentN) {
+    return Status::OutOfRange(
+        "direct method limited to n <= " + std::to_string(kMaxPermanentN));
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(std::vector<uint64_t> rows, graph.ToRowMasks());
+  ANONSAFE_ASSIGN_OR_RETURN(double total, PermanentRyser(rows));
+  if (total <= 0.0) {
+    return Status::FailedPrecondition(
+        "graph has no perfect matching; expected cracks undefined");
+  }
+
+  double expected = 0.0;
+  for (size_t x = 0; x < n; ++x) {
+    if (!(rows[x] & (1ULL << x))) continue;  // diagonal edge absent
+    // Minor: drop row x and column x.
+    std::vector<uint64_t> minor;
+    minor.reserve(n - 1);
+    const uint64_t low_mask = (1ULL << x) - 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == x) continue;
+      uint64_t row = rows[i];
+      minor.push_back((row & low_mask) | ((row >> (x + 1)) << x));
+    }
+    ANONSAFE_ASSIGN_OR_RETURN(double sub, PermanentRyser(minor));
+    expected += sub / total;
+  }
+  return expected;
+}
+
+namespace {
+
+class MatchingEnumerator {
+ public:
+  MatchingEnumerator(const BipartiteGraph& graph, uint64_t max_matchings)
+      : graph_(graph),
+        n_(graph.num_items()),
+        max_matchings_(max_matchings),
+        item_used_(n_, false),
+        crack_tally_(n_ + 1, 0.0) {}
+
+  Status Run() {
+    // Order anonymized items by ascending degree: fail-first pruning.
+    order_.resize(n_);
+    for (size_t a = 0; a < n_; ++a) order_[a] = static_cast<ItemId>(a);
+    std::sort(order_.begin(), order_.end(), [&](ItemId a, ItemId b) {
+      return graph_.anon_degree(a) < graph_.anon_degree(b);
+    });
+    return Recurse(0, 0);
+  }
+
+  CrackDistribution Finish() {
+    CrackDistribution out;
+    out.num_matchings = num_matchings_;
+    out.probability.assign(n_ + 1, 0.0);
+    if (num_matchings_ > 0) {
+      double total = static_cast<double>(num_matchings_);
+      for (size_t c = 0; c <= n_; ++c) {
+        out.probability[c] = crack_tally_[c] / total;
+        out.expected += static_cast<double>(c) * out.probability[c];
+      }
+    }
+    return out;
+  }
+
+ private:
+  Status Recurse(size_t depth, size_t cracks) {
+    if (depth == n_) {
+      if (++num_matchings_ > max_matchings_) {
+        return Status::OutOfRange(
+            "more than " + std::to_string(max_matchings_) +
+            " perfect matchings; enumeration aborted");
+      }
+      crack_tally_[cracks] += 1.0;
+      return Status::OK();
+    }
+    ItemId a = order_[depth];
+    for (ItemId x : graph_.items_of_anon(a)) {
+      if (item_used_[x]) continue;
+      item_used_[x] = true;
+      Status st = Recurse(depth + 1, cracks + (x == a ? 1 : 0));
+      item_used_[x] = false;
+      ANONSAFE_RETURN_IF_ERROR(st);
+    }
+    return Status::OK();
+  }
+
+  const BipartiteGraph& graph_;
+  const size_t n_;
+  const uint64_t max_matchings_;
+  std::vector<ItemId> order_;
+  std::vector<bool> item_used_;
+  std::vector<double> crack_tally_;
+  uint64_t num_matchings_ = 0;
+};
+
+}  // namespace
+
+Result<CrackDistribution> EnumerateCrackDistribution(
+    const BipartiteGraph& graph, uint64_t max_matchings) {
+  MatchingEnumerator enumerator(graph, max_matchings);
+  ANONSAFE_RETURN_IF_ERROR(enumerator.Run());
+  return enumerator.Finish();
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,53 @@
+#ifndef ANONSAFE_GRAPH_PERMANENT_H_
+#define ANONSAFE_GRAPH_PERMANENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Hard cap for Ryser evaluations (2^26 subsets ≈ seconds).
+inline constexpr size_t kMaxPermanentN = 26;
+
+/// \brief Permanent of a 0/1 matrix given as row bitmasks, via Ryser's
+/// inclusion–exclusion with Gray-code column updates, O(2^n · n).
+///
+/// The permanent of the consistency graph's adjacency matrix counts its
+/// perfect matchings — the size of the space of consistent crack mappings
+/// (Section 4.1). Exact but exponential: the paper cites Valiant's
+/// #P-completeness and the O(n^22) JSV approximation to motivate the
+/// O-estimate; this implementation is the small-n ground truth oracle.
+/// Fails with OutOfRange for n > kMaxPermanentN.
+Result<double> PermanentRyser(const std::vector<uint64_t>& rows);
+
+/// \brief Number of perfect matchings of the graph (permanent of A_G).
+Result<double> CountPerfectMatchings(const BipartiteGraph& graph);
+
+/// \brief Exact expected number of cracks by the direct method of
+/// Section 4.1: E[X] = Σ_x  perm(A with row x' and column x removed) /
+/// perm(A), summed over the diagonal edges (x', x) present in G.
+///
+/// Fails with OutOfRange for n > kMaxPermanentN and FailedPrecondition
+/// when the graph has no perfect matching (permanent 0).
+Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph);
+
+/// \brief Exact crack distribution by exhaustive enumeration of all
+/// perfect matchings (backtracking). `distribution[c]` is P(X = c).
+struct CrackDistribution {
+  std::vector<double> probability;  ///< index = crack count, size n+1
+  double expected = 0.0;
+  uint64_t num_matchings = 0;
+};
+
+/// \brief Enumerates every perfect matching of `graph`, tallying crack
+/// counts (fixed points). Aborts with OutOfRange once more than
+/// `max_matchings` matchings are seen — use only on tiny graphs.
+Result<CrackDistribution> EnumerateCrackDistribution(
+    const BipartiteGraph& graph, uint64_t max_matchings = 20'000'000);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_GRAPH_PERMANENT_H_

@@ -1,0 +1,120 @@
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/frequency.h"
+#include "mining/miner.h"
+
+namespace anonsafe {
+namespace {
+
+/// A transaction-id set as a fixed-width bitmap.
+class TidSet {
+ public:
+  explicit TidSet(size_t num_transactions)
+      : words_((num_transactions + 63) / 64, 0) {}
+
+  void Set(size_t tid) { words_[tid >> 6] |= (1ULL << (tid & 63)); }
+
+  SupportCount Count() const {
+    SupportCount total = 0;
+    for (uint64_t w : words_) total += static_cast<SupportCount>(
+        __builtin_popcountll(w));
+    return total;
+  }
+
+  /// this ∩ other, with an early support count.
+  TidSet IntersectWith(const TidSet& other, SupportCount* count) const {
+    TidSet out(*this);
+    SupportCount total = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      out.words_[i] &= other.words_[i];
+      total += static_cast<SupportCount>(
+          __builtin_popcountll(out.words_[i]));
+    }
+    *count = total;
+    return out;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+struct EclatNode {
+  ItemId item;
+  TidSet tids;
+  SupportCount support;
+};
+
+/// DFS over prefix equivalence classes; each level intersects tidsets.
+class EclatMiner {
+ public:
+  EclatMiner(SupportCount threshold, size_t max_size)
+      : threshold_(threshold), max_size_(max_size) {}
+
+  void Mine(const std::vector<EclatNode>& klass, std::vector<ItemId>* prefix,
+            std::vector<FrequentItemset>* out) {
+    for (size_t i = 0; i < klass.size(); ++i) {
+      const EclatNode& node = klass[i];
+      prefix->push_back(node.item);
+      FrequentItemset fi;
+      fi.items = *prefix;
+      fi.support = node.support;
+      out->push_back(std::move(fi));
+
+      if (max_size_ == 0 || prefix->size() < max_size_) {
+        std::vector<EclatNode> next;
+        for (size_t j = i + 1; j < klass.size(); ++j) {
+          SupportCount support = 0;
+          TidSet tids = node.tids.IntersectWith(klass[j].tids, &support);
+          if (support >= threshold_) {
+            next.push_back({klass[j].item, std::move(tids), support});
+          }
+        }
+        if (!next.empty()) Mine(next, prefix, out);
+      }
+      prefix->pop_back();
+    }
+  }
+
+ private:
+  SupportCount threshold_;
+  size_t max_size_;
+};
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> MineEclat(const Database& db,
+                                               const MiningOptions& options) {
+  ANONSAFE_RETURN_IF_ERROR(ValidateMiningInputs(db, options));
+  const SupportCount threshold =
+      options.AbsoluteThreshold(db.num_transactions());
+
+  // Build vertical tidsets for the frequent items.
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable table, FrequencyTable::Compute(db));
+  std::vector<EclatNode> roots;
+  for (ItemId x = 0; x < db.num_items(); ++x) {
+    if (table.support(x) >= threshold) {
+      roots.push_back({x, TidSet(db.num_transactions()), table.support(x)});
+    }
+  }
+  // One database pass fills every tidset.
+  {
+    std::vector<size_t> slot(db.num_items(), SIZE_MAX);
+    for (size_t i = 0; i < roots.size(); ++i) slot[roots[i].item] = i;
+    for (size_t t = 0; t < db.num_transactions(); ++t) {
+      for (ItemId x : db.transaction(t)) {
+        if (slot[x] != SIZE_MAX) roots[slot[x]].tids.Set(t);
+      }
+    }
+  }
+
+  std::vector<FrequentItemset> result;
+  std::vector<ItemId> prefix;
+  EclatMiner miner(threshold, options.max_itemset_size);
+  miner.Mine(roots, &prefix, &result);
+  SortCanonical(&result);
+  return result;
+}
+
+}  // namespace anonsafe

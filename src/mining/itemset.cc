@@ -1,0 +1,47 @@
+#include "mining/itemset.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace anonsafe {
+
+bool IsSubsetOf(const Itemset& sub, const Itemset& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+bool CanonicalLess(const FrequentItemset& a, const FrequentItemset& b) {
+  if (a.items.size() != b.items.size()) {
+    return a.items.size() < b.items.size();
+  }
+  return a.items < b.items;
+}
+
+void SortCanonical(std::vector<FrequentItemset>* itemsets) {
+  std::sort(itemsets->begin(), itemsets->end(), CanonicalLess);
+}
+
+std::string ItemsetToString(const Itemset& items) {
+  std::ostringstream oss;
+  oss << '{';
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i) oss << ", ";
+    oss << items[i];
+  }
+  oss << '}';
+  return oss.str();
+}
+
+std::string ToString(const FrequentItemset& fi) {
+  return ItemsetToString(fi.items) + ":" + std::to_string(fi.support);
+}
+
+size_t ItemsetHash::operator()(const Itemset& items) const {
+  size_t h = 1469598103934665603ULL;
+  for (ItemId x : items) {
+    h ^= static_cast<size_t>(x) + 0x9e3779b9;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace anonsafe

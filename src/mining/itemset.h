@@ -1,0 +1,46 @@
+#ifndef ANONSAFE_MINING_ITEMSET_H_
+#define ANONSAFE_MINING_ITEMSET_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/types.h"
+
+namespace anonsafe {
+
+/// \brief An itemset: sorted, duplicate-free items.
+using Itemset = std::vector<ItemId>;
+
+/// \brief A frequent itemset together with its exact support count.
+struct FrequentItemset {
+  Itemset items;
+  SupportCount support = 0;
+
+  bool operator==(const FrequentItemset& other) const {
+    return support == other.support && items == other.items;
+  }
+};
+
+/// \brief True if `sub` ⊆ `super`; both must be sorted.
+bool IsSubsetOf(const Itemset& sub, const Itemset& super);
+
+/// \brief Canonical order: by size, then lexicographically. Sorting two
+/// result lists with this makes miner outputs directly comparable.
+bool CanonicalLess(const FrequentItemset& a, const FrequentItemset& b);
+
+/// \brief Sorts a result list into canonical order.
+void SortCanonical(std::vector<FrequentItemset>* itemsets);
+
+/// \brief Renders "{1, 5, 9}:support" for debugging and reports.
+std::string ItemsetToString(const Itemset& items);
+std::string ToString(const FrequentItemset& fi);
+
+/// \brief FNV-1a hash of an itemset (for hash-set candidate lookup).
+struct ItemsetHash {
+  size_t operator()(const Itemset& items) const;
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_MINING_ITEMSET_H_

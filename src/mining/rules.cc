@@ -1,0 +1,85 @@
+#include "mining/rules.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+namespace anonsafe {
+
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, size_t num_transactions,
+    const RuleOptions& options) {
+  if (!(options.min_confidence > 0.0) || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must lie in (0, 1]");
+  }
+  if (num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+
+  std::unordered_map<Itemset, SupportCount, ItemsetHash> support;
+  support.reserve(frequent.size());
+  for (const FrequentItemset& fi : frequent) {
+    support.emplace(fi.items, fi.support);
+  }
+  auto lookup = [&](const Itemset& items) -> Result<SupportCount> {
+    auto it = support.find(items);
+    if (it == support.end()) {
+      return Status::NotFound(
+          "frequent collection is not downward-closed: missing subset " +
+          ItemsetToString(items));
+    }
+    return it->second;
+  };
+
+  std::vector<AssociationRule> rules;
+  const double m = static_cast<double>(num_transactions);
+  for (const FrequentItemset& fi : frequent) {
+    const size_t k = fi.items.size();
+    if (k < 2 || k > options.max_itemset_size) continue;
+    // Every non-empty proper subset as antecedent.
+    const uint64_t full = (1ULL << k) - 1;
+    for (uint64_t mask = 1; mask < full; ++mask) {
+      AssociationRule rule;
+      for (size_t i = 0; i < k; ++i) {
+        ((mask >> i) & 1 ? rule.antecedent : rule.consequent)
+            .push_back(fi.items[i]);
+      }
+      ANONSAFE_ASSIGN_OR_RETURN(rule.antecedent_support,
+                                lookup(rule.antecedent));
+      rule.rule_support = fi.support;
+      rule.confidence = static_cast<double>(rule.rule_support) /
+                        static_cast<double>(rule.antecedent_support);
+      if (rule.confidence + 1e-12 < options.min_confidence) continue;
+      ANONSAFE_ASSIGN_OR_RETURN(rule.consequent_support,
+                                lookup(rule.consequent));
+      rule.lift = rule.confidence /
+                  (static_cast<double>(rule.consequent_support) / m);
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.rule_support != b.rule_support) {
+                return a.rule_support > b.rule_support;
+              }
+              if (a.antecedent != b.antecedent) {
+                return a.antecedent < b.antecedent;
+              }
+              return a.consequent < b.consequent;
+            });
+  return rules;
+}
+
+std::string ToString(const AssociationRule& rule) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (sup=%llu, conf=%.2f, lift=%.2f)",
+                static_cast<unsigned long long>(rule.rule_support),
+                rule.confidence, rule.lift);
+  return ItemsetToString(rule.antecedent) + " => " +
+         ItemsetToString(rule.consequent) + buf;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,54 @@
+#ifndef ANONSAFE_MINING_RULES_H_
+#define ANONSAFE_MINING_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "mining/itemset.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief An association rule antecedent => consequent with its quality
+/// measures (supports are absolute counts; confidence and lift derived).
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  SupportCount rule_support = 0;        ///< support(antecedent ∪ consequent)
+  SupportCount antecedent_support = 0;
+  SupportCount consequent_support = 0;
+  double confidence = 0.0;  ///< rule_support / antecedent_support
+  double lift = 0.0;        ///< confidence / P(consequent)
+
+  bool operator==(const AssociationRule& other) const {
+    return antecedent == other.antecedent &&
+           consequent == other.consequent &&
+           rule_support == other.rule_support;
+  }
+};
+
+/// \brief Options for rule generation.
+struct RuleOptions {
+  double min_confidence = 0.5;  ///< in (0, 1]
+  /// Itemsets larger than this are skipped (2^size antecedents each).
+  size_t max_itemset_size = 16;
+};
+
+/// \brief Generates all association rules meeting `min_confidence` from a
+/// frequent-itemset collection (the classic second phase of [6], the
+/// Agrawal et al. paper this work builds on).
+///
+/// Requirements: `frequent` must be downward-closed and carry exact
+/// supports (as produced by any of the miners) and include every subset
+/// of every itemset it contains — otherwise NotFound is returned for the
+/// missing subset. `num_transactions` scales lift.
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, size_t num_transactions,
+    const RuleOptions& options = {});
+
+/// \brief Renders "{1, 2} => {5} (sup=10, conf=0.83, lift=1.9)".
+std::string ToString(const AssociationRule& rule);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_MINING_RULES_H_

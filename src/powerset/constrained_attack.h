@@ -1,0 +1,91 @@
+#ifndef ANONSAFE_POWERSET_CONSTRAINED_ATTACK_H_
+#define ANONSAFE_POWERSET_CONSTRAINED_ATTACK_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/matching_sampler.h"
+#include "graph/permanent.h"
+#include "powerset/itemset_belief.h"
+#include "powerset/support_oracle.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief True when the full assignment `anon_of_item` satisfies every
+/// itemset constraint: for each (S, [l, r]), the observed frequency of
+/// the anonymized image {anon_of_item[y] : y ∈ S} lies in [l, r].
+/// The assignment must be total (no kInvalidItem among constrained
+/// items). Item-level edge consistency is NOT checked here.
+bool SatisfiesItemsetConstraints(const ItemsetBeliefFunction& belief,
+                                 const SupportOracle& observed,
+                                 const std::vector<ItemId>& anon_of_item);
+
+/// \brief Exact crack distribution over mappings consistent with the
+/// item-level graph AND every itemset constraint, by backtracking
+/// enumeration (constraints are checked as soon as their last member is
+/// assigned). Tiny instances only.
+Result<CrackDistribution> EnumerateItemsetConstrainedDistribution(
+    const BipartiteGraph& graph, const SupportOracle& observed,
+    const ItemsetBeliefFunction& belief,
+    uint64_t max_matchings = 5'000'000);
+
+/// \brief MCMC sampler over mappings consistent with both levels — the
+/// powerset generalization of `MatchingSampler` for domains where
+/// enumeration is infeasible.
+///
+/// Moves are the same symmetric pair swaps and 3-cycle rotations, now
+/// accepted only when the item-level edges AND all itemset constraints
+/// touching the moved items stay satisfied; the stationary distribution
+/// is uniform over the reachable consistent mappings. Seeding: the
+/// identity when consistent (the compliant case — itemset constraints
+/// containing the true frequencies are satisfied by the truth);
+/// otherwise a bounded min-conflicts repair from a Hopcroft–Karp
+/// matching, failing with FailedPrecondition when no consistent seed is
+/// found.
+class ConstrainedMatchingSampler {
+ public:
+  static Result<ConstrainedMatchingSampler> Create(
+      const BipartiteGraph& graph, const ItemsetBeliefFunction& belief,
+      const SupportOracle& observed, const SamplerOptions& options);
+
+  size_t num_items() const { return item_of_anon_.size(); }
+  bool seed_is_identity() const { return seed_is_identity_; }
+
+  /// \brief Draws `options.num_samples` crack counts (fixed points).
+  std::vector<size_t> SampleCrackCounts();
+
+  /// \brief Test hook: current state satisfies both consistency levels.
+  bool CurrentStateConsistent() const;
+
+ private:
+  ConstrainedMatchingSampler(const BipartiteGraph& graph,
+                             const ItemsetBeliefFunction& belief,
+                             const SupportOracle& observed,
+                             const SamplerOptions& options)
+      : graph_(graph),
+        belief_(belief),
+        observed_(observed),
+        options_(options),
+        rng_(options.seed) {}
+
+  bool ConstraintHolds(size_t constraint_index) const;
+  bool ConstraintsHoldFor(ItemId item) const;
+  void Sweep();
+
+  const BipartiteGraph& graph_;
+  const ItemsetBeliefFunction& belief_;
+  const SupportOracle& observed_;
+  SamplerOptions options_;
+  Rng rng_;
+  bool seed_is_identity_ = false;
+
+  std::vector<ItemId> seed_anon_of_item_;
+  std::vector<ItemId> item_of_anon_;
+  std::vector<ItemId> anon_of_item_;
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_POWERSET_CONSTRAINED_ATTACK_H_

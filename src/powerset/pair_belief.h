@@ -1,0 +1,128 @@
+#ifndef ANONSAFE_POWERSET_PAIR_BELIEF_H_
+#define ANONSAFE_POWERSET_PAIR_BELIEF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "data/database.h"
+#include "data/types.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief An unordered item pair (normalized a < b).
+struct ItemPair {
+  ItemId a = 0;
+  ItemId b = 0;
+
+  static ItemPair Of(ItemId x, ItemId y) {
+    return x < y ? ItemPair{x, y} : ItemPair{y, x};
+  }
+  bool operator==(const ItemPair& other) const {
+    return a == other.a && b == other.b;
+  }
+};
+
+struct ItemPairHash {
+  size_t operator()(const ItemPair& p) const {
+    return (static_cast<size_t>(p.a) << 32) ^ p.b ^ 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+/// \brief Exact co-occurrence supports of all item pairs of a database.
+///
+/// Anonymization preserves co-occurrence, so the released database leaks
+/// pair frequencies exactly like item frequencies — the leverage behind
+/// the paper's Section 8.2 "ongoing work": belief functions over the
+/// powerset. Storage is a dense upper-triangular count matrix; building
+/// costs one pass of Σ|t|² pair increments, so the matrix is gated by
+/// `max_items`.
+class PairSupportMatrix {
+ public:
+  static constexpr size_t kDefaultMaxItems = 4096;
+
+  /// Counts all pair supports; fails with OutOfRange when the domain
+  /// exceeds `max_items` and InvalidArgument for an empty database.
+  static Result<PairSupportMatrix> Compute(
+      const Database& db, size_t max_items = kDefaultMaxItems);
+
+  size_t num_items() const { return n_; }
+  size_t num_transactions() const { return num_transactions_; }
+
+  SupportCount support(ItemId x, ItemId y) const {
+    ItemPair p = ItemPair::Of(x, y);
+    return counts_[Index(p.a, p.b)];
+  }
+
+  double frequency(ItemId x, ItemId y) const {
+    return static_cast<double>(support(x, y)) /
+           static_cast<double>(num_transactions_);
+  }
+
+ private:
+  PairSupportMatrix(size_t n, size_t m)
+      : n_(n), num_transactions_(m), counts_(n * (n + 1) / 2, 0) {}
+
+  size_t Index(ItemId a, ItemId b) const {
+    // Upper triangle (a <= b): row-major over rows of decreasing length.
+    size_t ra = a;
+    return ra * n_ - ra * (ra + 1) / 2 + b;
+  }
+
+  size_t n_;
+  size_t num_transactions_;
+  std::vector<SupportCount> counts_;
+};
+
+/// \brief Sparse itemset-level prior knowledge: a frequency interval per
+/// *pair* of original items. Pairs without an entry are unconstrained.
+class PairBeliefFunction {
+ public:
+  explicit PairBeliefFunction(size_t num_items) : num_items_(num_items) {}
+
+  size_t num_items() const { return num_items_; }
+  size_t num_constraints() const { return intervals_.size(); }
+
+  /// \brief Adds/overwrites the belief interval of pair {x, y}. Fails on
+  /// out-of-domain items, x == y, or an invalid interval.
+  Status Constrain(ItemId x, ItemId y, BeliefInterval interval);
+
+  /// \brief Interval of pair {x, y}, or [0, 1] when unconstrained.
+  BeliefInterval interval(ItemId x, ItemId y) const;
+
+  bool IsConstrained(ItemId x, ItemId y) const {
+    return intervals_.count(ItemPair::Of(x, y)) > 0;
+  }
+
+  /// \brief All constrained pairs (unspecified order).
+  std::vector<ItemPair> ConstrainedPairs() const;
+
+  /// \brief Fraction of constraints containing the true pair frequency
+  /// (1.0 when there are none).
+  Result<double> ComplianceFraction(const PairSupportMatrix& truth) const;
+
+ private:
+  size_t num_items_;
+  std::unordered_map<ItemPair, BeliefInterval, ItemPairHash> intervals_;
+};
+
+/// \brief Builds a compliant pair belief: intervals of half-width `delta`
+/// around the true co-occurrence frequencies of the `num_pairs` most
+/// frequent pairs with support >= 1 (ties broken by item ids). This
+/// models a hacker who knows ball-park co-occurrence rates of popular
+/// combinations — e.g. from public market-basket statistics.
+Result<PairBeliefFunction> MakeCompliantPairBelief(
+    const PairSupportMatrix& truth, size_t num_pairs, double delta);
+
+/// \brief Random variant: `num_pairs` pairs drawn uniformly from those
+/// with support >= `min_support`, each given a compliant interval of
+/// half-width `delta`.
+Result<PairBeliefFunction> MakeRandomPairBelief(
+    const PairSupportMatrix& truth, size_t num_pairs, double delta,
+    SupportCount min_support, Rng* rng);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_POWERSET_PAIR_BELIEF_H_

@@ -1,0 +1,45 @@
+#include "powerset/support_oracle.h"
+
+#include <cassert>
+
+namespace anonsafe {
+
+Result<SupportOracle> SupportOracle::Build(const Database& db) {
+  if (db.num_transactions() == 0) {
+    return Status::InvalidArgument(
+        "cannot build a support oracle over an empty database");
+  }
+  SupportOracle oracle(db.num_items(), db.num_transactions());
+  oracle.bits_.assign(oracle.num_items_ * oracle.words_per_item_, 0);
+  for (size_t t = 0; t < db.num_transactions(); ++t) {
+    const uint64_t word_bit = 1ULL << (t & 63);
+    const size_t word_index = t >> 6;
+    for (ItemId x : db.transaction(t)) {
+      oracle.bits_[x * oracle.words_per_item_ + word_index] |= word_bit;
+    }
+  }
+  return oracle;
+}
+
+SupportCount SupportOracle::Support(const Itemset& items) const {
+  if (items.empty()) return num_transactions_;
+  assert(std::is_sorted(items.begin(), items.end()));
+  assert(items.back() < num_items_);
+
+  auto it = memo_.find(items);
+  if (it != memo_.end()) return it->second;
+
+  SupportCount count = 0;
+  const uint64_t* first = &bits_[items[0] * words_per_item_];
+  for (size_t w = 0; w < words_per_item_; ++w) {
+    uint64_t word = first[w];
+    for (size_t i = 1; i < items.size() && word != 0; ++i) {
+      word &= bits_[items[i] * words_per_item_ + w];
+    }
+    count += static_cast<SupportCount>(__builtin_popcountll(word));
+  }
+  memo_.emplace(items, count);
+  return count;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,57 @@
+#ifndef ANONSAFE_POWERSET_SUPPORT_ORACLE_H_
+#define ANONSAFE_POWERSET_SUPPORT_ORACLE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/database.h"
+#include "mining/itemset.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief Exact support of *arbitrary* itemsets, computed on demand by
+/// transaction-id bitmap intersection and memoized.
+///
+/// The general form of `PairSupportMatrix`: Section 8.2 extends belief
+/// functions to the whole powerset, so consistency checks need observed
+/// frequencies of arbitrary anonymized itemsets. Anonymization preserves
+/// co-occurrence, so (under the identity-surrogate convention) these are
+/// the original database's itemset supports. Memory is one bitmap of
+/// m bits per item plus the memo table.
+class SupportOracle {
+ public:
+  /// Builds per-item tidsets in one database pass. Fails on an empty
+  /// database.
+  static Result<SupportOracle> Build(const Database& db);
+
+  size_t num_items() const { return num_items_; }
+  size_t num_transactions() const { return num_transactions_; }
+
+  /// \brief Exact support of `items` (sorted, distinct, in-domain —
+  /// asserted in debug builds). The empty itemset has support m.
+  /// Memoized; amortized cost is one |items|-way bitmap intersection.
+  SupportCount Support(const Itemset& items) const;
+
+  /// \brief Support(items) / m.
+  double Frequency(const Itemset& items) const {
+    return static_cast<double>(Support(items)) /
+           static_cast<double>(num_transactions_);
+  }
+
+ private:
+  SupportOracle(size_t num_items, size_t num_transactions)
+      : num_items_(num_items),
+        num_transactions_(num_transactions),
+        words_per_item_((num_transactions + 63) / 64) {}
+
+  size_t num_items_;
+  size_t num_transactions_;
+  size_t words_per_item_;
+  std::vector<uint64_t> bits_;  // num_items x words_per_item, row-major
+  mutable std::unordered_map<Itemset, SupportCount, ItemsetHash> memo_;
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_POWERSET_SUPPORT_ORACLE_H_

@@ -1,0 +1,154 @@
+#include "relational/knowledge.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace anonsafe {
+
+void RecordPredicate::RestrictTo(size_t attr,
+                                 std::vector<uint32_t> values) {
+  assert(attr < allowed_.size());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.empty()) values.push_back(kNone);  // unsatisfiable sentinel
+  if (allowed_[attr].empty()) {
+    allowed_[attr] = std::move(values);
+    return;
+  }
+  // Intersect with the existing constraint.
+  std::vector<uint32_t> merged;
+  std::set_intersection(allowed_[attr].begin(), allowed_[attr].end(),
+                        values.begin(), values.end(),
+                        std::back_inserter(merged));
+  if (merged.empty()) merged.push_back(kNone);
+  allowed_[attr] = std::move(merged);
+}
+
+void RecordPredicate::RestrictRange(size_t attr, uint32_t lo, uint32_t hi) {
+  std::vector<uint32_t> values;
+  for (uint32_t v = lo; v <= hi; ++v) {
+    values.push_back(v);
+    if (v == hi) break;  // guard uint32 wraparound at hi = max
+  }
+  RestrictTo(attr, std::move(values));
+}
+
+bool RecordPredicate::Matches(const RecordTable& table,
+                              size_t record) const {
+  for (size_t a = 0; a < allowed_.size(); ++a) {
+    if (allowed_[a].empty()) continue;  // unconstrained
+    if (!std::binary_search(allowed_[a].begin(), allowed_[a].end(),
+                            table.value(record, a))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RelationalKnowledge::RelationalKnowledge(size_t num_individuals,
+                                         size_t num_attributes)
+    : predicates_(num_individuals, RecordPredicate(num_attributes)) {}
+
+Result<BipartiteGraph> RelationalKnowledge::BuildConsistencyGraph(
+    const RecordTable& table, size_t max_edges) const {
+  if (table.num_records() != num_individuals()) {
+    return Status::InvalidArgument(
+        "table has " + std::to_string(table.num_records()) +
+        " records, knowledge covers " + std::to_string(num_individuals()));
+  }
+  const size_t n = num_individuals();
+  std::vector<std::vector<ItemId>> items_of_anon(n);
+  size_t edges = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t x = 0; x < n; ++x) {
+      if (predicates_[x].Matches(table, a)) {
+        items_of_anon[a].push_back(static_cast<ItemId>(x));
+        if (++edges > max_edges) {
+          return Status::OutOfRange(
+              "relational consistency graph exceeds the edge budget of " +
+              std::to_string(max_edges));
+        }
+      }
+    }
+  }
+  return BipartiteGraph::FromAdjacency(n, std::move(items_of_anon));
+}
+
+Result<double> RelationalKnowledge::ComplianceFraction(
+    const RecordTable& table) const {
+  if (table.num_records() != num_individuals()) {
+    return Status::InvalidArgument("table/knowledge size mismatch");
+  }
+  if (num_individuals() == 0) return 1.0;
+  size_t compliant = 0;
+  for (size_t x = 0; x < num_individuals(); ++x) {
+    if (predicates_[x].Matches(table, x)) ++compliant;
+  }
+  return static_cast<double>(compliant) /
+         static_cast<double>(num_individuals());
+}
+
+Result<RelationalKnowledge> MakeAttributeKnowledge(const RecordTable& table,
+                                                   size_t attrs_known,
+                                                   Rng* rng) {
+  if (attrs_known > table.num_attributes()) {
+    return Status::InvalidArgument(
+        "cannot know more attributes than the schema has");
+  }
+  RelationalKnowledge knowledge(table.num_records(), table.num_attributes());
+  for (size_t x = 0; x < table.num_records(); ++x) {
+    for (size_t a :
+         rng->SampleWithoutReplacement(table.num_attributes(), attrs_known)) {
+      knowledge.predicate(x).RestrictTo(a, {table.value(x, a)});
+    }
+  }
+  return knowledge;
+}
+
+Result<RelationalKnowledge> MakeAlphaAttributeKnowledge(
+    const RecordTable& table, size_t attrs_known, double alpha, Rng* rng) {
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("alpha must lie in [0, 1]");
+  }
+  if (attrs_known == 0 && alpha < 1.0) {
+    return Status::InvalidArgument(
+        "total ignorance cannot be made non-compliant");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      RelationalKnowledge knowledge,
+      MakeAttributeKnowledge(table, attrs_known, rng));
+  const size_t n = table.num_records();
+  const auto wrong = static_cast<size_t>(
+      std::llround((1.0 - alpha) * static_cast<double>(n)));
+  for (size_t x : rng->SampleWithoutReplacement(n, wrong)) {
+    // Flip one known attribute of x to a wrong value. Pick an attribute
+    // whose cardinality allows a wrong value.
+    for (size_t attempt = 0; attempt < table.num_attributes() * 4;
+         ++attempt) {
+      size_t a = static_cast<size_t>(
+          rng->UniformUint64(table.num_attributes()));
+      if (knowledge.predicate(x).IsUnconstrained(a)) continue;
+      const size_t c = table.schema()[a].cardinality;
+      if (c < 2) continue;
+      uint32_t truth = table.value(x, a);
+      uint32_t wrong_value =
+          static_cast<uint32_t>(rng->UniformUint64(c - 1));
+      if (wrong_value >= truth) ++wrong_value;
+      knowledge.predicate(x) = RecordPredicate(table.num_attributes());
+      // Re-know the same number of attributes, but with `a` wrong.
+      knowledge.predicate(x).RestrictTo(a, {wrong_value});
+      size_t still_known = 1;
+      for (size_t b = 0; b < table.num_attributes() && still_known <
+           attrs_known; ++b) {
+        if (b == a) continue;
+        knowledge.predicate(x).RestrictTo(b, {table.value(x, b)});
+        ++still_known;
+      }
+      break;
+    }
+  }
+  return knowledge;
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,96 @@
+#ifndef ANONSAFE_RELATIONAL_KNOWLEDGE_H_
+#define ANONSAFE_RELATIONAL_KNOWLEDGE_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "relational/record_table.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+
+/// \brief What a hacker believes about one individual: per attribute, the
+/// set of values (s)he considers possible. An unconstrained attribute
+/// admits every value — a person the hacker knows nothing about matches
+/// every anonymized record (the "Bob" of Section 8.1).
+class RecordPredicate {
+ public:
+  /// Unconstrained predicate for a schema of `num_attributes` attributes.
+  explicit RecordPredicate(size_t num_attributes)
+      : allowed_(num_attributes) {}
+
+  size_t num_attributes() const { return allowed_.size(); }
+
+  /// \brief Constrain attribute `attr` to exactly `values` ("John is
+  /// Chinese owning a Toyota"). Duplicates collapse; empty `values` makes
+  /// the predicate unsatisfiable. Out-of-range attr is the caller's bug
+  /// and asserted in debug builds.
+  void RestrictTo(size_t attr, std::vector<uint32_t> values);
+
+  /// \brief Constrain attribute `attr` to the inclusive range [lo, hi]
+  /// ("Mary's age is between 30 and 35").
+  void RestrictRange(size_t attr, uint32_t lo, uint32_t hi);
+
+  /// \brief True when attribute `attr` is unconstrained.
+  bool IsUnconstrained(size_t attr) const { return allowed_[attr].empty(); }
+
+  /// \brief True when `record` of `table` satisfies every constraint.
+  bool Matches(const RecordTable& table, size_t record) const;
+
+ private:
+  // Per attribute: sorted list of allowed values; empty == unconstrained.
+  // (An explicitly-empty constraint is stored as the sentinel {kNone}.)
+  static constexpr uint32_t kNone = 0xffffffffu;
+  std::vector<std::vector<uint32_t>> allowed_;
+};
+
+/// \brief The hacker's knowledge about the whole domain: one predicate
+/// per original individual. This is the relational analogue of a belief
+/// function, and `BuildConsistencyGraph` is the analogue of the interval
+/// stabbing of Section 2.3: once the bipartite graph is set up, every
+/// estimator in the library applies unchanged (Section 8.1's point).
+class RelationalKnowledge {
+ public:
+  explicit RelationalKnowledge(size_t num_individuals,
+                               size_t num_attributes);
+
+  size_t num_individuals() const { return predicates_.size(); }
+
+  RecordPredicate& predicate(size_t person) { return predicates_[person]; }
+  const RecordPredicate& predicate(size_t person) const {
+    return predicates_[person];
+  }
+
+  /// \brief Edge (a, x) iff anonymized record a satisfies x's predicate.
+  /// O(n^2 * constraints); fails on size mismatch or when the edge count
+  /// exceeds `max_edges`.
+  Result<BipartiteGraph> BuildConsistencyGraph(
+      const RecordTable& table,
+      size_t max_edges = BipartiteGraph::kDefaultMaxEdges) const;
+
+  /// \brief Fraction of individuals whose own record satisfies their
+  /// predicate — the relational degree of compliancy.
+  Result<double> ComplianceFraction(const RecordTable& table) const;
+
+ private:
+  std::vector<RecordPredicate> predicates_;
+};
+
+/// \brief Builds knowledge where the hacker knows the *exact* values of
+/// `attrs_known` randomly chosen attributes of every individual (the rest
+/// unconstrained). `attrs_known` = 0 is total ignorance; = all attributes
+/// is the relational analogue of the point-valued belief function.
+Result<RelationalKnowledge> MakeAttributeKnowledge(const RecordTable& table,
+                                                   size_t attrs_known,
+                                                   Rng* rng);
+
+/// \brief Same, but a (1 - alpha) fraction of individuals is guessed
+/// wrong: one of their known attributes is constrained to a value
+/// different from the truth (the relational α-compliance analogue).
+Result<RelationalKnowledge> MakeAlphaAttributeKnowledge(
+    const RecordTable& table, size_t attrs_known, double alpha, Rng* rng);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_RELATIONAL_KNOWLEDGE_H_

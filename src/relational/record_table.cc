@@ -1,0 +1,92 @@
+#include "relational/record_table.h"
+
+#include <cmath>
+#include <set>
+
+namespace anonsafe {
+
+Result<RecordTable> RecordTable::Create(
+    std::vector<AttributeSchema> schema) {
+  if (schema.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  std::set<std::string> names;
+  for (const auto& attr : schema) {
+    if (attr.cardinality == 0) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has cardinality 0");
+    }
+    if (!names.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" +
+                                     attr.name + "'");
+    }
+  }
+  return RecordTable(std::move(schema));
+}
+
+Result<size_t> RecordTable::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Status RecordTable::AddRecord(std::vector<uint32_t> values) {
+  if (values.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "record has " + std::to_string(values.size()) + " values, schema " +
+        std::to_string(schema_.size()) + " attributes");
+  }
+  for (size_t a = 0; a < values.size(); ++a) {
+    if (values[a] >= schema_[a].cardinality) {
+      return Status::InvalidArgument(
+          "value " + std::to_string(values[a]) + " outside cardinality of '" +
+          schema_[a].name + "'");
+    }
+  }
+  values_.push_back(std::move(values));
+  return Status::OK();
+}
+
+Result<RecordTable> GeneratePopulation(std::vector<AttributeSchema> schema,
+                                       size_t num_records, double skew,
+                                       Rng* rng) {
+  if (skew < 0.0) {
+    return Status::InvalidArgument("skew must be >= 0");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(RecordTable table,
+                            RecordTable::Create(std::move(schema)));
+  // Per-attribute Zipf(skew) sampling via inverse-CDF over precomputed
+  // cumulative weights.
+  std::vector<std::vector<double>> cdfs(table.num_attributes());
+  for (size_t a = 0; a < table.num_attributes(); ++a) {
+    const size_t c = table.schema()[a].cardinality;
+    cdfs[a].resize(c);
+    double acc = 0.0;
+    for (size_t v = 0; v < c; ++v) {
+      acc += 1.0 / std::pow(static_cast<double>(v + 1), skew);
+      cdfs[a][v] = acc;
+    }
+  }
+  for (size_t r = 0; r < num_records; ++r) {
+    std::vector<uint32_t> rec(table.num_attributes());
+    for (size_t a = 0; a < table.num_attributes(); ++a) {
+      const auto& cdf = cdfs[a];
+      double u = rng->UniformDouble(0.0, cdf.back());
+      size_t lo = 0, hi = cdf.size() - 1;
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (cdf[mid] < u) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      rec[a] = static_cast<uint32_t>(lo);
+    }
+    ANONSAFE_RETURN_IF_ERROR(table.AddRecord(std::move(rec)));
+  }
+  return table;
+}
+
+}  // namespace anonsafe

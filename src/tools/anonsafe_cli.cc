@@ -1,0 +1,23 @@
+// The `anonsafe` command-line tool: owner-side risk assessment of
+// transaction files without writing any code. See `anonsafe help`.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto cli = anonsafe::ParseCli(args);
+  if (!cli.ok()) {
+    std::cerr << cli.status().message() << "\n";
+    return 2;
+  }
+  anonsafe::Status status = anonsafe::RunCli(*cli, std::cout);
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return 1;
+  }
+  return 0;
+}

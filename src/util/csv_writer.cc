@@ -1,0 +1,50 @@
+#include "util/csv_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace anonsafe {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) oss << ',';
+      oss << EscapeCell(row[i]);
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out << ToString();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace anonsafe

@@ -1,0 +1,40 @@
+#ifndef ANONSAFE_UTIL_CSV_WRITER_H_
+#define ANONSAFE_UTIL_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace anonsafe {
+
+/// \brief Accumulates rows and writes an RFC-4180-style CSV file.
+///
+/// Bench binaries optionally dump their series as CSV (next to the printed
+/// table) so figures can be re-plotted externally. Cells containing commas,
+/// quotes or newlines are quoted and escaped.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends one data row (padded/truncated to the header width).
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Renders the CSV document as a string.
+  std::string ToString() const;
+
+  /// \brief Writes the document to `path`. Returns IOError on failure.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_UTIL_CSV_WRITER_H_

@@ -1,0 +1,81 @@
+#ifndef ANONSAFE_UTIL_RESULT_H_
+#define ANONSAFE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace anonsafe {
+
+/// \brief Holds either a value of type `T` or an error `Status`.
+///
+/// The value-or-error pattern used throughout the library (mirrors
+/// `arrow::Result`). A `Result` constructed from an OK status is a
+/// programming error and is rewritten to an Internal error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// \brief Returns the contained value. Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// \brief Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// \brief Evaluates a `Result<T>` expression; on error returns the status,
+/// otherwise assigns the value to `lhs`.
+#define ANONSAFE_ASSIGN_OR_RETURN_IMPL(var, lhs, rexpr) \
+  auto var = (rexpr);                                   \
+  if (!var.ok()) return var.status();                   \
+  lhs = std::move(var).value();
+
+#define ANONSAFE_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define ANONSAFE_ASSIGN_OR_RETURN_NAME(x, y) \
+  ANONSAFE_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define ANONSAFE_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  ANONSAFE_ASSIGN_OR_RETURN_IMPL(                                           \
+      ANONSAFE_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, rexpr)
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_UTIL_RESULT_H_

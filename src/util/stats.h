@@ -1,0 +1,45 @@
+#ifndef ANONSAFE_UTIL_STATS_H_
+#define ANONSAFE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace anonsafe {
+
+/// \brief Descriptive statistics of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+};
+
+/// \brief Arithmetic mean; 0 for an empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// \brief Median (average of the two middle elements for even sizes);
+/// 0 for an empty sample. Does not modify the input.
+double Median(std::vector<double> xs);
+
+/// \brief Sample standard deviation with the (n-1) denominator;
+/// 0 for samples of size < 2.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// \brief Minimum; 0 for an empty sample.
+double Min(const std::vector<double>& xs);
+
+/// \brief Maximum; 0 for an empty sample.
+double Max(const std::vector<double>& xs);
+
+/// \brief Linear-interpolation percentile, `q` in [0, 1].
+/// 0 for an empty sample. Does not modify the input.
+double Percentile(std::vector<double> xs, double q);
+
+/// \brief Computes all `Summary` fields in one pass over a copy.
+Summary Summarize(const std::vector<double>& xs);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_UTIL_STATS_H_

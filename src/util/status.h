@@ -1,0 +1,109 @@
+#ifndef ANONSAFE_UTIL_STATUS_H_
+#define ANONSAFE_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace anonsafe {
+
+/// \brief Error categories used across the library.
+///
+/// Modeled after the RocksDB/Arrow convention: library code reports
+/// recoverable failures through `Status` (or `Result<T>`) return values
+/// rather than exceptions, keeping hot paths exception-free and making
+/// failure handling explicit at every call site.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed a malformed or out-of-range value.
+  kNotFound = 2,          ///< A referenced entity (file, item, group) is absent.
+  kOutOfRange = 3,        ///< An index or parameter exceeds a structural bound.
+  kFailedPrecondition = 4,///< Object state does not allow the operation.
+  kIOError = 5,           ///< Underlying file/stream operation failed.
+  kUnimplemented = 6,     ///< Feature intentionally not available.
+  kInternal = 7,          ///< Invariant violation inside the library.
+};
+
+/// \brief Returns a human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief A cheap, copyable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// message. Use the factory functions (`Status::InvalidArgument(...)` etc.)
+/// to construct errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// \name Factory constructors
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// @}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// \brief Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Propagates a non-OK status to the caller.
+#define ANONSAFE_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    ::anonsafe::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_UTIL_STATUS_H_

@@ -1,0 +1,107 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace anonsafe {
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+          c == 'e' || c == 'E' || c == '-' || c == '+' || c == '%')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtG(double v, int significant) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", significant, v);
+  return buf;
+}
+
+std::string TablePrinter::Fmt(int64_t v) { return std::to_string(v); }
+std::string TablePrinter::Fmt(size_t v) { return std::to_string(v); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&]() {
+    os << '+';
+    for (size_t w : widths) {
+      for (size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      size_t pad = widths[c] - cell.size();
+      os << ' ';
+      if (LooksNumeric(cell)) {
+        for (size_t i = 0; i < pad; ++i) os << ' ';
+        os << cell;
+      } else {
+        os << cell;
+        for (size_t i = 0; i < pad; ++i) os << ' ';
+      }
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+  print_sep();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream oss;
+  Print(oss);
+  return oss.str();
+}
+
+}  // namespace anonsafe

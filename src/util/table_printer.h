@@ -1,0 +1,53 @@
+#ifndef ANONSAFE_UTIL_TABLE_PRINTER_H_
+#define ANONSAFE_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace anonsafe {
+
+/// \brief Renders aligned, fixed-width ASCII tables.
+///
+/// The bench binaries use this to print the paper's tables and figure
+/// series in a diff-friendly format: every cell is a string; column widths
+/// are computed from content; numeric cells are right-aligned, text cells
+/// left-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// \brief Appends a data row. Rows shorter than the header are padded
+  /// with empty cells; longer rows are truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// \brief Appends a horizontal separator line at this position.
+  void AddSeparator();
+
+  /// \brief Formats a double with `precision` digits after the point.
+  static std::string Fmt(double v, int precision = 4);
+
+  /// \brief Formats a double in scientific-ish compact form (%g).
+  static std::string FmtG(double v, int significant = 6);
+
+  /// \brief Formats an integer value.
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(size_t v);
+
+  /// \brief Writes the rendered table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// \brief Returns the rendered table as a string.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector == separator
+};
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_UTIL_TABLE_PRINTER_H_

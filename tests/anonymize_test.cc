@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "anonymize/anonymizer.h"
+#include "anonymize/crack.h"
+#include "data/frequency.h"
+#include "datagen/quest.h"
+#include "mining/miner.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+namespace {
+
+// -------------------------------------------------------------- Anonymizer
+
+TEST(AnonymizerTest, IdentityMapsToSelf) {
+  Anonymizer id = Anonymizer::Identity(5);
+  for (ItemId x = 0; x < 5; ++x) {
+    EXPECT_EQ(id.Anonymize(x), x);
+    EXPECT_EQ(id.Deanonymize(x), x);
+  }
+}
+
+TEST(AnonymizerTest, RandomIsBijective) {
+  Rng rng(3);
+  Anonymizer a = Anonymizer::Random(100, &rng);
+  std::vector<bool> hit(100, false);
+  for (ItemId x = 0; x < 100; ++x) {
+    ItemId y = a.Anonymize(x);
+    ASSERT_LT(y, 100u);
+    EXPECT_FALSE(hit[y]);
+    hit[y] = true;
+    EXPECT_EQ(a.Deanonymize(y), x);
+  }
+}
+
+TEST(AnonymizerTest, FromMappingValidates) {
+  EXPECT_TRUE(Anonymizer::FromMapping({0, 0}).status().IsInvalidArgument());
+  EXPECT_TRUE(Anonymizer::FromMapping({0, 5}).status().IsInvalidArgument());
+  auto ok = Anonymizer::FromMapping({2, 0, 1});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->Anonymize(0), 2u);
+  EXPECT_EQ(ok->Deanonymize(2), 0u);
+}
+
+TEST(AnonymizerTest, DatabaseAnonymizationPreservesFrequencies) {
+  // The core property the attack model rests on (Section 2.1): observed
+  // frequencies of anonymized items equal the true frequencies of their
+  // originals.
+  Rng rng(11);
+  QuestParams params;
+  params.num_items = 30;
+  params.num_transactions = 200;
+  params.seed = 9;
+  auto db = GenerateQuestDatabase(params);
+  ASSERT_TRUE(db.ok());
+  Anonymizer mapping = Anonymizer::Random(30, &rng);
+  auto anon_db = mapping.AnonymizeDatabase(*db);
+  ASSERT_TRUE(anon_db.ok());
+
+  auto orig_table = FrequencyTable::Compute(*db);
+  auto anon_table = FrequencyTable::Compute(*anon_db);
+  ASSERT_TRUE(orig_table.ok());
+  ASSERT_TRUE(anon_table.ok());
+  for (ItemId x = 0; x < 30; ++x) {
+    EXPECT_EQ(orig_table->support(x),
+              anon_table->support(mapping.Anonymize(x)));
+  }
+}
+
+TEST(AnonymizerTest, DomainMismatchFails) {
+  Database db(3);
+  ASSERT_TRUE(db.AddTransaction({0}).ok());
+  Anonymizer a = Anonymizer::Identity(4);
+  EXPECT_TRUE(a.AnonymizeDatabase(db).status().IsInvalidArgument());
+}
+
+TEST(AnonymizerTest, ItemsetRoundTrip) {
+  auto a = Anonymizer::FromMapping({3, 2, 1, 0});
+  ASSERT_TRUE(a.ok());
+  Itemset s = {0, 3};
+  Itemset anon = a->AnonymizeItemset(s);
+  EXPECT_EQ(anon, (Itemset{0, 3}));  // {3, 0} sorted
+  EXPECT_EQ(a->DeanonymizeItemset(anon), s);
+}
+
+TEST(AnonymizerTest, MiningCommutesWithAnonymization) {
+  // Mine(anonymize(D)) deanonymized == Mine(D): anonymization does not
+  // perturb data characteristics (the paper's selling point, Section 1).
+  QuestParams params;
+  params.num_items = 25;
+  params.num_transactions = 150;
+  params.seed = 21;
+  auto db = GenerateQuestDatabase(params);
+  ASSERT_TRUE(db.ok());
+  Rng rng(13);
+  Anonymizer mapping = Anonymizer::Random(25, &rng);
+  auto anon_db = mapping.AnonymizeDatabase(*db);
+  ASSERT_TRUE(anon_db.ok());
+
+  MiningOptions opt;
+  opt.min_support = 0.08;
+  auto direct = MineFPGrowth(*db, opt);
+  auto via_anon = MineFPGrowth(*anon_db, opt);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_anon.ok());
+  auto mapped_back = mapping.DeanonymizePatterns(*via_anon);
+  EXPECT_EQ(*direct, mapped_back);
+}
+
+// ------------------------------------------------------------ CrackMapping
+
+TEST(CrackMappingTest, ValidationRules) {
+  EXPECT_TRUE(ValidateCrackMapping({{0, 1}}, 3).IsInvalidArgument());
+  EXPECT_TRUE(ValidateCrackMapping({{0, 0}}, 2).IsInvalidArgument());
+  EXPECT_TRUE(ValidateCrackMapping({{0, 9}}, 2).IsInvalidArgument());
+  EXPECT_TRUE(ValidateCrackMapping({{1, 0}}, 2).ok());
+  EXPECT_TRUE(ValidateCrackMapping({{kInvalidItem, 0}}, 2).ok());
+}
+
+TEST(CrackMappingTest, NumAssigned) {
+  CrackMapping c{{kInvalidItem, 2, kInvalidItem, 0}};
+  EXPECT_EQ(c.num_items(), 4u);
+  EXPECT_EQ(c.num_assigned(), 2u);
+}
+
+TEST(CrackMappingTest, CountCracksAgainstTruth) {
+  // Mapping: original x -> anonymized forward[x].
+  auto truth = Anonymizer::FromMapping({2, 0, 1});  // 0->2, 1->0, 2->1
+  ASSERT_TRUE(truth.ok());
+  // Perfect crack: guess_of_anon[a] = Deanonymize(a).
+  CrackMapping perfect{{1, 2, 0}};
+  auto cracks = CountCracks(perfect, *truth);
+  ASSERT_TRUE(cracks.ok());
+  EXPECT_EQ(*cracks, 3u);
+
+  // One correct guess only (anon 0 is truly item 1).
+  CrackMapping partial{{1, 0, 2}};
+  cracks = CountCracks(partial, *truth);
+  ASSERT_TRUE(cracks.ok());
+  EXPECT_EQ(*cracks, 1u);
+
+  // Unassigned guesses are never cracks.
+  CrackMapping sparse{{1, kInvalidItem, kInvalidItem}};
+  cracks = CountCracks(sparse, *truth);
+  ASSERT_TRUE(cracks.ok());
+  EXPECT_EQ(*cracks, 1u);
+}
+
+TEST(CrackMappingTest, CountCracksOfInterest) {
+  auto truth = Anonymizer::FromMapping({0, 1, 2, 3});
+  ASSERT_TRUE(truth.ok());
+  CrackMapping all_correct{{0, 1, 2, 3}};
+  std::vector<bool> interest = {true, false, true, false};
+  auto cracks = CountCracksOfInterest(all_correct, *truth, interest);
+  ASSERT_TRUE(cracks.ok());
+  EXPECT_EQ(*cracks, 2u);
+
+  std::vector<bool> bad_mask = {true};
+  EXPECT_TRUE(CountCracksOfInterest(all_correct, *truth, bad_mask)
+                  .status().IsInvalidArgument());
+}
+
+TEST(CrackMappingTest, SizeMismatchFails) {
+  auto truth = Anonymizer::FromMapping({0, 1});
+  ASSERT_TRUE(truth.ok());
+  CrackMapping wrong{{0}};
+  EXPECT_TRUE(CountCracks(wrong, *truth).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace anonsafe

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "data/fimi_io.h"
+#include "data/frequency.h"
+#include "tools/cli.h"
+
+namespace anonsafe {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteSampleFile(const std::string& path) {
+  std::ofstream out(path);
+  // 12 transactions over 6 items with assorted supports.
+  out << "1 2 3\n1 2\n1 4\n1 2 5\n2 3\n1 3 6\n2 4\n1 2 3\n5 6\n1 2\n"
+         "3 4 5\n1 6\n";
+}
+
+// ----------------------------------------------------------------- Parsing
+
+TEST(CliParseTest, SplitsCommandPositionalAndFlags) {
+  auto cli = ParseCli({"assess", "file.dat", "--tolerance=0.2", "--verbose"});
+  ASSERT_TRUE(cli.ok());
+  EXPECT_EQ(cli->command, "assess");
+  ASSERT_EQ(cli->positional.size(), 1u);
+  EXPECT_EQ(cli->positional[0], "file.dat");
+  EXPECT_EQ(cli->flags.at("tolerance"), "0.2");
+  EXPECT_EQ(cli->flags.at("verbose"), "true");
+}
+
+TEST(CliParseTest, EmptyArgsFail) {
+  EXPECT_TRUE(ParseCli({}).status().IsInvalidArgument());
+  EXPECT_TRUE(ParseCli({"--only=flags"}).status().IsInvalidArgument());
+}
+
+TEST(CliParseTest, FlagAccessors) {
+  auto cli = ParseCli({"x", "--a=1.5", "--b=7", "--bad=zz"});
+  ASSERT_TRUE(cli.ok());
+  auto d = FlagAsDouble(*cli, "a", 0.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 1.5);
+  auto dd = FlagAsDouble(*cli, "missing", 9.5);
+  ASSERT_TRUE(dd.ok());
+  EXPECT_DOUBLE_EQ(*dd, 9.5);
+  auto u = FlagAsUint64(*cli, "b", 0);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(*u, 7u);
+  EXPECT_TRUE(FlagAsDouble(*cli, "bad", 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(FlagAsUint64(*cli, "bad", 0).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------- Commands
+
+TEST(CliRunTest, HelpAndUnknown) {
+  std::ostringstream out;
+  auto help = ParseCli({"help"});
+  ASSERT_TRUE(help.ok());
+  EXPECT_TRUE(RunCli(*help, out).ok());
+  EXPECT_NE(out.str().find("usage: anonsafe"), std::string::npos);
+
+  auto unknown = ParseCli({"frobnicate"});
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_TRUE(RunCli(*unknown, out).IsInvalidArgument());
+}
+
+TEST(CliRunTest, StatsOnSampleFile) {
+  const std::string path = TempPath("cli_stats.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"stats", path});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("transactions"), std::string::npos);
+  EXPECT_NE(out.str().find("12"), std::string::npos);
+  EXPECT_NE(out.str().find("frequency groups"), std::string::npos);
+}
+
+TEST(CliRunTest, StatsMissingFileFails) {
+  auto cli = ParseCli({"stats", "/no/such/file.dat"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*cli, out).IsIOError());
+}
+
+TEST(CliRunTest, StatsWrongArity) {
+  auto cli = ParseCli({"stats"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*cli, out).IsInvalidArgument());
+}
+
+TEST(CliRunTest, AssessProducesDecision) {
+  const std::string path = TempPath("cli_assess.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"assess", path, "--tolerance=0.5"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("decision:"), std::string::npos);
+}
+
+TEST(CliRunTest, AssessRejectsBadTolerance) {
+  const std::string path = TempPath("cli_assess2.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"assess", path, "--tolerance=nope"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*cli, out).IsInvalidArgument());
+}
+
+TEST(CliRunTest, AnonymizeRoundTrip) {
+  const std::string in = TempPath("cli_anon_in.dat");
+  const std::string out_path = TempPath("cli_anon_out.dat");
+  WriteSampleFile(in);
+  auto cli = ParseCli({"anonymize", in, out_path, "--seed=99"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+
+  auto original = ReadFimiFile(in);
+  auto anonymized = ReadFimiFile(out_path);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(anonymized.ok());
+  EXPECT_EQ(original->database.num_transactions(),
+            anonymized->database.num_transactions());
+  // Frequencies preserved as a multiset even though labels moved.
+  auto ot = FrequencyTable::Compute(original->database);
+  auto at = FrequencyTable::Compute(anonymized->database);
+  ASSERT_TRUE(ot.ok());
+  ASSERT_TRUE(at.ok());
+  std::vector<SupportCount> os = ot->supports(), as = at->supports();
+  // The anonymized file may have fewer *labels* if some item never
+  // appears; supports themselves must match as sorted multisets over the
+  // appearing items.
+  std::sort(os.begin(), os.end());
+  std::sort(as.begin(), as.end());
+  os.erase(std::remove(os.begin(), os.end(), 0u), os.end());
+  as.erase(std::remove(as.begin(), as.end(), 0u), as.end());
+  EXPECT_EQ(os, as);
+}
+
+TEST(CliRunTest, GenerateWritesBenchmarkStandIn) {
+  const std::string out_path = TempPath("cli_gen.dat");
+  auto cli =
+      ParseCli({"generate", "CHESS", out_path, "--scale=0.2", "--seed=5"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  auto generated = ReadFimiFile(out_path);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->database.num_items(), 75u);
+  auto table = FrequencyTable::Compute(generated->database);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(FrequencyGroups::Build(*table).num_groups(), 73u);
+}
+
+TEST(CliRunTest, GenerateUnknownBenchmarkFails) {
+  auto cli = ParseCli({"generate", "NOPE", TempPath("x.dat")});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*cli, out).IsNotFound());
+}
+
+TEST(CliRunTest, SimilarityOnSampleFile) {
+  const std::string path = TempPath("cli_sim.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"similarity", path, "--seed=3"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("mean alpha"), std::string::npos);
+}
+
+TEST(CliRunTest, RiskRankingOnSampleFile) {
+  const std::string path = TempPath("cli_risk.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"risk", path, "--top=3"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("crack prob."), std::string::npos);
+  EXPECT_NE(out.str().find("O-estimate"), std::string::npos);
+}
+
+TEST(CliRunTest, DefendMergeProducesSaferFile) {
+  const std::string in = TempPath("cli_defend_in.dat");
+  const std::string out_path = TempPath("cli_defend_out.dat");
+  WriteSampleFile(in);
+  auto cli = ParseCli({"defend", in, out_path, "--tolerance=0.4",
+                       "--mode=merge"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("merge defense"), std::string::npos);
+  auto defended = ReadFimiFile(out_path);
+  ASSERT_TRUE(defended.ok());
+  EXPECT_EQ(defended->database.num_transactions(), 12u);
+}
+
+TEST(CliRunTest, DefendRejectsUnknownMode) {
+  const std::string in = TempPath("cli_defend_bad.dat");
+  WriteSampleFile(in);
+  auto cli = ParseCli({"defend", in, TempPath("o.dat"), "--mode=wat"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*cli, out).IsInvalidArgument());
+}
+
+TEST(CliRunTest, BeliefTemplateAndAttackFlow) {
+  const std::string data = TempPath("cli_attack.dat");
+  const std::string belief = TempPath("cli_attack.belief");
+  WriteSampleFile(data);
+  auto make = ParseCli({"belief", data, belief});
+  ASSERT_TRUE(make.ok());
+  std::ostringstream out1;
+  ASSERT_TRUE(RunCli(*make, out1).ok());
+  auto attack = ParseCli({"attack", data, belief, "--top=2"});
+  ASSERT_TRUE(attack.ok());
+  std::ostringstream out2;
+  ASSERT_TRUE(RunCli(*attack, out2).ok());
+  EXPECT_NE(out2.str().find("alpha = 1.0000"), std::string::npos);
+  EXPECT_NE(out2.str().find("O-estimate"), std::string::npos);
+}
+
+TEST(CliRunTest, AttackMissingBeliefFileFails) {
+  const std::string data = TempPath("cli_attack2.dat");
+  WriteSampleFile(data);
+  auto attack = ParseCli({"attack", data, "/no/such.belief"});
+  ASSERT_TRUE(attack.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*attack, out).IsIOError());
+}
+
+TEST(CliRunTest, MineAllAlgorithmsAgree) {
+  const std::string path = TempPath("cli_mine.dat");
+  WriteSampleFile(path);
+  std::string outputs[3];
+  const char* algorithms[] = {"apriori", "fpgrowth", "eclat"};
+  for (int i = 0; i < 3; ++i) {
+    auto cli = ParseCli({"mine", path, "--min-support=0.25",
+                         std::string("--algorithm=") + algorithms[i],
+                         "--top=50"});
+    ASSERT_TRUE(cli.ok());
+    std::ostringstream out;
+    ASSERT_TRUE(RunCli(*cli, out).ok()) << algorithms[i];
+    outputs[i] = out.str();
+    // Strip the algorithm name so the bodies are comparable.
+    size_t paren = outputs[i].find('(');
+    outputs[i] = outputs[i].substr(outputs[i].find('\n'));
+    (void)paren;
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+}
+
+TEST(CliRunTest, MineWithRulesAndBadAlgorithm) {
+  const std::string path = TempPath("cli_mine2.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"mine", path, "--min-support=0.2",
+                       "--min-confidence=0.5"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("association rules"), std::string::npos);
+  auto bad = ParseCli({"mine", path, "--algorithm=magic"});
+  ASSERT_TRUE(bad.ok());
+  std::ostringstream out2;
+  EXPECT_TRUE(RunCli(*bad, out2).IsInvalidArgument());
+}
+
+TEST(CliRunTest, ReportOnSampleFile) {
+  const std::string path = TempPath("cli_report.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"report", path, "--tolerance=0.3"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("Disclosure Risk Report"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace anonsafe

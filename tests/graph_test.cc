@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include "belief/builders.h"
+#include "data/frequency.h"
+#include "graph/bipartite_graph.h"
+#include "graph/consistency.h"
+#include "graph/hopcroft_karp.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+namespace {
+
+Result<FrequencyGroups> GroupsFromSupports(std::vector<SupportCount> s,
+                                           size_t m) {
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable t,
+                            FrequencyTable::FromSupports(std::move(s), m));
+  return FrequencyGroups::Build(t);
+}
+
+// The staircase of Figure 6(a): items 1..4 with outdegrees 1,2,3,4 over
+// four singleton frequency groups. Item i's interval covers groups 0..i.
+struct Staircase {
+  FrequencyGroups groups;
+  BeliefFunction belief;
+};
+
+Result<Staircase> MakeStaircase() {
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyGroups groups,
+                            GroupsFromSupports({10, 20, 30, 40}, 100));
+  // Frequencies 0.1 .. 0.4; item i covers frequencies up to 0.1*(i+1).
+  ANONSAFE_ASSIGN_OR_RETURN(
+      BeliefFunction belief,
+      BeliefFunction::Create({{0.05, 0.15},
+                              {0.05, 0.25},
+                              {0.05, 0.35},
+                              {0.05, 0.45}}));
+  return Staircase{std::move(groups), std::move(belief)};
+}
+
+// ---------------------------------------------------------- BipartiteGraph
+
+TEST(BipartiteGraphTest, BuildFromBeliefMatchesStabbing) {
+  auto st = MakeStaircase();
+  ASSERT_TRUE(st.ok());
+  auto g = BipartiteGraph::Build(st->groups, st->belief);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_items(), 4u);
+  EXPECT_EQ(g->num_edges(), 10u);  // 1+2+3+4
+  EXPECT_EQ(g->item_outdegree(0), 1u);
+  EXPECT_EQ(g->item_outdegree(3), 4u);
+  EXPECT_TRUE(g->HasEdge(0, 3));   // anon 0 (f=.1) consistent with item 3
+  EXPECT_FALSE(g->HasEdge(3, 0));  // anon 3 (f=.4) not with item 0
+  EXPECT_EQ(g->anon_degree(0), 4u);
+  EXPECT_EQ(g->anon_degree(3), 1u);
+}
+
+TEST(BipartiteGraphTest, IgnorantBeliefIsCompleteBipartite) {
+  auto groups = GroupsFromSupports({5, 5, 7}, 10);
+  ASSERT_TRUE(groups.ok());
+  BeliefFunction beta = MakeIgnorantBelief(3);
+  auto g = BipartiteGraph::Build(*groups, beta);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 9u);
+}
+
+TEST(BipartiteGraphTest, EdgeBudgetEnforced) {
+  auto groups = GroupsFromSupports({5, 5, 7}, 10);
+  ASSERT_TRUE(groups.ok());
+  BeliefFunction beta = MakeIgnorantBelief(3);
+  EXPECT_TRUE(BipartiteGraph::Build(*groups, beta, /*max_edges=*/8)
+                  .status().IsOutOfRange());
+}
+
+TEST(BipartiteGraphTest, DomainMismatchFails) {
+  auto groups = GroupsFromSupports({5, 5}, 10);
+  ASSERT_TRUE(groups.ok());
+  BeliefFunction beta = MakeIgnorantBelief(3);
+  EXPECT_TRUE(BipartiteGraph::Build(*groups, beta)
+                  .status().IsInvalidArgument());
+}
+
+TEST(BipartiteGraphTest, FromAdjacencyValidatesAndDeduplicates) {
+  auto g = BipartiteGraph::FromAdjacency(2, {{0, 0, 1}, {1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_TRUE(BipartiteGraph::FromAdjacency(2, {{0, 5}, {}})
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(BipartiteGraph::FromAdjacency(2, {{0}})
+                  .status().IsInvalidArgument());
+}
+
+TEST(BipartiteGraphTest, RowMasks) {
+  auto g = BipartiteGraph::FromAdjacency(3, {{0, 2}, {1}, {0, 1, 2}});
+  ASSERT_TRUE(g.ok());
+  auto rows = g->ToRowMasks();
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], 0b101u);
+  EXPECT_EQ((*rows)[1], 0b010u);
+  EXPECT_EQ((*rows)[2], 0b111u);
+}
+
+// ------------------------------------------------------------ HopcroftKarp
+
+TEST(HopcroftKarpTest, PerfectMatchingOnCompleteGraph) {
+  auto g = BipartiteGraph::FromAdjacency(
+      4, {{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3}});
+  ASSERT_TRUE(g.ok());
+  Matching m = HopcroftKarp(*g);
+  EXPECT_TRUE(m.IsPerfect());
+  EXPECT_TRUE(IsValidMatching(*g, m));
+}
+
+TEST(HopcroftKarpTest, MaximumOnDeficientGraph) {
+  // Anon 0 and 1 both only like item 0: maximum matching has size 2.
+  auto g = BipartiteGraph::FromAdjacency(3, {{0}, {0}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  Matching m = HopcroftKarp(*g);
+  EXPECT_EQ(m.size, 2u);
+  EXPECT_FALSE(m.IsPerfect());
+  EXPECT_TRUE(IsValidMatching(*g, m));
+}
+
+TEST(HopcroftKarpTest, EmptyGraphNoMatching) {
+  auto g = BipartiteGraph::FromAdjacency(2, {{}, {}});
+  ASSERT_TRUE(g.ok());
+  Matching m = HopcroftKarp(*g);
+  EXPECT_EQ(m.size, 0u);
+  EXPECT_TRUE(IsValidMatching(*g, m));
+}
+
+TEST(HopcroftKarpTest, AugmentingPathCase) {
+  // Requires augmentation: greedy 0->a fails unless flipped.
+  auto g = BipartiteGraph::FromAdjacency(3, {{0, 1}, {0}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  Matching m = HopcroftKarp(*g);
+  EXPECT_TRUE(m.IsPerfect());
+  EXPECT_TRUE(IsValidMatching(*g, m));
+  EXPECT_EQ(m.item_of_anon[1], 0u);
+}
+
+TEST(HopcroftKarpTest, RandomGraphsMatchingValid) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.UniformUint64(20);
+    std::vector<std::vector<ItemId>> adj(n);
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t x = 0; x < n; ++x) {
+        if (rng.Bernoulli(0.3)) adj[a].push_back(static_cast<ItemId>(x));
+      }
+    }
+    auto g = BipartiteGraph::FromAdjacency(n, std::move(adj));
+    ASSERT_TRUE(g.ok());
+    Matching m = HopcroftKarp(*g);
+    EXPECT_TRUE(IsValidMatching(*g, m));
+    EXPECT_LE(m.size, n);
+  }
+}
+
+// ---------------------------------------------------- ConsistencyStructure
+
+TEST(ConsistencyTest, OutdegreesMatchExplicitGraph) {
+  auto st = MakeStaircase();
+  ASSERT_TRUE(st.ok());
+  auto cs = ConsistencyStructure::Build(st->groups, st->belief);
+  ASSERT_TRUE(cs.ok());
+  auto g = BipartiteGraph::Build(st->groups, st->belief);
+  ASSERT_TRUE(g.ok());
+  for (ItemId x = 0; x < 4; ++x) {
+    EXPECT_EQ(cs->outdegree(x), g->item_outdegree(x)) << "item " << x;
+  }
+  EXPECT_FALSE(cs->contradiction());
+  EXPECT_EQ(cs->num_dead_items(), 0u);
+}
+
+TEST(ConsistencyTest, Figure6aPropagationForcesEverything) {
+  // The paper's Figure 6(a): propagation cascades 1', 2', 3', 4' onto
+  // items 1..4; the number of cracks is 4, not the naive 25/12.
+  auto st = MakeStaircase();
+  ASSERT_TRUE(st.ok());
+  auto cs = ConsistencyStructure::Build(st->groups, st->belief);
+  ASSERT_TRUE(cs.ok());
+  auto stats = cs->PropagateDegreeOne();
+  EXPECT_FALSE(stats.contradiction);
+  EXPECT_EQ(stats.forced_pairs, 4u);
+  for (ItemId x = 0; x < 4; ++x) {
+    EXPECT_TRUE(cs->item_forced(x));
+    EXPECT_EQ(cs->outdegree(x), 1u);
+  }
+}
+
+TEST(ConsistencyTest, PropagationIsIdempotent) {
+  auto st = MakeStaircase();
+  ASSERT_TRUE(st.ok());
+  auto cs = ConsistencyStructure::Build(st->groups, st->belief);
+  ASSERT_TRUE(cs.ok());
+  auto first = cs->PropagateDegreeOne();
+  auto second = cs->PropagateDegreeOne();
+  EXPECT_EQ(first.forced_pairs, 4u);
+  EXPECT_EQ(second.forced_pairs, 0u);
+}
+
+TEST(ConsistencyTest, Figure6bTightPairsNotForced) {
+  // Figure 6(b): {1',2'} must map to {1,2} and {3',4'} to {3,4}, but no
+  // single vertex has degree 1, so degree-1 propagation (deliberately)
+  // does nothing — the O-estimate keeps counting the irrelevant edge.
+  auto groups = GroupsFromSupports({10, 20, 30, 40}, 100);
+  ASSERT_TRUE(groups.ok());
+  auto belief = BeliefFunction::Create({{0.05, 0.25},
+                                        {0.05, 0.25},
+                                        {0.15, 0.45},
+                                        {0.25, 0.45}});
+  ASSERT_TRUE(belief.ok());
+  auto cs = ConsistencyStructure::Build(*groups, *belief);
+  ASSERT_TRUE(cs.ok());
+  auto stats = cs->PropagateDegreeOne();
+  EXPECT_EQ(stats.forced_pairs, 0u);
+  EXPECT_EQ(cs->outdegree(2), 3u);  // the "irrelevant" edge still counted
+}
+
+TEST(ConsistencyTest, DeadItemsDetected) {
+  auto groups = GroupsFromSupports({10, 20}, 100);
+  ASSERT_TRUE(groups.ok());
+  // Item 1's interval stabs no group.
+  auto belief = BeliefFunction::Create({{0.05, 0.25}, {0.5, 0.6}});
+  ASSERT_TRUE(belief.ok());
+  auto cs = ConsistencyStructure::Build(*groups, *belief);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_TRUE(cs->contradiction());
+  EXPECT_EQ(cs->num_dead_items(), 1u);
+  EXPECT_TRUE(cs->item_dead(1));
+  EXPECT_EQ(cs->outdegree(1), 0u);
+  EXPECT_EQ(cs->outdegree(0), 2u);
+}
+
+TEST(ConsistencyTest, HallViolationFlagged) {
+  // Two anon items in one group but only one item covers it.
+  auto groups = GroupsFromSupports({10, 10, 30}, 100);
+  ASSERT_TRUE(groups.ok());
+  auto belief = BeliefFunction::Create(
+      {{0.05, 0.15}, {0.25, 0.35}, {0.25, 0.35}});
+  ASSERT_TRUE(belief.ok());
+  auto cs = ConsistencyStructure::Build(*groups, *belief);
+  ASSERT_TRUE(cs.ok());
+  auto stats = cs->PropagateDegreeOne();
+  EXPECT_TRUE(stats.contradiction);
+}
+
+TEST(ConsistencyTest, BeliefGroupsGroupIdenticalRanges) {
+  auto groups = GroupsFromSupports({10, 20, 30}, 100);
+  ASSERT_TRUE(groups.ok());
+  auto belief = BeliefFunction::Create({{0.05, 0.25},
+                                        {0.05, 0.25},
+                                        {0.15, 0.35}});
+  ASSERT_TRUE(belief.ok());
+  auto cs = ConsistencyStructure::Build(*groups, *belief);
+  ASSERT_TRUE(cs.ok());
+  auto bg = cs->BeliefGroups();
+  ASSERT_EQ(bg.size(), 2u);
+  EXPECT_EQ(bg[0], (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(bg[1], (std::vector<ItemId>{2}));
+}
+
+TEST(ConsistencyTest, BigMartGroupingFromPaper) {
+  // Belief function h of Figure 2 over the BigMart frequencies: item 0
+  // covers everything, items 1 and 3 cover {0.4..0.5-ish}, item 4 covers
+  // only 0.3..0.4, items 2 and 5 are points at 0.5.
+  auto groups = GroupsFromSupports({5, 4, 5, 5, 3, 5}, 10);
+  ASSERT_TRUE(groups.ok());
+  auto h = BeliefFunction::Create({{0.0, 1.0},
+                                   {0.4, 0.5},
+                                   {0.5, 0.5},
+                                   {0.4, 0.6},
+                                   {0.1, 0.4},
+                                   {0.5, 0.5}});
+  ASSERT_TRUE(h.ok());
+  auto cs = ConsistencyStructure::Build(*groups, *h);
+  ASSERT_TRUE(cs.ok());
+  // Outdegrees: item0: all 6; item1: {0.4,0.5} -> 1+4=5; item2: 4;
+  // item3: 5; item4: {0.3,0.4} -> 1+1=2; item5: 4.
+  EXPECT_EQ(cs->outdegree(0), 6u);
+  EXPECT_EQ(cs->outdegree(1), 5u);
+  EXPECT_EQ(cs->outdegree(2), 4u);
+  EXPECT_EQ(cs->outdegree(3), 5u);
+  EXPECT_EQ(cs->outdegree(4), 2u);
+  EXPECT_EQ(cs->outdegree(5), 4u);
+  // Items 1 and 3 share a belief group despite different intervals —
+  // the paper's observation about Figure 3(b).
+  auto bg = cs->BeliefGroups();
+  bool found_13 = false;
+  for (const auto& members : bg) {
+    if (members == std::vector<ItemId>{1, 3}) found_13 = true;
+  }
+  EXPECT_TRUE(found_13);
+}
+
+}  // namespace
+}  // namespace anonsafe

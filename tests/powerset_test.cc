@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "belief/builders.h"
+#include "core/graph_oestimate.h"
+#include "data/frequency.h"
+#include "datagen/quest.h"
+#include "graph/bipartite_graph.h"
+#include "graph/permanent.h"
+#include "powerset/pair_attack.h"
+#include "powerset/pair_belief.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+namespace {
+
+/// Camouflage scenario: items 0 and 1 have identical supports (same
+/// frequency group, indistinguishable at the item level), but item 0
+/// co-occurs with item 2 while item 1 never does. Pair knowledge about
+/// {0, 2} breaks the camouflage.
+Database CamouflageDb() {
+  Database db(3);
+  EXPECT_TRUE(db.AddTransaction({0, 2}).ok());
+  EXPECT_TRUE(db.AddTransaction({0, 2}).ok());
+  EXPECT_TRUE(db.AddTransaction({1}).ok());
+  EXPECT_TRUE(db.AddTransaction({1}).ok());
+  EXPECT_TRUE(db.AddTransaction({2}).ok());
+  EXPECT_TRUE(db.AddTransaction({0, 1, 2}).ok());
+  return db;
+}
+
+// --------------------------------------------------------- PairSupportMatrix
+
+TEST(PairSupportMatrixTest, CountsPairsAndDiagonal) {
+  Database db = CamouflageDb();
+  auto pairs = PairSupportMatrix::Compute(db);
+  ASSERT_TRUE(pairs.ok());
+  EXPECT_EQ(pairs->support(0, 2), 3u);
+  EXPECT_EQ(pairs->support(2, 0), 3u);  // symmetric
+  EXPECT_EQ(pairs->support(0, 1), 1u);
+  EXPECT_EQ(pairs->support(1, 2), 1u);
+  // Diagonal = item support.
+  EXPECT_EQ(pairs->support(0, 0), 3u);
+  EXPECT_EQ(pairs->support(1, 1), 3u);
+  EXPECT_EQ(pairs->support(2, 2), 4u);
+  EXPECT_DOUBLE_EQ(pairs->frequency(0, 2), 0.5);
+}
+
+TEST(PairSupportMatrixTest, Guards) {
+  Database empty(2);
+  EXPECT_TRUE(PairSupportMatrix::Compute(empty).status()
+                  .IsInvalidArgument());
+  Database db(10);
+  ASSERT_TRUE(db.AddTransaction({0}).ok());
+  EXPECT_TRUE(PairSupportMatrix::Compute(db, 5).status().IsOutOfRange());
+}
+
+// -------------------------------------------------------- PairBeliefFunction
+
+TEST(PairBeliefTest, ConstrainAndLookup) {
+  PairBeliefFunction belief(5);
+  EXPECT_TRUE(belief.Constrain(1, 3, {0.2, 0.4}).ok());
+  EXPECT_TRUE(belief.IsConstrained(3, 1));  // unordered
+  EXPECT_EQ(belief.interval(3, 1), (BeliefInterval{0.2, 0.4}));
+  EXPECT_EQ(belief.interval(0, 4), (BeliefInterval{0.0, 1.0}));
+  EXPECT_EQ(belief.num_constraints(), 1u);
+
+  EXPECT_TRUE(belief.Constrain(1, 1, {0.0, 1.0}).IsInvalidArgument());
+  EXPECT_TRUE(belief.Constrain(1, 9, {0.0, 1.0}).IsInvalidArgument());
+  EXPECT_TRUE(belief.Constrain(1, 2, {0.5, 0.4}).IsInvalidArgument());
+}
+
+TEST(PairBeliefTest, ComplianceFraction) {
+  Database db = CamouflageDb();
+  auto pairs = PairSupportMatrix::Compute(db);
+  ASSERT_TRUE(pairs.ok());
+  PairBeliefFunction belief(3);
+  ASSERT_TRUE(belief.Constrain(0, 2, {0.4, 0.6}).ok());   // true f = 0.5 ok
+  ASSERT_TRUE(belief.Constrain(1, 2, {0.5, 0.8}).ok());   // true f = 1/6 no
+  auto alpha = belief.ComplianceFraction(*pairs);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 0.5);
+}
+
+TEST(PairBeliefTest, CompliantBuilderPicksTopPairs) {
+  Database db = CamouflageDb();
+  auto pairs = PairSupportMatrix::Compute(db);
+  ASSERT_TRUE(pairs.ok());
+  auto belief = MakeCompliantPairBelief(*pairs, 1, 0.05);
+  ASSERT_TRUE(belief.ok());
+  EXPECT_EQ(belief->num_constraints(), 1u);
+  EXPECT_TRUE(belief->IsConstrained(0, 2));  // support 3 is the top pair
+  auto alpha = belief->ComplianceFraction(*pairs);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 1.0);
+}
+
+TEST(PairBeliefTest, RandomBuilderRespectsMinSupport) {
+  Database db = CamouflageDb();
+  auto pairs = PairSupportMatrix::Compute(db);
+  ASSERT_TRUE(pairs.ok());
+  Rng rng(3);
+  auto belief = MakeRandomPairBelief(*pairs, 10, 0.05, 2, &rng);
+  ASSERT_TRUE(belief.ok());
+  // Only {0,2} has pair support >= 2.
+  EXPECT_EQ(belief->num_constraints(), 1u);
+  EXPECT_TRUE(belief->IsConstrained(0, 2));
+}
+
+// ---------------------------------------------------------------- The attack
+
+TEST(PairAttackTest, PairKnowledgeBreaksCamouflage) {
+  Database db = CamouflageDb();
+  auto table = FrequencyTable::Compute(db);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto pairs = PairSupportMatrix::Compute(db);
+  ASSERT_TRUE(pairs.ok());
+
+  // Item-level: exact frequencies known. Items 0 and 1 share a group, so
+  // they protect each other: point-valued E(X) = 2 (Lemma 3: g = 2).
+  auto item_belief = MakePointValuedBelief(*table);
+  ASSERT_TRUE(item_belief.ok());
+  auto graph = BipartiteGraph::Build(groups, *item_belief);
+  ASSERT_TRUE(graph.ok());
+  auto unconstrained = ExactExpectedCracksByPermanent(*graph);
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_NEAR(*unconstrained, 2.0, 1e-9);
+
+  // Pair level: the hacker also knows items 0 and 2 co-occur ~50% of the
+  // time. Only the identity assignment of {0, 1} satisfies it.
+  PairBeliefFunction pair_belief(3);
+  ASSERT_TRUE(pair_belief.Constrain(0, 2, {0.4, 0.6}).ok());
+
+  auto constrained = EnumerateConstrainedCrackDistribution(
+      *graph, *pairs, pair_belief);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_EQ(constrained->num_matchings, 1u);  // only the identity survives
+  EXPECT_NEAR(constrained->expected, 3.0, 1e-9);
+
+  // The AC-3 pruning reaches the same conclusion structurally.
+  auto pruned = PruneWithPairBeliefs(*graph, *pairs, pair_belief);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_GT(pruned->pruned_edges, 0u);
+  auto oe = ComputeOEstimateOnGraph(pruned->graph);
+  ASSERT_TRUE(oe.ok());
+  EXPECT_NEAR(oe->expected_cracks, 3.0, 1e-9);
+}
+
+TEST(PairAttackTest, UnconstrainedBeliefPrunesNothing) {
+  Database db = CamouflageDb();
+  auto table = FrequencyTable::Compute(db);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto pairs = PairSupportMatrix::Compute(db);
+  ASSERT_TRUE(pairs.ok());
+  auto graph = BipartiteGraph::Build(groups, MakeIgnorantBelief(3));
+  ASSERT_TRUE(graph.ok());
+  PairBeliefFunction empty_belief(3);
+  auto pruned = PruneWithPairBeliefs(*graph, *pairs, empty_belief);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_EQ(pruned->pruned_edges, 0u);
+  EXPECT_EQ(pruned->graph.num_edges(), graph->num_edges());
+}
+
+TEST(PairAttackTest, DomainMismatchFails) {
+  Database db = CamouflageDb();
+  auto pairs = PairSupportMatrix::Compute(db);
+  ASSERT_TRUE(pairs.ok());
+  auto graph = BipartiteGraph::FromAdjacency(2, {{0, 1}, {0, 1}});
+  ASSERT_TRUE(graph.ok());
+  PairBeliefFunction belief(2);
+  EXPECT_TRUE(PruneWithPairBeliefs(*graph, *pairs, belief)
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(EnumerateConstrainedCrackDistribution(*graph, *pairs, belief)
+                  .status().IsInvalidArgument());
+}
+
+class PairPruningSoundnessTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PairPruningSoundnessTest, PruningPreservesConstrainedMatchings) {
+  // Soundness: AC-3 never removes an edge used by any mapping that is
+  // consistent with both levels — the constrained crack distribution is
+  // identical before and after pruning.
+  Rng rng(GetParam() * 131);
+  QuestParams params;
+  params.num_items = 8;
+  params.num_transactions = 60;
+  params.avg_txn_size = 3.0;
+  params.seed = GetParam();
+  auto db = GenerateQuestDatabase(params);
+  ASSERT_TRUE(db.ok());
+  auto table = FrequencyTable::Compute(*db);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto pairs = PairSupportMatrix::Compute(*db);
+  ASSERT_TRUE(pairs.ok());
+
+  auto item_belief = MakeCompliantIntervalBelief(
+      *table, 0.05 + 0.3 * rng.UniformDouble());
+  ASSERT_TRUE(item_belief.ok());
+  auto graph = BipartiteGraph::Build(groups, *item_belief);
+  ASSERT_TRUE(graph.ok());
+
+  auto pair_belief = MakeRandomPairBelief(
+      *pairs, 4, 0.02 + 0.1 * rng.UniformDouble(), 1, &rng);
+  ASSERT_TRUE(pair_belief.ok());
+
+  auto before = EnumerateConstrainedCrackDistribution(*graph, *pairs,
+                                                      *pair_belief);
+  ASSERT_TRUE(before.ok());
+  auto pruned = PruneWithPairBeliefs(*graph, *pairs, *pair_belief);
+  ASSERT_TRUE(pruned.ok());
+  auto after = EnumerateConstrainedCrackDistribution(pruned->graph, *pairs,
+                                                     *pair_belief);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->num_matchings, after->num_matchings);
+  EXPECT_NEAR(before->expected, after->expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairPruningSoundnessTest,
+                         ::testing::Range<uint64_t>(1, 16));
+
+class PairKnowledgeMonotonicityTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairKnowledgeMonotonicityTest, MoreCompliantPairsMoreCracks) {
+  // Adding compliant pair constraints can only shrink the mapping space
+  // around the truth: expected cracks are non-decreasing in the number
+  // of constraints.
+  Rng rng(GetParam() * 733);
+  QuestParams params;
+  params.num_items = 7;
+  params.num_transactions = 50;
+  params.avg_txn_size = 3.0;
+  params.seed = GetParam() + 100;
+  auto db = GenerateQuestDatabase(params);
+  ASSERT_TRUE(db.ok());
+  auto table = FrequencyTable::Compute(*db);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto pairs = PairSupportMatrix::Compute(*db);
+  ASSERT_TRUE(pairs.ok());
+  auto item_belief = MakeCompliantIntervalBelief(*table, 0.15);
+  ASSERT_TRUE(item_belief.ok());
+  auto graph = BipartiteGraph::Build(groups, *item_belief);
+  ASSERT_TRUE(graph.ok());
+
+  double prev = -1.0;
+  for (size_t k : {0u, 2u, 5u, 10u}) {
+    auto pair_belief = MakeCompliantPairBelief(*pairs, k, 0.01);
+    ASSERT_TRUE(pair_belief.ok());
+    auto dist = EnumerateConstrainedCrackDistribution(*graph, *pairs,
+                                                      *pair_belief);
+    ASSERT_TRUE(dist.ok());
+    ASSERT_GT(dist->num_matchings, 0u);  // identity always survives
+    EXPECT_GE(dist->expected, prev - 1e-9) << "k=" << k;
+    prev = dist->expected;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairKnowledgeMonotonicityTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace anonsafe

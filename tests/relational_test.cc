@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "core/graph_oestimate.h"
+#include "core/exact_formulas.h"
+#include "graph/edge_pruning.h"
+#include "graph/permanent.h"
+#include "relational/knowledge.h"
+#include "relational/record_table.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+namespace {
+
+Result<RecordTable> PeopleTable() {
+  // The Section 8.1 example: age bucket, ethnicity, car model.
+  ANONSAFE_ASSIGN_OR_RETURN(
+      RecordTable table,
+      RecordTable::Create({{"age", 10}, {"ethnicity", 5}, {"car", 8}}));
+  // person 0 "John": Chinese(2), Toyota(3), age bucket 4
+  ANONSAFE_RETURN_IF_ERROR(table.AddRecord({4, 2, 3}));
+  // person 1 "Mary": age bucket 6
+  ANONSAFE_RETURN_IF_ERROR(table.AddRecord({6, 1, 0}));
+  // person 2 "Bob"
+  ANONSAFE_RETURN_IF_ERROR(table.AddRecord({3, 2, 3}));
+  // person 3: same profile as John except the car
+  ANONSAFE_RETURN_IF_ERROR(table.AddRecord({4, 2, 5}));
+  return table;
+}
+
+// -------------------------------------------------------------- RecordTable
+
+TEST(RecordTableTest, CreateValidatesSchema) {
+  EXPECT_TRUE(RecordTable::Create({}).status().IsInvalidArgument());
+  EXPECT_TRUE(RecordTable::Create({{"a", 0}}).status().IsInvalidArgument());
+  EXPECT_TRUE(RecordTable::Create({{"a", 2}, {"a", 3}})
+                  .status().IsInvalidArgument());
+  auto ok = RecordTable::Create({{"a", 2}, {"b", 3}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_attributes(), 2u);
+  auto idx = ok->AttributeIndex("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_TRUE(ok->AttributeIndex("zzz").status().IsNotFound());
+}
+
+TEST(RecordTableTest, AddRecordValidates) {
+  auto table = RecordTable::Create({{"a", 2}, {"b", 3}});
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table->AddRecord({1}).IsInvalidArgument());
+  EXPECT_TRUE(table->AddRecord({1, 3}).IsInvalidArgument());
+  EXPECT_TRUE(table->AddRecord({1, 2}).ok());
+  EXPECT_EQ(table->num_records(), 1u);
+  EXPECT_EQ(table->value(0, 1), 2u);
+}
+
+TEST(RecordTableTest, GeneratePopulationShapeAndSkew) {
+  Rng rng(3);
+  auto pop = GeneratePopulation({{"x", 20}, {"y", 4}}, 2000, 1.2, &rng);
+  ASSERT_TRUE(pop.ok());
+  EXPECT_EQ(pop->num_records(), 2000u);
+  // Skewed: value 0 of attribute x far more common than value 19.
+  size_t v0 = 0, v19 = 0;
+  for (size_t r = 0; r < 2000; ++r) {
+    if (pop->value(r, 0) == 0) ++v0;
+    if (pop->value(r, 0) == 19) ++v19;
+  }
+  EXPECT_GT(v0, 4 * (v19 + 1));
+  EXPECT_TRUE(GeneratePopulation({{"x", 2}}, 10, -1.0, &rng)
+                  .status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------- RecordPredicate
+
+TEST(RecordPredicateTest, MatchSemantics) {
+  auto table = PeopleTable();
+  ASSERT_TRUE(table.ok());
+  RecordPredicate p(3);
+  EXPECT_TRUE(p.Matches(*table, 0));  // unconstrained matches everyone
+  p.RestrictTo(1, {2});               // ethnicity Chinese
+  p.RestrictTo(2, {3});               // car Toyota
+  EXPECT_TRUE(p.Matches(*table, 0));   // John
+  EXPECT_FALSE(p.Matches(*table, 1));  // Mary
+  EXPECT_TRUE(p.Matches(*table, 2));   // Bob also fits the description
+  EXPECT_FALSE(p.Matches(*table, 3));  // different car
+}
+
+TEST(RecordPredicateTest, RangeAndIntersection) {
+  auto table = PeopleTable();
+  ASSERT_TRUE(table.ok());
+  RecordPredicate p(3);
+  p.RestrictRange(0, 3, 6);  // age in [3, 6]
+  EXPECT_TRUE(p.Matches(*table, 0));
+  EXPECT_TRUE(p.Matches(*table, 1));
+  p.RestrictRange(0, 5, 9);  // intersect: age in [5, 6]
+  EXPECT_FALSE(p.Matches(*table, 0));
+  EXPECT_TRUE(p.Matches(*table, 1));
+  // Intersecting to emptiness is unsatisfiable.
+  p.RestrictTo(0, {1});
+  EXPECT_FALSE(p.Matches(*table, 1));
+}
+
+// ------------------------------------------------------ RelationalKnowledge
+
+TEST(RelationalKnowledgeTest, Section81Example) {
+  auto table = PeopleTable();
+  ASSERT_TRUE(table.ok());
+  RelationalKnowledge knowledge(4, 3);
+  // The hacker knows John is Chinese owning a Toyota...
+  knowledge.predicate(0).RestrictTo(1, {2});
+  knowledge.predicate(0).RestrictTo(2, {3});
+  // ...and Mary's age is between 5 and 7. Bob and person 3: nothing.
+  knowledge.predicate(1).RestrictRange(0, 5, 7);
+
+  auto graph = knowledge.BuildConsistencyGraph(*table);
+  ASSERT_TRUE(graph.ok());
+  // John's candidates: records matching Chinese+Toyota = {0 (John), 2}.
+  EXPECT_EQ(graph->item_outdegree(0), 2u);
+  // Mary's candidates: records with age in [5,7] = {1} only.
+  EXPECT_EQ(graph->item_outdegree(1), 1u);
+  // Bob and person 3 match everything.
+  EXPECT_EQ(graph->item_outdegree(2), 4u);
+  EXPECT_EQ(graph->item_outdegree(3), 4u);
+
+  auto compliance = knowledge.ComplianceFraction(*table);
+  ASSERT_TRUE(compliance.ok());
+  EXPECT_DOUBLE_EQ(*compliance, 1.0);  // all constraints are true facts
+
+  // The generic estimators run unchanged on the relational graph.
+  auto oe = ComputeOEstimateOnGraph(*graph);
+  ASSERT_TRUE(oe.ok());
+  EXPECT_GT(oe->expected_cracks, 1.0);  // Mary is certainly cracked
+  EXPECT_GE(oe->forced_items, 1u);
+  auto exact = ExactExpectedCracksByPermanent(*graph);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GE(*exact, oe->expected_cracks - 1e-9);
+}
+
+TEST(RelationalKnowledgeTest, SizeMismatchFails) {
+  auto table = PeopleTable();
+  ASSERT_TRUE(table.ok());
+  RelationalKnowledge knowledge(3, 3);
+  EXPECT_TRUE(knowledge.BuildConsistencyGraph(*table)
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(knowledge.ComplianceFraction(*table)
+                  .status().IsInvalidArgument());
+}
+
+TEST(RelationalKnowledgeTest, IgnorantKnowledgeGivesLemma1) {
+  Rng rng(5);
+  auto pop = GeneratePopulation({{"x", 4}, {"y", 4}}, 8, 0.0, &rng);
+  ASSERT_TRUE(pop.ok());
+  RelationalKnowledge knowledge(8, 2);  // knows nothing about anyone
+  auto graph = knowledge.BuildConsistencyGraph(*pop);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 64u);  // complete bipartite
+  auto exact = ExactExpectedCracksByPermanent(*graph);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(*exact, 1.0, 1e-9);  // Lemma 1 carries over verbatim
+}
+
+TEST(AttributeKnowledgeTest, MoreAttributesMeansMoreRisk) {
+  Rng rng(7);
+  auto pop = GeneratePopulation(
+      {{"a", 6}, {"b", 5}, {"c", 4}, {"d", 3}}, 60, 0.6, &rng);
+  ASSERT_TRUE(pop.ok());
+  double prev = 0.0;
+  for (size_t known = 0; known <= 4; ++known) {
+    Rng krng(100 + known);
+    auto knowledge = MakeAttributeKnowledge(*pop, known, &krng);
+    ASSERT_TRUE(knowledge.ok());
+    auto compliance = knowledge->ComplianceFraction(*pop);
+    ASSERT_TRUE(compliance.ok());
+    EXPECT_DOUBLE_EQ(*compliance, 1.0);  // true facts only
+    auto graph = knowledge->BuildConsistencyGraph(*pop);
+    ASSERT_TRUE(graph.ok());
+    auto oe = ComputeOEstimateOnGraph(*graph);
+    ASSERT_TRUE(oe.ok());
+    EXPECT_GE(oe->expected_cracks, prev - 1e-9)
+        << "knowing more attributes reduced the risk?";
+    prev = oe->expected_cracks;
+  }
+  EXPECT_GT(prev, 10.0);  // knowing all 4 attrs cracks most of 60 records
+}
+
+TEST(AttributeKnowledgeTest, ValidatesArguments) {
+  Rng rng(9);
+  auto pop = GeneratePopulation({{"a", 3}}, 10, 0.0, &rng);
+  ASSERT_TRUE(pop.ok());
+  EXPECT_TRUE(MakeAttributeKnowledge(*pop, 5, &rng)
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(MakeAlphaAttributeKnowledge(*pop, 1, 1.5, &rng)
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(MakeAlphaAttributeKnowledge(*pop, 0, 0.5, &rng)
+                  .status().IsInvalidArgument());
+}
+
+TEST(AlphaAttributeKnowledgeTest, HitsRequestedCompliance) {
+  Rng rng(11);
+  auto pop = GeneratePopulation({{"a", 8}, {"b", 8}}, 100, 0.3, &rng);
+  ASSERT_TRUE(pop.ok());
+  for (double alpha : {0.2, 0.5, 0.9}) {
+    Rng krng(static_cast<uint64_t>(alpha * 1000));
+    auto knowledge = MakeAlphaAttributeKnowledge(*pop, 2, alpha, &krng);
+    ASSERT_TRUE(knowledge.ok());
+    auto measured = knowledge->ComplianceFraction(*pop);
+    ASSERT_TRUE(measured.ok());
+    EXPECT_NEAR(*measured, alpha, 0.02) << "alpha=" << alpha;
+  }
+}
+
+TEST(RelationalSetDisclosureTest, TwinsFormIdentifiedPairs) {
+  // Two identical records under full-attribute knowledge camouflage each
+  // other (a set of size 2); a unique record is a certain crack.
+  auto table = RecordTable::Create({{"a", 4}, {"b", 4}});
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->AddRecord({1, 1}).ok());
+  ASSERT_TRUE(table->AddRecord({1, 1}).ok());  // twin of record 0
+  ASSERT_TRUE(table->AddRecord({2, 3}).ok());  // unique
+  Rng rng(13);
+  auto knowledge = MakeAttributeKnowledge(*table, 2, &rng);
+  ASSERT_TRUE(knowledge.ok());
+  auto graph = knowledge->BuildConsistencyGraph(*table);
+  ASSERT_TRUE(graph.ok());
+  auto sets = AnalyzeSetDisclosure(*graph);
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets->identified_sets.size(), 2u);
+  EXPECT_EQ(sets->identified_sets[0], (std::vector<ItemId>{0, 1}));
+  EXPECT_EQ(sets->identified_sets[1], (std::vector<ItemId>{2}));
+  EXPECT_EQ(sets->certain_cracks, 1u);
+}
+
+}  // namespace
+}  // namespace anonsafe
