@@ -9,13 +9,14 @@
 // Environment: ANONSAFE_SCALE shrinks the datasets; ANONSAFE_SIM=0 skips
 // the simulation columns (fast O-estimate-only run).
 
-#include <chrono>
 #include <iostream>
 
 #include "belief/builders.h"
 #include "bench_common.h"
 #include "core/oestimate.h"
 #include "core/simulated.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/table_printer.h"
 
 using namespace anonsafe;
@@ -24,6 +25,7 @@ using namespace anonsafe::bench;
 int main() {
   PrintBanner("E3 / Figure 10",
               "O-estimate vs average simulated estimate, full compliance");
+  BenchTelemetry telemetry("fig10_oe_accuracy");
   const double scale = GetScale();
   const bool simulate = SimulationEnabled();
   if (scale != 1.0) std::cout << "[ANONSAFE_SCALE=" << scale << "]\n";
@@ -51,14 +53,17 @@ int main() {
       return 1;
     }
 
-    auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch watch;
     auto oe = ComputeOEstimate(ds->groups, *belief);
-    auto t1 = std::chrono::steady_clock::now();
+    double oe_seconds = watch.Seconds();
     if (!oe.ok()) {
       std::cerr << oe.status() << "\n";
       return 1;
     }
-    double oe_seconds = std::chrono::duration<double>(t1 - t0).count();
+    obs::GaugeIf(
+        ("anonsafe_bench_fig10_oe_seconds_" + std::string(ds->spec.name))
+            .c_str(),
+        oe_seconds);
 
     double sim_mean = 0.0, sim_sd = 0.0;
     std::string within = "-";

@@ -5,11 +5,12 @@
 // likely comfortable); CONNECT gives alpha_max around 0.2 (owner should
 // think twice).
 
-#include <chrono>
 #include <iostream>
 
 #include "bench_common.h"
 #include "core/recipe.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/table_printer.h"
 
 using namespace anonsafe;
@@ -17,6 +18,7 @@ using namespace anonsafe::bench;
 
 int main() {
   PrintBanner("E8 / Figure 8 recipe", "Assess-Risk on all six benchmarks");
+  BenchTelemetry telemetry("fig8_recipe");
   const double scale = GetScale();
   if (scale != 1.0) std::cout << "[ANONSAFE_SCALE=" << scale << "]\n";
 
@@ -34,14 +36,16 @@ int main() {
     RecipeOptions options;
     options.tolerance = 0.1;
     options.alpha_runs = 5;
-    auto t0 = std::chrono::steady_clock::now();
+    obs::Stopwatch watch;
     auto result = AssessRisk(ds->table, options);
-    auto t1 = std::chrono::steady_clock::now();
+    double seconds = watch.Seconds();
     if (!result.ok()) {
       std::cerr << spec.name << ": " << result.status() << "\n";
       return 1;
     }
-    double seconds = std::chrono::duration<double>(t1 - t0).count();
+    obs::GaugeIf(
+        ("anonsafe_bench_fig8_seconds_" + std::string(spec.name)).c_str(),
+        seconds);
     double oe_fraction =
         result->interval_oe / static_cast<double>(result->num_items);
     std::string alpha_cell =

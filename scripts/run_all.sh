@@ -22,6 +22,8 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+scripts/check_metrics.sh
+
 {
   for b in build/bench/*; do
     [[ -x "$b" && -f "$b" ]] || continue

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/scoped_timer.h"
 #include "util/rng.h"
 
 namespace anonsafe {
@@ -65,6 +66,7 @@ AlphaCompliantBelief AlphaCompliancySweep::BeliefAt(size_t run,
 Result<double> AlphaCompliancySweep::AverageOEstimate(
     const FrequencyGroups& observed, double alpha,
     const OEstimateOptions& options) const {
+  ANONSAFE_SCOPED_TIMER("core.alpha_sweep_avg");
   double sum = 0.0;
   for (size_t r = 0; r < num_runs(); ++r) {
     AlphaCompliantBelief ab = BeliefAt(r, alpha);
@@ -84,6 +86,7 @@ Result<double> AlphaCompliancySweep::AverageOEstimateForItems(
   if (interest.size() != num_items()) {
     return Status::InvalidArgument("interest mask size mismatch");
   }
+  ANONSAFE_SCOPED_TIMER("core.alpha_sweep_avg");
   double sum = 0.0;
   for (size_t r = 0; r < num_runs(); ++r) {
     AlphaCompliantBelief ab = BeliefAt(r, alpha);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/edge_pruning.h"
+#include "obs/scoped_timer.h"
 
 namespace anonsafe {
 namespace {
@@ -113,6 +114,7 @@ ExplicitPropagation Propagate(const BipartiteGraph& graph) {
 
 Result<OEstimateResult> ComputeOEstimateOnGraph(
     const BipartiteGraph& graph, const OEstimateOptions& options) {
+  ANONSAFE_SCOPED_TIMER("core.oestimate_graph");
   const size_t n = graph.num_items();
   OEstimateResult out;
 
@@ -152,6 +154,7 @@ Result<OEstimateResult> ComputeOEstimateOnGraph(
 
 Result<OEstimateResult> ComputeRefinedOEstimateOnGraph(
     const BipartiteGraph& graph) {
+  ANONSAFE_SCOPED_TIMER("core.oestimate_refined");
   ANONSAFE_ASSIGN_OR_RETURN(MatchingCover cover, ComputeMatchingCover(graph));
   const size_t n = cover.graph.num_items();
   OEstimateResult out;

@@ -1,6 +1,7 @@
 #include "core/oestimate.h"
 
 #include "graph/consistency.h"
+#include "obs/scoped_timer.h"
 
 namespace anonsafe {
 namespace {
@@ -9,6 +10,7 @@ Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
                                     const BeliefFunction& belief,
                                     const std::vector<bool>* include,
                                     const OEstimateOptions& options) {
+  obs::ScopedTimer timer("core.oestimate");
   if (include != nullptr && include->size() != belief.num_items()) {
     return Status::InvalidArgument("include mask size mismatch");
   }
@@ -34,6 +36,12 @@ Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
   }
   out.fraction = n == 0 ? 0.0
                         : out.expected_cracks / static_cast<double>(n);
+  obs::CountIf("anonsafe_oestimate_runs_total");
+  if (timer.tracing()) {
+    timer.Annotate("expected_cracks",
+                   std::to_string(out.expected_cracks));
+    timer.Annotate("forced", std::to_string(out.forced_items));
+  }
   return out;
 }
 

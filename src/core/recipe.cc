@@ -5,6 +5,8 @@
 #include "belief/builders.h"
 #include "core/alpha_sweep.h"
 #include "core/exact_formulas.h"
+#include "obs/scoped_timer.h"
+#include "util/table_printer.h"
 
 namespace anonsafe {
 
@@ -55,6 +57,8 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   if (options.alpha_runs == 0) {
     return Status::InvalidArgument("alpha_runs must be positive");
   }
+  obs::ScopedTimer recipe_timer("recipe.assess_risk");
+  obs::CountIf("anonsafe_recipe_runs_total");
 
   RecipeResult out;
   out.tolerance = options.tolerance;
@@ -62,33 +66,55 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   out.crack_budget =
       options.tolerance * static_cast<double>(table.num_items());
 
+  obs::ScopedTimer build_timer("recipe.group_build");
   FrequencyGroups groups = FrequencyGroups::Build(table);
+  build_timer.Stop();
   out.num_groups = groups.num_groups();
 
   // Steps 1-2: the point-valued worst case (Lemma 3).
-  if (static_cast<double>(out.num_groups) <= out.crack_budget) {
-    out.decision = RecipeDecision::kDiscloseAtPointValued;
-    return out;
+  {
+    obs::ScopedTimer step("recipe.point_valued_check");
+    if (step.tracing()) {
+      step.Annotate("g", std::to_string(out.num_groups));
+      step.Annotate("budget", TablePrinter::FmtG(out.crack_budget, 4));
+    }
+    if (static_cast<double>(out.num_groups) <= out.crack_budget) {
+      out.decision = RecipeDecision::kDiscloseAtPointValued;
+      if (recipe_timer.tracing()) {
+        recipe_timer.Annotate("decision", ToString(out.decision));
+      }
+      return out;
+    }
   }
 
-  // Steps 3-5: compliant interval belief of half-width delta_med.
+  // Steps 3-7: compliant interval belief of half-width delta_med, then
+  // the O-estimate under full compliance.
+  obs::ScopedTimer interval_timer("recipe.interval_check");
   out.delta_med = groups.MedianGap();
   ANONSAFE_ASSIGN_OR_RETURN(
       BeliefFunction base,
       MakeCompliantIntervalBelief(table, out.delta_med));
-
-  // Steps 6-7: O-estimate under full compliance.
   ANONSAFE_ASSIGN_OR_RETURN(
       OEstimateResult oe,
       ComputeOEstimate(groups, base, options.oestimate));
   out.interval_oe = oe.expected_cracks;
+  if (interval_timer.tracing()) {
+    interval_timer.Annotate("delta_med", TablePrinter::FmtG(out.delta_med, 4));
+    interval_timer.Annotate("interval_oe",
+                            TablePrinter::FmtG(out.interval_oe, 4));
+  }
+  interval_timer.Stop();
   if (out.interval_oe <= out.crack_budget) {
     out.decision = RecipeDecision::kDiscloseAtInterval;
+    if (recipe_timer.tracing()) {
+      recipe_timer.Annotate("decision", ToString(out.decision));
+    }
     return out;
   }
 
   // Steps 8-9: binary search for the largest alpha within tolerance,
   // averaging over nested random compliant subsets (Lemma 10 anchoring).
+  obs::ScopedTimer alpha_timer("recipe.alpha_search");
   ANONSAFE_ASSIGN_OR_RETURN(
       AlphaCompliancySweep sweep,
       AlphaCompliancySweep::Create(table, base, options.alpha_runs,
@@ -97,9 +123,15 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   double hi = 1.0;  // OE(1) > budget (checked above)
   for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
     double mid = (lo + hi) / 2.0;
+    obs::ScopedTimer probe("recipe.alpha_probe");
+    obs::CountIf("anonsafe_alpha_probes_total");
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
         sweep.AverageOEstimate(groups, mid, options.oestimate));
+    if (probe.tracing()) {
+      probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));
+      probe.Annotate("avg_oe", TablePrinter::FmtG(avg_oe, 4));
+    }
     if (avg_oe <= out.crack_budget) {
       lo = mid;
     } else {
@@ -108,6 +140,13 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   }
   out.alpha_max = lo;
   out.decision = RecipeDecision::kAlphaBound;
+  if (alpha_timer.tracing()) {
+    alpha_timer.Annotate("alpha_max", TablePrinter::FmtG(out.alpha_max, 4));
+  }
+  alpha_timer.Stop();
+  if (recipe_timer.tracing()) {
+    recipe_timer.Annotate("decision", ToString(out.decision));
+  }
   return out;
 }
 
@@ -136,24 +175,39 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
   if (num_interest == 0) {
     return Status::InvalidArgument("interest mask selects no items");
   }
+  obs::ScopedTimer recipe_timer("recipe.assess_risk_items");
+  obs::CountIf("anonsafe_recipe_runs_total");
 
   RecipeResult out;
   out.tolerance = options.tolerance;
   out.num_items = num_interest;  // decisions are relative to |interest|
   out.crack_budget = options.tolerance * static_cast<double>(num_interest);
 
+  obs::ScopedTimer build_timer("recipe.group_build");
   FrequencyGroups groups = FrequencyGroups::Build(table);
+  build_timer.Stop();
   out.num_groups = groups.num_groups();
 
   // Step 2, Lemma 4 form: sum of c_i/n_i over frequency groups.
-  ANONSAFE_ASSIGN_OR_RETURN(
-      double point_valued,
-      PointValuedExpectedCracksOfInterest(groups, interest));
-  if (point_valued <= out.crack_budget) {
-    out.decision = RecipeDecision::kDiscloseAtPointValued;
-    return out;
+  {
+    obs::ScopedTimer step("recipe.point_valued_check");
+    ANONSAFE_ASSIGN_OR_RETURN(
+        double point_valued,
+        PointValuedExpectedCracksOfInterest(groups, interest));
+    if (step.tracing()) {
+      step.Annotate("point_valued", TablePrinter::FmtG(point_valued, 4));
+      step.Annotate("budget", TablePrinter::FmtG(out.crack_budget, 4));
+    }
+    if (point_valued <= out.crack_budget) {
+      out.decision = RecipeDecision::kDiscloseAtPointValued;
+      if (recipe_timer.tracing()) {
+        recipe_timer.Annotate("decision", ToString(out.decision));
+      }
+      return out;
+    }
   }
 
+  obs::ScopedTimer interval_timer("recipe.interval_check");
   out.delta_med = groups.MedianGap();
   ANONSAFE_ASSIGN_OR_RETURN(
       BeliefFunction base,
@@ -164,11 +218,21 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
       ComputeOEstimateRestricted(groups, base, interest,
                                  options.oestimate));
   out.interval_oe = oe.expected_cracks;
+  if (interval_timer.tracing()) {
+    interval_timer.Annotate("delta_med", TablePrinter::FmtG(out.delta_med, 4));
+    interval_timer.Annotate("interval_oe",
+                            TablePrinter::FmtG(out.interval_oe, 4));
+  }
+  interval_timer.Stop();
   if (out.interval_oe <= out.crack_budget) {
     out.decision = RecipeDecision::kDiscloseAtInterval;
+    if (recipe_timer.tracing()) {
+      recipe_timer.Annotate("decision", ToString(out.decision));
+    }
     return out;
   }
 
+  obs::ScopedTimer alpha_timer("recipe.alpha_search");
   ANONSAFE_ASSIGN_OR_RETURN(
       AlphaCompliancySweep sweep,
       AlphaCompliancySweep::Create(table, base, options.alpha_runs,
@@ -177,10 +241,16 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
   double hi = 1.0;
   for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
     double mid = (lo + hi) / 2.0;
+    obs::ScopedTimer probe("recipe.alpha_probe");
+    obs::CountIf("anonsafe_alpha_probes_total");
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
         sweep.AverageOEstimateForItems(groups, mid, interest,
                                        options.oestimate));
+    if (probe.tracing()) {
+      probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));
+      probe.Annotate("avg_oe", TablePrinter::FmtG(avg_oe, 4));
+    }
     if (avg_oe <= out.crack_budget) {
       lo = mid;
     } else {
@@ -189,6 +259,13 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
   }
   out.alpha_max = lo;
   out.decision = RecipeDecision::kAlphaBound;
+  if (alpha_timer.tracing()) {
+    alpha_timer.Annotate("alpha_max", TablePrinter::FmtG(out.alpha_max, 4));
+  }
+  alpha_timer.Stop();
+  if (recipe_timer.tracing()) {
+    recipe_timer.Annotate("decision", ToString(out.decision));
+  }
   return out;
 }
 

@@ -3,8 +3,10 @@
 #include "belief/builders.h"
 #include "data/frequency.h"
 #include "data/sampling.h"
+#include "obs/scoped_timer.h"
 #include "util/rng.h"
 #include "util/stats.h"
+#include "util/table_printer.h"
 
 namespace anonsafe {
 
@@ -16,6 +18,8 @@ Result<std::vector<SimilarityPoint>> SimilarityBySampling(
   if (options.sample_fractions.empty()) {
     return Status::InvalidArgument("need at least one sample fraction");
   }
+  obs::ScopedTimer loop_timer("core.similarity_sampling");
+  obs::CountIf("anonsafe_similarity_runs_total");
   ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable truth, FrequencyTable::Compute(db));
 
   Rng rng(options.seed);
@@ -24,6 +28,10 @@ Result<std::vector<SimilarityPoint>> SimilarityBySampling(
   for (double p : options.sample_fractions) {
     if (!(p > 0.0) || p > 1.0) {
       return Status::InvalidArgument("sample fraction outside (0, 1]");
+    }
+    obs::ScopedTimer fraction_timer("core.similarity_fraction");
+    if (fraction_timer.tracing()) {
+      fraction_timer.Annotate("fraction", TablePrinter::FmtG(p, 4));
     }
     std::vector<double> alphas, deltas, group_counts;
     for (size_t rep = 0; rep < options.samples_per_fraction; ++rep) {
@@ -50,6 +58,10 @@ Result<std::vector<SimilarityPoint>> SimilarityBySampling(
     point.stddev_alpha = SampleStdDev(alphas);
     point.mean_delta = Mean(deltas);
     point.mean_groups = Mean(group_counts);
+    if (fraction_timer.tracing()) {
+      fraction_timer.Annotate("mean_alpha",
+                              TablePrinter::FmtG(point.mean_alpha, 4));
+    }
     curve.push_back(point);
   }
   return curve;

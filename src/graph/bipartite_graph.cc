@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/scoped_timer.h"
+
 namespace anonsafe {
 
 Result<BipartiteGraph> BipartiteGraph::Build(const FrequencyGroups& observed,
                                              const BeliefFunction& belief,
                                              size_t max_edges) {
+  obs::ScopedTimer timer("graph.bipartite_build");
   if (observed.num_items() != belief.num_items()) {
     return Status::InvalidArgument(
         "observed data covers " + std::to_string(observed.num_items()) +
@@ -53,6 +56,9 @@ Result<BipartiteGraph> BipartiteGraph::Build(const FrequencyGroups& observed,
     std::sort(anons.begin(), anons.end());
   }
   // items_of_anon_ lists are filled in ascending x order already.
+  if (timer.tracing()) {
+    timer.Annotate("edges", std::to_string(total_edges));
+  }
   return g;
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "obs/scoped_timer.h"
+
 namespace anonsafe {
 namespace {
 
@@ -26,6 +28,7 @@ int64_t FenwickPrefix(const std::vector<int64_t>& tree, size_t count) {
 
 Result<ConsistencyStructure> ConsistencyStructure::Build(
     const FrequencyGroups& observed, const BeliefFunction& belief) {
+  ANONSAFE_SCOPED_TIMER("graph.consistency_build");
   if (observed.num_items() != belief.num_items()) {
     return Status::InvalidArgument(
         "observed data covers " + std::to_string(observed.num_items()) +
@@ -102,6 +105,7 @@ size_t ConsistencyStructure::outdegree(ItemId x) const {
 
 ConsistencyStructure::PropagationStats
 ConsistencyStructure::PropagateDegreeOne() {
+  obs::ScopedTimer timer("graph.propagate_degree1");
   PropagationStats stats;
   propagated_ = true;
 
@@ -173,6 +177,12 @@ ConsistencyStructure::PropagateDegreeOne() {
 
   stats.contradiction = stats.contradiction || contradiction_;
   contradiction_ = stats.contradiction;
+  obs::CountIf("anonsafe_propagation_forced_pairs_total", stats.forced_pairs);
+  obs::CountIf("anonsafe_propagation_passes_total", stats.passes);
+  if (timer.tracing()) {
+    timer.Annotate("forced_pairs", std::to_string(stats.forced_pairs));
+    timer.Annotate("passes", std::to_string(stats.passes));
+  }
   return stats;
 }
 

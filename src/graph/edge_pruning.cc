@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/scoped_timer.h"
+
 namespace anonsafe {
 namespace {
 
@@ -116,6 +118,7 @@ class SccSolver {
 }  // namespace
 
 Result<MatchingCover> ComputeMatchingCover(const BipartiteGraph& graph) {
+  obs::ScopedTimer timer("graph.matching_cover");
   const size_t n = graph.num_items();
   Matching matching = HopcroftKarp(graph);
   if (!matching.IsPerfect()) {
@@ -158,6 +161,11 @@ Result<MatchingCover> ComputeMatchingCover(const BipartiteGraph& graph) {
     }
   }
   cover.pruned_edges = graph.num_edges() - kept_edges;
+  obs::CountIf("anonsafe_pruned_edges_total", cover.pruned_edges);
+  if (timer.tracing()) {
+    timer.Annotate("pruned_edges", std::to_string(cover.pruned_edges));
+    timer.Annotate("components", std::to_string(cover.num_components));
+  }
   ANONSAFE_ASSIGN_OR_RETURN(cover.graph,
                             BipartiteGraph::FromAdjacency(n, std::move(kept)));
   return cover;

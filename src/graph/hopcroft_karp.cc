@@ -3,6 +3,8 @@
 #include <limits>
 #include <queue>
 
+#include "obs/scoped_timer.h"
+
 namespace anonsafe {
 namespace {
 
@@ -85,6 +87,7 @@ class HkSolver {
 }  // namespace
 
 Matching HopcroftKarp(const BipartiteGraph& graph) {
+  ANONSAFE_SCOPED_TIMER("graph.hopcroft_karp");
   return HkSolver(graph).Solve();
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/scoped_timer.h"
+
 namespace anonsafe {
 
 size_t SamplerOptions::EffectiveBurnIn(size_t n) const {
@@ -196,6 +198,11 @@ size_t MatchingSampler::CountCracksState(
 
 std::vector<size_t> MatchingSampler::SampleImpl(
     const std::vector<bool>* interest) {
+  obs::ScopedTimer timer("graph.sampler_sample");
+  obs::CountIf("anonsafe_sampler_samples_total", options_.num_samples);
+  if (timer.tracing()) {
+    timer.Annotate("samples", std::to_string(options_.num_samples));
+  }
   std::vector<size_t> samples;
   samples.reserve(options_.num_samples);
   const size_t burn_in = options_.EffectiveBurnIn(num_items());

@@ -4,6 +4,8 @@
 #include <bit>
 #include <string>
 
+#include "obs/scoped_timer.h"
+
 namespace anonsafe {
 namespace {
 
@@ -62,6 +64,7 @@ Result<double> PermanentRyser(const std::vector<uint64_t>& rows) {
 }
 
 Result<double> CountPerfectMatchings(const BipartiteGraph& graph) {
+  ANONSAFE_SCOPED_TIMER("graph.permanent_count");
   if (graph.num_items() > kMaxPermanentN) {
     return Status::OutOfRange(
         "matching count limited to n <= " + std::to_string(kMaxPermanentN));
@@ -71,6 +74,7 @@ Result<double> CountPerfectMatchings(const BipartiteGraph& graph) {
 }
 
 Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph) {
+  ANONSAFE_SCOPED_TIMER("graph.permanent_exact_cracks");
   const size_t n = graph.num_items();
   if (n > kMaxPermanentN) {
     return Status::OutOfRange(
@@ -171,6 +175,7 @@ class MatchingEnumerator {
 
 Result<CrackDistribution> EnumerateCrackDistribution(
     const BipartiteGraph& graph, uint64_t max_matchings) {
+  ANONSAFE_SCOPED_TIMER("graph.crack_distribution");
   MatchingEnumerator enumerator(graph, max_matchings);
   ANONSAFE_RETURN_IF_ERROR(enumerator.Run());
   return enumerator.Finish();

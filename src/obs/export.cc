@@ -1,0 +1,169 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace anonsafe {
+namespace obs {
+namespace {
+
+/// Shortest %g rendering that survives JSON parsers (no bare inf/nan).
+std::string FmtDouble(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+void JsonEscapeTo(std::ostringstream& oss, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': oss << "\\\""; break;
+      case '\\': oss << "\\\\"; break;
+      case '\n': oss << "\\n"; break;
+      case '\t': oss << "\\t"; break;
+      case '\r': oss << "\\r"; break;
+      default: oss << c;
+    }
+  }
+}
+
+/// Prometheus label-value escaping for HELP text and label values.
+std::string PromEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExportJson(const MetricsRegistry& registry) {
+  std::ostringstream oss;
+  oss << "{\n  \"counters\": [";
+  bool first = true;
+  for (const Counter* c : registry.counters()) {
+    oss << (first ? "" : ",") << "\n    {\"name\": \"";
+    JsonEscapeTo(oss, c->name());
+    oss << "\", \"value\": " << c->value() << "}";
+    first = false;
+  }
+  oss << (first ? "" : "\n  ") << "],\n  \"gauges\": [";
+  first = true;
+  for (const Gauge* g : registry.gauges()) {
+    oss << (first ? "" : ",") << "\n    {\"name\": \"";
+    JsonEscapeTo(oss, g->name());
+    oss << "\", \"value\": " << FmtDouble(g->value()) << "}";
+    first = false;
+  }
+  oss << (first ? "" : "\n  ") << "],\n  \"histograms\": [";
+  first = true;
+  for (const Histogram* h : registry.histograms()) {
+    Histogram::Snapshot snap = h->Snap();
+    oss << (first ? "" : ",") << "\n    {\"name\": \"";
+    JsonEscapeTo(oss, h->name());
+    oss << "\", \"count\": " << snap.count
+        << ", \"sum\": " << FmtDouble(snap.sum)
+        << ", \"p50\": " << FmtDouble(snap.Quantile(0.50))
+        << ", \"p95\": " << FmtDouble(snap.Quantile(0.95))
+        << ", \"p99\": " << FmtDouble(snap.Quantile(0.99))
+        << ", \"buckets\": [";
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      if (b) oss << ", ";
+      oss << "{\"le\": ";
+      if (b < snap.bounds.size()) {
+        oss << FmtDouble(snap.bounds[b]);
+      } else {
+        oss << "\"+Inf\"";
+      }
+      oss << ", \"count\": " << snap.counts[b] << "}";
+    }
+    oss << "]}";
+    first = false;
+  }
+  oss << (first ? "" : "\n  ") << "]\n}\n";
+  return oss.str();
+}
+
+std::string ExportPrometheus(const MetricsRegistry& registry) {
+  std::ostringstream oss;
+  for (const Counter* c : registry.counters()) {
+    if (!c->help().empty()) {
+      oss << "# HELP " << c->name() << " " << PromEscape(c->help()) << "\n";
+    }
+    oss << "# TYPE " << c->name() << " counter\n"
+        << c->name() << " " << c->value() << "\n";
+  }
+  for (const Gauge* g : registry.gauges()) {
+    if (!g->help().empty()) {
+      oss << "# HELP " << g->name() << " " << PromEscape(g->help()) << "\n";
+    }
+    oss << "# TYPE " << g->name() << " gauge\n"
+        << g->name() << " " << FmtDouble(g->value()) << "\n";
+  }
+  for (const Histogram* h : registry.histograms()) {
+    Histogram::Snapshot snap = h->Snap();
+    if (!h->help().empty()) {
+      oss << "# HELP " << h->name() << " " << PromEscape(h->help()) << "\n";
+    }
+    oss << "# TYPE " << h->name() << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < snap.counts.size(); ++b) {
+      cumulative += snap.counts[b];
+      oss << h->name() << "_bucket{le=\"";
+      if (b < snap.bounds.size()) {
+        oss << FmtDouble(snap.bounds[b]);
+      } else {
+        oss << "+Inf";
+      }
+      oss << "\"} " << cumulative << "\n";
+    }
+    oss << h->name() << "_sum " << FmtDouble(snap.sum) << "\n"
+        << h->name() << "_count " << snap.count << "\n";
+    // Interpolated quantiles as companion gauges (Prometheus histograms
+    // carry no precomputed quantiles; these make eyeballing a scrape or a
+    // bench artifact possible without PromQL).
+    for (auto [suffix, q] : {std::pair<const char*, double>{"_p50", 0.50},
+                             {"_p95", 0.95},
+                             {"_p99", 0.99}}) {
+      oss << "# TYPE " << h->name() << suffix << " gauge\n"
+          << h->name() << suffix << " " << FmtDouble(snap.Quantile(q))
+          << "\n";
+    }
+  }
+  return oss.str();
+}
+
+std::string PrometheusPathFor(const std::string& json_path) {
+  size_t dot = json_path.find_last_of('.');
+  size_t slash = json_path.find_last_of('/');
+  bool has_extension =
+      dot != std::string::npos && (slash == std::string::npos || dot > slash);
+  if (has_extension) return json_path.substr(0, dot) + ".prom";
+  return json_path + ".prom";
+}
+
+Status WriteMetricsFiles(const MetricsRegistry& registry,
+                         const std::string& json_path) {
+  {
+    std::ofstream out(json_path);
+    if (!out) return Status::IOError("cannot open for writing: " + json_path);
+    out << ExportJson(registry);
+    if (!out) return Status::IOError("write failed: " + json_path);
+  }
+  std::string prom_path = PrometheusPathFor(json_path);
+  std::ofstream out(prom_path);
+  if (!out) return Status::IOError("cannot open for writing: " + prom_path);
+  out << ExportPrometheus(registry);
+  if (!out) return Status::IOError("write failed: " + prom_path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace anonsafe

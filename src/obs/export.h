@@ -1,0 +1,48 @@
+#ifndef ANONSAFE_OBS_EXPORT_H_
+#define ANONSAFE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace anonsafe {
+namespace obs {
+
+/// \brief Renders the registry as a JSON document:
+///
+/// ```json
+/// {
+///   "counters":   [{"name": "...", "value": 3}, ...],
+///   "gauges":     [{"name": "...", "value": 1.5}, ...],
+///   "histograms": [{"name": "...", "count": 2, "sum": 0.5,
+///                   "p50": ..., "p95": ..., "p99": ...,
+///                   "buckets": [{"le": 0.001, "count": 1}, ...,
+///                               {"le": "+Inf", "count": 2}]}, ...]
+/// }
+/// ```
+///
+/// Metrics appear sorted by name; bucket counts are per-bucket (not
+/// cumulative). Deterministic for a deterministic run, so bench JSONs
+/// diff cleanly.
+std::string ExportJson(const MetricsRegistry& registry);
+
+/// \brief Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP`/`# TYPE` headers, `_bucket{le="..."}`
+/// cumulative bucket series, `_sum`/`_count`, and additional
+/// `<name>_p50/_p95/_p99` gauge series with the interpolated quantiles.
+std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// \brief Writes `ExportJson` to `json_path` and `ExportPrometheus` to a
+/// sibling path with the extension replaced by `.prom` (appended when
+/// `json_path` has no extension). Returns the first IO failure.
+Status WriteMetricsFiles(const MetricsRegistry& registry,
+                         const std::string& json_path);
+
+/// \brief The `.prom` sibling of `json_path` (exposed for tests/docs).
+std::string PrometheusPathFor(const std::string& json_path);
+
+}  // namespace obs
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_OBS_EXPORT_H_

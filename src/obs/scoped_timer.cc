@@ -1,0 +1,64 @@
+#include "obs/scoped_timer.h"
+
+namespace anonsafe {
+namespace obs {
+namespace {
+
+std::string MetricBaseName(const std::string& name) {
+  std::string flat = name;
+  for (char& c : flat) {
+    if (c == '.' || c == '-' || c == '/') c = '_';
+  }
+  return "anonsafe_" + flat;
+}
+
+}  // namespace
+
+Histogram* TimerHistogram(const std::string& name) {
+  return MetricsRegistry::Global().GetHistogram(
+      MetricBaseName(name) + "_seconds", {},
+      "wall seconds spent in " + name);
+}
+
+Counter* TimerCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(
+      MetricBaseName(name) + "_total", "invocations of " + name);
+}
+
+ScopedTimer::ScopedTimer(const char* name) : name_(name) {
+  metrics_ = MetricsEnabled();
+  bool tracing = TracingEnabled();
+  if (!metrics_ && !tracing) return;
+  if (tracing) span_ = Tracer::ThreadLocal().OpenSpan(name);
+  start_ = std::chrono::steady_clock::now();
+  timing_ = true;
+}
+
+void ScopedTimer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (!timing_) return;
+  if (metrics_) {
+    double seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    TimerHistogram(name_)->Observe(seconds);
+    TimerCounter(name_)->Increment();
+  }
+  if (span_ != kNoSpan) Tracer::ThreadLocal().CloseSpan(span_);
+}
+
+void ScopedTimer::Annotate(const char* key, std::string value) {
+  if (span_ == kNoSpan || stopped_) return;
+  Tracer::ThreadLocal().Annotate(span_, key, std::move(value));
+}
+
+double ScopedTimer::ElapsedSeconds() const {
+  if (!timing_ || stopped_) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+}  // namespace obs
+}  // namespace anonsafe

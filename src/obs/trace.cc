@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace anonsafe {
+namespace obs {
+namespace {
+
+std::atomic<bool>& TraceFlag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("ANONSAFE_TRACE");
+    return env != nullptr && std::string(env) != "0";
+  }()};
+  return flag;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point epoch) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+void JsonEscapeTo(std::ostringstream& oss, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': oss << "\\\""; break;
+      case '\\': oss << "\\\\"; break;
+      case '\n': oss << "\\n"; break;
+      case '\t': oss << "\\t"; break;
+      case '\r': oss << "\\r"; break;
+      default: oss << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool TracingEnabled() { return TraceFlag().load(std::memory_order_relaxed); }
+
+void SetTracingEnabled(bool enabled) {
+  TraceFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::ThreadLocal() {
+  thread_local Tracer tracer;
+  return tracer;
+}
+
+size_t Tracer::OpenSpan(const char* name) {
+  if (spans_.empty() && open_stack_.empty()) {
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  SpanNode node;
+  node.name = name;
+  node.start_seconds = SecondsSince(epoch_);
+  if (!open_stack_.empty()) {
+    node.parent = open_stack_.back();
+    node.depth = spans_[node.parent].depth + 1;
+  }
+  size_t index = spans_.size();
+  spans_.push_back(std::move(node));
+  open_stack_.push_back(index);
+  return index;
+}
+
+void Tracer::CloseSpan(size_t span) {
+  if (span >= spans_.size() || spans_[span].closed) return;
+  // Unwind anything opened inside `span` that is still open.
+  while (!open_stack_.empty()) {
+    size_t top = open_stack_.back();
+    open_stack_.pop_back();
+    SpanNode& node = spans_[top];
+    node.duration_seconds = SecondsSince(epoch_) - node.start_seconds;
+    node.closed = true;
+    if (top == span) break;
+  }
+}
+
+void Tracer::Annotate(size_t span, std::string key, std::string value) {
+  if (span >= spans_.size()) return;
+  spans_[span].annotations.emplace_back(std::move(key), std::move(value));
+}
+
+void Tracer::Clear() {
+  spans_.clear();
+  open_stack_.clear();
+}
+
+std::string Tracer::RenderTable() const {
+  TablePrinter table({"phase", "ms", "% of root", "notes"});
+  double root_seconds = 0.0;
+  for (const SpanNode& node : spans_) {
+    if (node.parent == kNoSpan) root_seconds += node.duration_seconds;
+  }
+  for (const SpanNode& node : spans_) {
+    std::string indented(2 * node.depth, ' ');
+    indented += node.name;
+    std::string share =
+        root_seconds > 0.0
+            ? TablePrinter::Fmt(100.0 * node.duration_seconds / root_seconds,
+                                1)
+            : "-";
+    std::string notes;
+    for (const auto& [key, value] : node.annotations) {
+      if (!notes.empty()) notes += ", ";
+      notes += key + "=" + value;
+    }
+    table.AddRow({indented, TablePrinter::Fmt(node.duration_seconds * 1e3, 3),
+                  share, notes});
+  }
+  return table.ToString();
+}
+
+std::string Tracer::ToJson() const {
+  std::ostringstream oss;
+  oss << "[";
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanNode& node = spans_[i];
+    if (i) oss << ",";
+    oss << "{\"name\":\"";
+    JsonEscapeTo(oss, node.name);
+    oss << "\",\"start_seconds\":" << node.start_seconds
+        << ",\"duration_seconds\":" << node.duration_seconds
+        << ",\"parent\":";
+    if (node.parent == kNoSpan) {
+      oss << "null";
+    } else {
+      oss << node.parent;
+    }
+    oss << ",\"depth\":" << node.depth << ",\"annotations\":{";
+    for (size_t a = 0; a < node.annotations.size(); ++a) {
+      if (a) oss << ",";
+      oss << "\"";
+      JsonEscapeTo(oss, node.annotations[a].first);
+      oss << "\":\"";
+      JsonEscapeTo(oss, node.annotations[a].second);
+      oss << "\"";
+    }
+    oss << "}}";
+  }
+  oss << "]";
+  return oss.str();
+}
+
+}  // namespace obs
+}  // namespace anonsafe

@@ -1,0 +1,81 @@
+#ifndef ANONSAFE_OBS_TRACE_H_
+#define ANONSAFE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anonsafe {
+namespace obs {
+
+/// \name Tracing switch
+/// Off by default; `ANONSAFE_TRACE` (any value except "0") or
+/// `SetTracingEnabled(true)` turns it on. When off, `ScopedTimer` never
+/// touches the tracer and performs no allocation.
+/// @{
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+/// @}
+
+inline constexpr size_t kNoSpan = static_cast<size_t>(-1);
+
+/// \brief One node of the hierarchical span tree.
+struct SpanNode {
+  std::string name;
+  double start_seconds = 0.0;     ///< offset from the trace epoch
+  double duration_seconds = 0.0;  ///< 0 while the span is still open
+  size_t parent = kNoSpan;        ///< index into the tracer's span vector
+  size_t depth = 0;               ///< root == 0
+  bool closed = false;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// \brief Per-thread collector of completed spans.
+///
+/// Spans form a tree through the open-span stack: a span opened while
+/// another is open becomes its child. The tree is kept in open order
+/// (preorder), so rendering is a single indent-by-depth pass. Each thread
+/// owns an independent tracer — the analysis core is single-threaded per
+/// request, and per-thread trees avoid any cross-thread synchronization
+/// on the trace path.
+class Tracer {
+ public:
+  /// \brief This thread's tracer.
+  static Tracer& ThreadLocal();
+
+  /// \brief Opens a span as a child of the innermost open span.
+  /// Returns its index (pass to CloseSpan/Annotate).
+  size_t OpenSpan(const char* name);
+
+  /// \brief Closes the span, recording its duration. Spans opened after
+  /// `span` and still open are closed too (RAII callers unwind in order,
+  /// so this only matters after exceptions are off-path returns).
+  void CloseSpan(size_t span);
+
+  void Annotate(size_t span, std::string key, std::string value);
+
+  const std::vector<SpanNode>& spans() const { return spans_; }
+  size_t num_open() const { return open_stack_.size(); }
+
+  /// \brief Drops all recorded spans (start of a traced request).
+  void Clear();
+
+  /// \brief Renders the span tree as an indented fixed-width table
+  /// (phase, total ms, share of root, annotations).
+  std::string RenderTable() const;
+
+  /// \brief Span tree as a JSON array (preorder, parent by index).
+  std::string ToJson() const;
+
+ private:
+  std::vector<SpanNode> spans_;
+  std::vector<size_t> open_stack_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace obs
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_OBS_TRACE_H_

@@ -19,6 +19,9 @@
 #include "mining/miner.h"
 #include "mining/rules.h"
 #include "datagen/benchmark_profiles.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 
@@ -369,6 +372,26 @@ Status RunDefend(const CliInvocation& cli, std::ostream& out) {
   return Status::InvalidArgument("--mode must be 'merge' or 'suppress'");
 }
 
+Status DispatchCommand(const CliInvocation& cli, std::ostream& out) {
+  if (cli.command == "stats") return RunStats(cli, out);
+  if (cli.command == "assess") return RunAssess(cli, out);
+  if (cli.command == "report") return RunReport(cli, out);
+  if (cli.command == "similarity") return RunSimilarity(cli, out);
+  if (cli.command == "anonymize") return RunAnonymize(cli, out);
+  if (cli.command == "generate") return RunGenerate(cli, out);
+  if (cli.command == "risk") return RunRisk(cli, out);
+  if (cli.command == "defend") return RunDefend(cli, out);
+  if (cli.command == "belief") return RunBelief(cli, out);
+  if (cli.command == "mine") return RunMine(cli, out);
+  if (cli.command == "attack") return RunAttack(cli, out);
+  if (cli.command == "help") {
+    out << CliUsage();
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown subcommand '" + cli.command +
+                                 "'\n" + CliUsage());
+}
+
 }  // namespace
 
 Result<CliInvocation> ParseCli(const std::vector<std::string>& args) {
@@ -423,23 +446,36 @@ Result<uint64_t> FlagAsUint64(const CliInvocation& cli,
 }
 
 Status RunCli(const CliInvocation& cli, std::ostream& out) {
-  if (cli.command == "stats") return RunStats(cli, out);
-  if (cli.command == "assess") return RunAssess(cli, out);
-  if (cli.command == "report") return RunReport(cli, out);
-  if (cli.command == "similarity") return RunSimilarity(cli, out);
-  if (cli.command == "anonymize") return RunAnonymize(cli, out);
-  if (cli.command == "generate") return RunGenerate(cli, out);
-  if (cli.command == "risk") return RunRisk(cli, out);
-  if (cli.command == "defend") return RunDefend(cli, out);
-  if (cli.command == "belief") return RunBelief(cli, out);
-  if (cli.command == "mine") return RunMine(cli, out);
-  if (cli.command == "attack") return RunAttack(cli, out);
-  if (cli.command == "help") {
-    out << CliUsage();
-    return Status::OK();
+  const bool trace = cli.flags.count("trace") > 0;
+  const auto metrics_it = cli.flags.find("metrics-out");
+  const bool metrics = metrics_it != cli.flags.end();
+  if (trace) {
+    obs::SetTracingEnabled(true);
+    obs::Tracer::ThreadLocal().Clear();
   }
-  return Status::InvalidArgument("unknown subcommand '" + cli.command +
-                                 "'\n" + CliUsage());
+  if (metrics) {
+    obs::SetMetricsEnabled(true);
+    obs::MetricsRegistry::Global().Reset();
+  }
+
+  Status status = DispatchCommand(cli, out);
+
+  if (trace) {
+    out << "\ntrace (" << cli.command << "):\n"
+        << obs::Tracer::ThreadLocal().RenderTable();
+  }
+  if (metrics) {
+    Status written = obs::WriteMetricsFiles(obs::MetricsRegistry::Global(),
+                                            metrics_it->second);
+    if (written.ok()) {
+      out << "metrics: " << metrics_it->second << " (JSON), "
+          << obs::PrometheusPathFor(metrics_it->second)
+          << " (Prometheus text)\n";
+    } else if (status.ok()) {
+      status = written;
+    }
+  }
+  return status;
 }
 
 std::string CliUsage() {
@@ -460,6 +496,11 @@ std::string CliUsage() {
       "  generate <BENCHMARK> <out.dat> [--scale=1.0] [--seed=]\n"
       "        BENCHMARK: CONNECT PUMSB ACCIDENTS RETAIL MUSHROOM CHESS\n"
       "  help\n"
+      "\n"
+      "Global flags (any command):\n"
+      "  --trace               print a per-phase timing tree after the run\n"
+      "  --metrics-out=<path>  write run metrics as JSON (plus a .prom\n"
+      "                        sibling in Prometheus text format)\n"
       "\n"
       "Transaction files are FIMI format: one transaction per line,\n"
       "whitespace-separated integer item labels.\n";

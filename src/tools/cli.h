@@ -46,6 +46,14 @@ Result<uint64_t> FlagAsUint64(const CliInvocation& cli,
 ///                                       synthesize a benchmark stand-in
 ///   help                                usage
 ///
+/// Global flags understood on every subcommand:
+///
+///   --trace               enable scoped tracing for the run and append the
+///                         per-phase span tree (indented timing table)
+///   --metrics-out=<path>  enable metrics, reset the process registry, and
+///                         after the run write it to `<path>` as JSON plus
+///                         a `.prom` sibling in Prometheus text format
+///
 /// Returns the first error encountered; `out` receives partial output.
 Status RunCli(const CliInvocation& cli, std::ostream& out);
 

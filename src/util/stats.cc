@@ -44,7 +44,11 @@ double Max(const std::vector<double>& xs) {
 
 double Percentile(std::vector<double> xs, double q) {
   if (xs.empty()) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  // NaN-safe clamp: a NaN quantile degrades to the minimum instead of
+  // poisoning the interpolation index below (std::clamp passes NaN
+  // through).
+  if (!(q >= 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   std::sort(xs.begin(), xs.end());
   double pos = q * static_cast<double>(xs.size() - 1);
   size_t lo = static_cast<size_t>(pos);

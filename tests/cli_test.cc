@@ -6,6 +6,8 @@
 
 #include "data/fimi_io.h"
 #include "data/frequency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tools/cli.h"
 
 namespace anonsafe {
@@ -272,6 +274,78 @@ TEST(CliRunTest, MineWithRulesAndBadAlgorithm) {
   ASSERT_TRUE(bad.ok());
   std::ostringstream out2;
   EXPECT_TRUE(RunCli(*bad, out2).IsInvalidArgument());
+}
+
+// ----------------------------------------------------------- Observability
+
+/// Restores the process-wide observability switches a test flipped.
+struct ObsSwitchGuard {
+  ~ObsSwitchGuard() {
+    obs::SetTracingEnabled(false);
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+TEST(CliRunTest, AssessWithTracePrintsPhaseTable) {
+  ObsSwitchGuard guard;
+  const std::string path = TempPath("cli_trace.dat");
+  WriteSampleFile(path);
+  // Tolerance low enough that the recipe falls through to the alpha
+  // bisection, so all phases appear.
+  auto cli = ParseCli({"assess", path, "--tolerance=0.05", "--trace"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("trace (assess):"), std::string::npos);
+  EXPECT_NE(text.find("recipe.assess_risk"), std::string::npos);
+  EXPECT_NE(text.find("recipe.point_valued_check"), std::string::npos);
+  EXPECT_NE(text.find("recipe.alpha_probe"), std::string::npos);
+  EXPECT_NE(text.find("core.oestimate"), std::string::npos);
+  EXPECT_NE(text.find("graph.consistency_build"), std::string::npos);
+  EXPECT_NE(text.find("% of root"), std::string::npos);
+}
+
+TEST(CliRunTest, AssessWithMetricsOutWritesJsonAndProm) {
+  ObsSwitchGuard guard;
+  const std::string path = TempPath("cli_metrics.dat");
+  const std::string json_path = TempPath("cli_metrics.json");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"assess", path, "--tolerance=0.05",
+                       "--metrics-out=" + json_path});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("metrics: " + json_path), std::string::npos);
+
+  std::ifstream json(json_path);
+  ASSERT_TRUE(json.good());
+  std::stringstream buf;
+  buf << json.rdbuf();
+  EXPECT_NE(buf.str().find("\"anonsafe_recipe_runs_total\""),
+            std::string::npos);
+  EXPECT_NE(buf.str().find("\"anonsafe_alpha_probes_total\""),
+            std::string::npos);
+  EXPECT_NE(buf.str().find("\"p95\""), std::string::npos);
+
+  std::ifstream prom(TempPath("cli_metrics.prom"));
+  ASSERT_TRUE(prom.good());
+  std::stringstream pbuf;
+  pbuf << prom.rdbuf();
+  EXPECT_NE(pbuf.str().find("# TYPE anonsafe_recipe_assess_risk_seconds "
+                            "histogram"),
+            std::string::npos);
+}
+
+TEST(CliRunTest, MetricsOutToUnwritablePathFails) {
+  ObsSwitchGuard guard;
+  const std::string path = TempPath("cli_metrics_bad.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"assess", path,
+                       "--metrics-out=/no/such/dir/metrics.json"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*cli, out).IsIOError());
 }
 
 TEST(CliRunTest, ReportOnSampleFile) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -287,6 +289,26 @@ TEST(StatsTest, MinMaxPercentile) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 0.25), 2.5);
 }
 
+TEST(StatsTest, PercentileEdgeCases) {
+  // Empty and single-element inputs.
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 1.0), 7.0);
+  // Out-of-range quantiles clamp to the extremes.
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1.0, 2.0, 3.0}, 1.5), 3.0);
+  // A NaN quantile degrades to the minimum instead of corrupting the
+  // interpolation index.
+  EXPECT_DOUBLE_EQ(
+      Percentile({1.0, 2.0, 3.0}, std::numeric_limits<double>::quiet_NaN()),
+      1.0);
+  // Two elements interpolate linearly.
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 20.0}, 0.25), 12.5);
+  // Unsorted input is sorted internally.
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 1.0), 3.0);
+}
+
 TEST(StatsTest, SummarizeAllFields) {
   Summary s = Summarize({1, 2, 3});
   EXPECT_EQ(s.count, 3u);
@@ -343,6 +365,37 @@ TEST(CsvWriterTest, EscapesSpecialCharacters) {
   EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
   EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
   EXPECT_NE(s.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(CsvWriterTest, EscapesCarriageReturn) {
+  CsvWriter w({"v"});
+  w.AddRow({"has\rreturn"});
+  EXPECT_EQ(w.ToString(), "v\n\"has\rreturn\"\n");
+}
+
+TEST(CsvWriterTest, HeaderCellsAreEscapedToo) {
+  CsvWriter w({"plain", "with,comma"});
+  EXPECT_EQ(w.ToString(), "plain,\"with,comma\"\n");
+}
+
+TEST(CsvWriterTest, PadsShortAndDropsExtraCells) {
+  CsvWriter w({"a", "b"});
+  w.AddRow({"1"});
+  w.AddRow({"1", "2", "3"});  // extra cell beyond the header is dropped
+  EXPECT_EQ(w.ToString(), "a,b\n1,\n1,2\n");
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrip) {
+  CsvWriter w({"k", "v"});
+  w.AddRow({"quoted", "x,y"});
+  w.AddRow({"multi", "line\nvalue"});
+  const std::string path = testing::TempDir() + "/util_csv_roundtrip.csv";
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), w.ToString());
 }
 
 TEST(CsvWriterTest, WriteFileFailsOnBadPath) {
