@@ -24,6 +24,29 @@ bool SimulationEnabled() {
   return env == nullptr || std::string(env) != "0";
 }
 
+size_t GetThreads() {
+  const char* env = std::getenv("ANONSAFE_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  long v = std::atol(env);
+  return v >= 0 ? static_cast<size_t>(v) : 1;
+}
+
+std::vector<size_t> GetThreadCurve() {
+  const char* env = std::getenv("ANONSAFE_THREAD_CURVE");
+  if (env == nullptr || *env == '\0') return {1, 2, 4, 8};
+  std::vector<size_t> curve;
+  std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    long v = std::atol(spec.substr(pos, comma - pos).c_str());
+    if (v > 0) curve.push_back(static_cast<size_t>(v));
+    pos = comma + 1;
+  }
+  return curve.empty() ? std::vector<size_t>{1, 2, 4, 8} : curve;
+}
+
 Result<Dataset> MakeDataset(Benchmark b, double scale, bool with_database,
                             uint64_t seed) {
   Rng rng(seed);

@@ -2,6 +2,7 @@
 #define ANONSAFE_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <vector>
 
 #include "data/database.h"
 #include "data/frequency.h"
@@ -20,6 +21,16 @@ double GetScale();
 /// \brief Simulation toggle from ANONSAFE_SIM (default on; "0" disables).
 /// The simulated-estimate overlays are the slow part of the benches.
 bool SimulationEnabled();
+
+/// \brief Worker-thread count for the parallel analysis phases, from the
+/// ANONSAFE_THREADS environment variable (default 1; 0 = all hardware
+/// cores). Results are bit-identical for any value.
+size_t GetThreads();
+
+/// \brief Thread counts for the scaling-curve sections, from the
+/// ANONSAFE_THREAD_CURVE environment variable as a comma-separated list
+/// (default {1, 2, 4, 8}).
+std::vector<size_t> GetThreadCurve();
 
 /// \brief A benchmark stand-in ready for analysis: the frequency table
 /// and groups synthesized from the published Figure 9 statistics.

@@ -79,7 +79,12 @@ int main() {
       if (do_sim) {
         // Simulate on run 0's alpha-compliant belief; count cracks of the
         // compliant items (non-compliant ones cannot be cracked anyway).
-        AlphaCompliantBelief ab = sweep->BeliefAt(0, alpha);
+        auto belief_at = sweep->BeliefAt(0, alpha);
+        if (!belief_at.ok()) {
+          std::cerr << belief_at.status() << "\n";
+          return 1;
+        }
+        AlphaCompliantBelief ab = std::move(belief_at).value();
         SimulationOptions sim_options;
         sim_options.num_runs = 3;
         sim_options.sampler.num_samples = 250;

@@ -20,22 +20,33 @@ int main() {
   PrintBanner("E8 / Figure 8 recipe", "Assess-Risk on all six benchmarks");
   BenchTelemetry telemetry("fig8_recipe");
   const double scale = GetScale();
+  const size_t threads = GetThreads();
   if (scale != 1.0) std::cout << "[ANONSAFE_SCALE=" << scale << "]\n";
+  if (threads != 1) std::cout << "[ANONSAFE_THREADS=" << threads << "]\n";
+  obs::GaugeIf("anonsafe_bench_fig8_threads",
+               static_cast<double>(threads));
 
   TablePrinter table({"Dataset", "n", "g", "delta_med", "interval OE",
                       "OE frac", "decision", "alpha_max", "secs"});
   CsvWriter csv({"dataset", "n", "g", "delta_med", "interval_oe",
-                 "decision", "alpha_max", "seconds"});
+                 "decision", "alpha_max", "seconds", "threads"});
 
+  Benchmark largest = Benchmark::kRetail;
+  size_t largest_n = 0;
   for (const BenchmarkSpec& spec : AllBenchmarkSpecs()) {
     auto ds = MakeDataset(spec.id, scale, /*with_database=*/false);
     if (!ds.ok()) {
       std::cerr << spec.name << ": " << ds.status() << "\n";
       return 1;
     }
+    if (ds->groups.num_items() > largest_n) {
+      largest_n = ds->groups.num_items();
+      largest = spec.id;
+    }
     RecipeOptions options;
     options.tolerance = 0.1;
-    options.alpha_runs = 5;
+    options.exec.runs = 5;
+    options.exec.threads = threads;
     obs::Stopwatch watch;
     auto result = AssessRisk(ds->table, options);
     double seconds = watch.Seconds();
@@ -71,10 +82,74 @@ int main() {
                 TablePrinter::FmtG(result->interval_oe),
                 ToString(result->decision),
                 TablePrinter::FmtG(result->alpha_max),
-                TablePrinter::FmtG(seconds)});
+                TablePrinter::FmtG(seconds),
+                TablePrinter::Fmt(threads)});
   }
 
   std::cout << "\n" << table.ToString();
+
+  // --- Scaling curve on the largest profile (ANONSAFE_THREAD_CURVE).
+  // The recipe's answer is deterministic by construction, so every row
+  // must reproduce the threads=1 decision and alpha_max bit for bit.
+  {
+    const BenchmarkSpec& spec = GetBenchmarkSpec(largest);
+    auto ds = MakeDataset(largest, scale, /*with_database=*/false);
+    if (!ds.ok()) {
+      std::cerr << spec.name << ": " << ds.status() << "\n";
+      return 1;
+    }
+    std::cout << "\nScaling curve (" << spec.name << ", n=" << largest_n
+              << "):\n";
+    TablePrinter scaling({"threads", "secs", "speedup", "bit-identical?"});
+    CsvWriter scaling_csv({"dataset", "threads", "seconds", "speedup",
+                           "bit_identical"});
+    double base_seconds = 0.0;
+    double base_alpha_max = 0.0;
+    double base_interval_oe = 0.0;
+    bool have_base = false;
+    for (size_t t : GetThreadCurve()) {
+      RecipeOptions options;
+      options.tolerance = 0.1;
+      options.exec.runs = 5;
+      options.exec.threads = t;
+      obs::Stopwatch watch;
+      auto result = AssessRisk(ds->table, options);
+      double seconds = watch.Seconds();
+      if (!result.ok()) {
+        std::cerr << spec.name << " @" << t << " threads: "
+                  << result.status() << "\n";
+        return 1;
+      }
+      bool identical = true;
+      if (!have_base) {
+        base_seconds = seconds;
+        base_alpha_max = result->alpha_max;
+        base_interval_oe = result->interval_oe;
+        have_base = true;
+      } else {
+        identical = result->alpha_max == base_alpha_max &&
+                    result->interval_oe == base_interval_oe;
+      }
+      double speedup = seconds > 0.0 ? base_seconds / seconds : 0.0;
+      obs::GaugeIf(("anonsafe_bench_fig8_scaling_seconds_t" +
+                    std::to_string(t)).c_str(),
+                   seconds);
+      scaling.AddRow({TablePrinter::Fmt(t), TablePrinter::Fmt(seconds, 3),
+                      TablePrinter::Fmt(speedup, 2),
+                      identical ? "yes" : "NO (BUG)"});
+      scaling_csv.AddRow({spec.name, TablePrinter::Fmt(t),
+                          TablePrinter::FmtG(seconds),
+                          TablePrinter::FmtG(speedup),
+                          identical ? "1" : "0"});
+      if (!identical) {
+        std::cerr << "determinism violation: " << t
+                  << "-thread run diverged from the first row\n";
+        return 1;
+      }
+    }
+    std::cout << scaling.ToString();
+    MaybeWriteCsv(scaling_csv, "fig8_recipe_scaling");
+  }
   std::cout << "\nPaper targets: RETAIL discloses outright; CONNECT's "
                "alpha_max ~ 0.2 (withhold);\nPUMSB/ACCIDENTS ~ 0.65-0.7 "
                "(comfortable). Our stand-ins reproduce the RETAIL\nand "

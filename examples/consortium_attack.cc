@@ -88,7 +88,7 @@ int main() {
   if (!attack_belief.ok()) return Fail(attack_belief.status());
 
   SamplerOptions sampler_options;
-  sampler_options.seed = 101;
+  sampler_options.exec.seed = 101;
   sampler_options.num_samples = 200;
   sampler_options.burn_in_sweeps = 150;
   sampler_options.thinning_sweeps = 8;

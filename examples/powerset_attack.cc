@@ -119,7 +119,7 @@ int main() {
       SamplerOptions sampler_options;
       sampler_options.num_samples = 1500;
       sampler_options.thinning_sweeps = 4;
-      sampler_options.seed = 5;
+      sampler_options.exec.seed = 5;
       auto sampler = ConstrainedMatchingSampler::Create(*graph, *belief,
                                                         *oracle,
                                                         sampler_options);

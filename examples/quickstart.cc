@@ -85,6 +85,10 @@ int main() {
   // -- 4. The recipe: should the owner release the data at tolerance 10%?
   RecipeOptions recipe_options;
   recipe_options.tolerance = 0.10;
+  // Shared execution knobs live in `exec`: seed, averaging runs, threads.
+  // threads = 0 would use all hardware cores; results are identical either way.
+  recipe_options.exec.seed = 7;
+  recipe_options.exec.threads = 1;
   auto verdict = AssessRisk(*table, recipe_options);
   if (!verdict.ok()) {
     std::cerr << verdict.status() << "\n";

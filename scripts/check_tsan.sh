@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Builds the parallel execution engine under ThreadSanitizer and runs
+# the suites that exercise it concurrently: the pool/ParallelFor unit
+# tests, the cross-thread bit-identity suite, and the sampler tests
+# (independent MCMC chains on the pool).
+#
+# Usage:
+#   scripts/check_tsan.sh
+#
+# Skips gracefully (exit 0 with a notice) when the toolchain cannot
+# link -fsanitize=thread, so run_all.sh stays green on minimal images.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+# Probe: can this toolchain produce a TSan binary at all?
+probe_dir="$(mktemp -d)"
+trap 'rm -rf "$probe_dir"' EXIT
+cat > "$probe_dir/probe.cc" <<'EOF'
+int main() { return 0; }
+EOF
+if ! c++ -fsanitize=thread "$probe_dir/probe.cc" -o "$probe_dir/probe" \
+     >/dev/null 2>&1; then
+  echo "check_tsan: SKIP (toolchain cannot link -fsanitize=thread)"
+  exit 0
+fi
+
+set -e
+cmake -B build-tsan -S . -DANONSAFE_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan --target exec_test determinism_test sampler_test \
+      -j "$(nproc)"
+
+status=0
+for t in exec_test determinism_test sampler_test; do
+  echo "== TSan: $t =="
+  if ! ./build-tsan/tests/"$t" --gtest_brief=1; then
+    status=1
+  fi
+done
+
+if [[ "$status" -ne 0 ]]; then
+  echo "check_tsan: FAIL (data race or test failure under TSan)" >&2
+  exit 1
+fi
+echo "check_tsan: OK (exec_test, determinism_test, sampler_test race-free)"

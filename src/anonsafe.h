@@ -19,6 +19,10 @@
 #include "util/status.h"          // IWYU pragma: export
 #include "util/table_printer.h"   // IWYU pragma: export
 
+// Parallel execution engine (deterministic thread pool + shared knobs).
+#include "exec/exec.h"            // IWYU pragma: export
+#include "exec/thread_pool.h"     // IWYU pragma: export
+
 // Transaction data.
 #include "data/database.h"        // IWYU pragma: export
 #include "data/fimi_io.h"         // IWYU pragma: export

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/exec.h"
 #include "obs/scoped_timer.h"
 #include "util/rng.h"
 
@@ -40,8 +41,18 @@ Result<AlphaCompliancySweep> AlphaCompliancySweep::Create(
   return AlphaCompliancySweep(base, std::move(displaced), std::move(orders));
 }
 
-AlphaCompliantBelief AlphaCompliancySweep::BeliefAt(size_t run,
-                                                    double alpha) const {
+Result<AlphaCompliantBelief> AlphaCompliancySweep::BeliefAt(
+    size_t run, double alpha) const {
+  if (run >= num_runs()) {
+    return Status::OutOfRange("run " + std::to_string(run) +
+                              " out of range (sweep has " +
+                              std::to_string(num_runs()) + " runs)");
+  }
+  return BeliefAtImpl(run, alpha);
+}
+
+AlphaCompliantBelief AlphaCompliancySweep::BeliefAtImpl(size_t run,
+                                                        double alpha) const {
   alpha = std::clamp(alpha, 0.0, 1.0);
   const size_t n = num_items();
   const auto num_compliant = static_cast<size_t>(
@@ -65,40 +76,50 @@ AlphaCompliantBelief AlphaCompliancySweep::BeliefAt(size_t run,
 
 Result<double> AlphaCompliancySweep::AverageOEstimate(
     const FrequencyGroups& observed, double alpha,
-    const OEstimateOptions& options) const {
+    const OEstimateOptions& options, exec::ExecContext* ctx) const {
   ANONSAFE_SCOPED_TIMER("core.alpha_sweep_avg");
-  double sum = 0.0;
-  for (size_t r = 0; r < num_runs(); ++r) {
-    AlphaCompliantBelief ab = BeliefAt(r, alpha);
-    ANONSAFE_ASSIGN_OR_RETURN(
-        OEstimateResult oe,
-        ComputeOEstimateRestricted(observed, ab.belief, ab.compliant_mask,
-                                   options));
-    sum += oe.expected_cracks;
-  }
+  // One run per chunk: runs are independent and each is a full graph
+  // build, so the unit of work is already coarse. The inner O-estimate
+  // runs sequentially (ctx = nullptr) — the parallelism lives here.
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double sum,
+      exec::ParallelSumChunks(
+          ctx, num_runs(), /*grain=*/1,
+          [&](size_t begin, size_t /*end*/) -> Result<double> {
+            AlphaCompliantBelief ab = BeliefAtImpl(begin, alpha);
+            ANONSAFE_ASSIGN_OR_RETURN(
+                OEstimateResult oe,
+                ComputeOEstimateRestricted(observed, ab.belief,
+                                           ab.compliant_mask, options));
+            return oe.expected_cracks;
+          }));
   return sum / static_cast<double>(num_runs());
 }
 
 Result<double> AlphaCompliancySweep::AverageOEstimateForItems(
     const FrequencyGroups& observed, double alpha,
     const std::vector<bool>& interest,
-    const OEstimateOptions& options) const {
+    const OEstimateOptions& options, exec::ExecContext* ctx) const {
   if (interest.size() != num_items()) {
     return Status::InvalidArgument("interest mask size mismatch");
   }
   ANONSAFE_SCOPED_TIMER("core.alpha_sweep_avg");
-  double sum = 0.0;
-  for (size_t r = 0; r < num_runs(); ++r) {
-    AlphaCompliantBelief ab = BeliefAt(r, alpha);
-    std::vector<bool> mask(num_items());
-    for (size_t x = 0; x < num_items(); ++x) {
-      mask[x] = ab.compliant_mask[x] && interest[x];
-    }
-    ANONSAFE_ASSIGN_OR_RETURN(
-        OEstimateResult oe,
-        ComputeOEstimateRestricted(observed, ab.belief, mask, options));
-    sum += oe.expected_cracks;
-  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double sum,
+      exec::ParallelSumChunks(
+          ctx, num_runs(), /*grain=*/1,
+          [&](size_t begin, size_t /*end*/) -> Result<double> {
+            AlphaCompliantBelief ab = BeliefAtImpl(begin, alpha);
+            std::vector<bool> mask(num_items());
+            for (size_t x = 0; x < num_items(); ++x) {
+              mask[x] = ab.compliant_mask[x] && interest[x];
+            }
+            ANONSAFE_ASSIGN_OR_RETURN(
+                OEstimateResult oe,
+                ComputeOEstimateRestricted(observed, ab.belief, mask,
+                                           options));
+            return oe.expected_cracks;
+          }));
   return sum / static_cast<double>(num_runs());
 }
 

@@ -10,6 +10,9 @@
 #include "util/result.h"
 
 namespace anonsafe {
+namespace exec {
+class ExecContext;
+}  // namespace exec
 
 /// \brief Evaluates α-compliant disclosure risk over a *nested* family of
 /// compliant subsets, the anchoring required by Lemma 10 (Section 6.2).
@@ -34,14 +37,21 @@ class AlphaCompliancySweep {
   size_t num_items() const { return base_.num_items(); }
 
   /// \brief The α-compliant belief of run `run` (with its compliant mask).
-  /// alpha is clamped to [0, 1].
-  AlphaCompliantBelief BeliefAt(size_t run, double alpha) const;
+  /// alpha is clamped to [0, 1]; a run index past `num_runs()` is an
+  /// OutOfRange error.
+  Result<AlphaCompliantBelief> BeliefAt(size_t run, double alpha) const;
 
   /// \brief Average over runs of the α-restricted O-estimate (absolute
   /// expected cracks, Section 5.3).
+  ///
+  /// With a non-null `ctx` the independent runs evaluate on the pool;
+  /// per-run estimates land in fixed slots and are combined with a
+  /// fixed-order pairwise sum, so the average is bit-identical for any
+  /// thread count.
   Result<double> AverageOEstimate(const FrequencyGroups& observed,
                                   double alpha,
-                                  const OEstimateOptions& options = {}) const;
+                                  const OEstimateOptions& options = {},
+                                  exec::ExecContext* ctx = nullptr) const;
 
   /// \brief Same, but additionally restricted to items with
   /// `interest[x]` true (the Lemma 4 "items of interest" scenario): each
@@ -49,9 +59,14 @@ class AlphaCompliancySweep {
   Result<double> AverageOEstimateForItems(
       const FrequencyGroups& observed, double alpha,
       const std::vector<bool>& interest,
-      const OEstimateOptions& options = {}) const;
+      const OEstimateOptions& options = {},
+      exec::ExecContext* ctx = nullptr) const;
 
  private:
+  /// BeliefAt without the run bounds check, for internal loops over
+  /// valid run indices.
+  AlphaCompliantBelief BeliefAtImpl(size_t run, double alpha) const;
+
   AlphaCompliancySweep(BeliefFunction base,
                        std::vector<BeliefInterval> displaced,
                        std::vector<std::vector<size_t>> orders)

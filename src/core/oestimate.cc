@@ -1,5 +1,6 @@
 #include "core/oestimate.h"
 
+#include "exec/exec.h"
 #include "graph/consistency.h"
 #include "obs/scoped_timer.h"
 
@@ -9,13 +10,15 @@ namespace {
 Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
                                     const BeliefFunction& belief,
                                     const std::vector<bool>* include,
-                                    const OEstimateOptions& options) {
+                                    const OEstimateOptions& options,
+                                    exec::ExecContext* ctx) {
   obs::ScopedTimer timer("core.oestimate");
   if (include != nullptr && include->size() != belief.num_items()) {
     return Status::InvalidArgument("include mask size mismatch");
   }
-  ANONSAFE_ASSIGN_OR_RETURN(ConsistencyStructure cs,
-                            ConsistencyStructure::Build(observed, belief));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      ConsistencyStructure cs,
+      ConsistencyStructure::Build(observed, belief, ctx));
   OEstimateResult out;
   if (options.propagate) {
     ConsistencyStructure::PropagationStats stats = cs.PropagateDegreeOne();
@@ -23,17 +26,41 @@ Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
   }
   out.contradiction = cs.contradiction();
 
+  // Per-chunk partials in fixed slots; chunk boundaries depend only on
+  // (n, grain), so the fold below is bit-identical for any thread count.
   const size_t n = cs.num_items();
-  for (ItemId x = 0; x < n; ++x) {
-    if (include != nullptr && !(*include)[x]) continue;
-    if (cs.item_dead(x)) {
-      ++out.dead_items;
-      continue;
-    }
-    if (cs.item_forced(x)) ++out.forced_items;
-    size_t degree = cs.outdegree(x);
-    out.expected_cracks += 1.0 / static_cast<double>(degree);
+  const size_t grain = ctx != nullptr ? ctx->ResolveGrain(2048) : n;
+  const size_t chunks = exec::NumChunks(n, grain);
+  struct Partial {
+    double cracks = 0.0;
+    size_t forced = 0;
+    size_t dead = 0;
+  };
+  std::vector<Partial> partials(chunks);
+  Status st = exec::ParallelForChunks(
+      ctx, n, grain, [&](size_t begin, size_t end) {
+        Partial& p = partials[begin / grain];
+        for (size_t i = begin; i < end; ++i) {
+          const ItemId x = static_cast<ItemId>(i);
+          if (include != nullptr && !(*include)[x]) continue;
+          if (cs.item_dead(x)) {
+            ++p.dead;
+            continue;
+          }
+          if (cs.item_forced(x)) ++p.forced;
+          size_t degree = cs.outdegree(x);
+          p.cracks += 1.0 / static_cast<double>(degree);
+        }
+        return Status::OK();
+      });
+  ANONSAFE_RETURN_IF_ERROR(st);
+  std::vector<double> crack_partials(chunks);
+  for (size_t c = 0; c < chunks; ++c) {
+    crack_partials[c] = partials[c].cracks;
+    out.forced_items += partials[c].forced;
+    out.dead_items += partials[c].dead;
   }
+  out.expected_cracks = exec::PairwiseSum(crack_partials);
   out.fraction = n == 0 ? 0.0
                         : out.expected_cracks / static_cast<double>(n);
   obs::CountIf("anonsafe_oestimate_runs_total");
@@ -49,14 +76,16 @@ Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
 
 Result<OEstimateResult> ComputeOEstimate(const FrequencyGroups& observed,
                                          const BeliefFunction& belief,
-                                         const OEstimateOptions& options) {
-  return ComputeImpl(observed, belief, nullptr, options);
+                                         const OEstimateOptions& options,
+                                         exec::ExecContext* ctx) {
+  return ComputeImpl(observed, belief, nullptr, options, ctx);
 }
 
 Result<OEstimateResult> ComputeOEstimateRestricted(
     const FrequencyGroups& observed, const BeliefFunction& belief,
-    const std::vector<bool>& include, const OEstimateOptions& options) {
-  return ComputeImpl(observed, belief, &include, options);
+    const std::vector<bool>& include, const OEstimateOptions& options,
+    exec::ExecContext* ctx) {
+  return ComputeImpl(observed, belief, &include, options, ctx);
 }
 
 }  // namespace anonsafe

@@ -8,6 +8,9 @@
 #include "util/result.h"
 
 namespace anonsafe {
+namespace exec {
+class ExecContext;
+}  // namespace exec
 
 /// \brief Options of the O-estimate computation.
 struct OEstimateOptions {
@@ -47,9 +50,13 @@ struct OEstimateResult {
 /// Runs in O(n log n) on top of the observed frequency groups: each
 /// item's candidate set is a contiguous group range, outdegrees are
 /// prefix-sum lookups, and propagation (when enabled) refines them.
+/// With a non-null `ctx` the graph build and the per-item outdegree
+/// reads run on the pool; the reduction uses fixed per-chunk slots, so
+/// the result is bit-identical for any thread count.
 Result<OEstimateResult> ComputeOEstimate(const FrequencyGroups& observed,
                                          const BeliefFunction& belief,
-                                         const OEstimateOptions& options = {});
+                                         const OEstimateOptions& options = {},
+                                         exec::ExecContext* ctx = nullptr);
 
 /// \brief O-estimate restricted to items with `include[x]` true: the
 /// α-compliant estimate of Section 5.3 (pass the compliant mask), or a
@@ -58,7 +65,8 @@ Result<OEstimateResult> ComputeOEstimate(const FrequencyGroups& observed,
 /// restricted. `fraction` stays relative to the full domain size.
 Result<OEstimateResult> ComputeOEstimateRestricted(
     const FrequencyGroups& observed, const BeliefFunction& belief,
-    const std::vector<bool>& include, const OEstimateOptions& options = {});
+    const std::vector<bool>& include, const OEstimateOptions& options = {},
+    exec::ExecContext* ctx = nullptr);
 
 }  // namespace anonsafe
 

@@ -49,14 +49,42 @@ std::string RecipeResult::Summary() const {
   return oss.str();
 }
 
+Status ValidateRecipeOptions(const RecipeOptions& options) {
+  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
+    return Status::InvalidArgument(
+        "tolerance must lie in (0, 1], got " +
+        std::to_string(options.tolerance));
+  }
+  if (options.EffectiveAlphaRuns() == 0) {
+    return Status::InvalidArgument(
+        "alpha runs (exec.runs / deprecated alpha_runs) must be positive: "
+        "each α probe averages over at least one compliant subset");
+  }
+  if (options.binary_search_iterations == 0) {
+    return Status::InvalidArgument(
+        "binary_search_iterations must be positive: zero steps would "
+        "silently report alpha_max = 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// The effective execution knobs with the deprecated aliases folded in.
+exec::ExecOptions EffectiveExecOptions(const RecipeOptions& options) {
+  exec::ExecOptions eo = options.exec;
+  eo.seed = options.EffectiveSeed();
+  eo.runs = options.EffectiveAlphaRuns();
+  return eo;
+}
+
+}  // namespace
+
 Result<RecipeResult> AssessRisk(const FrequencyTable& table,
                                 const RecipeOptions& options) {
-  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
-    return Status::InvalidArgument("tolerance must lie in (0, 1]");
-  }
-  if (options.alpha_runs == 0) {
-    return Status::InvalidArgument("alpha_runs must be positive");
-  }
+  ANONSAFE_RETURN_IF_ERROR(ValidateRecipeOptions(options));
+  const exec::ExecOptions exec_options = EffectiveExecOptions(options);
+  exec::ExecContext ctx(exec_options);
   obs::ScopedTimer recipe_timer("recipe.assess_risk");
   obs::CountIf("anonsafe_recipe_runs_total");
 
@@ -96,7 +124,7 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
       MakeCompliantIntervalBelief(table, out.delta_med));
   ANONSAFE_ASSIGN_OR_RETURN(
       OEstimateResult oe,
-      ComputeOEstimate(groups, base, options.oestimate));
+      ComputeOEstimate(groups, base, options.oestimate, &ctx));
   out.interval_oe = oe.expected_cracks;
   if (interval_timer.tracing()) {
     interval_timer.Annotate("delta_med", TablePrinter::FmtG(out.delta_med, 4));
@@ -117,8 +145,8 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   obs::ScopedTimer alpha_timer("recipe.alpha_search");
   ANONSAFE_ASSIGN_OR_RETURN(
       AlphaCompliancySweep sweep,
-      AlphaCompliancySweep::Create(table, base, options.alpha_runs,
-                                   options.seed));
+      AlphaCompliancySweep::Create(table, base, exec_options.runs,
+                                   exec_options.seed));
   double lo = 0.0;  // OE(0) = 0 <= budget always
   double hi = 1.0;  // OE(1) > budget (checked above)
   for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
@@ -127,7 +155,7 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
     obs::CountIf("anonsafe_alpha_probes_total");
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
-        sweep.AverageOEstimate(groups, mid, options.oestimate));
+        sweep.AverageOEstimate(groups, mid, options.oestimate, &ctx));
     if (probe.tracing()) {
       probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));
       probe.Annotate("avg_oe", TablePrinter::FmtG(avg_oe, 4));
@@ -159,12 +187,7 @@ Result<RecipeResult> AssessRiskOnDatabase(const Database& db,
 Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
                                         const std::vector<bool>& interest,
                                         const RecipeOptions& options) {
-  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
-    return Status::InvalidArgument("tolerance must lie in (0, 1]");
-  }
-  if (options.alpha_runs == 0) {
-    return Status::InvalidArgument("alpha_runs must be positive");
-  }
+  ANONSAFE_RETURN_IF_ERROR(ValidateRecipeOptions(options));
   if (interest.size() != table.num_items()) {
     return Status::InvalidArgument("interest mask size mismatch");
   }
@@ -175,6 +198,8 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
   if (num_interest == 0) {
     return Status::InvalidArgument("interest mask selects no items");
   }
+  const exec::ExecOptions exec_options = EffectiveExecOptions(options);
+  exec::ExecContext ctx(exec_options);
   obs::ScopedTimer recipe_timer("recipe.assess_risk_items");
   obs::CountIf("anonsafe_recipe_runs_total");
 
@@ -216,7 +241,7 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
   ANONSAFE_ASSIGN_OR_RETURN(
       OEstimateResult oe,
       ComputeOEstimateRestricted(groups, base, interest,
-                                 options.oestimate));
+                                 options.oestimate, &ctx));
   out.interval_oe = oe.expected_cracks;
   if (interval_timer.tracing()) {
     interval_timer.Annotate("delta_med", TablePrinter::FmtG(out.delta_med, 4));
@@ -235,8 +260,8 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
   obs::ScopedTimer alpha_timer("recipe.alpha_search");
   ANONSAFE_ASSIGN_OR_RETURN(
       AlphaCompliancySweep sweep,
-      AlphaCompliancySweep::Create(table, base, options.alpha_runs,
-                                   options.seed));
+      AlphaCompliancySweep::Create(table, base, exec_options.runs,
+                                   exec_options.seed));
   double lo = 0.0;
   double hi = 1.0;
   for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
@@ -246,7 +271,7 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
         sweep.AverageOEstimateForItems(groups, mid, interest,
-                                       options.oestimate));
+                                       options.oestimate, &ctx));
     if (probe.tracing()) {
       probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));
       probe.Annotate("avg_oe", TablePrinter::FmtG(avg_oe, 4));

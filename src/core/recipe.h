@@ -7,6 +7,7 @@
 #include "core/oestimate.h"
 #include "data/database.h"
 #include "data/frequency.h"
+#include "exec/exec.h"
 #include "util/result.h"
 
 namespace anonsafe {
@@ -17,17 +18,37 @@ struct RecipeOptions {
   /// being cracked. Must lie in (0, 1].
   double tolerance = 0.1;
 
-  /// Random compliant subsets averaged at each α probe (the paper uses 5).
-  size_t alpha_runs = 5;
+  /// \deprecated Alias for `exec.runs`. When set it wins over the
+  /// embedded value; will be removed next release.
+  size_t alpha_runs = exec::kDeprecatedRunsUnset;
 
   /// Bisection steps of the α search; resolution is 2^-iterations.
   size_t binary_search_iterations = 12;
 
-  uint64_t seed = 7;
+  /// \deprecated Alias for `exec.seed`. When set it wins over the
+  /// embedded value; will be removed next release.
+  uint64_t seed = exec::kDeprecatedSeedUnset;
 
   /// O-estimate configuration (propagation on by default).
   OEstimateOptions oestimate;
+
+  /// Shared execution knobs: master seed (default 7), α-probe runs
+  /// (default 5, the paper's value), worker threads (default 1).
+  exec::ExecOptions exec;
+
+  /// Resolves the deprecated aliases: an explicitly set old field wins.
+  uint64_t EffectiveSeed() const {
+    return seed != exec::kDeprecatedSeedUnset ? seed : exec.seed;
+  }
+  size_t EffectiveAlphaRuns() const {
+    return alpha_runs != exec::kDeprecatedRunsUnset ? alpha_runs : exec.runs;
+  }
 };
+
+/// \brief Checks RecipeOptions invariants (tolerance in (0, 1], at least
+/// one α run, at least one bisection step) with a descriptive error.
+/// Called by every AssessRisk entry point before any work happens.
+Status ValidateRecipeOptions(const RecipeOptions& options);
 
 /// \brief Which stopping rule of Figure 8 fired.
 enum class RecipeDecision {

@@ -22,7 +22,7 @@ Result<std::vector<SimilarityPoint>> SimilarityBySampling(
   obs::CountIf("anonsafe_similarity_runs_total");
   ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable truth, FrequencyTable::Compute(db));
 
-  Rng rng(options.seed);
+  Rng rng(options.EffectiveSeed());
   std::vector<SimilarityPoint> curve;
   curve.reserve(options.sample_fractions.size());
   for (double p : options.sample_fractions) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "data/database.h"
+#include "exec/exec.h"
 #include "util/result.h"
 
 namespace anonsafe {
@@ -18,7 +19,17 @@ struct SimilarityOptions {
   /// Samples averaged per fraction (the paper uses 10).
   size_t samples_per_fraction = 10;
 
-  uint64_t seed = 11;
+  /// \deprecated Alias for `exec.seed`. When set it wins over the
+  /// embedded value; will be removed next release.
+  uint64_t seed = exec::kDeprecatedSeedUnset;
+
+  /// Shared execution knobs (master seed, default 11).
+  exec::ExecOptions exec{.seed = 11};
+
+  /// Resolves the deprecated `seed` alias: when set it wins.
+  uint64_t EffectiveSeed() const {
+    return seed != exec::kDeprecatedSeedUnset ? seed : exec.seed;
+  }
 
   /// When true, interval widths use the *sampled average* gap instead of
   /// the sampled median — the variant Section 7.4 shows saturates at

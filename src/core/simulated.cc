@@ -10,32 +10,48 @@ Result<SimulationResult> SimulateImpl(const FrequencyGroups& observed,
                                       const BeliefFunction& belief,
                                       const std::vector<bool>* interest,
                                       const SimulationOptions& options) {
-  if (options.num_runs == 0) {
+  const size_t num_runs = options.EffectiveRuns();
+  if (num_runs == 0) {
     return Status::InvalidArgument("need at least one simulation run");
   }
-  Rng master(options.seed);
+  const uint64_t master_seed = options.EffectiveSeed();
+  exec::ExecOptions exec_options = options.exec;
+  exec_options.seed = master_seed;
+  exec_options.runs = num_runs;
+  exec::ExecContext ctx(exec_options);
+
   SimulationResult out;
   out.samples_per_run = options.sampler.num_samples;
-  for (size_t run = 0; run < options.num_runs; ++run) {
-    SamplerOptions per_run = options.sampler;
-    per_run.seed = master.Next();
-    ANONSAFE_ASSIGN_OR_RETURN(
-        MatchingSampler sampler,
-        MatchingSampler::Create(observed, belief, per_run));
-    if (run == 0) out.seed_was_perfect = sampler.seed_is_perfect();
+  out.run_means.assign(num_runs, 0.0);
+  bool seed_was_perfect = true;
+  // One run per task: run r's sampler seed is split off the master, and
+  // its mean lands in a fixed slot, so runs parallelize without changing
+  // any value. The sampler's own chains stay sequential inside a run.
+  Status st = exec::ParallelForChunks(
+      &ctx, num_runs, /*grain=*/1,
+      [&](size_t run, size_t /*end*/) -> Status {
+        SamplerOptions per_run = options.sampler;
+        per_run.seed = exec::SplitSeed(master_seed, run);
+        ANONSAFE_ASSIGN_OR_RETURN(
+            MatchingSampler sampler,
+            MatchingSampler::Create(observed, belief, per_run));
+        if (run == 0) seed_was_perfect = sampler.seed_is_perfect();
 
-    std::vector<size_t> counts;
-    if (interest == nullptr) {
-      counts = sampler.SampleCrackCounts();
-    } else {
-      ANONSAFE_ASSIGN_OR_RETURN(counts,
-                                sampler.SampleCrackCounts(*interest));
-    }
-    double sum = 0.0;
-    for (size_t c : counts) sum += static_cast<double>(c);
-    out.run_means.push_back(
-        counts.empty() ? 0.0 : sum / static_cast<double>(counts.size()));
-  }
+        std::vector<size_t> counts;
+        if (interest == nullptr) {
+          counts = sampler.SampleCrackCounts();
+        } else {
+          ANONSAFE_ASSIGN_OR_RETURN(counts,
+                                    sampler.SampleCrackCounts(*interest));
+        }
+        double sum = 0.0;
+        for (size_t c : counts) sum += static_cast<double>(c);
+        out.run_means[run] =
+            counts.empty() ? 0.0 : sum / static_cast<double>(counts.size());
+        return Status::OK();
+      });
+  ANONSAFE_RETURN_IF_ERROR(st);
+  out.seed_was_perfect = seed_was_perfect;
   out.mean = Mean(out.run_means);
   out.stddev = SampleStdDev(out.run_means);
   return out;

@@ -1,0 +1,145 @@
+#ifndef ANONSAFE_EXEC_EXEC_H_
+#define ANONSAFE_EXEC_EXEC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace anonsafe {
+namespace exec {
+
+/// \brief Shared execution knobs, embedded once in every top-level
+/// options struct (RecipeOptions, SamplerOptions, SimulationOptions,
+/// SimilarityOptions, ...).
+///
+/// Consolidates the seed / replicate-count / thread settings that used
+/// to be scattered per struct. The old per-struct fields survive one
+/// release as deprecated aliases; when an alias is explicitly set it
+/// wins over the embedded value (see the EffectiveSeed()/EffectiveRuns()
+/// helpers on each struct and docs/PARALLELISM.md for the migration
+/// table).
+struct ExecOptions {
+  /// Master RNG seed. Every parallel unit (run, chain, chunk) derives
+  /// its own stream via SplitSeed(seed, stream), so results are
+  /// reproducible and independent of the thread count.
+  uint64_t seed = 7;
+  /// Generic replicate count: alpha runs for the recipe/sweep,
+  /// simulation runs for SimulateCracks.
+  size_t runs = 5;
+  /// Worker threads. 1 = sequential (default, matches the seed
+  /// baseline); 0 = use all hardware threads.
+  size_t threads = 1;
+  /// Minimum items per parallel chunk. 0 = let the callee pick a
+  /// default suited to its per-item cost.
+  size_t grain = 0;
+};
+
+/// Sentinels marking a deprecated alias field as "not explicitly set".
+inline constexpr uint64_t kDeprecatedSeedUnset = ~uint64_t{0};
+inline constexpr size_t kDeprecatedRunsUnset = ~size_t{0};
+
+/// \brief Derives an independent RNG stream from a master seed by
+/// counter-based splitting (splitmix64 finalizer over seed + stream *
+/// odd constant). Streams for distinct counters are decorrelated even
+/// for adjacent seeds; the mapping depends only on (seed, stream), never
+/// on thread scheduling.
+uint64_t SplitSeed(uint64_t seed, uint64_t stream);
+
+/// \brief Sums `n` doubles with a fixed-order pairwise tree. The
+/// association depends only on `n`, so parallel reductions that collect
+/// per-chunk partials into slot arrays and then PairwiseSum them are
+/// bit-identical regardless of thread count (and more accurate than a
+/// left fold).
+double PairwiseSum(const double* values, size_t n);
+double PairwiseSum(const std::vector<double>& values);
+
+/// \brief Per-invocation execution state: resolved thread count, the
+/// pool itself (only when threads > 1), and a cooperative cancellation
+/// flag. Passed by pointer through the hot paths; `nullptr` means
+/// sequential execution with the same chunking and reduction order, so
+/// a null context and a 1-thread context are bit-identical.
+class ExecContext {
+ public:
+  explicit ExecContext(const ExecOptions& options);
+  ~ExecContext();
+
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  const ExecOptions& options() const { return options_; }
+  /// Resolved worker count (>= 1; `threads == 0` resolved to the
+  /// hardware concurrency).
+  size_t num_threads() const { return num_threads_; }
+  uint64_t seed() const { return options_.seed; }
+
+  /// \brief RNG for stream index `stream`, split off the master seed.
+  Rng StreamRng(uint64_t stream) const {
+    return Rng(SplitSeed(options_.seed, stream));
+  }
+
+  /// \brief Requests cooperative cancellation: chunks not yet started
+  /// are skipped. Callers observe `cancelled()` after the parallel call
+  /// returns.
+  void RequestCancel() { cancel_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancel_.load(std::memory_order_relaxed); }
+
+  /// Pool backing this context; null when execution is sequential.
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// \brief Effective grain: the per-struct override when set, else
+  /// `default_grain`, clamped to at least 1.
+  size_t ResolveGrain(size_t default_grain) const {
+    size_t g = options_.grain != 0 ? options_.grain : default_grain;
+    return g == 0 ? 1 : g;
+  }
+
+ private:
+  ExecOptions options_;
+  size_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> cancel_{false};
+};
+
+/// \brief Number of chunks ParallelForChunks splits `n` items into for
+/// a given grain — depends only on (n, grain), never on thread count.
+inline size_t NumChunks(size_t n, size_t grain) {
+  if (grain == 0) grain = 1;
+  return n == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// \brief Runs `body(begin, end)` over [0, n) in chunks of `grain`
+/// items. Chunk boundaries depend only on (n, grain); with a null
+/// context (or 1 thread, or when already on a pool worker — nested
+/// regions run inline to avoid deadlock) the chunks execute
+/// sequentially in index order, otherwise they are distributed across
+/// the pool while the caller helps drain tasks.
+///
+/// The returned Status is deterministic: when several chunks fail, the
+/// error from the lowest chunk index wins. Exceptions thrown by `body`
+/// are captured per chunk and the lowest-index one is rethrown on the
+/// calling thread. Chunks not yet started when `ctx->cancelled()`
+/// becomes true are skipped (OkStatus is still returned; callers check
+/// the flag).
+Status ParallelForChunks(ExecContext* ctx, size_t n, size_t grain,
+                         const std::function<Status(size_t, size_t)>& body);
+
+/// \brief Parallel sum reduction: `chunk_sum(begin, end)` returns the
+/// partial sum of each chunk; partials land in per-chunk slots and are
+/// combined with PairwiseSum, so the result is bit-identical for any
+/// thread count. First (lowest-chunk) error wins.
+Result<double> ParallelSumChunks(
+    ExecContext* ctx, size_t n, size_t grain,
+    const std::function<Result<double>(size_t, size_t)>& chunk_sum);
+
+}  // namespace exec
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_EXEC_EXEC_H_

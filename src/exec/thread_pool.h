@@ -1,0 +1,106 @@
+#ifndef ANONSAFE_EXEC_THREAD_POOL_H_
+#define ANONSAFE_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace anonsafe {
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+
+namespace exec {
+
+/// \brief Work-stealing thread pool.
+///
+/// Each worker owns a deque: it pops its own tasks LIFO from the front
+/// and, when empty, steals FIFO from the back of a sibling's deque —
+/// the classic arrangement that keeps hot caches for local work while
+/// spreading load under imbalance. `Submit` distributes tasks round-robin
+/// across the deques; any thread (including non-workers) can additionally
+/// drain tasks through `TryRunOneTask`, which is how `ParallelFor`
+/// callers lend a hand instead of blocking.
+///
+/// Observability (active only while `obs::MetricsEnabled()`):
+///   anonsafe_exec_pool_threads     gauge    workers in the live pool
+///   anonsafe_exec_queue_depth      gauge    tasks submitted but not taken
+///   anonsafe_exec_tasks_total      counter  tasks executed
+///   anonsafe_exec_steals_total     counter  tasks taken from a sibling
+///   anonsafe_exec_task_seconds     histogram task execution latency
+///
+/// The pool never rethrows from worker threads; callers that need
+/// exception propagation capture them inside the submitted closures
+/// (as `ParallelFor` does).
+class ThreadPool {
+ public:
+  /// \brief Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// \brief Drains nothing: outstanding tasks must have been awaited by
+  /// their submitters (ParallelFor always does). Stops and joins workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// \brief Runs one pending task on the calling thread if any is
+  /// available (own queue for workers, stealing otherwise). Returns
+  /// false when every deque is empty.
+  bool TryRunOneTask();
+
+  /// \brief True when the calling thread is one of this process's pool
+  /// workers (any pool). Used to run nested parallel regions inline
+  /// rather than deadlocking on a saturated pool.
+  static bool OnWorkerThread();
+
+  /// \brief Tasks submitted but not yet taken by any thread.
+  size_t ApproxPendingTasks() const;
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+  /// Pops from own front (`self` < num_threads) or steals from a
+  /// sibling's back. Returns false when nothing was found.
+  bool Take(size_t self, std::function<void()>* out);
+  void Execute(std::function<void()> task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  size_t pending_ = 0;  // guarded by wake_mu_
+
+  std::atomic<size_t> next_queue_{0};
+
+  // Registry pointers are stable; resolved once at construction so the
+  // hot path records without touching the registry lock.
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* tasks_counter_ = nullptr;
+  obs::Counter* steals_counter_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+};
+
+}  // namespace exec
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_EXEC_THREAD_POOL_H_

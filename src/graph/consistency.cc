@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <map>
 
+#include "exec/exec.h"
 #include "obs/scoped_timer.h"
 
 namespace anonsafe {
@@ -27,7 +29,8 @@ int64_t FenwickPrefix(const std::vector<int64_t>& tree, size_t count) {
 }  // namespace
 
 Result<ConsistencyStructure> ConsistencyStructure::Build(
-    const FrequencyGroups& observed, const BeliefFunction& belief) {
+    const FrequencyGroups& observed, const BeliefFunction& belief,
+    exec::ExecContext* ctx) {
   ANONSAFE_SCOPED_TIMER("graph.consistency_build");
   if (observed.num_items() != belief.num_items()) {
     return Status::InvalidArgument(
@@ -50,13 +53,32 @@ Result<ConsistencyStructure> ConsistencyStructure::Build(
     FenwickAdd(&cs.size_tree_, g,
                static_cast<int64_t>(observed.group_size(g)));
   }
+  // Phase 1 (parallel): stab every item's interval against the sorted
+  // groups; each chunk writes disjoint slots of lo/hi/stabbed. Phase 2
+  // (sequential, item order): apply the Fenwick range updates, which
+  // share tree nodes and must not race. The split keeps the output
+  // bit-identical for any thread count.
+  std::vector<size_t> stab_lo(n), stab_hi(n);
+  std::vector<uint8_t> stabbed(n, 0);
+  const size_t grain = ctx != nullptr ? ctx->ResolveGrain(2048) : n;
+  Status st = exec::ParallelForChunks(
+      ctx, n, grain, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          const ItemId x = static_cast<ItemId>(i);
+          const BeliefInterval& iv = belief.interval(x);
+          stabbed[x] = observed.StabRange(iv.lo, iv.hi, &stab_lo[x],
+                                          &stab_hi[x])
+                           ? 1
+                           : 0;
+        }
+        return Status::OK();
+      });
+  ANONSAFE_RETURN_IF_ERROR(st);
   for (ItemId x = 0; x < n; ++x) {
-    const BeliefInterval& iv = belief.interval(x);
-    size_t lo = 0, hi = 0;
-    if (observed.StabRange(iv.lo, iv.hi, &lo, &hi)) {
-      cs.item_lo_[x] = lo;
-      cs.item_hi_[x] = hi;
-      cs.AddCover(lo, hi, +1);
+    if (stabbed[x]) {
+      cs.item_lo_[x] = stab_lo[x];
+      cs.item_hi_[x] = stab_hi[x];
+      cs.AddCover(stab_lo[x], stab_hi[x], +1);
     } else {
       cs.item_state_[x] = ItemState::kDead;
       ++cs.num_dead_;

@@ -11,6 +11,9 @@
 #include "util/result.h"
 
 namespace anonsafe {
+namespace exec {
+class ExecContext;
+}  // namespace exec
 
 /// \brief Compressed representation of the consistency graph.
 ///
@@ -30,8 +33,14 @@ namespace anonsafe {
 class ConsistencyStructure {
  public:
   /// \brief Builds ranges and degree tables. Fails on domain mismatch.
+  ///
+  /// With a non-null `ctx` the interval-stabbing phase (one binary search
+  /// per item) fans out across the pool; the Fenwick updates are then
+  /// applied sequentially in item order, so the structure is bit-identical
+  /// for any thread count.
   static Result<ConsistencyStructure> Build(const FrequencyGroups& observed,
-                                            const BeliefFunction& belief);
+                                            const BeliefFunction& belief,
+                                            exec::ExecContext* ctx = nullptr);
 
   size_t num_items() const { return item_state_.size(); }
   size_t num_groups() const { return group_remaining_.size(); }

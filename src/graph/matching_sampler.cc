@@ -21,6 +21,22 @@ Result<MatchingSampler> MatchingSampler::Create(
         "observed data covers " + std::to_string(observed.num_items()) +
         " items, belief function " + std::to_string(belief.num_items()));
   }
+  if (options.samples_per_seed == 0) {
+    return Status::InvalidArgument(
+        "samples_per_seed must be positive (a zero-sample chain would "
+        "never make progress)");
+  }
+  if (!(options.cycle_move_fraction >= 0.0) ||
+      options.cycle_move_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "cycle_move_fraction must lie in [0, 1], got " +
+        std::to_string(options.cycle_move_fraction));
+  }
+  if (!(options.burn_in_scale >= 0.0)) {
+    return Status::InvalidArgument(
+        "burn_in_scale must be non-negative, got " +
+        std::to_string(options.burn_in_scale));
+  }
   const size_t n = observed.num_items();
   if (n == 0) {
     return Status::InvalidArgument("cannot sample over an empty domain");
@@ -28,7 +44,6 @@ Result<MatchingSampler> MatchingSampler::Create(
 
   MatchingSampler s;
   s.options_ = options;
-  s.rng_ = Rng(options.seed);
   s.group_of_anon_.resize(n);
   s.item_lo_.assign(n, 0);
   s.item_hi_.assign(n, 0);
@@ -109,8 +124,31 @@ void MatchingSampler::ReseedState() {
   }
 }
 
-void MatchingSampler::Sweep() {
+void MatchingSampler::InitChain(ChainState* chain,
+                                uint64_t chain_seed) const {
   const size_t n = num_items();
+  chain->rng = Rng(chain_seed);
+  chain->item_of_anon = seed_item_of_anon_;
+  chain->anon_of_item.assign(n, kInvalidItem);
+  for (ItemId a = 0; a < n; ++a) {
+    if (chain->item_of_anon[a] != kInvalidItem) {
+      chain->anon_of_item[chain->item_of_anon[a]] = a;
+    }
+  }
+  chain->unmatched_items.clear();
+  for (ItemId x = 0; x < n; ++x) {
+    if (chain->anon_of_item[x] == kInvalidItem && item_has_range_[x]) {
+      chain->unmatched_items.push_back(x);
+    }
+  }
+}
+
+void MatchingSampler::SweepChain(ChainState* chain) const {
+  const size_t n = num_items();
+  Rng& rng_ = chain->rng;
+  std::vector<ItemId>& item_of_anon_ = chain->item_of_anon;
+  std::vector<ItemId>& anon_of_item_ = chain->anon_of_item;
+  std::vector<ItemId>& unmatched_items_ = chain->unmatched_items;
   // One move attempt per anonymized item. The partner is drawn uniformly
   // per step rather than from a permutation as in the paper's Section 7.1
   // procedure: pairing i with P(i) makes every 2-cycle of P swap and then
@@ -185,11 +223,12 @@ void MatchingSampler::Sweep() {
   }
 }
 
-size_t MatchingSampler::CountCracksState(
-    const std::vector<bool>* interest) const {
+size_t MatchingSampler::CountCracksOf(
+    const ChainState& chain, const std::vector<bool>* interest) const {
   size_t cracks = 0;
   for (ItemId a = 0; a < num_items(); ++a) {
-    if (item_of_anon_[a] == a && (interest == nullptr || (*interest)[a])) {
+    if (chain.item_of_anon[a] == a &&
+        (interest == nullptr || (*interest)[a])) {
       ++cracks;
     }
   }
@@ -197,44 +236,60 @@ size_t MatchingSampler::CountCracksState(
 }
 
 std::vector<size_t> MatchingSampler::SampleImpl(
-    const std::vector<bool>* interest) {
+    const std::vector<bool>* interest, exec::ExecContext* ctx) const {
   obs::ScopedTimer timer("graph.sampler_sample");
   obs::CountIf("anonsafe_sampler_samples_total", options_.num_samples);
   if (timer.tracing()) {
     timer.Annotate("samples", std::to_string(options_.num_samples));
   }
-  std::vector<size_t> samples;
-  samples.reserve(options_.num_samples);
+  const size_t total = options_.num_samples;
+  const size_t per_chain = options_.samples_per_seed;
+  const size_t num_chains =
+      total == 0 ? 0 : (total + per_chain - 1) / per_chain;
   const size_t burn_in = options_.EffectiveBurnIn(num_items());
-  while (samples.size() < options_.num_samples) {
-    ReseedState();
-    for (size_t sweep = 0; sweep < burn_in; ++sweep) {
-      Sweep();
-    }
-    for (size_t s = 0;
-         s < options_.samples_per_seed && samples.size() < options_.num_samples;
-         ++s) {
-      if (s > 0) {
-        for (size_t sweep = 0; sweep < options_.thinning_sweeps; ++sweep) {
-          Sweep();
+  const uint64_t master_seed = options_.EffectiveSeed();
+
+  // Chains are fully independent: chain c always runs the RNG stream
+  // SplitSeed(master_seed, c) and writes into its own output slots, so
+  // the vector below is the same whatever the thread count.
+  std::vector<size_t> samples(total, 0);
+  Status st = exec::ParallelForChunks(
+      ctx, num_chains, /*grain=*/1,
+      [&](size_t c, size_t /*end*/) {
+        ChainState chain;
+        InitChain(&chain, exec::SplitSeed(master_seed, c));
+        for (size_t sweep = 0; sweep < burn_in; ++sweep) {
+          SweepChain(&chain);
         }
-      }
-      samples.push_back(CountCracksState(interest));
-    }
-  }
+        const size_t begin = c * per_chain;
+        const size_t count =
+            per_chain < total - begin ? per_chain : total - begin;
+        for (size_t s = 0; s < count; ++s) {
+          if (s > 0) {
+            for (size_t sweep = 0; sweep < options_.thinning_sweeps;
+                 ++sweep) {
+              SweepChain(&chain);
+            }
+          }
+          samples[begin + s] = CountCracksOf(chain, interest);
+        }
+        return Status::OK();
+      });
+  (void)st;  // the body cannot fail
   return samples;
 }
 
-std::vector<size_t> MatchingSampler::SampleCrackCounts() {
-  return SampleImpl(nullptr);
+std::vector<size_t> MatchingSampler::SampleCrackCounts(
+    exec::ExecContext* ctx) const {
+  return SampleImpl(nullptr, ctx);
 }
 
 Result<std::vector<size_t>> MatchingSampler::SampleCrackCounts(
-    const std::vector<bool>& interest) {
+    const std::vector<bool>& interest, exec::ExecContext* ctx) const {
   if (interest.size() != num_items()) {
     return Status::InvalidArgument("interest mask size mismatch");
   }
-  return SampleImpl(&interest);
+  return SampleImpl(&interest, ctx);
 }
 
 bool MatchingSampler::CurrentStateConsistent() const {

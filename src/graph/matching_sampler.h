@@ -7,6 +7,7 @@
 #include "belief/belief_function.h"
 #include "data/frequency.h"
 #include "data/types.h"
+#include "exec/exec.h"
 #include "util/result.h"
 #include "util/rng.h"
 
@@ -21,7 +22,9 @@ namespace anonsafe {
 /// runs interactive while preserving the estimator's accuracy (tests
 /// validate it against exact permanents). All values are overridable.
 struct SamplerOptions {
-  uint64_t seed = 1;
+  /// \deprecated Alias for `exec.seed`. When set it wins over the
+  /// embedded value; will be removed next release.
+  uint64_t seed = exec::kDeprecatedSeedUnset;
   size_t burn_in_sweeps = 300;    ///< minimum scramble sweeps before the
                                   ///< first sample of a seed
   double burn_in_scale = 2.0;     ///< additional per-item scaling: the
@@ -32,9 +35,21 @@ struct SamplerOptions {
                                   ///< chains and need burn-in proportional
                                   ///< to n (set 0 to disable scaling).
   size_t thinning_sweeps = 10;    ///< sweeps between successive samples
-  size_t samples_per_seed = 500;  ///< samples before re-seeding from scratch
+  size_t samples_per_seed = 500;  ///< samples per independent chain
+                                  ///< (must be positive)
   size_t num_samples = 500;       ///< total samples to draw
-  double cycle_move_fraction = 0.25;  ///< fraction of 3-rotation moves
+  double cycle_move_fraction = 0.25;  ///< fraction of 3-rotation moves,
+                                      ///< in [0, 1]
+
+  /// Shared execution knobs. The sampler's master seed defaults to 1;
+  /// each chain's stream is split off it, so sample c is the same value
+  /// whatever the thread count.
+  exec::ExecOptions exec{.seed = 1};
+
+  /// Resolves the deprecated `seed` alias: when set it wins.
+  uint64_t EffectiveSeed() const {
+    return seed != exec::kDeprecatedSeedUnset ? seed : exec.seed;
+  }
 
   /// \brief Burn-in actually applied for a domain of `n` items.
   size_t EffectiveBurnIn(size_t n) const;
@@ -57,8 +72,10 @@ struct SamplerOptions {
 /// matched set, a documented approximation).
 class MatchingSampler {
  public:
-  /// \brief Builds ranges and the seed matching. Fails on domain mismatch
-  /// or an empty domain.
+  /// \brief Builds ranges and the seed matching. Fails on domain
+  /// mismatch, an empty domain, or malformed options
+  /// (`samples_per_seed == 0`, `cycle_move_fraction` outside [0, 1],
+  /// negative `burn_in_scale`).
   static Result<MatchingSampler> Create(const FrequencyGroups& observed,
                                         const BeliefFunction& belief,
                                         const SamplerOptions& options);
@@ -71,31 +88,50 @@ class MatchingSampler {
 
   /// \brief Draws `options.num_samples` matchings and returns the crack
   /// count (number of fixed points) of each.
-  std::vector<size_t> SampleCrackCounts();
+  ///
+  /// The draw is organised as ceil(num_samples / samples_per_seed)
+  /// independent chains; chain c runs with the RNG stream
+  /// SplitSeed(EffectiveSeed(), c) and writes its samples into fixed
+  /// output slots. With a non-null `ctx` the chains run on the pool —
+  /// the returned vector is bit-identical for any thread count.
+  std::vector<size_t> SampleCrackCounts(
+      exec::ExecContext* ctx = nullptr) const;
 
   /// \brief Same, counting only cracks of items with `interest[x]` true
   /// (the Lemma 2/4 "items of interest" analyses).
   Result<std::vector<size_t>> SampleCrackCounts(
-      const std::vector<bool>& interest);
+      const std::vector<bool>& interest,
+      exec::ExecContext* ctx = nullptr) const;
 
   /// \brief Validates that the current state is a consistent matching
-  /// (test hook).
+  /// (test hook). Sampling itself runs on private per-chain copies and
+  /// never perturbs this state.
   bool CurrentStateConsistent() const;
 
  private:
+  /// Mutable state of one independent MCMC chain.
+  struct ChainState {
+    Rng rng{0};
+    std::vector<ItemId> item_of_anon;
+    std::vector<ItemId> anon_of_item;
+    std::vector<ItemId> unmatched_items;  // maintained only when imperfect
+  };
+
   MatchingSampler() = default;
 
   void ReseedState();
-  void Sweep();
+  void InitChain(ChainState* chain, uint64_t chain_seed) const;
+  void SweepChain(ChainState* chain) const;
   bool Consistent(ItemId anon, ItemId item) const {
     return item_has_range_[item] && item_lo_[item] <= group_of_anon_[anon] &&
            group_of_anon_[anon] <= item_hi_[item];
   }
-  size_t CountCracksState(const std::vector<bool>* interest) const;
-  std::vector<size_t> SampleImpl(const std::vector<bool>* interest);
+  size_t CountCracksOf(const ChainState& chain,
+                       const std::vector<bool>* interest) const;
+  std::vector<size_t> SampleImpl(const std::vector<bool>* interest,
+                                 exec::ExecContext* ctx) const;
 
   SamplerOptions options_;
-  Rng rng_{0};
 
   // Static structure.
   std::vector<size_t> group_of_anon_;
@@ -104,10 +140,10 @@ class MatchingSampler {
   std::vector<ItemId> seed_item_of_anon_;  // seed matching
   size_t seed_size_ = 0;
 
-  // Mutable chain state.
+  // Legacy in-place state, kept for the CurrentStateConsistent hook.
   std::vector<ItemId> item_of_anon_;
   std::vector<ItemId> anon_of_item_;
-  std::vector<ItemId> unmatched_items_;  // maintained only when imperfect
+  std::vector<ItemId> unmatched_items_;
 };
 
 }  // namespace anonsafe

@@ -4,24 +4,28 @@
 #include <bit>
 #include <string>
 
+#include "exec/exec.h"
 #include "obs/scoped_timer.h"
 
 namespace anonsafe {
 namespace {
 
-/// Ryser with Gray code on the *columns included* set:
-///   perm(A) = (-1)^n Σ_{∅≠S⊆[n]} (-1)^{|S|} Π_i row_sum_i(S).
-/// `col_sums[i]` tracks Π-free per-row partial sums as S changes by one
-/// column per Gray step.
-double RyserImpl(const std::vector<uint64_t>& rows) {
+/// One contiguous slice [begin, end) of the Ryser iteration space
+/// (iter 1 .. 2^n - 1). The per-row column sums are reseeded from the
+/// Gray code of `begin - 1`, so slices are independent and the loop
+/// body is identical to the classic single-pass form.
+long double RyserRange(const std::vector<uint64_t>& rows, uint64_t begin,
+                       uint64_t end) {
   const size_t n = rows.size();
-  if (n == 0) return 1.0;  // empty product convention
-
   std::vector<double> row_sums(n, 0.0);
+  uint64_t gray = (begin - 1) ^ ((begin - 1) >> 1);
+  if (gray != 0) {
+    for (size_t i = 0; i < n; ++i) {
+      row_sums[i] = static_cast<double>(std::popcount(rows[i] & gray));
+    }
+  }
   long double total = 0.0L;
-  uint64_t gray = 0;
-  const uint64_t limit = 1ULL << n;
-  for (uint64_t iter = 1; iter < limit; ++iter) {
+  for (uint64_t iter = begin; iter < end; ++iter) {
     uint64_t new_gray = iter ^ (iter >> 1);
     uint64_t diff = gray ^ new_gray;
     int col = std::countr_zero(diff);
@@ -44,12 +48,44 @@ double RyserImpl(const std::vector<uint64_t>& rows) {
       total += prod;
     }
   }
+  return total;
+}
+
+/// Ryser with Gray code on the *columns included* set:
+///   perm(A) = (-1)^n Σ_{∅≠S⊆[n]} (-1)^{|S|} Π_i row_sum_i(S).
+/// For n >= kRyserParallelMinN the 2^n - 1 subsets split into
+/// kRyserChunks ranges — a function of n alone, so chunked partials
+/// fold in the same order whatever the thread count.
+double RyserImpl(const std::vector<uint64_t>& rows,
+                 exec::ExecContext* ctx) {
+  const size_t n = rows.size();
+  if (n == 0) return 1.0;  // empty product convention
+  const uint64_t limit = 1ULL << n;
+  if (n < kRyserParallelMinN) {
+    return static_cast<double>(RyserRange(rows, 1, limit));
+  }
+
+  const size_t iters = static_cast<size_t>(limit - 1);
+  const size_t grain = (iters + kRyserChunks - 1) / kRyserChunks;
+  const size_t chunks = exec::NumChunks(iters, grain);
+  std::vector<long double> partials(chunks, 0.0L);
+  // The body cannot fail; the Status channel is unused here.
+  Status st = exec::ParallelForChunks(
+      ctx, iters, grain, [&](size_t begin, size_t end) {
+        partials[begin / grain] =
+            RyserRange(rows, 1 + begin, 1 + end);
+        return Status::OK();
+      });
+  (void)st;
+  long double total = 0.0L;
+  for (size_t c = 0; c < chunks; ++c) total += partials[c];
   return static_cast<double>(total);
 }
 
 }  // namespace
 
-Result<double> PermanentRyser(const std::vector<uint64_t>& rows) {
+Result<double> PermanentRyser(const std::vector<uint64_t>& rows,
+                              exec::ExecContext* ctx) {
   if (rows.size() > kMaxPermanentN) {
     return Status::OutOfRange(
         "permanent limited to n <= " + std::to_string(kMaxPermanentN) +
@@ -60,20 +96,22 @@ Result<double> PermanentRyser(const std::vector<uint64_t>& rows) {
       return Status::InvalidArgument("row mask wider than the matrix");
     }
   }
-  return RyserImpl(rows);
+  return RyserImpl(rows, ctx);
 }
 
-Result<double> CountPerfectMatchings(const BipartiteGraph& graph) {
+Result<double> CountPerfectMatchings(const BipartiteGraph& graph,
+                                     exec::ExecContext* ctx) {
   ANONSAFE_SCOPED_TIMER("graph.permanent_count");
   if (graph.num_items() > kMaxPermanentN) {
     return Status::OutOfRange(
         "matching count limited to n <= " + std::to_string(kMaxPermanentN));
   }
   ANONSAFE_ASSIGN_OR_RETURN(std::vector<uint64_t> rows, graph.ToRowMasks());
-  return PermanentRyser(rows);
+  return PermanentRyser(rows, ctx);
 }
 
-Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph) {
+Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph,
+                                              exec::ExecContext* ctx) {
   ANONSAFE_SCOPED_TIMER("graph.permanent_exact_cracks");
   const size_t n = graph.num_items();
   if (n > kMaxPermanentN) {
@@ -81,27 +119,34 @@ Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph) {
         "direct method limited to n <= " + std::to_string(kMaxPermanentN));
   }
   ANONSAFE_ASSIGN_OR_RETURN(std::vector<uint64_t> rows, graph.ToRowMasks());
-  ANONSAFE_ASSIGN_OR_RETURN(double total, PermanentRyser(rows));
+  ANONSAFE_ASSIGN_OR_RETURN(double total, PermanentRyser(rows, ctx));
   if (total <= 0.0) {
     return Status::FailedPrecondition(
         "graph has no perfect matching; expected cracks undefined");
   }
 
-  double expected = 0.0;
-  for (size_t x = 0; x < n; ++x) {
-    if (!(rows[x] & (1ULL << x))) continue;  // diagonal edge absent
-    // Minor: drop row x and column x.
-    std::vector<uint64_t> minor;
-    minor.reserve(n - 1);
-    const uint64_t low_mask = (1ULL << x) - 1;
-    for (size_t i = 0; i < n; ++i) {
-      if (i == x) continue;
-      uint64_t row = rows[i];
-      minor.push_back((row & low_mask) | ((row >> (x + 1)) << x));
-    }
-    ANONSAFE_ASSIGN_OR_RETURN(double sub, PermanentRyser(minor));
-    expected += sub / total;
-  }
+  // One minor per task; per-item ratios land in fixed slots and fold
+  // with a fixed-order pairwise sum, so the value is thread-count
+  // independent. Each minor's own Ryser runs sequentially (the fan-out
+  // lives at this level).
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double expected,
+      exec::ParallelSumChunks(
+          ctx, n, /*grain=*/1,
+          [&](size_t x, size_t /*end*/) -> Result<double> {
+            if (!(rows[x] & (1ULL << x))) return 0.0;  // diagonal absent
+            // Minor: drop row x and column x.
+            std::vector<uint64_t> minor;
+            minor.reserve(n - 1);
+            const uint64_t low_mask = (1ULL << x) - 1;
+            for (size_t i = 0; i < n; ++i) {
+              if (i == x) continue;
+              uint64_t row = rows[i];
+              minor.push_back((row & low_mask) | ((row >> (x + 1)) << x));
+            }
+            ANONSAFE_ASSIGN_OR_RETURN(double sub, PermanentRyser(minor));
+            return sub / total;
+          }));
   return expected;
 }
 

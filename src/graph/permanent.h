@@ -8,9 +8,20 @@
 #include "util/result.h"
 
 namespace anonsafe {
+namespace exec {
+class ExecContext;
+}  // namespace exec
 
 /// \brief Hard cap for Ryser evaluations (2^26 subsets ≈ seconds).
 inline constexpr size_t kMaxPermanentN = 26;
+
+/// \brief Matrices of at least this order split the Gray-code iteration
+/// space into kRyserChunks independent ranges (each chunk reseeds its
+/// per-row column sums from its start subset). Smaller matrices keep the
+/// single-pass evaluation. The split is a function of n only — never of
+/// the thread count — so results are reproducible either way.
+inline constexpr size_t kRyserParallelMinN = 14;
+inline constexpr size_t kRyserChunks = 64;
 
 /// \brief Permanent of a 0/1 matrix given as row bitmasks, via Ryser's
 /// inclusion–exclusion with Gray-code column updates, O(2^n · n).
@@ -21,18 +32,28 @@ inline constexpr size_t kMaxPermanentN = 26;
 /// #P-completeness and the O(n^22) JSV approximation to motivate the
 /// O-estimate; this implementation is the small-n ground truth oracle.
 /// Fails with OutOfRange for n > kMaxPermanentN.
-Result<double> PermanentRyser(const std::vector<uint64_t>& rows);
+///
+/// With a non-null `ctx` and n >= kRyserParallelMinN the subset chunks
+/// evaluate on the pool; partial sums land in per-chunk slots and are
+/// folded in chunk order, so the value is bit-identical for any thread
+/// count.
+Result<double> PermanentRyser(const std::vector<uint64_t>& rows,
+                              exec::ExecContext* ctx = nullptr);
 
 /// \brief Number of perfect matchings of the graph (permanent of A_G).
-Result<double> CountPerfectMatchings(const BipartiteGraph& graph);
+Result<double> CountPerfectMatchings(const BipartiteGraph& graph,
+                                     exec::ExecContext* ctx = nullptr);
 
 /// \brief Exact expected number of cracks by the direct method of
 /// Section 4.1: E[X] = Σ_x  perm(A with row x' and column x removed) /
 /// perm(A), summed over the diagonal edges (x', x) present in G.
 ///
 /// Fails with OutOfRange for n > kMaxPermanentN and FailedPrecondition
-/// when the graph has no perfect matching (permanent 0).
-Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph);
+/// when the graph has no perfect matching (permanent 0). With a non-null
+/// `ctx` the per-item minors evaluate on the pool (one minor per task;
+/// each minor's own Ryser stays sequential).
+Result<double> ExactExpectedCracksByPermanent(
+    const BipartiteGraph& graph, exec::ExecContext* ctx = nullptr);
 
 /// \brief Exact crack distribution by exhaustive enumeration of all
 /// perfect matchings (backtracking). `distribution[c]` is P(X = c).

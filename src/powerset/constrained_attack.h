@@ -68,7 +68,7 @@ class ConstrainedMatchingSampler {
         belief_(belief),
         observed_(observed),
         options_(options),
-        rng_(options.seed) {}
+        rng_(options.EffectiveSeed()) {}
 
   bool ConstraintHolds(size_t constraint_index) const;
   bool ConstraintsHoldFor(ItemId item) const;

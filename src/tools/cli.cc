@@ -68,13 +68,15 @@ Status RunAssess(const CliInvocation& cli, std::ostream& out) {
   ANONSAFE_ASSIGN_OR_RETURN(double tolerance,
                             FlagAsDouble(cli, "tolerance", 0.1));
   ANONSAFE_ASSIGN_OR_RETURN(uint64_t seed, FlagAsUint64(cli, "seed", 7));
+  ANONSAFE_ASSIGN_OR_RETURN(uint64_t threads, FlagAsUint64(cli, "threads", 1));
   ANONSAFE_ASSIGN_OR_RETURN(LabeledDatabase data,
                             ReadFimiFile(cli.positional[0]));
   ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable table,
                             FrequencyTable::Compute(data.database));
   RecipeOptions options;
   options.tolerance = tolerance;
-  options.seed = seed;
+  options.exec.seed = seed;
+  options.exec.threads = static_cast<size_t>(threads);
   ANONSAFE_ASSIGN_OR_RETURN(RecipeResult result, AssessRisk(table, options));
   out << "decision: " << ToString(result.decision) << "\n"
       << result.Summary() << "\n";
@@ -85,10 +87,12 @@ Status RunReport(const CliInvocation& cli, std::ostream& out) {
   ANONSAFE_RETURN_IF_ERROR(RequirePositional(cli, 1));
   ANONSAFE_ASSIGN_OR_RETURN(double tolerance,
                             FlagAsDouble(cli, "tolerance", 0.1));
+  ANONSAFE_ASSIGN_OR_RETURN(uint64_t threads, FlagAsUint64(cli, "threads", 1));
   ANONSAFE_ASSIGN_OR_RETURN(LabeledDatabase data,
                             ReadFimiFile(cli.positional[0]));
   RiskReportOptions options;
   options.recipe.tolerance = tolerance;
+  options.recipe.exec.threads = static_cast<size_t>(threads);
   ANONSAFE_ASSIGN_OR_RETURN(RiskReport report,
                             BuildRiskReport(data.database, options));
   out << report.ToText();
@@ -101,7 +105,7 @@ Status RunSimilarity(const CliInvocation& cli, std::ostream& out) {
   ANONSAFE_ASSIGN_OR_RETURN(LabeledDatabase data,
                             ReadFimiFile(cli.positional[0]));
   SimilarityOptions options;
-  options.seed = seed;
+  options.exec.seed = seed;
   ANONSAFE_ASSIGN_OR_RETURN(std::vector<SimilarityPoint> curve,
                             SimilarityBySampling(data.database, options));
   TablePrinter t({"sample %", "mean alpha", "stddev", "delta'_med"});
@@ -483,8 +487,10 @@ std::string CliUsage() {
       "usage: anonsafe <command> [args] [--flags]\n"
       "\n"
       "  stats <file.dat>                      dataset statistics\n"
-      "  assess <file.dat> [--tolerance=0.1]   Fig. 8 Assess-Risk recipe\n"
-      "  report <file.dat> [--tolerance=0.1]   full risk report\n"
+      "  assess <file.dat> [--tolerance=0.1] [--threads=1]\n"
+      "                                        Fig. 8 Assess-Risk recipe\n"
+      "  report <file.dat> [--tolerance=0.1] [--threads=1]\n"
+      "                                        full risk report\n"
       "  similarity <file.dat> [--seed=]       Fig. 13 sampling curve\n"
       "  risk <file.dat> [--top=20]             per-item crack ranking\n"
       "  belief <file.dat> <out.belief> [--delta=]  belief-file template\n"
@@ -498,6 +504,8 @@ std::string CliUsage() {
       "  help\n"
       "\n"
       "Global flags (any command):\n"
+      "  --threads=N           worker threads for parallel phases (0 = all\n"
+      "                        cores); results are identical for any N\n"
       "  --trace               print a per-phase timing tree after the run\n"
       "  --metrics-out=<path>  write run metrics as JSON (plus a .prom\n"
       "                        sibling in Prometheus text format)\n"

@@ -232,18 +232,23 @@ TEST(AlphaSweepTest, BeliefAtProducesRequestedCompliance) {
   ASSERT_TRUE(base.ok());
   auto sweep = AlphaCompliancySweep::Create(*table, *base, 3, 5);
   ASSERT_TRUE(sweep.ok());
-  AlphaCompliantBelief ab = sweep->BeliefAt(0, 0.5);
-  auto measured = ab.belief.ComplianceFraction(*table);
+  auto ab = sweep->BeliefAt(0, 0.5);
+  ASSERT_TRUE(ab.ok());
+  auto measured = ab->belief.ComplianceFraction(*table);
   ASSERT_TRUE(measured.ok());
   EXPECT_NEAR(*measured, 0.5, 1e-12);
   // Nested: items compliant at 0.3 are compliant at 0.8.
-  AlphaCompliantBelief lo = sweep->BeliefAt(1, 0.3);
-  AlphaCompliantBelief hi = sweep->BeliefAt(1, 0.8);
+  auto lo = sweep->BeliefAt(1, 0.3);
+  auto hi = sweep->BeliefAt(1, 0.8);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
   for (size_t x = 0; x < 6; ++x) {
-    if (lo.compliant_mask[x]) {
-      EXPECT_TRUE(hi.compliant_mask[x]);
+    if (lo->compliant_mask[x]) {
+      EXPECT_TRUE(hi->compliant_mask[x]);
     }
   }
+  // A run index past the sweep is an error, not UB.
+  EXPECT_TRUE(sweep->BeliefAt(3, 0.5).status().IsOutOfRange());
 }
 
 TEST(AlphaSweepTest, ValidatesInputs) {
@@ -299,7 +304,8 @@ TEST(RecipeTest, AlphaBoundWhenFullComplianceTooRisky) {
   // At alpha_max the average OE is within budget.
   auto base = MakeCompliantIntervalBelief(*table, result->delta_med);
   ASSERT_TRUE(base.ok());
-  auto sweep = AlphaCompliancySweep::Create(*table, *base, 3, opt.seed);
+  auto sweep = AlphaCompliancySweep::Create(*table, *base, 3,
+                                            opt.EffectiveSeed());
   ASSERT_TRUE(sweep.ok());
   FrequencyGroups groups = FrequencyGroups::Build(*table);
   auto at_max = sweep->AverageOEstimate(groups, result->alpha_max);

@@ -1,0 +1,292 @@
+// Bit-identity of the parallel analysis paths: every estimator must
+// produce the exact same bits at 1, 2 and 8 threads (and with no
+// context at all), because chunk boundaries, RNG streams, and
+// reduction order are functions of the problem size only — never of
+// the scheduling. See docs/PARALLELISM.md for the contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "belief/builders.h"
+#include "core/alpha_sweep.h"
+#include "core/oestimate.h"
+#include "core/recipe.h"
+#include "core/simulated.h"
+#include "data/frequency.h"
+#include "exec/exec.h"
+#include "graph/bipartite_graph.h"
+#include "graph/matching_sampler.h"
+#include "graph/permanent.h"
+#include "util/rng.h"
+
+namespace anonsafe {
+namespace {
+
+// A mid-size synthetic frequency profile: enough items that the
+// parallel paths split into many chunks, small enough for fast tests.
+Result<FrequencyTable> MakeProfile(size_t num_items, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SupportCount> supports;
+  supports.reserve(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    supports.push_back(1 + rng.UniformUint64(500));
+  }
+  return FrequencyTable::FromSupports(std::move(supports), 1000);
+}
+
+exec::ExecOptions WithThreads(size_t threads) {
+  exec::ExecOptions options;
+  options.threads = threads;
+  return options;
+}
+
+// --------------------------------------------------------- Assess-Risk
+
+TEST(DeterminismTest, AssessRiskBitIdenticalAcrossThreadCounts) {
+  auto table = MakeProfile(300, 17);
+  ASSERT_TRUE(table.ok());
+  RecipeOptions base;
+  base.tolerance = 0.1;
+
+  std::vector<RecipeResult> results;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    RecipeOptions options = base;
+    options.exec.threads = threads;
+    auto r = AssessRisk(*table, options);
+    ASSERT_TRUE(r.ok()) << threads << " threads: " << r.status();
+    results.push_back(*r);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].decision, results[0].decision);
+    EXPECT_EQ(results[i].interval_oe, results[0].interval_oe);
+    EXPECT_EQ(results[i].alpha_max, results[0].alpha_max);
+    EXPECT_EQ(results[i].delta_med, results[0].delta_med);
+  }
+}
+
+TEST(DeterminismTest, AverageOEstimateBitIdenticalAcrossThreadCounts) {
+  auto table = MakeProfile(200, 23);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto belief = MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  ASSERT_TRUE(belief.ok());
+  auto sweep = AlphaCompliancySweep::Create(*table, *belief, 5, 7);
+  ASSERT_TRUE(sweep.ok());
+
+  std::vector<double> averages;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    exec::ExecContext ctx(WithThreads(threads));
+    auto avg = sweep->AverageOEstimate(groups, 0.6, {}, &ctx);
+    ASSERT_TRUE(avg.ok()) << avg.status();
+    averages.push_back(*avg);
+  }
+  // Null context must match too (the default API path).
+  auto null_ctx = sweep->AverageOEstimate(groups, 0.6);
+  ASSERT_TRUE(null_ctx.ok());
+  EXPECT_EQ(averages[0], averages[1]);
+  EXPECT_EQ(averages[0], averages[2]);
+  EXPECT_EQ(averages[0], *null_ctx);
+}
+
+TEST(DeterminismTest, OEstimateBitIdenticalWithAndWithoutContext) {
+  auto table = MakeProfile(400, 31);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto belief = MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  ASSERT_TRUE(belief.ok());
+
+  auto none = ComputeOEstimate(groups, *belief);
+  ASSERT_TRUE(none.ok());
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    exec::ExecContext ctx(WithThreads(threads));
+    auto with = ComputeOEstimate(groups, *belief, {}, &ctx);
+    ASSERT_TRUE(with.ok());
+    EXPECT_EQ(with->expected_cracks, none->expected_cracks) << threads;
+    EXPECT_EQ(with->forced_items, none->forced_items) << threads;
+  }
+}
+
+// ------------------------------------------------------------- Sampler
+
+TEST(DeterminismTest, SamplerChainsBitIdenticalAcrossThreadCounts) {
+  auto table = MakeProfile(60, 41);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto belief = MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  ASSERT_TRUE(belief.ok());
+  SamplerOptions options;
+  options.num_samples = 120;
+  options.samples_per_seed = 25;  // 5 chains, last one short
+  options.burn_in_sweeps = 30;
+  options.thinning_sweeps = 2;
+  auto sampler = MatchingSampler::Create(groups, *belief, options);
+  ASSERT_TRUE(sampler.ok());
+
+  std::vector<size_t> sequential = sampler->SampleCrackCounts();
+  ASSERT_EQ(sequential.size(), 120u);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    exec::ExecContext ctx(WithThreads(threads));
+    std::vector<size_t> parallel = sampler->SampleCrackCounts(&ctx);
+    EXPECT_EQ(parallel, sequential) << threads << " threads";
+  }
+  EXPECT_TRUE(sampler->CurrentStateConsistent());
+}
+
+TEST(DeterminismTest, SimulatedCracksBitIdenticalAcrossThreadCounts) {
+  auto table = MakeProfile(40, 43);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto belief = MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  ASSERT_TRUE(belief.ok());
+  SimulationOptions base;
+  base.exec.runs = 4;
+  base.sampler.num_samples = 60;
+  base.sampler.burn_in_sweeps = 20;
+  base.sampler.thinning_sweeps = 2;
+
+  std::vector<SimulationResult> results;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SimulationOptions options = base;
+    options.exec.threads = threads;
+    auto r = SimulateExpectedCracks(groups, *belief, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    results.push_back(*r);
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].mean, results[0].mean);
+    EXPECT_EQ(results[i].stddev, results[0].stddev);
+    EXPECT_EQ(results[i].run_means, results[0].run_means);
+  }
+}
+
+// ----------------------------------------------------------- Permanent
+
+TEST(DeterminismTest, RyserPermanentBitIdenticalAcrossThreadCounts) {
+  // n = 16 crosses kRyserParallelMinN, so the chunked path runs.
+  const size_t n = 16;
+  Rng rng(53);
+  std::vector<uint64_t> rows(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i] |= uint64_t{1} << i;  // diagonal keeps the permanent positive
+    for (size_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.4)) rows[i] |= uint64_t{1} << j;
+    }
+  }
+  auto none = PermanentRyser(rows);
+  ASSERT_TRUE(none.ok());
+  EXPECT_GT(*none, 0.0);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    exec::ExecContext ctx(WithThreads(threads));
+    auto with = PermanentRyser(rows, &ctx);
+    ASSERT_TRUE(with.ok());
+    EXPECT_EQ(*with, *none) << threads << " threads";
+  }
+}
+
+// --------------------------------------------- Validation regressions
+
+TEST(ValidationTest, RecipeRejectsMalformedOptions) {
+  auto table = MakeProfile(20, 3);
+  ASSERT_TRUE(table.ok());
+
+  RecipeOptions zero_iters;
+  zero_iters.binary_search_iterations = 0;
+  EXPECT_TRUE(AssessRisk(*table, zero_iters).status().IsInvalidArgument());
+
+  RecipeOptions zero_runs;
+  zero_runs.exec.runs = 0;
+  EXPECT_TRUE(AssessRisk(*table, zero_runs).status().IsInvalidArgument());
+
+  RecipeOptions bad_tolerance;
+  bad_tolerance.tolerance = 1.5;
+  EXPECT_TRUE(
+      AssessRisk(*table, bad_tolerance).status().IsInvalidArgument());
+
+  EXPECT_TRUE(ValidateRecipeOptions(RecipeOptions{}).ok());
+}
+
+TEST(ValidationTest, SamplerRejectsMalformedOptions) {
+  auto table = MakeProfile(20, 3);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto belief = MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  ASSERT_TRUE(belief.ok());
+
+  SamplerOptions zero_per_seed;
+  zero_per_seed.samples_per_seed = 0;
+  EXPECT_TRUE(MatchingSampler::Create(groups, *belief, zero_per_seed)
+                  .status().IsInvalidArgument());
+
+  SamplerOptions bad_fraction;
+  bad_fraction.cycle_move_fraction = 1.5;
+  EXPECT_TRUE(MatchingSampler::Create(groups, *belief, bad_fraction)
+                  .status().IsInvalidArgument());
+
+  SamplerOptions negative_scale;
+  negative_scale.burn_in_scale = -1.0;
+  EXPECT_TRUE(MatchingSampler::Create(groups, *belief, negative_scale)
+                  .status().IsInvalidArgument());
+}
+
+TEST(ValidationTest, BeliefAtRejectsOutOfRangeRun) {
+  auto table = MakeProfile(30, 5);
+  ASSERT_TRUE(table.ok());
+  auto belief = MakeCompliantIntervalBelief(
+      *table, FrequencyGroups::Build(*table).MedianGap());
+  ASSERT_TRUE(belief.ok());
+  auto sweep = AlphaCompliancySweep::Create(*table, *belief, 3, 7);
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_TRUE(sweep->BeliefAt(3, 0.5).status().IsOutOfRange());
+  EXPECT_TRUE(sweep->BeliefAt(0, 0.5).ok());
+}
+
+// --------------------------------------------------- Deprecated aliases
+
+TEST(DeprecatedAliasTest, RecipeSeedAliasWinsWhenSet) {
+  auto table = MakeProfile(80, 29);
+  ASSERT_TRUE(table.ok());
+
+  RecipeOptions via_alias;
+  via_alias.seed = 123;
+  via_alias.alpha_runs = 4;
+  auto a = AssessRisk(*table, via_alias);
+  ASSERT_TRUE(a.ok());
+
+  RecipeOptions via_exec;
+  via_exec.exec.seed = 123;
+  via_exec.exec.runs = 4;
+  auto b = AssessRisk(*table, via_exec);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a->alpha_max, b->alpha_max);
+  EXPECT_EQ(a->interval_oe, b->interval_oe);
+  EXPECT_EQ(a->decision, b->decision);
+}
+
+TEST(DeprecatedAliasTest, SamplerSeedAliasWinsWhenSet) {
+  auto table = MakeProfile(30, 37);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto belief = MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  ASSERT_TRUE(belief.ok());
+
+  SamplerOptions via_alias;
+  via_alias.seed = 77;
+  via_alias.num_samples = 40;
+  via_alias.burn_in_sweeps = 10;
+  auto a = MatchingSampler::Create(groups, *belief, via_alias);
+  ASSERT_TRUE(a.ok());
+
+  SamplerOptions via_exec = via_alias;
+  via_exec.seed = exec::kDeprecatedSeedUnset;
+  via_exec.exec.seed = 77;
+  auto b = MatchingSampler::Create(groups, *belief, via_exec);
+  ASSERT_TRUE(b.ok());
+
+  EXPECT_EQ(a->SampleCrackCounts(), b->SampleCrackCounts());
+}
+
+}  // namespace
+}  // namespace anonsafe
