@@ -15,10 +15,13 @@
 #include "datagen/quest.h"
 #include "mining/miner.h"
 #include "core/oestimate.h"
+#include "core/recipe.h"
 #include "data/frequency.h"
 #include "datagen/benchmark_profiles.h"
 #include "datagen/profile.h"
+#include "graph/bipartite_graph.h"
 #include "graph/consistency.h"
+#include "graph/hopcroft_karp.h"
 #include "graph/matching_sampler.h"
 #include "graph/permanent.h"
 #include "util/rng.h"
@@ -144,7 +147,44 @@ void BM_Permanent(benchmark::State& state) {
     benchmark::DoNotOptimize(*p);
   }
 }
-BENCHMARK(BM_Permanent)->DenseRange(8, 22, 2);
+BENCHMARK(BM_Permanent)->DenseRange(8, 24, 2);
+
+void BM_GraphBuildHK(benchmark::State& state) {
+  // Explicit-graph pipeline: CSR build from belief + Hopcroft–Karp
+  // maximum matching (the perfect-matching existence check).
+  const size_t n = static_cast<size_t>(state.range(0));
+  FrequencyTable table = MakeTable(n);
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  BeliefFunction belief =
+      *MakeCompliantIntervalBelief(table, 2.0 * groups.MedianGap());
+  for (auto _ : state) {
+    auto graph = BipartiteGraph::Build(groups, belief);
+    Matching matching = HopcroftKarp(*graph);
+    benchmark::DoNotOptimize(matching.size);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GraphBuildHK)->Range(1 << 8, 1 << 12)->Complexity();
+
+void BM_AssessRiskBisection(benchmark::State& state) {
+  // Macro-bench of the recipe's δ-bisection: a tolerance low enough that
+  // both disclose short-circuits fail, so every iteration pays runs ×
+  // binary_search_iterations α probes. Single-threaded: this measures the
+  // kernels (stab caching, consistency build, propagation), not the pool.
+  const size_t n = static_cast<size_t>(state.range(0));
+  FrequencyTable table = MakeTable(n);
+  RecipeOptions options;
+  options.tolerance = 0.001;
+  options.binary_search_iterations = 8;
+  options.exec.runs = 3;
+  options.exec.threads = 1;
+  for (auto _ : state) {
+    auto result = AssessRisk(table, options);
+    benchmark::DoNotOptimize(result->alpha_max);
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_AssessRiskBisection)->Range(1 << 10, 1 << 13);
 
 void BM_Propagation(benchmark::State& state) {
   // Worst-case staircase: every pass forces one item (Figure 6(a) at n).

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the hot-path kernels.
+#
+# Runs the gated subset of bench_perf_microbench (Ryser permanent at
+# n=20/22/24, explicit CSR graph build + Hopcroft-Karp, and the
+# AssessRisk δ-bisection macro-bench), emits BENCH_kernels.json at the
+# repo root, and compares each kernel's cpu time against the checked-in
+# baseline in bench/perf_baseline.json with a ±15% gate:
+#
+#   * >15% slower than baseline  -> FAIL (regression);
+#   * >15% faster than baseline  -> OK, but prints a hint to rebaseline
+#     so future regressions are measured from the new, better number.
+#
+# The baseline file also carries `pre_opt_ns`: the same kernels measured
+# on the pre-optimization tree (vector<vector> adjacency, unmasked
+# Ryser, per-call allocation, per-probe re-stabbing). BENCH_kernels.json
+# reports speedup_vs_pre_opt = pre_opt / current for each kernel.
+#
+# Usage:
+#   scripts/check_perf.sh [--rebaseline] [path/to/bench_perf_microbench]
+#
+# --rebaseline rewrites baseline_ns in bench/perf_baseline.json from
+# this run (pre_opt_ns is preserved). Timings are wall-machine-specific:
+# rebaseline whenever the harness moves to different hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REBASELINE=0
+if [[ "${1:-}" == "--rebaseline" ]]; then
+  REBASELINE=1
+  shift
+fi
+BENCH="${1:-build/bench/bench_perf_microbench}"
+BASELINE="bench/perf_baseline.json"
+OUT="BENCH_kernels.json"
+
+if [[ ! -x "$BENCH" ]]; then
+  echo "check_perf: bench binary not found at $BENCH (build first)" >&2
+  exit 1
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "check_perf: SKIP (python3 unavailable for JSON parsing)" >&2
+  exit 0
+fi
+
+FILTER='BM_Permanent/(20|22|24)$|BM_GraphBuildHK/4096$|BM_AssessRiskBisection/8192$'
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+# Three repetitions; the median is what gets gated, so one descheduled
+# repetition cannot fail the build.
+"$BENCH" \
+  --benchmark_filter="$FILTER" \
+  --benchmark_repetitions=3 \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json >"$raw"
+
+python3 - "$raw" "$BASELINE" "$OUT" "$REBASELINE" <<'PY'
+import json, sys
+
+raw_path, baseline_path, out_path, rebaseline = sys.argv[1:5]
+rebaseline = rebaseline == "1"
+TOLERANCE = 0.15  # the ±15% gate
+
+with open(raw_path) as f:
+    raw = json.load(f)
+
+current = {}
+for b in raw["benchmarks"]:
+    if b.get("aggregate_name") != "median":
+        continue
+    name = b["run_name"]
+    assert b["time_unit"] == "ns", f"unexpected time unit for {name}"
+    current[name] = b["cpu_time"]
+if not current:
+    sys.exit("check_perf: FAIL: benchmark filter matched nothing")
+
+try:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+except FileNotFoundError:
+    baseline = {"baseline_ns": {}, "pre_opt_ns": {}}
+
+report = {
+    "note": "medians of 3 repetitions; cpu_time in ns; gate is +/-15% "
+            "vs bench/perf_baseline.json",
+    "kernels": {},
+}
+failures = []
+faster = []
+for name in sorted(current):
+    cur = current[name]
+    entry = {"cpu_time_ns": round(cur, 1)}
+    base = baseline.get("baseline_ns", {}).get(name)
+    if base is not None:
+        ratio = cur / base
+        entry["baseline_ns"] = base
+        entry["vs_baseline"] = round(ratio, 3)
+        if ratio > 1.0 + TOLERANCE:
+            failures.append(f"{name}: {cur:.0f}ns vs baseline {base:.0f}ns "
+                            f"({(ratio - 1) * 100:+.1f}%)")
+        elif ratio < 1.0 - TOLERANCE:
+            faster.append(name)
+    pre = baseline.get("pre_opt_ns", {}).get(name)
+    if pre is not None:
+        entry["pre_opt_ns"] = pre
+        entry["speedup_vs_pre_opt"] = round(pre / cur, 2)
+    report["kernels"][name] = entry
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+if rebaseline:
+    baseline["baseline_ns"] = {k: round(v, 1) for k, v in current.items()}
+    with open(baseline_path, "w") as f:
+        json.dump(baseline, f, indent=2)
+        f.write("\n")
+    print(f"check_perf: rebaselined {baseline_path} from this run")
+
+for name, e in report["kernels"].items():
+    speed = (f"  ({e['speedup_vs_pre_opt']}x vs pre-opt)"
+             if "speedup_vs_pre_opt" in e else "")
+    delta = (f"  [{(e['vs_baseline'] - 1) * 100:+.1f}% vs baseline]"
+             if "vs_baseline" in e else "  [no baseline]")
+    print(f"check_perf: {name}: {e['cpu_time_ns']:.0f}ns{delta}{speed}")
+
+if failures and not rebaseline:
+    for msg in failures:
+        print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+if faster:
+    print(f"check_perf: note: {', '.join(faster)} now >15% faster than "
+          f"baseline; consider scripts/check_perf.sh --rebaseline")
+print(f"check_perf: OK ({out_path} written)")
+PY

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "exec/exec.h"
+#include "exec/scratch.h"
+#include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "util/rng.h"
 
@@ -72,6 +74,95 @@ AlphaCompliantBelief AlphaCompliancySweep::BeliefAtImpl(size_t run,
   out.compliant_mask = std::move(mask);
   out.requested_alpha = alpha;
   return out;
+}
+
+AlphaCompliancySweep::ProbeCache AlphaCompliancySweep::MakeProbeCache(
+    const FrequencyGroups& observed) const {
+  const size_t n = num_items();
+  ProbeCache cache;
+  cache.base.resize(n);
+  cache.displaced.resize(n);
+  for (ItemId x = 0; x < n; ++x) {
+    const BeliefInterval& iv = base_.interval(x);
+    cache.base[x] = observed.Stab(iv.lo, iv.hi);
+    cache.displaced[x] = observed.Stab(displaced_[x].lo, displaced_[x].hi);
+  }
+  return cache;
+}
+
+Result<double> AlphaCompliancySweep::RunOEstimateFromCache(
+    const FrequencyGroups& observed, const ProbeCache& cache, size_t run,
+    double alpha, const std::vector<bool>* interest,
+    const OEstimateOptions& options) const {
+  const size_t n = num_items();
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  const auto num_compliant =
+      static_cast<size_t>(std::llround(alpha * static_cast<double>(n)));
+  const std::vector<size_t>& order = orders_[run];
+
+  // Select this run's per-item range in O(n): items before the cut keep
+  // the base (compliant) range, the rest take the displaced one — the
+  // only thing α changes. No interval is re-stabbed and no belief
+  // function is materialized.
+  exec::ScratchVec<ItemStabRange> ranges(n);
+  std::copy(cache.base.begin(), cache.base.end(), ranges.begin());
+  std::vector<bool> mask(n, true);
+  for (size_t i = num_compliant; i < n; ++i) {
+    const size_t x = order[i];
+    ranges[x] = cache.displaced[x];
+    mask[x] = false;
+  }
+  if (interest != nullptr) {
+    for (size_t x = 0; x < n; ++x) {
+      mask[x] = mask[x] && (*interest)[x];
+    }
+  }
+  obs::CountIf("anonsafe_stab_cache_hits_total", n);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      OEstimateResult oe,
+      ComputeOEstimateFromRanges(observed, ranges.vec(), mask, options));
+  return oe.expected_cracks;
+}
+
+Result<double> AlphaCompliancySweep::AverageOEstimate(
+    const FrequencyGroups& observed, const ProbeCache& cache, double alpha,
+    const OEstimateOptions& options, exec::ExecContext* ctx) const {
+  ANONSAFE_SCOPED_TIMER("core.alpha_sweep_avg");
+  if (cache.base.size() != num_items() ||
+      cache.displaced.size() != num_items()) {
+    return Status::InvalidArgument("probe cache size mismatch");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double sum, exec::ParallelSumChunks(
+                      ctx, num_runs(), /*grain=*/1,
+                      [&](size_t begin, size_t /*end*/) -> Result<double> {
+                        return RunOEstimateFromCache(observed, cache, begin,
+                                                     alpha, nullptr, options);
+                      }));
+  return sum / static_cast<double>(num_runs());
+}
+
+Result<double> AlphaCompliancySweep::AverageOEstimateForItems(
+    const FrequencyGroups& observed, const ProbeCache& cache, double alpha,
+    const std::vector<bool>& interest, const OEstimateOptions& options,
+    exec::ExecContext* ctx) const {
+  ANONSAFE_SCOPED_TIMER("core.alpha_sweep_avg");
+  if (cache.base.size() != num_items() ||
+      cache.displaced.size() != num_items()) {
+    return Status::InvalidArgument("probe cache size mismatch");
+  }
+  if (interest.size() != num_items()) {
+    return Status::InvalidArgument("interest mask size mismatch");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double sum, exec::ParallelSumChunks(
+                      ctx, num_runs(), /*grain=*/1,
+                      [&](size_t begin, size_t /*end*/) -> Result<double> {
+                        return RunOEstimateFromCache(observed, cache, begin,
+                                                     alpha, &interest,
+                                                     options);
+                      }));
+  return sum / static_cast<double>(num_runs());
 }
 
 Result<double> AlphaCompliancySweep::AverageOEstimate(

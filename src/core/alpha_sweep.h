@@ -36,6 +36,22 @@ class AlphaCompliancySweep {
   size_t num_runs() const { return orders_.size(); }
   size_t num_items() const { return base_.num_items(); }
 
+  /// \brief Per-item stab ranges of both candidate intervals against one
+  /// observed grouping: `base[x]` for item x's compliant interval,
+  /// `displaced[x]` for its displaced one. At any degree α every run's
+  /// belief assigns each item one of these two fixed intervals, so the
+  /// 2n binary searches here are the *only* stabbing an entire bisection
+  /// needs — each probe just selects per item in O(1).
+  struct ProbeCache {
+    std::vector<ItemStabRange> base;
+    std::vector<ItemStabRange> displaced;
+  };
+
+  /// \brief Builds the probe cache against `observed` (2n stabs; do this
+  /// once per recipe run, then hand it to every `AverageOEstimate` call
+  /// of the bisection).
+  ProbeCache MakeProbeCache(const FrequencyGroups& observed) const;
+
   /// \brief The α-compliant belief of run `run` (with its compliant mask).
   /// alpha is clamped to [0, 1]; a run index past `num_runs()` is an
   /// OutOfRange error.
@@ -53,6 +69,15 @@ class AlphaCompliancySweep {
                                   const OEstimateOptions& options = {},
                                   exec::ExecContext* ctx = nullptr) const;
 
+  /// \brief Cached variant: identical value (bit-for-bit) to the overload
+  /// above, but each run replays the precomputed stab ranges instead of
+  /// re-stabbing every interval and materializing a belief function.
+  /// `cache` must come from `MakeProbeCache(observed)`.
+  Result<double> AverageOEstimate(const FrequencyGroups& observed,
+                                  const ProbeCache& cache, double alpha,
+                                  const OEstimateOptions& options = {},
+                                  exec::ExecContext* ctx = nullptr) const;
+
   /// \brief Same, but additionally restricted to items with
   /// `interest[x]` true (the Lemma 4 "items of interest" scenario): each
   /// run sums only over compliant ∧ interesting items.
@@ -62,10 +87,26 @@ class AlphaCompliancySweep {
       const OEstimateOptions& options = {},
       exec::ExecContext* ctx = nullptr) const;
 
+  /// \brief Cached variant of `AverageOEstimateForItems` (see the cached
+  /// `AverageOEstimate` overload).
+  Result<double> AverageOEstimateForItems(
+      const FrequencyGroups& observed, const ProbeCache& cache, double alpha,
+      const std::vector<bool>& interest,
+      const OEstimateOptions& options = {},
+      exec::ExecContext* ctx = nullptr) const;
+
  private:
   /// BeliefAt without the run bounds check, for internal loops over
   /// valid run indices.
   AlphaCompliantBelief BeliefAtImpl(size_t run, double alpha) const;
+
+  /// Shared core of the cached overloads: one run's restricted
+  /// O-estimate from replayed stab ranges.
+  Result<double> RunOEstimateFromCache(const FrequencyGroups& observed,
+                                       const ProbeCache& cache, size_t run,
+                                       double alpha,
+                                       const std::vector<bool>* interest,
+                                       const OEstimateOptions& options) const;
 
   AlphaCompliancySweep(BeliefFunction base,
                        std::vector<BeliefInterval> displaced,

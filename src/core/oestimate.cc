@@ -7,18 +7,14 @@
 namespace anonsafe {
 namespace {
 
-Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
-                                    const BeliefFunction& belief,
-                                    const std::vector<bool>* include,
-                                    const OEstimateOptions& options,
-                                    exec::ExecContext* ctx) {
+/// Shared tail: propagation + restricted 1/O_x sum over a built
+/// structure. Both the belief-driven and the precomputed-ranges entry
+/// points land here, so the two paths cannot drift apart numerically.
+Result<OEstimateResult> FinishImpl(ConsistencyStructure cs,
+                                   const std::vector<bool>* include,
+                                   const OEstimateOptions& options,
+                                   exec::ExecContext* ctx) {
   obs::ScopedTimer timer("core.oestimate");
-  if (include != nullptr && include->size() != belief.num_items()) {
-    return Status::InvalidArgument("include mask size mismatch");
-  }
-  ANONSAFE_ASSIGN_OR_RETURN(
-      ConsistencyStructure cs,
-      ConsistencyStructure::Build(observed, belief, ctx));
   OEstimateResult out;
   if (options.propagate) {
     ConsistencyStructure::PropagationStats stats = cs.PropagateDegreeOne();
@@ -72,6 +68,20 @@ Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
   return out;
 }
 
+Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
+                                    const BeliefFunction& belief,
+                                    const std::vector<bool>* include,
+                                    const OEstimateOptions& options,
+                                    exec::ExecContext* ctx) {
+  if (include != nullptr && include->size() != belief.num_items()) {
+    return Status::InvalidArgument("include mask size mismatch");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      ConsistencyStructure cs,
+      ConsistencyStructure::Build(observed, belief, ctx));
+  return FinishImpl(std::move(cs), include, options, ctx);
+}
+
 }  // namespace
 
 Result<OEstimateResult> ComputeOEstimate(const FrequencyGroups& observed,
@@ -86,6 +96,20 @@ Result<OEstimateResult> ComputeOEstimateRestricted(
     const std::vector<bool>& include, const OEstimateOptions& options,
     exec::ExecContext* ctx) {
   return ComputeImpl(observed, belief, &include, options, ctx);
+}
+
+Result<OEstimateResult> ComputeOEstimateFromRanges(
+    const FrequencyGroups& observed,
+    const std::vector<ItemStabRange>& ranges,
+    const std::vector<bool>& include, const OEstimateOptions& options,
+    exec::ExecContext* ctx) {
+  if (include.size() != ranges.size()) {
+    return Status::InvalidArgument("include mask size mismatch");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      ConsistencyStructure cs,
+      ConsistencyStructure::BuildFromRanges(observed, ranges));
+  return FinishImpl(std::move(cs), &include, options, ctx);
 }
 
 }  // namespace anonsafe

@@ -68,6 +68,20 @@ Result<OEstimateResult> ComputeOEstimateRestricted(
     const std::vector<bool>& include, const OEstimateOptions& options = {},
     exec::ExecContext* ctx = nullptr);
 
+/// \brief Restricted O-estimate from *precomputed* per-item stab ranges
+/// (`observed.Stab` of each item's belief interval), skipping interval
+/// stabbing and belief-function construction entirely. Bit-identical to
+/// `ComputeOEstimateRestricted` fed the equivalent belief. This is the
+/// per-probe core of the recipe's α bisection: the candidate intervals
+/// never change across probes, only the compliant/displaced selection
+/// does, so the ranges are cached once and replayed (see
+/// `AlphaCompliancySweep::MakeProbeCache`).
+Result<OEstimateResult> ComputeOEstimateFromRanges(
+    const FrequencyGroups& observed,
+    const std::vector<ItemStabRange>& ranges,
+    const std::vector<bool>& include, const OEstimateOptions& options = {},
+    exec::ExecContext* ctx = nullptr);
+
 }  // namespace anonsafe
 
 #endif  // ANONSAFE_CORE_OESTIMATE_H_

@@ -147,6 +147,10 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
       AlphaCompliancySweep sweep,
       AlphaCompliancySweep::Create(table, base, exec_options.runs,
                                    exec_options.seed));
+  // Every probe uses the same two candidate intervals per item; stab them
+  // against the groups once and let each probe replay the cached ranges.
+  const AlphaCompliancySweep::ProbeCache probe_cache =
+      sweep.MakeProbeCache(groups);
   double lo = 0.0;  // OE(0) = 0 <= budget always
   double hi = 1.0;  // OE(1) > budget (checked above)
   for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
@@ -155,7 +159,8 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
     obs::CountIf("anonsafe_alpha_probes_total");
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
-        sweep.AverageOEstimate(groups, mid, options.oestimate, &ctx));
+        sweep.AverageOEstimate(groups, probe_cache, mid, options.oestimate,
+                               &ctx));
     if (probe.tracing()) {
       probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));
       probe.Annotate("avg_oe", TablePrinter::FmtG(avg_oe, 4));
@@ -262,6 +267,8 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
       AlphaCompliancySweep sweep,
       AlphaCompliancySweep::Create(table, base, exec_options.runs,
                                    exec_options.seed));
+  const AlphaCompliancySweep::ProbeCache probe_cache =
+      sweep.MakeProbeCache(groups);
   double lo = 0.0;
   double hi = 1.0;
   for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
@@ -270,7 +277,7 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
     obs::CountIf("anonsafe_alpha_probes_total");
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
-        sweep.AverageOEstimateForItems(groups, mid, interest,
+        sweep.AverageOEstimateForItems(groups, probe_cache, mid, interest,
                                        options.oestimate, &ctx));
     if (probe.tracing()) {
       probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));

@@ -69,6 +69,13 @@ FrequencyGroups FrequencyGroups::FromSupports(
   for (size_t g = 0; g < fg.num_groups(); ++g) {
     fg.size_prefix_[g + 1] = fg.size_prefix_[g] + fg.items_by_group_[g].size();
   }
+  // Precompute the sorted frequency axis: every stab query binary-searches
+  // this array instead of re-dividing support/m per comparison.
+  fg.group_freqs_.resize(fg.num_groups());
+  for (size_t g = 0; g < fg.num_groups(); ++g) {
+    fg.group_freqs_[g] = static_cast<double>(fg.group_supports_[g]) /
+                         static_cast<double>(num_transactions);
+  }
   return fg;
 }
 
@@ -104,31 +111,17 @@ size_t FrequencyGroups::RangeItemCount(size_t lo, size_t hi) const {
 bool FrequencyGroups::StabRange(double l, double r, size_t* lo,
                                 size_t* hi) const {
   if (l > r || num_groups() == 0) return false;
-  // Group frequencies are strictly ascending; binary search both ends.
-  // lo = first group with frequency >= l.
-  size_t low = 0, high = num_groups();
-  while (low < high) {
-    size_t mid = (low + high) / 2;
-    if (group_frequency(mid) < l) {
-      low = mid + 1;
-    } else {
-      high = mid;
-    }
-  }
-  size_t first = low;
-  // hi = last group with frequency <= r.
-  low = 0;
-  high = num_groups();
-  while (low < high) {
-    size_t mid = (low + high) / 2;
-    if (group_frequency(mid) <= r) {
-      low = mid + 1;
-    } else {
-      high = mid;
-    }
-  }
-  if (low == 0) return false;  // all group frequencies exceed r
-  size_t last = low - 1;
+  // Group frequencies are strictly ascending; binary search both ends of
+  // the precomputed axis.
+  auto begin = group_freqs_.begin(), end = group_freqs_.end();
+  // first = first group with frequency >= l.
+  size_t first =
+      static_cast<size_t>(std::lower_bound(begin, end, l) - begin);
+  // last = last group with frequency <= r.
+  size_t past =
+      static_cast<size_t>(std::upper_bound(begin, end, r) - begin);
+  if (past == 0) return false;  // all group frequencies exceed r
+  size_t last = past - 1;
   if (first > last) return false;  // interval falls between two groups
   *lo = first;
   *hi = last;

@@ -50,6 +50,22 @@ class FrequencyTable {
   size_t num_transactions_;
 };
 
+/// \brief Result of stabbing one belief interval against the sorted
+/// group-frequency axis: the contiguous group range `[lo, hi]` whose
+/// frequencies fall inside the interval, or `has == false` when the
+/// interval stabs no group. Precomputable and reusable — the recipe's
+/// α bisection caches one per (item, interval) and replays it across
+/// probes instead of re-searching (see AlphaCompliancySweep).
+struct ItemStabRange {
+  bool has = false;  ///< interval stabs at least one group
+  size_t lo = 0;
+  size_t hi = 0;
+
+  bool operator==(const ItemStabRange& o) const {
+    return has == o.has && (!has || (lo == o.lo && hi == o.hi));
+  }
+};
+
 /// \brief Items partitioned into *frequency groups* (equal support),
 /// sorted by ascending support.
 ///
@@ -77,10 +93,13 @@ class FrequencyGroups {
   /// \brief Support shared by all items of group `g`.
   SupportCount group_support(size_t g) const { return group_supports_[g]; }
 
-  /// \brief Frequency shared by all items of group `g`.
-  double group_frequency(size_t g) const {
-    return static_cast<double>(group_supports_[g]) /
-           static_cast<double>(num_transactions_);
+  /// \brief Frequency shared by all items of group `g` (precomputed).
+  double group_frequency(size_t g) const { return group_freqs_[g]; }
+
+  /// \brief The sorted group-frequency boundary array (ascending).
+  /// Computed once at build; every stab query binary-searches it.
+  const std::vector<double>& group_frequencies() const {
+    return group_freqs_;
   }
 
   /// \brief Items belonging to group `g`, ascending by id.
@@ -119,12 +138,20 @@ class FrequencyGroups {
   /// of the returned group range.
   bool StabRange(double l, double r, size_t* lo, size_t* hi) const;
 
+  /// \brief `StabRange` in value form, convenient for caching.
+  ItemStabRange Stab(double l, double r) const {
+    ItemStabRange out;
+    out.has = StabRange(l, r, &out.lo, &out.hi);
+    return out;
+  }
+
   /// \brief Group whose frequency equals `support/m` for the given support,
   /// or `num_groups()` when no group has that support (binary search).
   size_t FindGroupBySupport(SupportCount support) const;
 
  private:
   std::vector<SupportCount> group_supports_;       // ascending, distinct
+  std::vector<double> group_freqs_;                // ascending, precomputed
   std::vector<std::vector<ItemId>> items_by_group_;
   std::vector<size_t> group_of_item_;              // item -> group index
   std::vector<size_t> size_prefix_;                // size_prefix_[g+1] = sum sizes 0..g

@@ -1,0 +1,142 @@
+#ifndef ANONSAFE_EXEC_SCRATCH_H_
+#define ANONSAFE_EXEC_SCRATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace anonsafe {
+namespace exec {
+
+/// \name Scratch-buffer pool
+///
+/// Hot paths that are invoked repeatedly with same-shaped working sets —
+/// one α probe per bisection step, one MCMC chain per task, one Ryser
+/// minor per item — used to allocate their scratch vectors fresh on every
+/// invocation. `ScratchVec<T>` instead checks a *thread-local* free list
+/// of retired buffers: acquisition is a pop (the buffer keeps its grown
+/// capacity), destruction is a push. Thread-locality makes the pool
+/// exec-aware for free: every pool worker, and the caller thread that
+/// helps drain tasks, recycles its own buffers with no synchronization,
+/// and nothing is shared across threads, so the pool cannot perturb the
+/// deterministic execution contract.
+///
+/// Ownership rules (see docs/PERFORMANCE.md):
+///  - a ScratchVec is a strictly scoped local: it must not outlive the
+///    function (or task body) that created it, and must not be handed to
+///    another thread;
+///  - contents are unspecified at acquisition unless the filling
+///    constructor is used — treat it like an uninitialized buffer;
+///  - buffers above kMaxRetainedBytes are freed, not pooled, so a single
+///    giant probe cannot pin memory for the process lifetime.
+///
+/// Reuse is observable via the metrics registry:
+///   anonsafe_scratch_reuse_total / anonsafe_scratch_alloc_total /
+///   anonsafe_scratch_bytes_reused_total.
+/// @{
+
+/// Buffers larger than this are released to the allocator on retirement
+/// instead of being pooled (64 MB).
+inline constexpr size_t kMaxRetainedBytes = 64u * 1024 * 1024;
+
+/// Retired buffers kept per (thread, element type).
+inline constexpr size_t kMaxRetainedBuffers = 16;
+
+template <typename T>
+class ScratchVec {
+ public:
+  /// Acquires an empty buffer (capacity may be recycled).
+  ScratchVec() : buf_(Take(0)) {}
+  /// Acquires a buffer resized to `n`; contents unspecified where the
+  /// recycled capacity overlaps.
+  explicit ScratchVec(size_t n) : buf_(Take(n)) { buf_.resize(n); }
+  /// Acquires a buffer holding `n` copies of `fill`.
+  ScratchVec(size_t n, const T& fill) : buf_(Take(n)) { buf_.assign(n, fill); }
+
+  ScratchVec(ScratchVec&& other) noexcept : buf_(std::move(other.buf_)) {
+    other.moved_out_ = true;
+  }
+  ScratchVec& operator=(ScratchVec&& other) noexcept {
+    if (this != &other) {
+      Retire();
+      buf_ = std::move(other.buf_);
+      moved_out_ = false;
+      other.moved_out_ = true;
+    }
+    return *this;
+  }
+  ScratchVec(const ScratchVec&) = delete;
+  ScratchVec& operator=(const ScratchVec&) = delete;
+
+  ~ScratchVec() { Retire(); }
+
+  std::vector<T>& vec() { return buf_; }
+  const std::vector<T>& vec() const { return buf_; }
+
+  T* data() { return buf_.data(); }
+  const T* data() const { return buf_.data(); }
+  size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  T& operator[](size_t i) { return buf_[i]; }
+  const T& operator[](size_t i) const { return buf_[i]; }
+  auto begin() { return buf_.begin(); }
+  auto end() { return buf_.end(); }
+  auto begin() const { return buf_.begin(); }
+  auto end() const { return buf_.end(); }
+
+  void assign(size_t n, const T& fill) { buf_.assign(n, fill); }
+  void resize(size_t n) { buf_.resize(n); }
+  void clear() { buf_.clear(); }
+  void push_back(const T& v) { buf_.push_back(v); }
+
+  /// Drops every buffer retired by the *calling* thread for element type
+  /// T. Test hook: lets a test measure pool behaviour from a clean slate.
+  static void DrainThreadFreeList() { FreeList().clear(); }
+
+ private:
+  static std::vector<std::vector<T>>& FreeList() {
+    thread_local std::vector<std::vector<T>> free_list;
+    return free_list;
+  }
+
+  static std::vector<T> Take(size_t want) {
+    auto& fl = FreeList();
+    if (!fl.empty()) {
+      std::vector<T> v = std::move(fl.back());
+      fl.pop_back();
+      obs::CountIf("anonsafe_scratch_reuse_total");
+      if (want != 0) {
+        obs::CountIf("anonsafe_scratch_bytes_reused_total",
+                     static_cast<uint64_t>(
+                         (v.capacity() < want ? v.capacity() : want) *
+                         sizeof(T)));
+      }
+      return v;
+    }
+    obs::CountIf("anonsafe_scratch_alloc_total");
+    return {};
+  }
+
+  void Retire() {
+    if (moved_out_) return;
+    auto& fl = FreeList();
+    if (fl.size() < kMaxRetainedBuffers &&
+        buf_.capacity() * sizeof(T) <= kMaxRetainedBytes) {
+      buf_.clear();
+      fl.push_back(std::move(buf_));
+    }
+  }
+
+  std::vector<T> buf_;
+  bool moved_out_ = false;
+};
+
+/// @}
+
+}  // namespace exec
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_EXEC_SCRATCH_H_

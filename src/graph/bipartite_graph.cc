@@ -17,11 +17,15 @@ Result<BipartiteGraph> BipartiteGraph::Build(const FrequencyGroups& observed,
         " items, belief function " + std::to_string(belief.num_items()));
   }
   const size_t n = observed.num_items();
+  const size_t k = observed.num_groups();
 
-  // First pass: total edge count via the O(log k) range counts.
+  // First pass: total edge count via the O(log k) range counts, plus a
+  // per-group cover difference array (the anon-side degree of every
+  // anonymized item in group g is the number of item ranges covering g).
   size_t total_edges = 0;
   std::vector<std::pair<size_t, size_t>> ranges(n);
   std::vector<bool> has_range(n, false);
+  std::vector<int64_t> cover_diff(k + 1, 0);
   for (ItemId x = 0; x < n; ++x) {
     const BeliefInterval& iv = belief.interval(x);
     size_t lo = 0, hi = 0;
@@ -29,6 +33,8 @@ Result<BipartiteGraph> BipartiteGraph::Build(const FrequencyGroups& observed,
       has_range[x] = true;
       ranges[x] = {lo, hi};
       total_edges += observed.RangeItemCount(lo, hi);
+      cover_diff[lo] += 1;
+      cover_diff[hi + 1] -= 1;
     }
   }
   if (total_edges > max_edges) {
@@ -39,23 +45,36 @@ Result<BipartiteGraph> BipartiteGraph::Build(const FrequencyGroups& observed,
   }
 
   BipartiteGraph g;
-  g.items_of_anon_.assign(n, {});
-  g.anons_of_item_.assign(n, {});
+  g.num_items_ = n;
   g.num_edges_ = total_edges;
+
+  // Anon-side offsets: degree of anon a = cover count of its group.
+  g.anon_offsets_.assign(n + 1, 0);
+  {
+    int64_t cover = 0;
+    for (size_t grp = 0; grp < k; ++grp) {
+      cover += cover_diff[grp];
+      for (ItemId a : observed.group_items(grp)) {
+        g.anon_offsets_[a + 1] = static_cast<size_t>(cover);
+      }
+    }
+  }
+  for (size_t a = 0; a < n; ++a) g.anon_offsets_[a + 1] += g.anon_offsets_[a];
+
+  // Fill: walking items in ascending x keeps every anon row sorted.
+  g.items_flat_.resize(total_edges);
+  std::vector<size_t> cursor(g.anon_offsets_.begin(),
+                             g.anon_offsets_.end() - 1);
   for (ItemId x = 0; x < n; ++x) {
     if (!has_range[x]) continue;
     auto [lo, hi] = ranges[x];
-    auto& anons = g.anons_of_item_[x];
-    anons.reserve(observed.RangeItemCount(lo, hi));
     for (size_t grp = lo; grp <= hi; ++grp) {
       for (ItemId a : observed.group_items(grp)) {
-        anons.push_back(a);
-        g.items_of_anon_[a].push_back(x);
+        g.items_flat_[cursor[a]++] = x;
       }
     }
-    std::sort(anons.begin(), anons.end());
   }
-  // items_of_anon_ lists are filled in ascending x order already.
+  g.BuildItemSideAndMasks();
   if (timer.tracing()) {
     timer.Annotate("edges", std::to_string(total_edges));
   }
@@ -68,41 +87,67 @@ Result<BipartiteGraph> BipartiteGraph::FromAdjacency(
     return Status::InvalidArgument("adjacency must have one row per item");
   }
   BipartiteGraph g;
-  g.items_of_anon_ = std::move(items_of_anon);
-  g.anons_of_item_.assign(num_items, {});
+  g.num_items_ = num_items;
+  g.anon_offsets_.assign(num_items + 1, 0);
   for (size_t a = 0; a < num_items; ++a) {
-    auto& row = g.items_of_anon_[a];
+    auto& row = items_of_anon[a];
     std::sort(row.begin(), row.end());
     row.erase(std::unique(row.begin(), row.end()), row.end());
     if (!row.empty() && row.back() >= num_items) {
       return Status::InvalidArgument("edge endpoint outside domain");
     }
-    for (ItemId x : row) {
-      g.anons_of_item_[x].push_back(static_cast<ItemId>(a));
-    }
-    g.num_edges_ += row.size();
+    g.anon_offsets_[a + 1] = g.anon_offsets_[a] + row.size();
   }
+  g.num_edges_ = g.anon_offsets_[num_items];
+  g.items_flat_.resize(g.num_edges_);
+  for (size_t a = 0; a < num_items; ++a) {
+    std::copy(items_of_anon[a].begin(), items_of_anon[a].end(),
+              g.items_flat_.begin() +
+                  static_cast<ptrdiff_t>(g.anon_offsets_[a]));
+  }
+  g.BuildItemSideAndMasks();
   return g;
 }
 
+void BipartiteGraph::BuildItemSideAndMasks() {
+  const size_t n = num_items_;
+  // Counting pass over the flat anon rows, then a fill in ascending a —
+  // which leaves every item row sorted with no per-row sort needed.
+  item_offsets_.assign(n + 1, 0);
+  for (ItemId x : items_flat_) item_offsets_[x + 1] += 1;
+  for (size_t x = 0; x < n; ++x) item_offsets_[x + 1] += item_offsets_[x];
+  anons_flat_.resize(num_edges_);
+  std::vector<size_t> cursor(item_offsets_.begin(), item_offsets_.end() - 1);
+  for (size_t a = 0; a < n; ++a) {
+    for (ItemId x : items_of_anon(static_cast<ItemId>(a))) {
+      anons_flat_[cursor[x]++] = static_cast<ItemId>(a);
+    }
+  }
+  if (n <= 64) {
+    row_masks_.assign(n, 0);
+    for (size_t a = 0; a < n; ++a) {
+      for (ItemId x : items_of_anon(static_cast<ItemId>(a))) {
+        row_masks_[a] |= (1ULL << x);
+      }
+    }
+  }
+}
+
 bool BipartiteGraph::HasEdge(ItemId a, ItemId x) const {
-  const auto& row = items_of_anon_[a];
+  if (!row_masks_.empty()) {
+    return (row_masks_[a] >> x) & 1;
+  }
+  AdjacencyRow row = items_of_anon(a);
   return std::binary_search(row.begin(), row.end(), x);
 }
 
 Result<std::vector<uint64_t>> BipartiteGraph::ToRowMasks() const {
-  if (num_items() > 64) {
+  if (num_items_ > 64) {
     return Status::OutOfRange(
         "bitmask form limited to 64 items, graph has " +
-        std::to_string(num_items()));
+        std::to_string(num_items_));
   }
-  std::vector<uint64_t> rows(num_items(), 0);
-  for (size_t a = 0; a < num_items(); ++a) {
-    for (ItemId x : items_of_anon_[a]) {
-      rows[a] |= (1ULL << x);
-    }
-  }
-  return rows;
+  return row_masks_;
 }
 
 }  // namespace anonsafe

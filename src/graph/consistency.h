@@ -42,6 +42,15 @@ class ConsistencyStructure {
                                             const BeliefFunction& belief,
                                             exec::ExecContext* ctx = nullptr);
 
+  /// \brief Builds from precomputed stab ranges (one per item), skipping
+  /// the per-item binary searches entirely. `ranges[x]` must be the
+  /// `observed.Stab(...)` result for item x's belief interval — the α
+  /// bisection caches those per item once and replays them across probes.
+  /// Bit-identical to `Build` fed the equivalent intervals.
+  static Result<ConsistencyStructure> BuildFromRanges(
+      const FrequencyGroups& observed,
+      const std::vector<ItemStabRange>& ranges);
+
   size_t num_items() const { return item_state_.size(); }
   size_t num_groups() const { return group_remaining_.size(); }
 
@@ -113,6 +122,12 @@ class ConsistencyStructure {
   enum class ItemState : uint8_t { kAlive, kForced, kDead };
 
   ConsistencyStructure() = default;
+
+  /// Shared tail of `Build`/`BuildFromRanges`: seeds the Fenwick trees
+  /// from already-computed per-item group ranges (sequential, item order).
+  static ConsistencyStructure InitFromRanges(const FrequencyGroups& observed,
+                                             const ItemStabRange* ranges,
+                                             size_t n);
 
   size_t RangeRemaining(size_t lo, size_t hi) const;
   size_t CoverCount(size_t g) const;

@@ -1,6 +1,7 @@
 #include "graph/matching_sampler.h"
 
 #include <algorithm>
+#include <cmath>
 #include <queue>
 
 #include "obs/scoped_timer.h"
@@ -8,8 +9,16 @@
 namespace anonsafe {
 
 size_t SamplerOptions::EffectiveBurnIn(size_t n) const {
-  double scaled = burn_in_scale * static_cast<double>(n);
-  auto scaled_sweeps = static_cast<size_t>(scaled);
+  const double scaled = burn_in_scale * static_cast<double>(n);
+  // Casting a double that is NaN or >= 2^64 to size_t is undefined
+  // behavior; clamp before converting. NaN fails every comparison, so it
+  // falls through to the unscaled floor.
+  size_t scaled_sweeps = burn_in_sweeps;
+  if (scaled >= static_cast<double>(kMaxBurnInSweeps)) {
+    scaled_sweeps = kMaxBurnInSweeps;
+  } else if (scaled > 0.0) {
+    scaled_sweeps = static_cast<size_t>(scaled);
+  }
   return scaled_sweeps > burn_in_sweeps ? scaled_sweeps : burn_in_sweeps;
 }
 
@@ -32,9 +41,10 @@ Result<MatchingSampler> MatchingSampler::Create(
         "cycle_move_fraction must lie in [0, 1], got " +
         std::to_string(options.cycle_move_fraction));
   }
-  if (!(options.burn_in_scale >= 0.0)) {
+  if (!(options.burn_in_scale >= 0.0) ||
+      !std::isfinite(options.burn_in_scale)) {
     return Status::InvalidArgument(
-        "burn_in_scale must be non-negative, got " +
+        "burn_in_scale must be finite and non-negative, got " +
         std::to_string(options.burn_in_scale));
   }
   const size_t n = observed.num_items();
@@ -128,7 +138,7 @@ void MatchingSampler::InitChain(ChainState* chain,
                                 uint64_t chain_seed) const {
   const size_t n = num_items();
   chain->rng = Rng(chain_seed);
-  chain->item_of_anon = seed_item_of_anon_;
+  chain->item_of_anon.vec() = seed_item_of_anon_;
   chain->anon_of_item.assign(n, kInvalidItem);
   for (ItemId a = 0; a < n; ++a) {
     if (chain->item_of_anon[a] != kInvalidItem) {
@@ -146,9 +156,9 @@ void MatchingSampler::InitChain(ChainState* chain,
 void MatchingSampler::SweepChain(ChainState* chain) const {
   const size_t n = num_items();
   Rng& rng_ = chain->rng;
-  std::vector<ItemId>& item_of_anon_ = chain->item_of_anon;
-  std::vector<ItemId>& anon_of_item_ = chain->anon_of_item;
-  std::vector<ItemId>& unmatched_items_ = chain->unmatched_items;
+  std::vector<ItemId>& item_of_anon_ = chain->item_of_anon.vec();
+  std::vector<ItemId>& anon_of_item_ = chain->anon_of_item.vec();
+  std::vector<ItemId>& unmatched_items_ = chain->unmatched_items.vec();
   // One move attempt per anonymized item. The partner is drawn uniformly
   // per step rather than from a permutation as in the paper's Section 7.1
   // procedure: pairing i with P(i) makes every 2-cycle of P swap and then

@@ -8,10 +8,18 @@
 #include "data/frequency.h"
 #include "data/types.h"
 #include "exec/exec.h"
+#include "exec/scratch.h"
 #include "util/result.h"
 #include "util/rng.h"
 
 namespace anonsafe {
+
+/// \brief Safety ceiling for the scaled burn-in: `burn_in_scale * n` is a
+/// double and may overflow (or be NaN when options were derived from bad
+/// arithmetic); casting such a value to `size_t` is undefined behavior.
+/// ~10^12 sweeps is far beyond any practical run, so the clamp never
+/// changes a sane configuration.
+inline constexpr size_t kMaxBurnInSweeps = size_t{1} << 40;
 
 /// \brief Knobs of the MCMC matching sampler (Section 7.1 of the paper).
 ///
@@ -51,7 +59,9 @@ struct SamplerOptions {
     return seed != exec::kDeprecatedSeedUnset ? seed : exec.seed;
   }
 
-  /// \brief Burn-in actually applied for a domain of `n` items.
+  /// \brief Burn-in actually applied for a domain of `n` items:
+  /// max(burn_in_sweeps, burn_in_scale * n), clamped to
+  /// `kMaxBurnInSweeps`; a NaN product falls back to `burn_in_sweeps`.
   size_t EffectiveBurnIn(size_t n) const;
 };
 
@@ -109,12 +119,14 @@ class MatchingSampler {
   bool CurrentStateConsistent() const;
 
  private:
-  /// Mutable state of one independent MCMC chain.
+  /// Mutable state of one independent MCMC chain. The buffers come from
+  /// the thread-local scratch pool: a worker running many chains recycles
+  /// one trio of allocations instead of three mallocs per chain.
   struct ChainState {
     Rng rng{0};
-    std::vector<ItemId> item_of_anon;
-    std::vector<ItemId> anon_of_item;
-    std::vector<ItemId> unmatched_items;  // maintained only when imperfect
+    exec::ScratchVec<ItemId> item_of_anon;
+    exec::ScratchVec<ItemId> anon_of_item;
+    exec::ScratchVec<ItemId> unmatched_items;  // maintained when imperfect
   };
 
   MatchingSampler() = default;

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "exec/exec.h"
+#include "exec/scratch.h"
+#include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
 namespace anonsafe {
@@ -12,34 +14,58 @@ namespace {
 
 /// One contiguous slice [begin, end) of the Ryser iteration space
 /// (iter 1 .. 2^n - 1). The per-row column sums are reseeded from the
-/// Gray code of `begin - 1`, so slices are independent and the loop
-/// body is identical to the classic single-pass form.
-long double RyserRange(const std::vector<uint64_t>& rows, uint64_t begin,
-                       uint64_t end) {
+/// Gray code of `begin - 1`, so slices are independent and the result
+/// is identical to the classic single-pass form.
+///
+/// Two kernel-level optimizations over the textbook loop, both exactly
+/// value-preserving:
+///  - `cols[j]` is the bitmask of *rows containing column j* (the
+///    transpose), so the ±1 update after a column flip walks only those
+///    rows instead of branching over all n;
+///  - `zero_rows` counts rows whose running sum is 0. While it is
+///    nonzero the product Π row_sums is exactly +0.0 (sums are small
+///    non-negative integers, no underflow), and adding ±0.0 never
+///    changes `total` (which is never -0.0), so the product loop is
+///    skipped outright. On sparse matrices most subsets die here.
+///
+/// `row_sums` is caller-provided scratch of size n; `*skipped`
+/// accumulates the number of subsets short-circuited by the zero-row
+/// counter.
+long double RyserRange(const std::vector<uint64_t>& rows,
+                       const uint64_t* cols, uint64_t begin, uint64_t end,
+                       double* row_sums, uint64_t* skipped) {
   const size_t n = rows.size();
-  std::vector<double> row_sums(n, 0.0);
   uint64_t gray = (begin - 1) ^ ((begin - 1) >> 1);
-  if (gray != 0) {
-    for (size_t i = 0; i < n; ++i) {
-      row_sums[i] = static_cast<double>(std::popcount(rows[i] & gray));
-    }
+  size_t zero_rows = 0;
+  for (size_t i = 0; i < n; ++i) {
+    row_sums[i] = static_cast<double>(std::popcount(rows[i] & gray));
+    if (row_sums[i] == 0.0) ++zero_rows;
   }
   long double total = 0.0L;
+  uint64_t local_skipped = 0;
   for (uint64_t iter = begin; iter < end; ++iter) {
-    uint64_t new_gray = iter ^ (iter >> 1);
-    uint64_t diff = gray ^ new_gray;
-    int col = std::countr_zero(diff);
-    double sign_col = (new_gray & diff) ? 1.0 : -1.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (rows[i] & (1ULL << col)) row_sums[i] += sign_col;
+    const uint64_t new_gray = iter ^ (iter >> 1);
+    const uint64_t diff = gray ^ new_gray;
+    const int col = std::countr_zero(diff);
+    const double sign_col = (new_gray & diff) ? 1.0 : -1.0;
+    for (uint64_t m = cols[col]; m != 0; m &= m - 1) {
+      const int i = std::countr_zero(m);
+      const double before = row_sums[i];
+      row_sums[i] = before + sign_col;
+      if (before == 0.0) {
+        --zero_rows;
+      } else if (row_sums[i] == 0.0) {
+        ++zero_rows;
+      }
     }
     gray = new_gray;
 
-    long double prod = 1.0L;
-    for (size_t i = 0; i < n; ++i) {
-      prod *= row_sums[i];
-      if (prod == 0.0L) break;
+    if (zero_rows != 0) {
+      ++local_skipped;
+      continue;
     }
+    long double prod = 1.0L;
+    for (size_t i = 0; i < n; ++i) prod *= row_sums[i];
     int bits = std::popcount(new_gray);
     // (-1)^n (-1)^{|S|} = (-1)^{n - |S|}
     if ((n - static_cast<size_t>(bits)) & 1) {
@@ -48,6 +74,7 @@ long double RyserRange(const std::vector<uint64_t>& rows, uint64_t begin,
       total += prod;
     }
   }
+  if (skipped != nullptr) *skipped += local_skipped;
   return total;
 }
 
@@ -61,24 +88,46 @@ double RyserImpl(const std::vector<uint64_t>& rows,
   const size_t n = rows.size();
   if (n == 0) return 1.0;  // empty product convention
   const uint64_t limit = 1ULL << n;
+
+  // Transpose to per-column row masks (n <= 26 rows fit one word).
+  exec::ScratchVec<uint64_t> cols(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (uint64_t m = rows[i]; m != 0; m &= m - 1) {
+      cols[static_cast<size_t>(std::countr_zero(m))] |= (1ULL << i);
+    }
+  }
+
   if (n < kRyserParallelMinN) {
-    return static_cast<double>(RyserRange(rows, 1, limit));
+    exec::ScratchVec<double> row_sums(n);
+    uint64_t skipped = 0;
+    double result = static_cast<double>(
+        RyserRange(rows, cols.data(), 1, limit, row_sums.data(), &skipped));
+    obs::CountIf("anonsafe_ryser_skipped_products_total", skipped);
+    return result;
   }
 
   const size_t iters = static_cast<size_t>(limit - 1);
   const size_t grain = (iters + kRyserChunks - 1) / kRyserChunks;
   const size_t chunks = exec::NumChunks(iters, grain);
   std::vector<long double> partials(chunks, 0.0L);
+  std::vector<uint64_t> skipped_slots(chunks, 0);
   // The body cannot fail; the Status channel is unused here.
   Status st = exec::ParallelForChunks(
       ctx, iters, grain, [&](size_t begin, size_t end) {
+        exec::ScratchVec<double> row_sums(n);
         partials[begin / grain] =
-            RyserRange(rows, 1 + begin, 1 + end);
+            RyserRange(rows, cols.data(), 1 + begin, 1 + end,
+                       row_sums.data(), &skipped_slots[begin / grain]);
         return Status::OK();
       });
   (void)st;
   long double total = 0.0L;
-  for (size_t c = 0; c < chunks; ++c) total += partials[c];
+  uint64_t skipped = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    total += partials[c];
+    skipped += skipped_slots[c];
+  }
+  obs::CountIf("anonsafe_ryser_skipped_products_total", skipped);
   return static_cast<double>(total);
 }
 
@@ -135,16 +184,17 @@ Result<double> ExactExpectedCracksByPermanent(const BipartiteGraph& graph,
           ctx, n, /*grain=*/1,
           [&](size_t x, size_t /*end*/) -> Result<double> {
             if (!(rows[x] & (1ULL << x))) return 0.0;  // diagonal absent
-            // Minor: drop row x and column x.
-            std::vector<uint64_t> minor;
-            minor.reserve(n - 1);
+            // Minor: drop row x and column x (pooled scratch: one minor
+            // per item, recycled within each worker thread).
+            exec::ScratchVec<uint64_t> minor;
+            minor.vec().reserve(n - 1);
             const uint64_t low_mask = (1ULL << x) - 1;
             for (size_t i = 0; i < n; ++i) {
               if (i == x) continue;
               uint64_t row = rows[i];
               minor.push_back((row & low_mask) | ((row >> (x + 1)) << x));
             }
-            ANONSAFE_ASSIGN_OR_RETURN(double sub, PermanentRyser(minor));
+            ANONSAFE_ASSIGN_OR_RETURN(double sub, PermanentRyser(minor.vec()));
             return sub / total;
           }));
   return expected;

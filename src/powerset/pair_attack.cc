@@ -29,7 +29,10 @@ Result<PairPrunedGraph> PruneWithPairBeliefs(
 
   // Mutable domains: candidate anonymized items per original item.
   std::vector<std::vector<ItemId>> domain(n);
-  for (ItemId x = 0; x < n; ++x) domain[x] = graph.anons_of_item(x);
+  for (ItemId x = 0; x < n; ++x) {
+    BipartiteGraph::AdjacencyRow row = graph.anons_of_item(x);
+    domain[x].assign(row.begin(), row.end());
+  }
 
   // Constraint adjacency: for each item, its constrained partners.
   std::vector<std::vector<ItemId>> partners(n);

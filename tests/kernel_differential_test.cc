@@ -1,0 +1,570 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "belief/belief_function.h"
+#include "belief/builders.h"
+#include "core/alpha_sweep.h"
+#include "core/oestimate.h"
+#include "data/frequency.h"
+#include "exec/exec.h"
+#include "exec/scratch.h"
+#include "graph/bipartite_graph.h"
+#include "graph/consistency.h"
+#include "graph/matching_sampler.h"
+#include "graph/permanent.h"
+#include "util/rng.h"
+
+// Differential tests pinning the reworked hot kernels (masked Ryser with
+// zero-row skipping, CSR adjacency, cached α probes) against slow,
+// obviously-correct reference implementations. Everything here demands
+// *bit-identical* doubles: all intermediate quantities are exact small
+// integers, so any correct evaluation order yields the same value.
+
+namespace anonsafe {
+namespace {
+
+// ------------------------------------------------------- reference Ryser
+
+/// Textbook Ryser with Gray-code column updates: no column masks, no
+/// zero-row skipping — every subset's product is computed over all rows.
+double ReferenceRyser(const std::vector<uint64_t>& rows) {
+  const size_t n = rows.size();
+  if (n == 0) return 1.0;
+  const uint64_t limit = 1ULL << n;
+  std::vector<double> row_sums(n, 0.0);
+  uint64_t gray = 0;
+  long double total = 0.0L;
+  for (uint64_t iter = 1; iter < limit; ++iter) {
+    const uint64_t new_gray = iter ^ (iter >> 1);
+    const uint64_t diff = gray ^ new_gray;
+    const int col = std::countr_zero(diff);
+    const double sign_col = (new_gray & diff) ? 1.0 : -1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if ((rows[i] >> col) & 1) row_sums[i] += sign_col;
+    }
+    gray = new_gray;
+    long double prod = 1.0L;
+    for (size_t i = 0; i < n; ++i) prod *= row_sums[i];
+    if ((n - static_cast<size_t>(std::popcount(new_gray))) & 1) {
+      total -= prod;
+    } else {
+      total += prod;
+    }
+  }
+  return static_cast<double>(total);
+}
+
+TEST(RyserDifferentialTest, RandomMatricesMatchReferenceBitwise) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng.UniformUint64(15);  // 2..16
+    // Sweep density across trials so both the dense product path and the
+    // sparse zero-row skip path are exercised heavily.
+    const double density = 0.1 + 0.8 * rng.UniformDouble();
+    std::vector<uint64_t> rows(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (rng.Bernoulli(density)) rows[i] |= (1ULL << j);
+      }
+    }
+    auto fast = PermanentRyser(rows);
+    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+    EXPECT_EQ(*fast, ReferenceRyser(rows))
+        << "trial=" << trial << " n=" << n << " density=" << density;
+  }
+}
+
+TEST(RyserDifferentialTest, ZeroRowAndZeroColumnMatrices) {
+  // An all-zero row kills every subset: the skip path must still return
+  // exactly 0.0, matching the reference.
+  std::vector<uint64_t> rows = {0b1011, 0b0000, 0b1110, 0b0111};
+  auto p = PermanentRyser(rows);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, 0.0);
+  EXPECT_EQ(*p, ReferenceRyser(rows));
+
+  // A zero column (no row contains column 2).
+  std::vector<uint64_t> cols = {0b1011, 0b0011, 0b1010, 0b0011};
+  auto q = PermanentRyser(cols);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, ReferenceRyser(cols));
+}
+
+TEST(RyserDifferentialTest, ParallelChunkingMatchesReference) {
+  // n >= kRyserParallelMinN engages the chunked path; with and without a
+  // thread pool the value must equal the single-pass reference exactly.
+  Rng rng(7);
+  const size_t n = 15;
+  std::vector<uint64_t> rows(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (rng.Bernoulli(0.4)) rows[i] |= (1ULL << j);
+    }
+  }
+  const double expected = ReferenceRyser(rows);
+  auto seq = PermanentRyser(rows);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(*seq, expected);
+  exec::ExecContext ctx(exec::ExecOptions{.threads = 4});
+  auto par = PermanentRyser(rows, &ctx);
+  ASSERT_TRUE(par.ok());
+  EXPECT_EQ(*par, expected);
+}
+
+TEST(RyserDifferentialTest, DiagonalAbsentMinorPath) {
+  // ExactExpectedCracksByPermanent drops row/column x per item; items with
+  // no diagonal edge contribute 0 and must not build a minor at all.
+  // Reference: explicit minors via the same formula.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 3 + rng.UniformUint64(6);  // 3..8
+    std::vector<std::vector<ItemId>> adj(n);
+    std::vector<uint64_t> rows(n, 0);
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t x = 0; x < n; ++x) {
+        // Keep the diagonal only sometimes; ensure nonempty rows.
+        const bool edge = (a == x) ? rng.Bernoulli(0.6) : rng.Bernoulli(0.7);
+        if (edge) {
+          adj[a].push_back(static_cast<ItemId>(x));
+          rows[a] |= (1ULL << x);
+        }
+      }
+      if (adj[a].empty()) {
+        const auto x = static_cast<ItemId>((a + 1) % n);
+        adj[a].push_back(x);
+        std::sort(adj[a].begin(), adj[a].end());
+        rows[a] |= (1ULL << x);
+      }
+    }
+    auto graph = BipartiteGraph::FromAdjacency(n, adj);
+    ASSERT_TRUE(graph.ok());
+    const double total = ReferenceRyser(rows);
+    auto cracked = ExactExpectedCracksByPermanent(*graph);
+    if (total <= 0.0) {
+      EXPECT_FALSE(cracked.ok());
+      continue;
+    }
+    ASSERT_TRUE(cracked.ok()) << cracked.status().ToString();
+    // Per-item ratios folded with the library's fixed-order pairwise sum
+    // so the comparison stays bitwise.
+    std::vector<double> ratios(n, 0.0);
+    for (size_t x = 0; x < n; ++x) {
+      if (!(rows[x] & (1ULL << x))) continue;
+      std::vector<uint64_t> minor;
+      const uint64_t low_mask = (1ULL << x) - 1;
+      for (size_t i = 0; i < n; ++i) {
+        if (i == x) continue;
+        uint64_t row = rows[i];
+        minor.push_back((row & low_mask) | ((row >> (x + 1)) << x));
+      }
+      ratios[x] = ReferenceRyser(minor) / total;
+    }
+    EXPECT_EQ(*cracked, exec::PairwiseSum(ratios))
+        << "trial=" << trial << " n=" << n;
+  }
+}
+
+// --------------------------------------------------------- reference CSR
+
+Result<FrequencyGroups> GroupsFromSupports(std::vector<SupportCount> s,
+                                           size_t m) {
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable t,
+                            FrequencyTable::FromSupports(std::move(s), m));
+  return FrequencyGroups::Build(t);
+}
+
+/// vector<vector> adjacency built by direct stabbing — what BipartiteGraph
+/// stored before the CSR layout.
+struct ReferenceAdjacency {
+  std::vector<std::vector<ItemId>> items_of_anon;
+  std::vector<std::vector<ItemId>> anons_of_item;
+  size_t num_edges = 0;
+};
+
+ReferenceAdjacency BuildReferenceAdjacency(const FrequencyGroups& observed,
+                                           const BeliefFunction& belief) {
+  const size_t n = observed.num_items();
+  ReferenceAdjacency ref;
+  ref.items_of_anon.resize(n);
+  ref.anons_of_item.resize(n);
+  for (ItemId x = 0; x < n; ++x) {
+    const BeliefInterval& iv = belief.interval(x);
+    size_t lo = 0, hi = 0;
+    if (!observed.StabRange(iv.lo, iv.hi, &lo, &hi)) continue;
+    for (size_t g = lo; g <= hi; ++g) {
+      for (ItemId a : observed.group_items(g)) {
+        ref.items_of_anon[a].push_back(x);
+        ref.anons_of_item[x].push_back(a);
+        ++ref.num_edges;
+      }
+    }
+  }
+  for (auto& row : ref.items_of_anon) std::sort(row.begin(), row.end());
+  for (auto& row : ref.anons_of_item) std::sort(row.begin(), row.end());
+  return ref;
+}
+
+TEST(CsrGraphDifferentialTest, RandomGraphsMatchReferenceAdjacency) {
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng.UniformUint64(15);  // 2..16
+    const size_t m = 100;
+    std::vector<SupportCount> supports(n);
+    for (size_t i = 0; i < n; ++i) {
+      supports[i] = static_cast<SupportCount>(1 + rng.UniformUint64(m));
+    }
+    auto groups = GroupsFromSupports(supports, m);
+    ASSERT_TRUE(groups.ok());
+    std::vector<BeliefInterval> intervals(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double f =
+          static_cast<double>(supports[i]) / static_cast<double>(m);
+      // A mix of wide, tight, and non-stabbing intervals.
+      const double below = 0.3 * rng.UniformDouble();
+      const double above = 0.3 * rng.UniformDouble();
+      double lo = std::max(0.0, f - below);
+      double hi = std::min(1.0, f + above);
+      if (rng.Bernoulli(0.15)) {  // displaced: may stab nothing
+        lo = std::min(1.0, f + 0.001);
+        hi = std::min(1.0, lo + 0.002);
+      }
+      intervals[i] = {lo, hi};
+    }
+    auto belief = BeliefFunction::Create(intervals);
+    ASSERT_TRUE(belief.ok());
+    auto graph = BipartiteGraph::Build(*groups, *belief);
+    ASSERT_TRUE(graph.ok());
+    const ReferenceAdjacency ref = BuildReferenceAdjacency(*groups, *belief);
+
+    EXPECT_EQ(graph->num_edges(), ref.num_edges) << "trial=" << trial;
+    for (ItemId a = 0; a < n; ++a) {
+      BipartiteGraph::AdjacencyRow row = graph->items_of_anon(a);
+      ASSERT_EQ(row.size(), ref.items_of_anon[a].size())
+          << "trial=" << trial << " anon=" << a;
+      EXPECT_TRUE(std::equal(row.begin(), row.end(),
+                             ref.items_of_anon[a].begin()));
+      EXPECT_EQ(graph->anon_degree(a), ref.items_of_anon[a].size());
+    }
+    for (ItemId x = 0; x < n; ++x) {
+      BipartiteGraph::AdjacencyRow row = graph->anons_of_item(x);
+      ASSERT_EQ(row.size(), ref.anons_of_item[x].size())
+          << "trial=" << trial << " item=" << x;
+      EXPECT_TRUE(std::equal(row.begin(), row.end(),
+                             ref.anons_of_item[x].begin()));
+      EXPECT_EQ(graph->item_outdegree(x), ref.anons_of_item[x].size());
+    }
+    // Row masks mirror the adjacency exactly (n <= 16 here).
+    auto masks = graph->ToRowMasks();
+    ASSERT_TRUE(masks.ok());
+    for (ItemId a = 0; a < n; ++a) {
+      uint64_t expected_mask = 0;
+      for (ItemId x : ref.items_of_anon[a]) expected_mask |= (1ULL << x);
+      EXPECT_EQ((*masks)[a], expected_mask);
+      for (ItemId x = 0; x < n; ++x) {
+        EXPECT_EQ(graph->HasEdge(a, x),
+                  std::binary_search(ref.items_of_anon[a].begin(),
+                                     ref.items_of_anon[a].end(), x));
+      }
+    }
+    // The compressed structure agrees on outdegrees (pre-propagation).
+    auto cs = ConsistencyStructure::Build(*groups, *belief);
+    ASSERT_TRUE(cs.ok());
+    for (ItemId x = 0; x < n; ++x) {
+      EXPECT_EQ(cs->outdegree(x), ref.anons_of_item[x].size());
+    }
+  }
+}
+
+TEST(CsrGraphDifferentialTest, RowMaskBit63EdgeCase) {
+  // 64 items: masks must use the full word, including bit 63.
+  const size_t n = 64;
+  std::vector<std::vector<ItemId>> adj(n);
+  adj[0] = {0, 63};
+  adj[63] = {62, 63};
+  for (size_t a = 1; a < 63; ++a) adj[a] = {static_cast<ItemId>(a)};
+  auto graph = BipartiteGraph::FromAdjacency(n, adj);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->has_row_masks());
+  auto masks = graph->ToRowMasks();
+  ASSERT_TRUE(masks.ok());
+  EXPECT_EQ((*masks)[0], 1ULL | (1ULL << 63));
+  EXPECT_EQ((*masks)[63], (1ULL << 62) | (1ULL << 63));
+  EXPECT_TRUE(graph->HasEdge(0, 63));
+  EXPECT_TRUE(graph->HasEdge(63, 63));
+  EXPECT_FALSE(graph->HasEdge(63, 0));
+
+  // 65 items: no masks; binary-search edge tests still work and
+  // ToRowMasks reports OutOfRange.
+  std::vector<std::vector<ItemId>> big(65);
+  big[64] = {0, 64};
+  auto wide = BipartiteGraph::FromAdjacency(65, big);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_FALSE(wide->has_row_masks());
+  EXPECT_TRUE(wide->HasEdge(64, 64));
+  EXPECT_FALSE(wide->HasEdge(64, 1));
+  EXPECT_FALSE(wide->ToRowMasks().ok());
+}
+
+// ------------------------------------------------ propagation structures
+
+TEST(ConsistencyDifferentialTest, ItemSideForcingCascade) {
+  // Staircase: n singleton groups, item i covers groups [0, i]. Item 0 is
+  // forced first; each forcing empties one group and makes the next item
+  // degree-1 in turn — a full cascade through FindFirstNonEmptyGroup with
+  // an ever-longer emptied prefix.
+  const size_t n = 48;
+  const size_t m = 1000;
+  std::vector<SupportCount> supports(n);
+  std::vector<BeliefInterval> intervals(n);
+  for (size_t i = 0; i < n; ++i) {
+    supports[i] = static_cast<SupportCount>(10 * (i + 1));
+    const double hi = static_cast<double>(10 * (i + 1)) / m;
+    intervals[i] = {0.0, hi + 1e-9};
+  }
+  auto groups = GroupsFromSupports(supports, m);
+  ASSERT_TRUE(groups.ok());
+  ASSERT_EQ(groups->num_groups(), n);
+  auto belief = BeliefFunction::Create(intervals);
+  ASSERT_TRUE(belief.ok());
+  auto cs = ConsistencyStructure::Build(*groups, *belief);
+  ASSERT_TRUE(cs.ok());
+  auto stats = cs->PropagateDegreeOne();
+  EXPECT_FALSE(stats.contradiction);
+  EXPECT_EQ(stats.forced_pairs, n);
+  for (ItemId x = 0; x < n; ++x) {
+    EXPECT_TRUE(cs->item_forced(x)) << "item " << x;
+    EXPECT_EQ(cs->outdegree(x), 1u);
+  }
+  for (size_t g = 0; g < n; ++g) EXPECT_EQ(cs->group_remaining(g), 0u);
+}
+
+TEST(ConsistencyDifferentialTest, AnonSideForcingCascade) {
+  // Reversed staircase: item i covers groups [i, n-1], so group 0 is
+  // covered by exactly one item while every item (but the last) still has
+  // many candidates. The cascade runs entirely through the anonymized-side
+  // rule and its segment-tree locate.
+  const size_t n = 48;
+  const size_t m = 1000;
+  std::vector<SupportCount> supports(n);
+  std::vector<BeliefInterval> intervals(n);
+  for (size_t i = 0; i < n; ++i) {
+    supports[i] = static_cast<SupportCount>(10 * (i + 1));
+    const double lo = static_cast<double>(10 * (i + 1)) / m;
+    intervals[i] = {lo - 1e-9, 1.0};
+  }
+  auto groups = GroupsFromSupports(supports, m);
+  ASSERT_TRUE(groups.ok());
+  auto belief = BeliefFunction::Create(intervals);
+  ASSERT_TRUE(belief.ok());
+  auto cs = ConsistencyStructure::Build(*groups, *belief);
+  ASSERT_TRUE(cs.ok());
+  auto stats = cs->PropagateDegreeOne();
+  EXPECT_FALSE(stats.contradiction);
+  EXPECT_EQ(stats.forced_pairs, n);
+  for (ItemId x = 0; x < n; ++x) {
+    EXPECT_TRUE(cs->item_forced(x)) << "item " << x;
+  }
+}
+
+TEST(ConsistencyDifferentialTest, BeliefGroupsMatchesMapReference) {
+  Rng rng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.UniformUint64(30);
+    const size_t m = 50;
+    std::vector<SupportCount> supports(n);
+    for (size_t i = 0; i < n; ++i) {
+      supports[i] = static_cast<SupportCount>(1 + rng.UniformUint64(m));
+    }
+    auto groups = GroupsFromSupports(supports, m);
+    ASSERT_TRUE(groups.ok());
+    std::vector<BeliefInterval> intervals(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double f =
+          static_cast<double>(supports[i]) / static_cast<double>(m);
+      if (rng.Bernoulli(0.2)) {
+        // Displaced above f (likely dead); stay inside [0, 1].
+        const double lo = std::min(1.0, f + 0.001);
+        intervals[i] = {lo, std::min(1.0, lo + 0.001)};
+      } else {
+        // Coarse bounds so distinct items often share a range.
+        const double lo = 0.2 * std::floor(f / 0.2);
+        intervals[i] = {lo, std::min(1.0, lo + 0.2 + 0.1 * (i % 2))};
+      }
+    }
+    auto belief = BeliefFunction::Create(intervals);
+    ASSERT_TRUE(belief.ok());
+    auto cs = ConsistencyStructure::Build(*groups, *belief);
+    ASSERT_TRUE(cs.ok());
+
+    // Reference: the previous std::map-based grouping on stab ranges.
+    std::map<std::pair<size_t, size_t>, std::vector<ItemId>> by_range;
+    std::vector<ItemId> dead;
+    for (ItemId x = 0; x < n; ++x) {
+      size_t lo = 0, hi = 0;
+      if (groups->StabRange(intervals[x].lo, intervals[x].hi, &lo, &hi)) {
+        by_range[{lo, hi}].push_back(x);
+      } else {
+        dead.push_back(x);
+      }
+    }
+    std::vector<std::vector<ItemId>> expected;
+    for (auto& [range, members] : by_range) expected.push_back(members);
+    if (!dead.empty()) expected.push_back(dead);
+
+    EXPECT_EQ(cs->BeliefGroups(), expected) << "trial=" << trial;
+  }
+}
+
+// ------------------------------------------------------ cached α probes
+
+TEST(AlphaProbeCacheTest, CachedSweepIsBitIdenticalToUncached) {
+  const size_t n = 60;
+  const size_t m = 500;
+  std::vector<SupportCount> supports(n);
+  Rng rng(11);
+  for (size_t i = 0; i < n; ++i) {
+    supports[i] = static_cast<SupportCount>(1 + rng.UniformUint64(m));
+  }
+  auto table = FrequencyTable::FromSupports(supports, m);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto base = MakeCompliantIntervalBelief(*table, groups.MedianGap());
+  ASSERT_TRUE(base.ok());
+  auto sweep = AlphaCompliancySweep::Create(*table, *base, 5, 17);
+  ASSERT_TRUE(sweep.ok());
+  const AlphaCompliancySweep::ProbeCache cache =
+      sweep->MakeProbeCache(groups);
+
+  std::vector<bool> interest(n, false);
+  for (size_t i = 0; i < n; i += 3) interest[i] = true;
+
+  for (double alpha : {0.0, 0.125, 0.3, 0.5, 0.8125, 1.0}) {
+    auto plain = sweep->AverageOEstimate(groups, alpha);
+    auto cached = sweep->AverageOEstimate(groups, cache, alpha);
+    ASSERT_TRUE(plain.ok() && cached.ok());
+    EXPECT_EQ(*plain, *cached) << "alpha=" << alpha;
+
+    auto plain_items =
+        sweep->AverageOEstimateForItems(groups, alpha, interest);
+    auto cached_items =
+        sweep->AverageOEstimateForItems(groups, cache, alpha, interest);
+    ASSERT_TRUE(plain_items.ok() && cached_items.ok());
+    EXPECT_EQ(*plain_items, *cached_items) << "alpha=" << alpha;
+
+    // Thread count must not perturb the cached path either.
+    exec::ExecContext ctx(exec::ExecOptions{.threads = 4});
+    auto cached_mt = sweep->AverageOEstimate(groups, cache, alpha, {}, &ctx);
+    ASSERT_TRUE(cached_mt.ok());
+    EXPECT_EQ(*cached_mt, *cached) << "alpha=" << alpha;
+  }
+
+  // A cache of the wrong size is rejected rather than misused.
+  AlphaCompliancySweep::ProbeCache bad;
+  bad.base.resize(n - 1);
+  bad.displaced.resize(n - 1);
+  EXPECT_FALSE(sweep->AverageOEstimate(groups, bad, 0.5).ok());
+}
+
+TEST(AlphaProbeCacheTest, FromRangesRejectsMalformedInput) {
+  auto groups = GroupsFromSupports({10, 20, 30}, 100);
+  ASSERT_TRUE(groups.ok());
+  std::vector<ItemStabRange> ranges(3);
+  ranges[0] = {true, 0, 1};
+  ranges[1] = {false, 0, 0};
+  ranges[2] = {true, 2, 2};
+  std::vector<bool> all(3, true);
+  auto ok = ComputeOEstimateFromRanges(*groups, ranges, all);
+  ASSERT_TRUE(ok.ok());
+
+  ranges[2] = {true, 2, 5};  // hi outside the group domain
+  EXPECT_FALSE(ComputeOEstimateFromRanges(*groups, ranges, all).ok());
+  ranges[2] = {true, 2, 1};  // inverted
+  EXPECT_FALSE(ComputeOEstimateFromRanges(*groups, ranges, all).ok());
+  ranges.pop_back();  // wrong arity
+  std::vector<bool> two(2, true);
+  EXPECT_FALSE(ComputeOEstimateFromRanges(*groups, ranges, two).ok());
+}
+
+// ----------------------------------------------------------- scratch pool
+
+TEST(ScratchPoolTest, ReusesRetiredBuffer) {
+  exec::ScratchVec<double>::DrainThreadFreeList();
+  const double* retired = nullptr;
+  {
+    exec::ScratchVec<double> a(1024);
+    retired = a.data();
+  }
+  exec::ScratchVec<double> b(1024);
+  EXPECT_EQ(b.data(), retired);
+  exec::ScratchVec<double>::DrainThreadFreeList();
+}
+
+TEST(ScratchPoolTest, OversizedBuffersAreNotPooled) {
+  exec::ScratchVec<double>::DrainThreadFreeList();
+  const size_t huge = exec::kMaxRetainedBytes / sizeof(double) + 1;
+  const double* retired = nullptr;
+  {
+    exec::ScratchVec<double> a(huge);
+    retired = a.data();
+  }
+  exec::ScratchVec<double> b;
+  EXPECT_EQ(b.size(), 0u);
+  // The free list was empty, so b's buffer cannot be the huge one.
+  b.resize(8);
+  (void)retired;
+  exec::ScratchVec<double>::DrainThreadFreeList();
+}
+
+// --------------------------------------------------------------- burn-in
+
+TEST(SamplerOptionsTest, EffectiveBurnInClampsOverflowAndNaN) {
+  SamplerOptions options;
+  options.burn_in_sweeps = 300;
+  options.burn_in_scale = 2.0;
+  EXPECT_EQ(options.EffectiveBurnIn(100), 300u);   // floor wins
+  EXPECT_EQ(options.EffectiveBurnIn(1000), 2000u); // scaled wins
+  EXPECT_EQ(options.EffectiveBurnIn(0), 300u);
+
+  options.burn_in_scale = 0.0;
+  EXPECT_EQ(options.EffectiveBurnIn(std::numeric_limits<size_t>::max()),
+            300u);
+
+  // Products beyond the size_t range clamp instead of invoking UB.
+  options.burn_in_scale = 1e300;
+  EXPECT_EQ(options.EffectiveBurnIn(1000), kMaxBurnInSweeps);
+  options.burn_in_scale = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(options.EffectiveBurnIn(1), kMaxBurnInSweeps);
+
+  // A NaN product falls back to the unscaled floor.
+  options.burn_in_scale = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(options.EffectiveBurnIn(1000), 300u);
+}
+
+TEST(SamplerOptionsTest, CreateRejectsNonFiniteBurnInScale) {
+  auto table = FrequencyTable::FromSupports({10, 20, 30}, 100);
+  ASSERT_TRUE(table.ok());
+  FrequencyGroups groups = FrequencyGroups::Build(*table);
+  auto belief = MakeCompliantIntervalBelief(*table, 0.01);
+  ASSERT_TRUE(belief.ok());
+
+  SamplerOptions options;
+  options.burn_in_scale = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(MatchingSampler::Create(groups, *belief, options).ok());
+  options.burn_in_scale = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(MatchingSampler::Create(groups, *belief, options).ok());
+  options.burn_in_scale = -1.0;
+  EXPECT_FALSE(MatchingSampler::Create(groups, *belief, options).ok());
+  options.burn_in_scale = 2.0;
+  EXPECT_TRUE(MatchingSampler::Create(groups, *belief, options).ok());
+}
+
+}  // namespace
+}  // namespace anonsafe
