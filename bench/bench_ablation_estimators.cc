@@ -85,10 +85,10 @@ int main() {
       auto propagated = ComputeOEstimate(groups, *beta);
       auto refined = ComputeRefinedOEstimate(groups, *beta);
       SimulationOptions sim_opts;
-      sim_opts.num_runs = 2;
+      sim_opts.exec.runs = 2;
       sim_opts.sampler.num_samples = 1000;
       sim_opts.sampler.thinning_sweeps = 4;
-      sim_opts.seed = rng.Next();
+      sim_opts.exec.seed = rng.Next();
       auto sim = SimulateExpectedCracks(groups, *beta, sim_opts);
       if (!naive.ok() || !propagated.ok() || !refined.ok() || !sim.ok()) {
         continue;
@@ -146,10 +146,10 @@ int main() {
       auto propagated = ComputeOEstimate(groups, realized->belief);
       auto refined = ComputeRefinedOEstimate(groups, realized->belief);
       SimulationOptions sim_opts;
-      sim_opts.num_runs = 2;
+      sim_opts.exec.runs = 2;
       sim_opts.sampler.num_samples = 1000;
       sim_opts.sampler.thinning_sweeps = 4;
-      sim_opts.seed = rng.Next();
+      sim_opts.exec.seed = rng.Next();
       auto sim = SimulateExpectedCracks(groups, realized->belief, sim_opts);
       if (!naive.ok() || !propagated.ok() || !refined.ok() || !sim.ok()) {
         continue;

@@ -69,10 +69,10 @@ int main() {
     std::string within = "-";
     if (simulate) {
       SimulationOptions sim_options;
-      sim_options.num_runs = 5;
+      sim_options.exec.runs = 5;
       sim_options.sampler.num_samples = 400;
       sim_options.sampler.thinning_sweeps = 8;
-      sim_options.seed = 17;
+      sim_options.exec.seed = 17;
       auto sim = SimulateExpectedCracks(ds->groups, *belief, sim_options);
       if (!sim.ok()) {
         std::cerr << sim.status() << "\n";

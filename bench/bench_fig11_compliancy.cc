@@ -86,11 +86,11 @@ int main() {
         }
         AlphaCompliantBelief ab = std::move(belief_at).value();
         SimulationOptions sim_options;
-        sim_options.num_runs = 3;
+        sim_options.exec.runs = 3;
         sim_options.sampler.num_samples = 250;
         sim_options.sampler.burn_in_sweeps = 150;
         sim_options.sampler.thinning_sweeps = 6;
-        sim_options.seed = 29;
+        sim_options.exec.seed = 29;
         auto sim = SimulateExpectedCracksOfInterest(
             ds->groups, ab.belief, ab.compliant_mask, sim_options);
         if (sim.ok()) {

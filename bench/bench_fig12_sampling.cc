@@ -43,7 +43,7 @@ int main() {
     options.sample_fractions = {0.01, 0.05, 0.10, 0.20, 0.30,
                                 0.40, 0.50, 0.60, 0.70, 0.80, 0.90};
     options.samples_per_fraction = 10;
-    options.seed = 63;
+    options.exec.seed = 63;
     auto median_curve = SimilarityBySampling(ds->database, options);
     if (!median_curve.ok()) {
       std::cerr << median_curve.status() << "\n";

@@ -79,7 +79,7 @@ int main() {
                       p) != std::end(sim_fractions);
         if (do_sim) {
           SamplerOptions sampler_options;
-          sampler_options.seed = 99;
+          sampler_options.exec.seed = 99;
           sampler_options.num_samples = 200;
           sampler_options.thinning_sweeps = 6;
           auto sampler =

@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# End-to-end validation of `anonsafe serve`: drive a scripted stdio
+# session (load -> assess x2 -> metrics -> shutdown) against a fixed
+# dataset and check that
+#   1. the assess_risk response embeds exactly the document the one-shot
+#      CLI prints with `report --json` (bit-identity), at 1 and 8 threads,
+#   2. the repeated load and assess hit the dataset / artifact caches
+#      (visible in the metrics response counters),
+#   3. shutdown drains: every request gets a response line, in order.
+#
+# Usage:
+#   scripts/check_serve.sh [path/to/anonsafe]
+#
+# Exits non-zero on the first failed check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI="${1:-build/src/tools/anonsafe}"
+if [[ ! -x "$CLI" ]]; then
+  echo "check_serve: CLI not found at $CLI (build first)" >&2
+  exit 1
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+data="$workdir/sample.dat"
+
+fail() { echo "check_serve: FAIL: $*" >&2; exit 1; }
+
+# Deterministic 12-transaction dataset over 5 items (no generator
+# involved, so the golden expectations below never drift).
+cat > "$data" <<'EOF'
+1 2 3
+1 2
+2 3 4
+1 3 4
+2 4
+1 2 4
+3 4
+1 4
+2 3
+1 2 3 4
+2 3 4 5
+1 5
+EOF
+
+session="$workdir/session.jsonl"
+cat > "$session" <<EOF
+{"schema_version":1,"id":1,"verb":"load_dataset","params":{"path":"$data"}}
+{"schema_version":1,"id":2,"verb":"load_dataset","params":{"path":"$data"}}
+{"schema_version":1,"id":3,"verb":"assess_risk","params":{"dataset":"DATASET_KEY"}}
+{"schema_version":1,"id":4,"verb":"assess_risk","params":{"dataset":"DATASET_KEY","threads":8}}
+{"schema_version":1,"id":5,"verb":"metrics"}
+{"schema_version":1,"id":6,"verb":"shutdown"}
+EOF
+
+# First pass: learn the content-hash dataset key from a one-line session.
+key="$(printf '%s\n' \
+  "{\"schema_version\":1,\"id\":0,\"verb\":\"load_dataset\",\"params\":{\"path\":\"$data\"}}" \
+  "{\"schema_version\":1,\"id\":0,\"verb\":\"shutdown\"}" \
+  | timeout 60 "$CLI" serve \
+  | head -1 | sed 's/.*"dataset":"\([0-9a-f]*\)".*/\1/')"
+[[ "$key" =~ ^[0-9a-f]{16}$ ]] || fail "could not learn dataset key (got '$key')"
+
+sed -i "s/DATASET_KEY/$key/g" "$session"
+responses="$workdir/responses.jsonl"
+timeout 120 "$CLI" serve --workers=2 < "$session" > "$responses" \
+  || fail "serve session did not complete cleanly"
+
+[[ "$(wc -l < "$responses")" -eq 6 ]] \
+  || fail "expected 6 response lines, got $(wc -l < "$responses")"
+
+# Responses arrive in request order on one connection; ids confirm it.
+for i in 1 2 3 4 5 6; do
+  sed -n "${i}p" "$responses" | grep -q "\"id\":$i,\"ok\":true" \
+    || fail "response $i missing or not ok: $(sed -n "${i}p" "$responses")"
+done
+
+# 1. Bit-identity with the one-shot CLI, both thread counts.
+"$CLI" report "$data" --json > "$workdir/cli.json"
+for line in 3 4; do
+  sed -n "${line}p" "$responses" \
+    | sed 's/.*"report":\({.*}\)}}$/\1/' > "$workdir/srv$line.json"
+  diff -q "$workdir/cli.json" <(cat "$workdir/srv$line.json"; ) >/dev/null \
+    || { diff "$workdir/cli.json" "$workdir/srv$line.json" >&2 || true
+         fail "server report (response $line) differs from CLI report --json"; }
+done
+
+# 2. Cache effectiveness: the second load reports cached:true and the
+#    metrics response carries non-zero hit counters.
+sed -n '2p' "$responses" | grep -q '"cached":true' \
+  || fail "second load_dataset did not hit the dataset cache"
+metrics="$(sed -n '5p' "$responses")"
+grep -q 'anonsafe_serve_dataset_cache_hits_total' <<<"$metrics" \
+  || fail "metrics response lacks dataset cache hit counter"
+grep -q 'anonsafe_recipe_artifact_hits_total' <<<"$metrics" \
+  || fail "metrics response lacks recipe artifact hit counter (repeated assess did not reuse artifacts)"
+
+# 3. Shutdown drained and answered last.
+sed -n '6p' "$responses" | grep -q '"drained":true' \
+  || fail "shutdown response missing drained:true"
+
+echo "check_serve: OK (key=$key; reports bit-identical at 1 and 8 threads; caches hit; drained)"

@@ -13,11 +13,18 @@
 
 // Foundations.
 #include "util/csv_writer.h"      // IWYU pragma: export
+#include "util/json.h"            // IWYU pragma: export
 #include "util/result.h"          // IWYU pragma: export
 #include "util/rng.h"             // IWYU pragma: export
 #include "util/stats.h"           // IWYU pragma: export
 #include "util/status.h"          // IWYU pragma: export
 #include "util/table_printer.h"   // IWYU pragma: export
+
+// Observability (metrics registry, tracing, exporters).
+#include "obs/export.h"           // IWYU pragma: export
+#include "obs/metrics.h"          // IWYU pragma: export
+#include "obs/scoped_timer.h"     // IWYU pragma: export
+#include "obs/trace.h"            // IWYU pragma: export
 
 // Parallel execution engine (deterministic thread pool + shared knobs).
 #include "exec/exec.h"            // IWYU pragma: export
@@ -58,8 +65,9 @@
 #include "graph/matching_sampler.h"  // IWYU pragma: export
 #include "graph/permanent.h"         // IWYU pragma: export
 
-// Risk estimators and owner-side workflows.
-#include "core/alpha_sweep.h"      // IWYU pragma: export
+// Risk estimators and owner-side workflows. (The α-sweep internals in
+// core/alpha_sweep.h are implementation machinery of the recipe, not part
+// of the umbrella surface — include that header directly if you need it.)
 #include "core/direct_method.h"    // IWYU pragma: export
 #include "core/exact_formulas.h"   // IWYU pragma: export
 #include "core/graph_oestimate.h"  // IWYU pragma: export
@@ -85,5 +93,11 @@
 #include "defense/group_merge.h"  // IWYU pragma: export
 #include "defense/k_anonymity.h"  // IWYU pragma: export
 #include "defense/suppression.h"  // IWYU pragma: export
+
+// Long-running risk-assessment service.
+#include "serve/dataset_cache.h"  // IWYU pragma: export
+#include "serve/protocol.h"       // IWYU pragma: export
+#include "serve/server.h"         // IWYU pragma: export
+#include "serve/transport.h"      // IWYU pragma: export
 
 #endif  // ANONSAFE_ANONSAFE_H_

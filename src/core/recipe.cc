@@ -1,5 +1,7 @@
 #include "core/recipe.h"
 
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "belief/builders.h"
@@ -20,6 +22,20 @@ const char* ToString(RecipeDecision decision) {
       return "AlphaBound";
   }
   return "Unknown";
+}
+
+bool RecipeDecisionFromString(const std::string& text,
+                              RecipeDecision* decision) {
+  if (text == "DiscloseAtPointValued") {
+    *decision = RecipeDecision::kDiscloseAtPointValued;
+  } else if (text == "DiscloseAtInterval") {
+    *decision = RecipeDecision::kDiscloseAtInterval;
+  } else if (text == "AlphaBound") {
+    *decision = RecipeDecision::kAlphaBound;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 std::string RecipeResult::Summary() const {
@@ -55,10 +71,10 @@ Status ValidateRecipeOptions(const RecipeOptions& options) {
         "tolerance must lie in (0, 1], got " +
         std::to_string(options.tolerance));
   }
-  if (options.EffectiveAlphaRuns() == 0) {
+  if (options.exec.runs == 0) {
     return Status::InvalidArgument(
-        "alpha runs (exec.runs / deprecated alpha_runs) must be positive: "
-        "each α probe averages over at least one compliant subset");
+        "alpha runs (exec.runs) must be positive: each α probe averages "
+        "over at least one compliant subset");
   }
   if (options.binary_search_iterations == 0) {
     return Status::InvalidArgument(
@@ -68,25 +84,83 @@ Status ValidateRecipeOptions(const RecipeOptions& options) {
   return Status::OK();
 }
 
+/// \brief The cross-call cache behind repeated AssessRisk runs on one
+/// table. Every entry is a deterministic function of (table, seed, runs),
+/// so a reader can safely compute with a snapshot taken under the lock
+/// while another request fills the remaining slots.
+struct RecipeArtifacts {
+  std::mutex mu;
+
+  std::shared_ptr<const FrequencyGroups> groups;  // of the table
+  std::shared_ptr<const BeliefFunction> base;     // δ_med interval belief
+  double base_delta_med = 0.0;
+
+  // Sweep + probe stab cache, keyed on the exec knobs that shaped them.
+  uint64_t sweep_seed = 0;
+  size_t sweep_runs = 0;
+  std::shared_ptr<const AlphaCompliancySweep> sweep;
+  std::shared_ptr<const AlphaCompliancySweep::ProbeCache> probes;
+};
+
+std::shared_ptr<RecipeArtifacts> MakeRecipeArtifacts() {
+  return std::make_shared<RecipeArtifacts>();
+}
+
 namespace {
 
-/// The effective execution knobs with the deprecated aliases folded in.
-exec::ExecOptions EffectiveExecOptions(const RecipeOptions& options) {
-  exec::ExecOptions eo = options.exec;
-  eo.seed = options.EffectiveSeed();
-  eo.runs = options.EffectiveAlphaRuns();
-  return eo;
+/// Consistent snapshot of the artifact pointers (cheap: shared_ptr copies).
+struct ArtifactsView {
+  std::shared_ptr<const FrequencyGroups> groups;
+  std::shared_ptr<const BeliefFunction> base;
+  double base_delta_med = 0.0;
+  std::shared_ptr<const AlphaCompliancySweep> sweep;
+  std::shared_ptr<const AlphaCompliancySweep::ProbeCache> probes;
+};
+
+ArtifactsView SnapshotArtifacts(RecipeArtifacts* artifacts,
+                                const exec::ExecOptions& exec_options) {
+  ArtifactsView view;
+  if (artifacts == nullptr) return view;
+  std::lock_guard<std::mutex> lock(artifacts->mu);
+  view.groups = artifacts->groups;
+  view.base = artifacts->base;
+  view.base_delta_med = artifacts->base_delta_med;
+  if (artifacts->sweep != nullptr &&
+      artifacts->sweep_seed == exec_options.seed &&
+      artifacts->sweep_runs == exec_options.runs) {
+    view.sweep = artifacts->sweep;
+    view.probes = artifacts->probes;
+  }
+  return view;
+}
+
+Status CheckCancelled(const exec::ExecContext* ctx) {
+  if (ctx != nullptr && ctx->cancelled()) {
+    return Status::Cancelled("assess-risk cancelled");
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
 Result<RecipeResult> AssessRisk(const FrequencyTable& table,
-                                const RecipeOptions& options) {
+                                const RecipeOptions& options,
+                                exec::ExecContext* external_ctx,
+                                RecipeArtifacts* artifacts) {
   ANONSAFE_RETURN_IF_ERROR(ValidateRecipeOptions(options));
-  const exec::ExecOptions exec_options = EffectiveExecOptions(options);
-  exec::ExecContext ctx(exec_options);
+  const exec::ExecOptions exec_options = options.exec;
+  // The thread pool only schedules; values never depend on it, so an
+  // external context (whatever its thread count) is bit-identical to the
+  // private one built from options.exec.
+  std::unique_ptr<exec::ExecContext> owned_ctx;
+  exec::ExecContext* ctx = external_ctx;
+  if (ctx == nullptr) {
+    owned_ctx = std::make_unique<exec::ExecContext>(exec_options);
+    ctx = owned_ctx.get();
+  }
   obs::ScopedTimer recipe_timer("recipe.assess_risk");
   obs::CountIf("anonsafe_recipe_runs_total");
+  ANONSAFE_RETURN_IF_ERROR(CheckCancelled(ctx));
 
   RecipeResult out;
   out.tolerance = options.tolerance;
@@ -94,9 +168,24 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   out.crack_budget =
       options.tolerance * static_cast<double>(table.num_items());
 
-  obs::ScopedTimer build_timer("recipe.group_build");
-  FrequencyGroups groups = FrequencyGroups::Build(table);
-  build_timer.Stop();
+  ArtifactsView cached = SnapshotArtifacts(artifacts, exec_options);
+  std::shared_ptr<const FrequencyGroups> groups_ptr = cached.groups;
+  if (groups_ptr == nullptr) {
+    obs::ScopedTimer build_timer("recipe.group_build");
+    groups_ptr = std::make_shared<const FrequencyGroups>(
+        FrequencyGroups::Build(table));
+    if (artifacts != nullptr) {
+      std::lock_guard<std::mutex> lock(artifacts->mu);
+      if (artifacts->groups == nullptr) {
+        artifacts->groups = groups_ptr;
+      } else {
+        groups_ptr = artifacts->groups;  // another request won the race
+      }
+    }
+  } else {
+    obs::CountIf("anonsafe_recipe_artifact_hits_total");
+  }
+  const FrequencyGroups& groups = *groups_ptr;
   out.num_groups = groups.num_groups();
 
   // Steps 1-2: the point-valued worst case (Lemma 3).
@@ -117,14 +206,26 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
 
   // Steps 3-7: compliant interval belief of half-width delta_med, then
   // the O-estimate under full compliance.
+  ANONSAFE_RETURN_IF_ERROR(CheckCancelled(ctx));
   obs::ScopedTimer interval_timer("recipe.interval_check");
   out.delta_med = groups.MedianGap();
-  ANONSAFE_ASSIGN_OR_RETURN(
-      BeliefFunction base,
-      MakeCompliantIntervalBelief(table, out.delta_med));
+  std::shared_ptr<const BeliefFunction> base = cached.base;
+  if (base == nullptr || cached.base_delta_med != out.delta_med) {
+    ANONSAFE_ASSIGN_OR_RETURN(
+        BeliefFunction built,
+        MakeCompliantIntervalBelief(table, out.delta_med));
+    base = std::make_shared<const BeliefFunction>(std::move(built));
+    if (artifacts != nullptr) {
+      std::lock_guard<std::mutex> lock(artifacts->mu);
+      artifacts->base = base;
+      artifacts->base_delta_med = out.delta_med;
+    }
+  } else {
+    obs::CountIf("anonsafe_recipe_artifact_hits_total");
+  }
   ANONSAFE_ASSIGN_OR_RETURN(
       OEstimateResult oe,
-      ComputeOEstimate(groups, base, options.oestimate, &ctx));
+      ComputeOEstimate(groups, *base, options.oestimate, ctx));
   out.interval_oe = oe.expected_cracks;
   if (interval_timer.tracing()) {
     interval_timer.Annotate("delta_med", TablePrinter::FmtG(out.delta_med, 4));
@@ -142,25 +243,43 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
 
   // Steps 8-9: binary search for the largest alpha within tolerance,
   // averaging over nested random compliant subsets (Lemma 10 anchoring).
+  ANONSAFE_RETURN_IF_ERROR(CheckCancelled(ctx));
   obs::ScopedTimer alpha_timer("recipe.alpha_search");
-  ANONSAFE_ASSIGN_OR_RETURN(
-      AlphaCompliancySweep sweep,
-      AlphaCompliancySweep::Create(table, base, exec_options.runs,
-                                   exec_options.seed));
-  // Every probe uses the same two candidate intervals per item; stab them
-  // against the groups once and let each probe replay the cached ranges.
-  const AlphaCompliancySweep::ProbeCache probe_cache =
-      sweep.MakeProbeCache(groups);
+  std::shared_ptr<const AlphaCompliancySweep> sweep = cached.sweep;
+  std::shared_ptr<const AlphaCompliancySweep::ProbeCache> probe_cache =
+      cached.probes;
+  if (sweep == nullptr || probe_cache == nullptr) {
+    ANONSAFE_ASSIGN_OR_RETURN(
+        AlphaCompliancySweep built,
+        AlphaCompliancySweep::Create(table, *base, exec_options.runs,
+                                     exec_options.seed));
+    sweep = std::make_shared<const AlphaCompliancySweep>(std::move(built));
+    // Every probe uses the same two candidate intervals per item; stab
+    // them against the groups once and let each probe replay the cached
+    // ranges.
+    probe_cache = std::make_shared<const AlphaCompliancySweep::ProbeCache>(
+        sweep->MakeProbeCache(groups));
+    if (artifacts != nullptr) {
+      std::lock_guard<std::mutex> lock(artifacts->mu);
+      artifacts->sweep_seed = exec_options.seed;
+      artifacts->sweep_runs = exec_options.runs;
+      artifacts->sweep = sweep;
+      artifacts->probes = probe_cache;
+    }
+  } else {
+    obs::CountIf("anonsafe_recipe_artifact_hits_total");
+  }
   double lo = 0.0;  // OE(0) = 0 <= budget always
   double hi = 1.0;  // OE(1) > budget (checked above)
   for (size_t iter = 0; iter < options.binary_search_iterations; ++iter) {
+    ANONSAFE_RETURN_IF_ERROR(CheckCancelled(ctx));
     double mid = (lo + hi) / 2.0;
     obs::ScopedTimer probe("recipe.alpha_probe");
     obs::CountIf("anonsafe_alpha_probes_total");
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
-        sweep.AverageOEstimate(groups, probe_cache, mid, options.oestimate,
-                               &ctx));
+        sweep->AverageOEstimate(groups, *probe_cache, mid, options.oestimate,
+                                ctx));
     if (probe.tracing()) {
       probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));
       probe.Annotate("avg_oe", TablePrinter::FmtG(avg_oe, 4));
@@ -203,7 +322,7 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
   if (num_interest == 0) {
     return Status::InvalidArgument("interest mask selects no items");
   }
-  const exec::ExecOptions exec_options = EffectiveExecOptions(options);
+  const exec::ExecOptions exec_options = options.exec;
   exec::ExecContext ctx(exec_options);
   obs::ScopedTimer recipe_timer("recipe.assess_risk_items");
   obs::CountIf("anonsafe_recipe_runs_total");

@@ -106,8 +106,122 @@ std::string RiskReport::ToMarkdown() const {
   return oss.str();
 }
 
+json::Value RiskReport::ToJson() const {
+  json::Value v = json::Value::Object();
+  v.Set("schema_version", json::Value(kRiskReportSchemaVersion));
+  v.Set("num_items", json::Value(uint64_t{num_items}));
+  v.Set("num_transactions", json::Value(uint64_t{num_transactions}));
+  v.Set("num_groups", json::Value(uint64_t{num_groups}));
+  v.Set("num_singleton_groups", json::Value(uint64_t{num_singleton_groups}));
+  v.Set("median_gap", json::Value(median_gap));
+  v.Set("mean_gap", json::Value(mean_gap));
+  v.Set("ignorant_expected_cracks", json::Value(ignorant_expected_cracks));
+  v.Set("point_valued_expected_cracks",
+        json::Value(point_valued_expected_cracks));
+
+  json::Value r = json::Value::Object();
+  r.Set("decision", json::Value(ToString(recipe.decision)));
+  r.Set("num_items", json::Value(uint64_t{recipe.num_items}));
+  r.Set("num_groups", json::Value(uint64_t{recipe.num_groups}));
+  r.Set("delta_med", json::Value(recipe.delta_med));
+  r.Set("interval_oe", json::Value(recipe.interval_oe));
+  r.Set("alpha_max", json::Value(recipe.alpha_max));
+  r.Set("tolerance", json::Value(recipe.tolerance));
+  r.Set("crack_budget", json::Value(recipe.crack_budget));
+  v.Set("recipe", std::move(r));
+
+  json::Value curve = json::Value::Array();
+  for (const SimilarityPoint& p : similarity_curve) {
+    json::Value point = json::Value::Object();
+    point.Set("sample_fraction", json::Value(p.sample_fraction));
+    point.Set("mean_alpha", json::Value(p.mean_alpha));
+    point.Set("stddev_alpha", json::Value(p.stddev_alpha));
+    point.Set("mean_delta", json::Value(p.mean_delta));
+    point.Set("mean_groups", json::Value(p.mean_groups));
+    curve.Append(std::move(point));
+  }
+  v.Set("similarity_curve", std::move(curve));
+  v.Set("breaching_sample_fraction", json::Value(breaching_sample_fraction));
+  return v;
+}
+
+Result<RiskReport> RiskReport::FromJson(const json::Value& v) {
+  if (!v.is_object()) {
+    return Status::InvalidArgument("risk report JSON must be an object");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(double version, v.GetNumber("schema_version"));
+  if (version != static_cast<double>(kRiskReportSchemaVersion)) {
+    return Status::InvalidArgument(
+        "unsupported risk report schema_version " +
+        json::NumberToString(version) + " (expected " +
+        std::to_string(kRiskReportSchemaVersion) + ")");
+  }
+
+  RiskReport report;
+  ANONSAFE_ASSIGN_OR_RETURN(double n, v.GetNumber("num_items"));
+  report.num_items = static_cast<size_t>(n);
+  ANONSAFE_ASSIGN_OR_RETURN(double m, v.GetNumber("num_transactions"));
+  report.num_transactions = static_cast<size_t>(m);
+  ANONSAFE_ASSIGN_OR_RETURN(double g, v.GetNumber("num_groups"));
+  report.num_groups = static_cast<size_t>(g);
+  ANONSAFE_ASSIGN_OR_RETURN(double sg, v.GetNumber("num_singleton_groups"));
+  report.num_singleton_groups = static_cast<size_t>(sg);
+  ANONSAFE_ASSIGN_OR_RETURN(report.median_gap, v.GetNumber("median_gap"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.mean_gap, v.GetNumber("mean_gap"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.ignorant_expected_cracks,
+                            v.GetNumber("ignorant_expected_cracks"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.point_valued_expected_cracks,
+                            v.GetNumber("point_valued_expected_cracks"));
+
+  const json::Value* r = v.Find("recipe");
+  if (r == nullptr || !r->is_object()) {
+    return Status::InvalidArgument("risk report JSON lacks 'recipe' object");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(std::string decision, r->GetString("decision"));
+  if (!RecipeDecisionFromString(decision, &report.recipe.decision)) {
+    return Status::InvalidArgument("unknown recipe decision '" + decision +
+                                   "'");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(double rn, r->GetNumber("num_items"));
+  report.recipe.num_items = static_cast<size_t>(rn);
+  ANONSAFE_ASSIGN_OR_RETURN(double rg, r->GetNumber("num_groups"));
+  report.recipe.num_groups = static_cast<size_t>(rg);
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.delta_med,
+                            r->GetNumber("delta_med"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.interval_oe,
+                            r->GetNumber("interval_oe"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.alpha_max,
+                            r->GetNumber("alpha_max"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.tolerance,
+                            r->GetNumber("tolerance"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.crack_budget,
+                            r->GetNumber("crack_budget"));
+
+  const json::Value* curve = v.Find("similarity_curve");
+  if (curve == nullptr || !curve->is_array()) {
+    return Status::InvalidArgument(
+        "risk report JSON lacks 'similarity_curve' array");
+  }
+  for (const json::Value& point : curve->items()) {
+    SimilarityPoint p;
+    ANONSAFE_ASSIGN_OR_RETURN(p.sample_fraction,
+                              point.GetNumber("sample_fraction"));
+    ANONSAFE_ASSIGN_OR_RETURN(p.mean_alpha, point.GetNumber("mean_alpha"));
+    ANONSAFE_ASSIGN_OR_RETURN(p.stddev_alpha,
+                              point.GetNumber("stddev_alpha"));
+    ANONSAFE_ASSIGN_OR_RETURN(p.mean_delta, point.GetNumber("mean_delta"));
+    ANONSAFE_ASSIGN_OR_RETURN(p.mean_groups, point.GetNumber("mean_groups"));
+    report.similarity_curve.push_back(p);
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(report.breaching_sample_fraction,
+                            v.GetNumber("breaching_sample_fraction"));
+  return report;
+}
+
 Result<RiskReport> BuildRiskReport(const Database& db,
-                                   const RiskReportOptions& options) {
+                                   const RiskReportOptions& options,
+                                   exec::ExecContext* ctx,
+                                   RecipeArtifacts* artifacts) {
   ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable table, FrequencyTable::Compute(db));
   FrequencyGroups groups = FrequencyGroups::Build(table);
 
@@ -122,11 +236,12 @@ Result<RiskReport> BuildRiskReport(const Database& db,
   report.point_valued_expected_cracks = PointValuedExpectedCracks(groups);
 
   ANONSAFE_ASSIGN_OR_RETURN(report.recipe,
-                            AssessRisk(table, options.recipe));
+                            AssessRisk(table, options.recipe, ctx, artifacts));
 
   if (options.include_similarity_curve) {
-    ANONSAFE_ASSIGN_OR_RETURN(report.similarity_curve,
-                              SimilarityBySampling(db, options.similarity));
+    ANONSAFE_ASSIGN_OR_RETURN(
+        report.similarity_curve,
+        SimilarityBySampling(db, options.similarity, ctx));
     if (report.recipe.decision == RecipeDecision::kAlphaBound) {
       for (const SimilarityPoint& p : report.similarity_curve) {
         if (p.mean_alpha >= report.recipe.alpha_max) {

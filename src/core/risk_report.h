@@ -7,9 +7,15 @@
 #include "core/recipe.h"
 #include "core/similarity.h"
 #include "data/database.h"
+#include "util/json.h"
 #include "util/result.h"
 
 namespace anonsafe {
+
+/// \brief Version of the RiskReport JSON layout. Bumped on any breaking
+/// change; `FromJson` rejects documents with a different version so a new
+/// client never silently misreads an old server's output (or vice versa).
+inline constexpr int64_t kRiskReportSchemaVersion = 1;
 
 /// \brief Options of the composite owner-side risk report.
 struct RiskReportOptions {
@@ -48,12 +54,29 @@ struct RiskReport {
   /// \brief Renders the report as GitHub-flavored Markdown (for pasting
   /// into reviews or data-release tickets).
   std::string ToMarkdown() const;
+
+  /// \brief The single JSON encoding of a report, used verbatim by both
+  /// the one-shot CLI (`report --json`) and the serve protocol — there is
+  /// deliberately no second emitter, so the two surfaces are
+  /// bit-identical by construction. Carries `schema_version`.
+  json::Value ToJson() const;
+
+  /// \brief Parses a `ToJson` document. Rejects a missing or different
+  /// `schema_version` and missing/ill-typed fields with InvalidArgument.
+  static Result<RiskReport> FromJson(const json::Value& v);
 };
 
 /// \brief Computes the composite report for a database the owner intends
 /// to anonymize and release.
+///
+/// `ctx` (optional) is observed for cooperative cancellation and is
+/// passed through to the recipe and the similarity sweep; `artifacts`
+/// (optional) caches recipe work across repeated calls on the same
+/// dataset (see RecipeArtifacts).
 Result<RiskReport> BuildRiskReport(const Database& db,
-                                   const RiskReportOptions& options = {});
+                                   const RiskReportOptions& options = {},
+                                   exec::ExecContext* ctx = nullptr,
+                                   RecipeArtifacts* artifacts = nullptr);
 
 }  // namespace anonsafe
 

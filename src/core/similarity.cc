@@ -11,7 +11,8 @@
 namespace anonsafe {
 
 Result<std::vector<SimilarityPoint>> SimilarityBySampling(
-    const Database& db, const SimilarityOptions& options) {
+    const Database& db, const SimilarityOptions& options,
+    exec::ExecContext* ctx) {
   if (options.samples_per_fraction == 0) {
     return Status::InvalidArgument("samples_per_fraction must be positive");
   }
@@ -22,12 +23,15 @@ Result<std::vector<SimilarityPoint>> SimilarityBySampling(
   obs::CountIf("anonsafe_similarity_runs_total");
   ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable truth, FrequencyTable::Compute(db));
 
-  Rng rng(options.EffectiveSeed());
+  Rng rng(options.exec.seed);
   std::vector<SimilarityPoint> curve;
   curve.reserve(options.sample_fractions.size());
   for (double p : options.sample_fractions) {
     if (!(p > 0.0) || p > 1.0) {
       return Status::InvalidArgument("sample fraction outside (0, 1]");
+    }
+    if (ctx != nullptr && ctx->cancelled()) {
+      return Status::Cancelled("similarity sampling cancelled");
     }
     obs::ScopedTimer fraction_timer("core.similarity_fraction");
     if (fraction_timer.tracing()) {

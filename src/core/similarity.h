@@ -19,17 +19,8 @@ struct SimilarityOptions {
   /// Samples averaged per fraction (the paper uses 10).
   size_t samples_per_fraction = 10;
 
-  /// \deprecated Alias for `exec.seed`. When set it wins over the
-  /// embedded value; will be removed next release.
-  uint64_t seed = exec::kDeprecatedSeedUnset;
-
   /// Shared execution knobs (master seed, default 11).
   exec::ExecOptions exec{.seed = 11};
-
-  /// Resolves the deprecated `seed` alias: when set it wins.
-  uint64_t EffectiveSeed() const {
-    return seed != exec::kDeprecatedSeedUnset ? seed : exec.seed;
-  }
 
   /// When true, interval widths use the *sampled average* gap instead of
   /// the sampled median — the variant Section 7.4 shows saturates at
@@ -54,8 +45,12 @@ struct SimilarityPoint {
 /// The owner reads the resulting curve together with the recipe's α_max:
 /// if a modest sample already achieves α above α_max, "similar data"
 /// suffices to breach the tolerance and the owner should not disclose.
+///
+/// `ctx` (optional) is observed for cooperative cancellation between
+/// fractions; values never depend on it (the sampling RNG is private).
 Result<std::vector<SimilarityPoint>> SimilarityBySampling(
-    const Database& db, const SimilarityOptions& options = {});
+    const Database& db, const SimilarityOptions& options = {},
+    exec::ExecContext* ctx = nullptr);
 
 }  // namespace anonsafe
 

@@ -10,15 +10,12 @@ Result<SimulationResult> SimulateImpl(const FrequencyGroups& observed,
                                       const BeliefFunction& belief,
                                       const std::vector<bool>* interest,
                                       const SimulationOptions& options) {
-  const size_t num_runs = options.EffectiveRuns();
+  const size_t num_runs = options.exec.runs;
   if (num_runs == 0) {
     return Status::InvalidArgument("need at least one simulation run");
   }
-  const uint64_t master_seed = options.EffectiveSeed();
-  exec::ExecOptions exec_options = options.exec;
-  exec_options.seed = master_seed;
-  exec_options.runs = num_runs;
-  exec::ExecContext ctx(exec_options);
+  const uint64_t master_seed = options.exec.seed;
+  exec::ExecContext ctx(options.exec);
 
   SimulationResult out;
   out.samples_per_run = options.sampler.num_samples;
@@ -31,7 +28,7 @@ Result<SimulationResult> SimulateImpl(const FrequencyGroups& observed,
       &ctx, num_runs, /*grain=*/1,
       [&](size_t run, size_t /*end*/) -> Status {
         SamplerOptions per_run = options.sampler;
-        per_run.seed = exec::SplitSeed(master_seed, run);
+        per_run.exec.seed = exec::SplitSeed(master_seed, run);
         ANONSAFE_ASSIGN_OR_RETURN(
             MatchingSampler sampler,
             MatchingSampler::Create(observed, belief, per_run));

@@ -15,27 +15,13 @@ namespace anonsafe {
 /// averages 5 independent simulation runs and reports the standard
 /// deviation across them).
 struct SimulationOptions {
-  /// \deprecated Alias for `exec.runs`. When set it wins over the
-  /// embedded value; will be removed next release.
-  size_t num_runs = exec::kDeprecatedRunsUnset;
   SamplerOptions sampler;  ///< per-run sampler configuration
-  /// \deprecated Alias for `exec.seed`. When set it wins over the
-  /// embedded value; will be removed next release.
-  uint64_t seed = exec::kDeprecatedSeedUnset;
 
   /// Shared execution knobs: master seed (default 1), independent runs
   /// (default 5, the paper's value), worker threads. Run r always draws
   /// the RNG stream SplitSeed(seed, r), so results are thread-count
   /// independent.
   exec::ExecOptions exec{.seed = 1};
-
-  /// Resolves the deprecated aliases: an explicitly set old field wins.
-  uint64_t EffectiveSeed() const {
-    return seed != exec::kDeprecatedSeedUnset ? seed : exec.seed;
-  }
-  size_t EffectiveRuns() const {
-    return num_runs != exec::kDeprecatedRunsUnset ? num_runs : exec.runs;
-  }
 };
 
 /// \brief A simulated estimate of the expected number of cracks.

@@ -21,10 +21,10 @@ namespace exec {
 /// SimilarityOptions, ...).
 ///
 /// Consolidates the seed / replicate-count / thread settings that used
-/// to be scattered per struct. The old per-struct fields survive one
-/// release as deprecated aliases; when an alias is explicitly set it
-/// wins over the embedded value (see the EffectiveSeed()/EffectiveRuns()
-/// helpers on each struct and docs/PARALLELISM.md for the migration
+/// to be scattered per struct. The old per-struct alias fields
+/// (`RecipeOptions::seed`, `SamplerOptions::seed`, ...) lived for one
+/// release as transition shims and are now gone; set `exec.seed` /
+/// `exec.runs` directly (see docs/PARALLELISM.md for the migration
 /// table).
 struct ExecOptions {
   /// Master RNG seed. Every parallel unit (run, chain, chunk) derives
@@ -41,10 +41,6 @@ struct ExecOptions {
   /// default suited to its per-item cost.
   size_t grain = 0;
 };
-
-/// Sentinels marking a deprecated alias field as "not explicitly set".
-inline constexpr uint64_t kDeprecatedSeedUnset = ~uint64_t{0};
-inline constexpr size_t kDeprecatedRunsUnset = ~size_t{0};
 
 /// \brief Derives an independent RNG stream from a master seed by
 /// counter-based splitting (splitmix64 finalizer over seed + stream *

@@ -4,9 +4,18 @@
 #include <cmath>
 #include <queue>
 
+#include "exec/scratch.h"
 #include "obs/scoped_timer.h"
+#include "util/rng.h"
 
 namespace anonsafe {
+
+struct MatchingSampler::ChainState {
+  Rng rng{0};
+  exec::ScratchVec<ItemId> item_of_anon;
+  exec::ScratchVec<ItemId> anon_of_item;
+  exec::ScratchVec<ItemId> unmatched_items;  // maintained when imperfect
+};
 
 size_t SamplerOptions::EffectiveBurnIn(size_t n) const {
   const double scaled = burn_in_scale * static_cast<double>(n);
@@ -257,7 +266,7 @@ std::vector<size_t> MatchingSampler::SampleImpl(
   const size_t num_chains =
       total == 0 ? 0 : (total + per_chain - 1) / per_chain;
   const size_t burn_in = options_.EffectiveBurnIn(num_items());
-  const uint64_t master_seed = options_.EffectiveSeed();
+  const uint64_t master_seed = options_.exec.seed;
 
   // Chains are fully independent: chain c always runs the RNG stream
   // SplitSeed(master_seed, c) and writes into its own output slots, so

@@ -8,9 +8,7 @@
 #include "data/frequency.h"
 #include "data/types.h"
 #include "exec/exec.h"
-#include "exec/scratch.h"
 #include "util/result.h"
-#include "util/rng.h"
 
 namespace anonsafe {
 
@@ -30,9 +28,6 @@ inline constexpr size_t kMaxBurnInSweeps = size_t{1} << 40;
 /// runs interactive while preserving the estimator's accuracy (tests
 /// validate it against exact permanents). All values are overridable.
 struct SamplerOptions {
-  /// \deprecated Alias for `exec.seed`. When set it wins over the
-  /// embedded value; will be removed next release.
-  uint64_t seed = exec::kDeprecatedSeedUnset;
   size_t burn_in_sweeps = 300;    ///< minimum scramble sweeps before the
                                   ///< first sample of a seed
   double burn_in_scale = 2.0;     ///< additional per-item scaling: the
@@ -53,11 +48,6 @@ struct SamplerOptions {
   /// each chain's stream is split off it, so sample c is the same value
   /// whatever the thread count.
   exec::ExecOptions exec{.seed = 1};
-
-  /// Resolves the deprecated `seed` alias: when set it wins.
-  uint64_t EffectiveSeed() const {
-    return seed != exec::kDeprecatedSeedUnset ? seed : exec.seed;
-  }
 
   /// \brief Burn-in actually applied for a domain of `n` items:
   /// max(burn_in_sweeps, burn_in_scale * n), clamped to
@@ -101,7 +91,7 @@ class MatchingSampler {
   ///
   /// The draw is organised as ceil(num_samples / samples_per_seed)
   /// independent chains; chain c runs with the RNG stream
-  /// SplitSeed(EffectiveSeed(), c) and writes its samples into fixed
+  /// SplitSeed(exec.seed, c) and writes its samples into fixed
   /// output slots. With a non-null `ctx` the chains run on the pool —
   /// the returned vector is bit-identical for any thread count.
   std::vector<size_t> SampleCrackCounts(
@@ -119,15 +109,12 @@ class MatchingSampler {
   bool CurrentStateConsistent() const;
 
  private:
-  /// Mutable state of one independent MCMC chain. The buffers come from
-  /// the thread-local scratch pool: a worker running many chains recycles
-  /// one trio of allocations instead of three mallocs per chain.
-  struct ChainState {
-    Rng rng{0};
-    exec::ScratchVec<ItemId> item_of_anon;
-    exec::ScratchVec<ItemId> anon_of_item;
-    exec::ScratchVec<ItemId> unmatched_items;  // maintained when imperfect
-  };
+  /// Mutable state of one independent MCMC chain; defined in the .cc so
+  /// the scratch-pool machinery stays out of the public headers. The
+  /// buffers come from the thread-local scratch pool: a worker running
+  /// many chains recycles one trio of allocations instead of three
+  /// mallocs per chain.
+  struct ChainState;
 
   MatchingSampler() = default;
 

@@ -199,7 +199,7 @@ Result<ConstrainedMatchingSampler> ConstrainedMatchingSampler::Create(
       }
       return count;
     };
-    Rng repair_rng(options.EffectiveSeed() ^ 0xabcdef);
+    Rng repair_rng(options.exec.seed ^ 0xabcdef);
     size_t current = violations();
     const size_t budget = 200 * n + 20000;
     for (size_t iter = 0; iter < budget && current > 0; ++iter) {

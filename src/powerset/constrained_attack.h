@@ -68,7 +68,7 @@ class ConstrainedMatchingSampler {
         belief_(belief),
         observed_(observed),
         options_(options),
-        rng_(options.EffectiveSeed()) {}
+        rng_(options.exec.seed) {}
 
   bool ConstraintHolds(size_t constraint_index) const;
   bool ConstraintsHoldFor(ItemId item) const;

@@ -1,0 +1,90 @@
+#include "serve/dataset_cache.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace anonsafe {
+namespace serve {
+
+DatasetCache::DatasetCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string DatasetCache::HashContent(const std::string& content) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : content) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[h & 0xf];
+    h >>= 4;
+  }
+  return out;
+}
+
+Result<DatasetCache::LoadOutcome> DatasetCache::LoadFromContent(
+    const std::string& content) {
+  const std::string key = HashContent(content);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if ((*it)->key == key) {
+        entries_.splice(entries_.begin(), entries_, it);
+        obs::CountIf("anonsafe_serve_dataset_cache_hits_total");
+        return LoadOutcome{entries_.front(), /*hit=*/true};
+      }
+    }
+  }
+  // Parse outside the lock: a slow load must not stall lookups of
+  // resident datasets. Two racing loads of the same content both parse;
+  // the second insert finds the key resident and discards its copy.
+  obs::CountIf("anonsafe_serve_dataset_cache_misses_total");
+  std::istringstream in(content);
+  ANONSAFE_ASSIGN_OR_RETURN(LabeledDatabase data, ReadFimi(in));
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable table,
+                            FrequencyTable::Compute(data.database));
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  auto entry = std::make_shared<CachedDataset>(CachedDataset{
+      key, std::move(data), std::move(table), std::move(groups),
+      MakeRecipeArtifacts()});
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if ((*it)->key == key) {
+      entries_.splice(entries_.begin(), entries_, it);
+      return LoadOutcome{entries_.front(), /*hit=*/true};
+    }
+  }
+  entries_.push_front(std::move(entry));
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    obs::CountIf("anonsafe_serve_dataset_cache_evictions_total");
+  }
+  return LoadOutcome{entries_.front(), /*hit=*/false};
+}
+
+std::shared_ptr<const CachedDataset> DatasetCache::Find(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if ((*it)->key == key) {
+      entries_.splice(entries_.begin(), entries_, it);
+      obs::CountIf("anonsafe_serve_dataset_cache_hits_total");
+      return entries_.front();
+    }
+  }
+  obs::CountIf("anonsafe_serve_dataset_cache_misses_total");
+  return nullptr;
+}
+
+size_t DatasetCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace serve
+}  // namespace anonsafe

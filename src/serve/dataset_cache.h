@@ -1,0 +1,73 @@
+#ifndef ANONSAFE_SERVE_DATASET_CACHE_H_
+#define ANONSAFE_SERVE_DATASET_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/recipe.h"
+#include "data/fimi_io.h"
+#include "data/frequency.h"
+#include "util/result.h"
+
+namespace anonsafe {
+namespace serve {
+
+/// \brief One resident dataset: the parsed database, its frequency
+/// structures, and the recipe artifact cache (frequency groups, base
+/// belief, α-sweep + probe stab cache) that repeated `assess_risk`
+/// requests replay instead of rebuilding. Entries are immutable once
+/// published (the artifact cache is internally locked), so any number of
+/// concurrent requests may share one.
+struct CachedDataset {
+  std::string key;            ///< content hash, the protocol handle
+  LabeledDatabase data;
+  FrequencyTable table;
+  FrequencyGroups groups;
+  std::shared_ptr<RecipeArtifacts> artifacts;
+};
+
+/// \brief Content-addressed LRU cache of parsed datasets.
+///
+/// Keyed by a hash of the raw FIMI bytes: loading the same content twice
+/// — same file, same inline payload, even via different paths — hits the
+/// cache and skips the parse and every downstream rebuild. Lookup misses
+/// and evictions are counted in the obs registry
+/// (`anonsafe_serve_dataset_cache_{hits,misses,evictions}_total`).
+class DatasetCache {
+ public:
+  explicit DatasetCache(size_t capacity = 8);
+
+  struct LoadOutcome {
+    std::shared_ptr<const CachedDataset> dataset;
+    bool hit = false;  ///< true when the content was already resident
+  };
+
+  /// \brief Parses FIMI `content` (or returns the resident entry for the
+  /// same bytes). InvalidArgument on malformed content.
+  Result<LoadOutcome> LoadFromContent(const std::string& content);
+
+  /// \brief Looks up a previously returned key; null when absent
+  /// (expired or never loaded). Refreshes LRU recency.
+  std::shared_ptr<const CachedDataset> Find(const std::string& key);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// \brief FNV-1a 64-bit hash of the content, in fixed-width hex — the
+  /// cache key and protocol dataset handle.
+  static std::string HashContent(const std::string& content);
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  // Front = most recently used. Linear scan: the cache holds a handful
+  // of parsed datasets, not thousands.
+  std::list<std::shared_ptr<const CachedDataset>> entries_;
+};
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_DATASET_CACHE_H_

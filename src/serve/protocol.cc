@@ -1,0 +1,88 @@
+#include "serve/protocol.h"
+
+namespace anonsafe {
+namespace serve {
+
+json::Value MakeOkResponse(const json::Value& id, json::Value result) {
+  json::Value v = json::Value::Object();
+  v.Set("schema_version", json::Value(kServeSchemaVersion));
+  v.Set("id", id);
+  v.Set("ok", json::Value(true));
+  v.Set("result", std::move(result));
+  return v;
+}
+
+json::Value MakeErrorResponse(const json::Value& id, const std::string& code,
+                              const std::string& message) {
+  json::Value err = json::Value::Object();
+  err.Set("code", json::Value(code));
+  err.Set("message", json::Value(message));
+  json::Value v = json::Value::Object();
+  v.Set("schema_version", json::Value(kServeSchemaVersion));
+  v.Set("id", id);
+  v.Set("ok", json::Value(false));
+  v.Set("error", std::move(err));
+  return v;
+}
+
+ParsedLine ParseRequestLine(const std::string& line, size_t max_line_bytes) {
+  ParsedLine out;
+  if (line.size() > max_line_bytes) {
+    out.error = MakeErrorResponse(
+        json::Value(), kErrOversizedLine,
+        "request line of " + std::to_string(line.size()) +
+            " bytes exceeds the limit of " + std::to_string(max_line_bytes));
+    return out;
+  }
+  Result<json::Value> doc = json::Value::Parse(line);
+  if (!doc.ok()) {
+    out.error = MakeErrorResponse(json::Value(), kErrParse,
+                                  doc.status().message());
+    return out;
+  }
+  if (!doc->is_object()) {
+    out.error = MakeErrorResponse(json::Value(), kErrParse,
+                                  "request must be a JSON object");
+    return out;
+  }
+  // The id is echoed even on later failures, so recover it first.
+  if (const json::Value* id = doc->Find("id")) out.request.id = *id;
+
+  const json::Value* version = doc->Find("schema_version");
+  if (version == nullptr || !version->is_number() ||
+      version->AsDouble() != static_cast<double>(kServeSchemaVersion)) {
+    out.error = MakeErrorResponse(
+        out.request.id, kErrBadSchemaVersion,
+        "request must carry \"schema_version\": " +
+            std::to_string(kServeSchemaVersion));
+    return out;
+  }
+  const json::Value* verb = doc->Find("verb");
+  if (verb == nullptr || !verb->is_string() || verb->AsString().empty()) {
+    out.error = MakeErrorResponse(out.request.id, kErrInvalidParams,
+                                  "request lacks a string \"verb\"");
+    return out;
+  }
+  out.request.verb = verb->AsString();
+  if (const json::Value* params = doc->Find("params")) {
+    if (!params->is_object()) {
+      out.error = MakeErrorResponse(out.request.id, kErrInvalidParams,
+                                    "\"params\" must be an object");
+      return out;
+    }
+    out.request.params = *params;
+  }
+  out.ok = true;
+  return out;
+}
+
+const char* ErrorCodeForStatus(const Status& status) {
+  if (status.IsInvalidArgument()) return kErrInvalidParams;
+  if (status.IsNotFound()) return kErrNotFound;
+  if (status.IsCancelled()) return kErrDeadlineExceeded;
+  if (status.IsIOError()) return kErrIo;
+  return kErrInternal;
+}
+
+}  // namespace serve
+}  // namespace anonsafe

@@ -1,0 +1,79 @@
+#ifndef ANONSAFE_SERVE_PROTOCOL_H_
+#define ANONSAFE_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace anonsafe {
+namespace serve {
+
+/// \brief Version of the request/response envelope. Every request must
+/// carry `"schema_version": 1`; a different (or missing) version is
+/// rejected with `bad_schema_version` so old clients fail loudly instead
+/// of being half-understood. Bumped on any breaking envelope change.
+inline constexpr int64_t kServeSchemaVersion = 1;
+
+/// \brief Default cap on one request line. Lines longer than this are
+/// answered with `oversized_line` without being parsed — the parser never
+/// sees unbounded untrusted input.
+inline constexpr size_t kDefaultMaxLineBytes = 4u << 20;
+
+/// \name Protocol error codes (the `error.code` field).
+/// @{
+inline constexpr char kErrParse[] = "parse_error";
+inline constexpr char kErrOversizedLine[] = "oversized_line";
+inline constexpr char kErrBadSchemaVersion[] = "bad_schema_version";
+inline constexpr char kErrUnknownVerb[] = "unknown_verb";
+inline constexpr char kErrInvalidParams[] = "invalid_params";
+inline constexpr char kErrNotFound[] = "not_found";
+inline constexpr char kErrQueueFull[] = "queue_full";
+inline constexpr char kErrDeadlineExceeded[] = "deadline_exceeded";
+inline constexpr char kErrShuttingDown[] = "shutting_down";
+inline constexpr char kErrIo[] = "io_error";
+inline constexpr char kErrInternal[] = "internal";
+/// @}
+
+/// \brief A decoded request envelope:
+/// `{"schema_version": 1, "id": ..., "verb": "...", "params": {...}}`.
+/// `id` is opaque to the server and echoed verbatim in the response
+/// (null when the client sent none); `params` defaults to an empty
+/// object.
+struct Request {
+  json::Value id;
+  std::string verb;
+  json::Value params = json::Value::Object();
+};
+
+/// \brief `{"schema_version": 1, "id": ..., "ok": true, "result": ...}`.
+json::Value MakeOkResponse(const json::Value& id, json::Value result);
+
+/// \brief `{"schema_version": 1, "id": ..., "ok": false,
+///           "error": {"code": ..., "message": ...}}`.
+json::Value MakeErrorResponse(const json::Value& id, const std::string& code,
+                              const std::string& message);
+
+/// \brief Outcome of decoding one request line: either a request, or a
+/// complete error *response* ready to send (malformed input never
+/// reaches a verb handler).
+struct ParsedLine {
+  bool ok = false;
+  Request request;
+  json::Value error;
+};
+
+/// \brief Decodes and validates one line: size cap, JSON parse, envelope
+/// shape, schema version. Pure — no server state involved.
+ParsedLine ParseRequestLine(const std::string& line, size_t max_line_bytes);
+
+/// \brief Maps a handler Status onto a protocol error code
+/// (InvalidArgument → invalid_params, NotFound → not_found, Cancelled →
+/// deadline_exceeded, IOError → io_error, anything else → internal).
+const char* ErrorCodeForStatus(const Status& status);
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_PROTOCOL_H_

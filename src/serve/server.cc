@@ -1,0 +1,423 @@
+#include "serve/server.h"
+
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <thread>
+
+#include "belief/builders.h"
+#include "core/oestimate.h"
+#include "core/risk_report.h"
+#include "core/similarity.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
+namespace anonsafe {
+namespace serve {
+namespace {
+
+/// Reads the generic execution params every compute verb understands.
+/// Defaults match the one-shot CLI (`RecipeOptions{}.exec`), so a request
+/// carrying only a dataset handle reproduces the CLI's output exactly.
+Result<exec::ExecOptions> ExecOptionsFromParams(const json::Value& params) {
+  exec::ExecOptions eo;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double seed, params.GetNumberOr("seed", static_cast<double>(eo.seed)));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double runs, params.GetNumberOr("runs", static_cast<double>(eo.runs)));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double threads,
+      params.GetNumberOr("threads", static_cast<double>(eo.threads)));
+  if (seed < 0 || runs < 0 || threads < 0) {
+    return Status::InvalidArgument(
+        "seed/runs/threads must be non-negative integers");
+  }
+  eo.seed = static_cast<uint64_t>(seed);
+  eo.runs = static_cast<size_t>(runs);
+  eo.threads = static_cast<size_t>(threads);
+  return eo;
+}
+
+json::Value SimilarityPointToJson(const SimilarityPoint& p) {
+  json::Value point = json::Value::Object();
+  point.Set("sample_fraction", json::Value(p.sample_fraction));
+  point.Set("mean_alpha", json::Value(p.mean_alpha));
+  point.Set("stddev_alpha", json::Value(p.stddev_alpha));
+  point.Set("mean_delta", json::Value(p.mean_delta));
+  point.Set("mean_groups", json::Value(p.mean_groups));
+  return point;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_([&] {
+        ServerOptions o = options;
+        if (o.workers == 0) o.workers = 1;
+        return o;
+      }()),
+      cache_(options_.dataset_cache_capacity),
+      pool_(std::make_unique<exec::ThreadPool>(options_.workers)) {
+  if (options_.enable_metrics) obs::SetMetricsEnabled(true);
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_.join();
+}
+
+bool Server::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+size_t Server::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_ + waiting_;
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  obs::ScopedTimer timer("serve.request");
+  ParsedLine parsed = ParseRequestLine(line, options_.max_line_bytes);
+  json::Value response = parsed.ok ? Dispatch(parsed.request) : parsed.error;
+  const json::Value* ok = response.Find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
+    obs::CountIf("anonsafe_serve_errors_total");
+  }
+  return response.Dump();
+}
+
+json::Value Server::Dispatch(const Request& request) {
+  // Control verbs bypass admission: `metrics` must answer even under a
+  // full queue (that is when an operator needs it most) and `shutdown`
+  // must be able to stop a saturated server.
+  if (request.verb == "metrics") {
+    return MakeOkResponse(request.id, HandleMetrics());
+  }
+  if (request.verb == "shutdown") return HandleShutdown(request.id);
+  const bool compute_verb =
+      request.verb == "load_dataset" || request.verb == "assess_risk" ||
+      request.verb == "oestimate" || request.verb == "similarity" ||
+      (options_.enable_test_verbs && request.verb == "sleep");
+  if (!compute_verb) {
+    return MakeErrorResponse(request.id, kErrUnknownVerb,
+                             "unknown verb '" + request.verb + "'");
+  }
+  return RunAdmitted(request);
+}
+
+json::Value Server::RunAdmitted(const Request& request) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (draining_) {
+      return MakeErrorResponse(request.id, kErrShuttingDown,
+                               "server is shutting down");
+    }
+    if (running_ >= options_.workers) {
+      if (waiting_ >= options_.queue_capacity) {
+        return MakeErrorResponse(
+            request.id, kErrQueueFull,
+            "request queue is full (" + std::to_string(options_.workers) +
+                " running, " + std::to_string(waiting_) + " waiting)");
+      }
+      // Admitted: once counted in waiting_ the request WILL run — a
+      // concurrent shutdown drains it rather than dropping it.
+      ++waiting_;
+      slot_cv_.wait(lock, [&] { return running_ < options_.workers; });
+      --waiting_;
+    }
+    ++running_;
+  }
+
+  Result<json::Value> outcome =
+      Status::Internal("request task never ran");  // overwritten below
+  {
+    Result<exec::ExecOptions> exec_options =
+        ExecOptionsFromParams(request.params);
+    if (exec_options.ok()) {
+      exec::ExecContext ctx(*exec_options);
+
+      Result<double> deadline_ms = request.params.GetNumberOr(
+          "deadline_ms", static_cast<double>(options_.default_deadline_ms));
+      if (!deadline_ms.ok()) {
+        outcome = deadline_ms.status();
+      } else {
+        uint64_t deadline_serial = 0;
+        bool has_deadline = *deadline_ms > 0;
+        if (has_deadline) {
+          deadline_serial = RegisterDeadline(
+              &ctx, std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            static_cast<int64_t>(*deadline_ms)));
+        }
+        // The connection thread waits; the shared pool executes. Pool
+        // occupancy never exceeds `workers` because admission capped
+        // `running_` above.
+        std::promise<void> done;
+        pool_->Submit([&] {
+          outcome = RunVerb(request, &ctx);
+          done.set_value();
+        });
+        done.get_future().wait();
+        if (has_deadline) UnregisterDeadline(deadline_serial);
+      }
+    } else {
+      outcome = exec_options.status();
+    }
+  }
+
+  // Build the full response envelope BEFORE releasing the slot, so when
+  // the drain condition fires every admitted request's response already
+  // exists — shutdown never overtakes an in-flight answer.
+  json::Value response =
+      outcome.ok()
+          ? MakeOkResponse(request.id, std::move(*outcome))
+          : MakeErrorResponse(request.id,
+                              ErrorCodeForStatus(outcome.status()),
+                              outcome.status().message());
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    if (running_ + waiting_ == 0) drain_cv_.notify_all();
+  }
+  slot_cv_.notify_one();
+  return response;
+}
+
+Result<json::Value> Server::RunVerb(const Request& request,
+                                    exec::ExecContext* ctx) {
+  if (request.verb == "load_dataset") {
+    return HandleLoadDataset(request.params);
+  }
+  if (request.verb == "assess_risk") {
+    return HandleAssessRisk(request.params, ctx);
+  }
+  if (request.verb == "oestimate") {
+    return HandleOEstimate(request.params, ctx);
+  }
+  if (request.verb == "similarity") {
+    return HandleSimilarity(request.params, ctx);
+  }
+  if (request.verb == "sleep") return HandleSleep(request.params, ctx);
+  return Status::Internal("verb '" + request.verb + "' dispatched but "
+                          "unhandled");
+}
+
+Result<json::Value> Server::HandleLoadDataset(const json::Value& params) {
+  obs::ScopedTimer timer("serve.load_dataset");
+  std::string content;
+  if (const json::Value* inline_content = params.Find("content")) {
+    if (!inline_content->is_string()) {
+      return Status::InvalidArgument("'content' must be a string");
+    }
+    content = inline_content->AsString();
+  } else {
+    ANONSAFE_ASSIGN_OR_RETURN(std::string path, params.GetString("path"));
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (in.bad()) return Status::IOError("error reading '" + path + "'");
+    content = buffer.str();
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(DatasetCache::LoadOutcome outcome,
+                            cache_.LoadFromContent(content));
+  const CachedDataset& ds = *outcome.dataset;
+  json::Value result = json::Value::Object();
+  result.Set("dataset", json::Value(ds.key));
+  result.Set("cached", json::Value(outcome.hit));
+  result.Set("num_items",
+             json::Value(uint64_t{ds.data.database.num_items()}));
+  result.Set("num_transactions",
+             json::Value(uint64_t{ds.data.database.num_transactions()}));
+  result.Set("num_groups", json::Value(uint64_t{ds.groups.num_groups()}));
+  return result;
+}
+
+Result<json::Value> Server::HandleAssessRisk(const json::Value& params,
+                                             exec::ExecContext* ctx) {
+  obs::ScopedTimer timer("serve.assess_risk");
+  ANONSAFE_ASSIGN_OR_RETURN(std::string key, params.GetString("dataset"));
+  std::shared_ptr<const CachedDataset> ds = cache_.Find(key);
+  if (ds == nullptr) {
+    return Status::NotFound("dataset '" + key +
+                            "' is not resident; call load_dataset first");
+  }
+  RiskReportOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      options.recipe.tolerance,
+      params.GetNumberOr("tolerance", options.recipe.tolerance));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      options.include_similarity_curve,
+      params.GetBoolOr("include_similarity_curve", true));
+  // The request's exec params feed both the recipe options (seed, runs)
+  // and the live context (threads, cancellation) — identical to the
+  // one-shot CLI constructing them from flags.
+  options.recipe.exec = ctx->options();
+  ANONSAFE_ASSIGN_OR_RETURN(
+      RiskReport report,
+      BuildRiskReport(ds->data.database, options, ctx, ds->artifacts.get()));
+  json::Value result = json::Value::Object();
+  result.Set("dataset", json::Value(key));
+  result.Set("report", report.ToJson());
+  return result;
+}
+
+Result<json::Value> Server::HandleOEstimate(const json::Value& params,
+                                            exec::ExecContext* ctx) {
+  obs::ScopedTimer timer("serve.oestimate");
+  ANONSAFE_ASSIGN_OR_RETURN(std::string key, params.GetString("dataset"));
+  std::shared_ptr<const CachedDataset> ds = cache_.Find(key);
+  if (ds == nullptr) {
+    return Status::NotFound("dataset '" + key +
+                            "' is not resident; call load_dataset first");
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double delta, params.GetNumberOr("delta", ds->groups.MedianGap()));
+  OEstimateOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(options.propagate,
+                            params.GetBoolOr("propagate", true));
+  ANONSAFE_ASSIGN_OR_RETURN(BeliefFunction belief,
+                            MakeCompliantIntervalBelief(ds->table, delta));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      OEstimateResult oe,
+      ComputeOEstimate(ds->groups, belief, options, ctx));
+  json::Value result = json::Value::Object();
+  result.Set("dataset", json::Value(key));
+  result.Set("delta", json::Value(delta));
+  result.Set("expected_cracks", json::Value(oe.expected_cracks));
+  result.Set("fraction", json::Value(oe.fraction));
+  result.Set("forced_items", json::Value(uint64_t{oe.forced_items}));
+  result.Set("dead_items", json::Value(uint64_t{oe.dead_items}));
+  result.Set("contradiction", json::Value(oe.contradiction));
+  result.Set("propagation_passes",
+             json::Value(uint64_t{oe.propagation_passes}));
+  return result;
+}
+
+Result<json::Value> Server::HandleSimilarity(const json::Value& params,
+                                             exec::ExecContext* ctx) {
+  obs::ScopedTimer timer("serve.similarity");
+  ANONSAFE_ASSIGN_OR_RETURN(std::string key, params.GetString("dataset"));
+  std::shared_ptr<const CachedDataset> ds = cache_.Find(key);
+  if (ds == nullptr) {
+    return Status::NotFound("dataset '" + key +
+                            "' is not resident; call load_dataset first");
+  }
+  SimilarityOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double seed, params.GetNumberOr(
+                       "seed", static_cast<double>(options.exec.seed)));
+  if (seed < 0) return Status::InvalidArgument("seed must be non-negative");
+  options.exec.seed = static_cast<uint64_t>(seed);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double samples,
+      params.GetNumberOr("samples_per_fraction",
+                         static_cast<double>(options.samples_per_fraction)));
+  if (samples < 1) {
+    return Status::InvalidArgument("samples_per_fraction must be positive");
+  }
+  options.samples_per_fraction = static_cast<size_t>(samples);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      std::vector<SimilarityPoint> curve,
+      SimilarityBySampling(ds->data.database, options, ctx));
+  json::Value points = json::Value::Array();
+  for (const SimilarityPoint& p : curve) points.Append(SimilarityPointToJson(p));
+  json::Value result = json::Value::Object();
+  result.Set("dataset", json::Value(key));
+  result.Set("curve", std::move(points));
+  return result;
+}
+
+Result<json::Value> Server::HandleSleep(const json::Value& params,
+                                        exec::ExecContext* ctx) {
+  ANONSAFE_ASSIGN_OR_RETURN(double millis, params.GetNumber("millis"));
+  if (millis < 0) return Status::InvalidArgument("millis must be >= 0");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(
+                            static_cast<int64_t>(millis));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (ctx->cancelled()) return Status::Cancelled("sleep cancelled");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  json::Value result = json::Value::Object();
+  result.Set("slept_ms", json::Value(millis));
+  return result;
+}
+
+json::Value Server::HandleMetrics() {
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  json::Value result = json::Value::Object();
+  result.Set("prometheus", json::Value(obs::ExportPrometheus(registry)));
+  // The JSON export round-trips through the shared parser, so the
+  // response embeds it as structured data rather than a string blob.
+  Result<json::Value> parsed = json::Value::Parse(obs::ExportJson(registry));
+  if (parsed.ok()) result.Set("metrics", std::move(*parsed));
+  return result;
+}
+
+json::Value Server::HandleShutdown(const json::Value& id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  drain_cv_.wait(lock, [&] { return running_ + waiting_ == 0; });
+  json::Value result = json::Value::Object();
+  result.Set("drained", json::Value(true));
+  return MakeOkResponse(id, std::move(result));
+}
+
+uint64_t Server::RegisterDeadline(
+    exec::ExecContext* ctx, std::chrono::steady_clock::time_point deadline) {
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  const uint64_t serial = ++next_serial_;
+  deadlines_.push_back(DeadlineEntry{serial, ctx, deadline});
+  watchdog_cv_.notify_all();
+  return serial;
+}
+
+void Server::UnregisterDeadline(uint64_t serial) {
+  std::lock_guard<std::mutex> lock(watchdog_mu_);
+  for (size_t i = 0; i < deadlines_.size(); ++i) {
+    if (deadlines_[i].serial == serial) {
+      deadlines_[i] = deadlines_.back();
+      deadlines_.pop_back();
+      break;
+    }
+  }
+}
+
+void Server::WatchdogLoop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    if (deadlines_.empty()) {
+      watchdog_cv_.wait(
+          lock, [&] { return watchdog_stop_ || !deadlines_.empty(); });
+      continue;
+    }
+    auto earliest = deadlines_[0].deadline;
+    for (const DeadlineEntry& e : deadlines_) {
+      if (e.deadline < earliest) earliest = e.deadline;
+    }
+    watchdog_cv_.wait_until(lock, earliest);  // re-checks below either way
+    const auto now = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < deadlines_.size();) {
+      if (deadlines_[i].deadline <= now) {
+        deadlines_[i].ctx->RequestCancel();
+        obs::CountIf("anonsafe_serve_deadline_cancels_total");
+        deadlines_[i] = deadlines_.back();
+        deadlines_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace anonsafe

@@ -1,0 +1,148 @@
+#ifndef ANONSAFE_SERVE_SERVER_H_
+#define ANONSAFE_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec.h"
+#include "serve/dataset_cache.h"
+#include "serve/protocol.h"
+#include "util/result.h"
+
+namespace anonsafe {
+namespace serve {
+
+/// \brief Server configuration.
+struct ServerOptions {
+  /// Requests executing concurrently. Each request still controls its own
+  /// intra-request parallelism via its `threads` param — this bounds how
+  /// many requests run at once, not how many cores one request uses.
+  size_t workers = 1;
+
+  /// Admitted-but-waiting requests beyond the running ones. A request
+  /// arriving with `workers` running and `queue_capacity` waiting is
+  /// refused immediately with `queue_full` — bounded-queue backpressure
+  /// instead of unbounded buffering. 0 means "never wait": anything
+  /// beyond the running slots is refused.
+  size_t queue_capacity = 16;
+
+  /// Request line size cap (see kDefaultMaxLineBytes).
+  size_t max_line_bytes = kDefaultMaxLineBytes;
+
+  /// Resident parsed datasets (LRU beyond this).
+  size_t dataset_cache_capacity = 8;
+
+  /// Default per-request deadline in milliseconds when the request does
+  /// not carry `deadline_ms`; 0 = no deadline.
+  uint64_t default_deadline_ms = 0;
+
+  /// Turn the process-wide obs metrics switch on at construction so
+  /// request latencies and cache hit/miss counters accumulate for the
+  /// `metrics` verb.
+  bool enable_metrics = true;
+
+  /// Enables test-only verbs (`sleep`) used by the protocol tests to
+  /// exercise deadlines, backpressure and drains deterministically.
+  bool enable_test_verbs = false;
+};
+
+/// \brief The long-running risk-assessment service core: newline-delimited
+/// JSON requests in, one JSON response line per request out, independent
+/// of the transport (stdin/stdout and TCP both funnel into `HandleLine`).
+///
+/// Verbs: `load_dataset`, `assess_risk`, `oestimate`, `similarity`,
+/// `metrics`, `shutdown` (see docs/SERVER.md for the schema). Responses
+/// are deterministic: `assess_risk` returns the exact `RiskReport::ToJson`
+/// document the one-shot CLI prints, bit-identical at any thread count.
+///
+/// Concurrency model: each transport connection calls `HandleLine` from
+/// its own thread, so requests on one connection execute strictly in
+/// order while different connections proceed in parallel. Compute verbs
+/// pass admission control (running ≤ workers, waiting ≤ queue_capacity,
+/// else `queue_full`) and then run on the shared ThreadPool with a
+/// per-request ExecContext; a deadline watchdog cancels the context
+/// cooperatively when the request's deadline passes. `shutdown` stops
+/// admission and drains: every admitted request completes and its
+/// response is written before the shutdown response is produced.
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Processes one request line and returns the response line
+  /// (no trailing newline). Never throws; every failure is a protocol
+  /// error response. Safe to call from many threads.
+  std::string HandleLine(const std::string& line);
+
+  /// \brief True once a `shutdown` request has been accepted; transports
+  /// stop accepting new connections/lines.
+  bool draining() const;
+
+  /// \brief Requests admitted (waiting + running) right now. Exposed for
+  /// tests that need to observe a request in flight.
+  size_t outstanding() const;
+
+  const ServerOptions& options() const { return options_; }
+  DatasetCache& dataset_cache() { return cache_; }
+
+ private:
+  struct DeadlineEntry {
+    uint64_t serial;
+    exec::ExecContext* ctx;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  json::Value Dispatch(const Request& request);
+  json::Value RunAdmitted(const Request& request);
+  Result<json::Value> RunVerb(const Request& request,
+                              exec::ExecContext* ctx);
+
+  Result<json::Value> HandleLoadDataset(const json::Value& params);
+  Result<json::Value> HandleAssessRisk(const json::Value& params,
+                                       exec::ExecContext* ctx);
+  Result<json::Value> HandleOEstimate(const json::Value& params,
+                                      exec::ExecContext* ctx);
+  Result<json::Value> HandleSimilarity(const json::Value& params,
+                                       exec::ExecContext* ctx);
+  Result<json::Value> HandleSleep(const json::Value& params,
+                                  exec::ExecContext* ctx);
+  json::Value HandleMetrics();
+  json::Value HandleShutdown(const json::Value& id);
+
+  uint64_t RegisterDeadline(exec::ExecContext* ctx,
+                            std::chrono::steady_clock::time_point deadline);
+  void UnregisterDeadline(uint64_t serial);
+  void WatchdogLoop();
+
+  const ServerOptions options_;
+  DatasetCache cache_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_cv_;   // a running slot freed
+  std::condition_variable drain_cv_;  // outstanding_ reached zero
+  size_t running_ = 0;
+  size_t waiting_ = 0;
+  bool draining_ = false;
+
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::vector<DeadlineEntry> deadlines_;
+  uint64_t next_serial_ = 0;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;
+};
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_SERVER_H_

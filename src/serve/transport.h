@@ -1,0 +1,41 @@
+#ifndef ANONSAFE_SERVE_TRANSPORT_H_
+#define ANONSAFE_SERVE_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace anonsafe {
+namespace serve {
+
+/// \brief Serves one session over a stream pair: reads newline-delimited
+/// requests from `in`, writes one response line per request to `out`
+/// (flushed after each), and returns when `in` hits EOF or the server
+/// starts draining. This is the `anonsafe serve` stdio mode and the
+/// harness the in-process tests drive with stringstreams.
+Status ServeStreams(Server& server, std::istream& in, std::ostream& out);
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 lets the kernel pick one.
+  uint16_t port = 0;
+
+  /// Called once with the bound port after listen() succeeds — how tests
+  /// (and scripts parsing stderr) learn a kernel-assigned port before the
+  /// first connection.
+  std::function<void(uint16_t)> on_listening;
+};
+
+/// \brief Accept loop on 127.0.0.1: one thread per connection, each
+/// feeding lines to `server.HandleLine`. Returns once a `shutdown`
+/// request drains the server (the accept loop polls `server.draining()`),
+/// after joining every connection thread. IOError when the socket cannot
+/// be created or bound.
+Status ServeTcp(Server& server, const TcpServerOptions& options = {});
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_TRANSPORT_H_

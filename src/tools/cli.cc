@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
 #include "anonymize/anonymizer.h"
@@ -22,6 +23,8 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/server.h"
+#include "serve/transport.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 
@@ -95,8 +98,56 @@ Status RunReport(const CliInvocation& cli, std::ostream& out) {
   options.recipe.exec.threads = static_cast<size_t>(threads);
   ANONSAFE_ASSIGN_OR_RETURN(RiskReport report,
                             BuildRiskReport(data.database, options));
-  out << report.ToText();
+  if (cli.flags.count("json") > 0) {
+    // The same document the serve `assess_risk` verb embeds — one emitter,
+    // so CLI and server output are bit-identical (see docs/SERVER.md).
+    out << report.ToJson().Dump() << "\n";
+  } else {
+    out << report.ToText();
+  }
   return Status::OK();
+}
+
+Status RunServe(const CliInvocation& cli, std::ostream& out) {
+  ANONSAFE_RETURN_IF_ERROR(RequirePositional(cli, 0));
+  serve::ServerOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t workers, FlagAsUint64(cli, "workers", options.workers));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t queue_capacity,
+      FlagAsUint64(cli, "queue-capacity", options.queue_capacity));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t max_line_bytes,
+      FlagAsUint64(cli, "max-line-bytes", options.max_line_bytes));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t cache_capacity,
+      FlagAsUint64(cli, "cache-capacity", options.dataset_cache_capacity));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t deadline_ms,
+      FlagAsUint64(cli, "deadline-ms", options.default_deadline_ms));
+  options.workers = static_cast<size_t>(workers);
+  options.queue_capacity = static_cast<size_t>(queue_capacity);
+  options.max_line_bytes = static_cast<size_t>(max_line_bytes);
+  options.dataset_cache_capacity = static_cast<size_t>(cache_capacity);
+  options.default_deadline_ms = deadline_ms;
+
+  serve::Server server(options);
+  if (cli.flags.count("port") == 0) {
+    // Stdio mode: requests on stdin, responses on stdout. `out` is the
+    // command's diagnostic stream here and must stay clear of responses.
+    return serve::ServeStreams(server, std::cin, std::cout);
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(uint64_t port, FlagAsUint64(cli, "port", 0));
+  if (port > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  serve::TcpServerOptions tcp;
+  tcp.port = static_cast<uint16_t>(port);
+  tcp.on_listening = [&out](uint16_t bound) {
+    out << "anonsafe serve: listening on 127.0.0.1:" << bound << "\n";
+    out.flush();
+  };
+  return serve::ServeTcp(server, tcp);
 }
 
 Status RunSimilarity(const CliInvocation& cli, std::ostream& out) {
@@ -380,6 +431,7 @@ Status DispatchCommand(const CliInvocation& cli, std::ostream& out) {
   if (cli.command == "stats") return RunStats(cli, out);
   if (cli.command == "assess") return RunAssess(cli, out);
   if (cli.command == "report") return RunReport(cli, out);
+  if (cli.command == "serve") return RunServe(cli, out);
   if (cli.command == "similarity") return RunSimilarity(cli, out);
   if (cli.command == "anonymize") return RunAnonymize(cli, out);
   if (cli.command == "generate") return RunGenerate(cli, out);
@@ -489,8 +541,13 @@ std::string CliUsage() {
       "  stats <file.dat>                      dataset statistics\n"
       "  assess <file.dat> [--tolerance=0.1] [--threads=1]\n"
       "                                        Fig. 8 Assess-Risk recipe\n"
-      "  report <file.dat> [--tolerance=0.1] [--threads=1]\n"
+      "  report <file.dat> [--tolerance=0.1] [--threads=1] [--json]\n"
       "                                        full risk report\n"
+      "  serve [--port=N] [--workers=1] [--queue-capacity=16]\n"
+      "        [--deadline-ms=0] [--cache-capacity=8] [--max-line-bytes=]\n"
+      "                                        long-running JSON service\n"
+      "                                        (stdio without --port;\n"
+      "                                        see docs/SERVER.md)\n"
       "  similarity <file.dat> [--seed=]       Fig. 13 sampling curve\n"
       "  risk <file.dat> [--top=20]             per-item crack ranking\n"
       "  belief <file.dat> <out.belief> [--delta=]  belief-file template\n"

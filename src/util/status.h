@@ -22,6 +22,8 @@ enum class StatusCode {
   kIOError = 5,           ///< Underlying file/stream operation failed.
   kUnimplemented = 6,     ///< Feature intentionally not available.
   kInternal = 7,          ///< Invariant violation inside the library.
+  kCancelled = 8,         ///< Work stopped by cooperative cancellation
+                          ///< (deadline, shutdown, caller request).
 };
 
 /// \brief Returns a human-readable name for a status code ("InvalidArgument").
@@ -61,6 +63,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
   /// @}
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -78,6 +83,7 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// \brief Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

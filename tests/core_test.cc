@@ -295,7 +295,7 @@ TEST(RecipeTest, AlphaBoundWhenFullComplianceTooRisky) {
   ASSERT_TRUE(table.ok());
   RecipeOptions opt;
   opt.tolerance = 0.3;
-  opt.alpha_runs = 3;
+  opt.exec.runs = 3;
   auto result = AssessRisk(*table, opt);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->decision, RecipeDecision::kAlphaBound);
@@ -305,7 +305,7 @@ TEST(RecipeTest, AlphaBoundWhenFullComplianceTooRisky) {
   auto base = MakeCompliantIntervalBelief(*table, result->delta_med);
   ASSERT_TRUE(base.ok());
   auto sweep = AlphaCompliancySweep::Create(*table, *base, 3,
-                                            opt.EffectiveSeed());
+                                            opt.exec.seed);
   ASSERT_TRUE(sweep.ok());
   FrequencyGroups groups = FrequencyGroups::Build(*table);
   auto at_max = sweep->AverageOEstimate(groups, result->alpha_max);
@@ -320,7 +320,7 @@ TEST(RecipeTest, ValidatesOptions) {
   opt.tolerance = 0.0;
   EXPECT_TRUE(AssessRisk(*table, opt).status().IsInvalidArgument());
   opt.tolerance = 0.1;
-  opt.alpha_runs = 0;
+  opt.exec.runs = 0;
   EXPECT_TRUE(AssessRisk(*table, opt).status().IsInvalidArgument());
 }
 

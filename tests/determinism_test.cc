@@ -242,22 +242,18 @@ TEST(ValidationTest, BeliefAtRejectsOutOfRangeRun) {
   EXPECT_TRUE(sweep->BeliefAt(0, 0.5).ok());
 }
 
-// --------------------------------------------------- Deprecated aliases
+// ------------------------------------------------ exec.* determinism
 
-TEST(DeprecatedAliasTest, RecipeSeedAliasWinsWhenSet) {
+TEST(ExecOptionsTest, RecipeSeedDeterminesResult) {
   auto table = MakeProfile(80, 29);
   ASSERT_TRUE(table.ok());
 
-  RecipeOptions via_alias;
-  via_alias.seed = 123;
-  via_alias.alpha_runs = 4;
-  auto a = AssessRisk(*table, via_alias);
+  RecipeOptions options;
+  options.exec.seed = 123;
+  options.exec.runs = 4;
+  auto a = AssessRisk(*table, options);
   ASSERT_TRUE(a.ok());
-
-  RecipeOptions via_exec;
-  via_exec.exec.seed = 123;
-  via_exec.exec.runs = 4;
-  auto b = AssessRisk(*table, via_exec);
+  auto b = AssessRisk(*table, options);
   ASSERT_TRUE(b.ok());
 
   EXPECT_EQ(a->alpha_max, b->alpha_max);
@@ -265,24 +261,20 @@ TEST(DeprecatedAliasTest, RecipeSeedAliasWinsWhenSet) {
   EXPECT_EQ(a->decision, b->decision);
 }
 
-TEST(DeprecatedAliasTest, SamplerSeedAliasWinsWhenSet) {
+TEST(ExecOptionsTest, SamplerSeedDeterminesSamples) {
   auto table = MakeProfile(30, 37);
   ASSERT_TRUE(table.ok());
   FrequencyGroups groups = FrequencyGroups::Build(*table);
   auto belief = MakeCompliantIntervalBelief(*table, groups.MedianGap());
   ASSERT_TRUE(belief.ok());
 
-  SamplerOptions via_alias;
-  via_alias.seed = 77;
-  via_alias.num_samples = 40;
-  via_alias.burn_in_sweeps = 10;
-  auto a = MatchingSampler::Create(groups, *belief, via_alias);
+  SamplerOptions options;
+  options.exec.seed = 77;
+  options.num_samples = 40;
+  options.burn_in_sweeps = 10;
+  auto a = MatchingSampler::Create(groups, *belief, options);
   ASSERT_TRUE(a.ok());
-
-  SamplerOptions via_exec = via_alias;
-  via_exec.seed = exec::kDeprecatedSeedUnset;
-  via_exec.exec.seed = 77;
-  auto b = MatchingSampler::Create(groups, *belief, via_exec);
+  auto b = MatchingSampler::Create(groups, *belief, options);
   ASSERT_TRUE(b.ok());
 
   EXPECT_EQ(a->SampleCrackCounts(), b->SampleCrackCounts());

@@ -59,7 +59,7 @@ TEST(EndToEndAttackTest, SampleBasedAttackMatchesPrediction) {
   FrequencyGroups observed = FrequencyGroups::Build(*released_table);
 
   SamplerOptions sampler_options;
-  sampler_options.seed = 5;
+  sampler_options.exec.seed = 5;
   sampler_options.num_samples = 300;
   sampler_options.thinning_sweeps = 5;
   auto sampler =
@@ -166,10 +166,10 @@ TEST_P(SmallFig10Test, OEstimateTracksSimulation) {
   auto oe = ComputeOEstimate(groups, *belief);
   ASSERT_TRUE(oe.ok());
   SimulationOptions sim;
-  sim.num_runs = 3;
+  sim.exec.runs = 3;
   sim.sampler.num_samples = 300;
   sim.sampler.thinning_sweeps = 5;
-  sim.seed = 13;
+  sim.exec.seed = 13;
   auto simulated = SimulateExpectedCracks(groups, *belief, sim);
   ASSERT_TRUE(simulated.ok());
   EXPECT_NEAR(oe->expected_cracks, simulated->mean,

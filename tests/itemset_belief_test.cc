@@ -206,7 +206,7 @@ TEST_P(ConstrainedSamplerTest, MatchesConstrainedEnumeration) {
   options.num_samples = 2000;
   options.thinning_sweeps = 4;
   options.burn_in_sweeps = 80;
-  options.seed = GetParam() * 17 + 3;
+  options.exec.seed = GetParam() * 17 + 3;
   auto sampler = ConstrainedMatchingSampler::Create(*graph, *belief,
                                                     *oracle, options);
   ASSERT_TRUE(sampler.ok());
@@ -259,7 +259,7 @@ TEST(ConstrainedSamplerTest, MinConflictsRepairFindsNonIdentitySeed) {
   ASSERT_TRUE(belief.Constrain({0, 1}, {0.45, 0.55}).ok());
   SamplerOptions options;
   options.num_samples = 50;
-  options.seed = 9;
+  options.exec.seed = 9;
   auto sampler = ConstrainedMatchingSampler::Create(*graph, belief,
                                                     *oracle, options);
   ASSERT_TRUE(sampler.ok());

@@ -90,7 +90,7 @@ TEST(SamplerTest, IgnorantBeliefMeanNearOne) {
   opt.num_samples = 2000;
   opt.burn_in_sweeps = 50;
   opt.thinning_sweeps = 5;
-  opt.seed = 99;
+  opt.exec.seed = 99;
   auto sampler =
       MatchingSampler::Create(groups, MakeIgnorantBelief(12), opt);
   ASSERT_TRUE(sampler.ok());
@@ -124,7 +124,7 @@ TEST_P(SamplerVsExactTest, MatchesPermanentExpectation) {
   opt.num_samples = 3000;
   opt.burn_in_sweeps = 60;
   opt.thinning_sweeps = 4;
-  opt.seed = GetParam() * 31 + 1;
+  opt.exec.seed = GetParam() * 31 + 1;
   auto sampler = MatchingSampler::Create(groups, *beta, opt);
   ASSERT_TRUE(sampler.ok());
   std::vector<size_t> counts = sampler->SampleCrackCounts();
@@ -165,7 +165,7 @@ TEST(SamplerTest, DeterministicAcrossRunsWithSameSeed) {
   ASSERT_TRUE(beta.ok());
   SamplerOptions opt;
   opt.num_samples = 100;
-  opt.seed = 12345;
+  opt.exec.seed = 12345;
   auto s1 = MatchingSampler::Create(groups, *beta, opt);
   auto s2 = MatchingSampler::Create(groups, *beta, opt);
   ASSERT_TRUE(s1.ok());
@@ -192,7 +192,7 @@ TEST(SamplerTest, DistributionMatchesEnumerationOnTinyGraph) {
   opt.num_samples = 6000;
   opt.burn_in_sweeps = 50;
   opt.thinning_sweeps = 3;
-  opt.seed = 77;
+  opt.exec.seed = 77;
   auto sampler = MatchingSampler::Create(groups, *beta, opt);
   ASSERT_TRUE(sampler.ok());
   std::vector<size_t> counts = sampler->SampleCrackCounts();
@@ -256,7 +256,7 @@ TEST(SimulatedTest, MeanAndStdDevAcrossRuns) {
   ASSERT_TRUE(beta.ok());
 
   SimulationOptions opt;
-  opt.num_runs = 5;
+  opt.exec.runs = 5;
   opt.sampler.num_samples = 400;
   opt.sampler.burn_in_sweeps = 40;
   opt.sampler.thinning_sweeps = 3;
@@ -277,7 +277,7 @@ TEST(SimulatedTest, ZeroRunsRejected) {
   ASSERT_TRUE(table.ok());
   FrequencyGroups groups = FrequencyGroups::Build(*table);
   SimulationOptions opt;
-  opt.num_runs = 0;
+  opt.exec.runs = 0;
   EXPECT_TRUE(SimulateExpectedCracks(groups, MakeIgnorantBelief(2), opt)
                   .status().IsInvalidArgument());
 }

@@ -1,0 +1,464 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+#include "tools/cli.h"
+#include "util/json.h"
+
+namespace anonsafe {
+namespace serve {
+namespace {
+
+// The Figure 8 running example scale: 4 items, 10 transactions, two
+// frequency groups.
+constexpr char kDataset[] =
+    "0 1 2\n0 1\n1 2 3\n0 2 3\n1 3\n0 1 3\n2 3\n0 3\n1 2\n0 1 2 3\n";
+
+std::string WriteDatasetFile() {
+  const std::string path = ::testing::TempDir() + "/serve_test.dat";
+  std::ofstream out(path);
+  out << kDataset;
+  return path;
+}
+
+json::Value Send(Server& server, const std::string& line) {
+  auto parsed = json::Value::Parse(server.HandleLine(line));
+  EXPECT_TRUE(parsed.ok());
+  return parsed.ok() ? *parsed : json::Value();
+}
+
+bool IsOk(const json::Value& response) {
+  const json::Value* ok = response.Find("ok");
+  return ok != nullptr && ok->is_bool() && ok->AsBool();
+}
+
+std::string ErrorCode(const json::Value& response) {
+  const json::Value* error = response.Find("error");
+  if (error == nullptr) return "";
+  auto code = error->GetString("code");
+  return code.ok() ? *code : "";
+}
+
+std::string LoadDataset(Server& server) {
+  json::Value response = Send(
+      server,
+      "{\"schema_version\":1,\"id\":1,\"verb\":\"load_dataset\","
+      "\"params\":{\"content\":\"" +
+          [] {
+            std::string escaped;
+            for (char c : std::string(kDataset)) {
+              if (c == '\n') {
+                escaped += "\\n";
+              } else {
+                escaped += c;
+              }
+            }
+            return escaped;
+          }() +
+          "\"}}");
+  EXPECT_TRUE(IsOk(response));
+  auto key = response.Find("result")->GetString("dataset");
+  EXPECT_TRUE(key.ok());
+  return key.ok() ? *key : "";
+}
+
+TEST(ServeProtocolTest, MalformedJsonIsParseError) {
+  Server server;
+  json::Value response = Send(server, "this is not json");
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), kErrParse);
+  // A JSON scalar is equally not a request.
+  EXPECT_EQ(ErrorCode(Send(server, "42")), kErrParse);
+}
+
+TEST(ServeProtocolTest, OversizedLineIsRejected) {
+  ServerOptions options;
+  options.max_line_bytes = 100;
+  Server server(options);
+  json::Value response = Send(server, std::string(200, 'x'));
+  EXPECT_EQ(ErrorCode(response), kErrOversizedLine);
+}
+
+TEST(ServeProtocolTest, UnknownVerb) {
+  Server server;
+  json::Value response =
+      Send(server, "{\"schema_version\":1,\"id\":7,\"verb\":\"frobnicate\"}");
+  EXPECT_EQ(ErrorCode(response), kErrUnknownVerb);
+  // The id is echoed so the client can correlate.
+  EXPECT_EQ(response.Find("id")->AsDouble(), 7.0);
+}
+
+TEST(ServeProtocolTest, SleepVerbRequiresTestGate) {
+  Server server;  // enable_test_verbs defaults to false
+  json::Value response = Send(
+      server,
+      "{\"schema_version\":1,\"verb\":\"sleep\",\"params\":{\"millis\":1}}");
+  EXPECT_EQ(ErrorCode(response), kErrUnknownVerb);
+}
+
+TEST(ServeProtocolTest, MissingOrWrongSchemaVersion) {
+  Server server;
+  EXPECT_EQ(ErrorCode(Send(server, "{\"verb\":\"metrics\"}")),
+            kErrBadSchemaVersion);
+  EXPECT_EQ(ErrorCode(Send(
+                server, "{\"schema_version\":2,\"verb\":\"metrics\"}")),
+            kErrBadSchemaVersion);
+  EXPECT_EQ(
+      ErrorCode(Send(server,
+                     "{\"schema_version\":\"1\",\"verb\":\"metrics\"}")),
+      kErrBadSchemaVersion);
+}
+
+TEST(ServeProtocolTest, MissingVerbAndBadParams) {
+  Server server;
+  EXPECT_EQ(ErrorCode(Send(server, "{\"schema_version\":1}")),
+            kErrInvalidParams);
+  EXPECT_EQ(ErrorCode(Send(server,
+                           "{\"schema_version\":1,\"verb\":\"metrics\","
+                           "\"params\":[]}")),
+            kErrInvalidParams);
+}
+
+TEST(ServeTest, LoadAssessFlowAndNotFound) {
+  Server server;
+  const std::string key = LoadDataset(server);
+  ASSERT_FALSE(key.empty());
+
+  json::Value missing =
+      Send(server,
+           "{\"schema_version\":1,\"verb\":\"assess_risk\","
+           "\"params\":{\"dataset\":\"nope\"}}");
+  EXPECT_EQ(ErrorCode(missing), kErrNotFound);
+
+  json::Value assess =
+      Send(server,
+           "{\"schema_version\":1,\"verb\":\"assess_risk\","
+           "\"params\":{\"dataset\":\"" + key + "\"}}");
+  ASSERT_TRUE(IsOk(assess));
+  const json::Value* report = assess.Find("result")->Find("report");
+  ASSERT_NE(report, nullptr);
+  auto version = report->GetNumber("schema_version");
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1.0);
+  EXPECT_TRUE(report->Find("recipe") != nullptr);
+}
+
+TEST(ServeTest, RepeatedLoadHitsCache) {
+  Server server;
+  const std::string key1 = LoadDataset(server);
+
+  json::Value second = Send(
+      server,
+      "{\"schema_version\":1,\"verb\":\"load_dataset\","
+      "\"params\":{\"content\":\"0 1 2\\n0 1\\n1 2 3\\n0 2 3\\n1 3\\n"
+      "0 1 3\\n2 3\\n0 3\\n1 2\\n0 1 2 3\\n\"}}");
+  ASSERT_TRUE(IsOk(second));
+  auto cached = second.Find("result")->GetBoolOr("cached", false);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(*cached);
+  auto key2 = second.Find("result")->GetString("dataset");
+  ASSERT_TRUE(key2.ok());
+  EXPECT_EQ(*key2, key1);
+
+  // The hit is observable in the metrics verb, which is how the
+  // acceptance check verifies re-parse was skipped.
+  json::Value metrics =
+      Send(server, "{\"schema_version\":1,\"verb\":\"metrics\"}");
+  ASSERT_TRUE(IsOk(metrics));
+  auto prometheus = metrics.Find("result")->GetString("prometheus");
+  ASSERT_TRUE(prometheus.ok());
+  EXPECT_NE(prometheus->find("anonsafe_serve_dataset_cache_hits_total"),
+            std::string::npos);
+}
+
+TEST(ServeTest, RepeatedAssessReusesRecipeArtifacts) {
+  Server server;
+  const std::string key = LoadDataset(server);
+  const std::string request =
+      "{\"schema_version\":1,\"verb\":\"assess_risk\","
+      "\"params\":{\"dataset\":\"" + key + "\"}}";
+  json::Value first = Send(server, request);
+  json::Value second = Send(server, request);
+  ASSERT_TRUE(IsOk(first));
+  ASSERT_TRUE(IsOk(second));
+  EXPECT_EQ(first.Find("result")->Dump(), second.Find("result")->Dump());
+
+  json::Value metrics =
+      Send(server, "{\"schema_version\":1,\"verb\":\"metrics\"}");
+  auto prometheus = metrics.Find("result")->GetString("prometheus");
+  ASSERT_TRUE(prometheus.ok());
+  EXPECT_NE(prometheus->find("anonsafe_recipe_artifact_hits_total"),
+            std::string::npos);
+}
+
+TEST(ServeTest, OEstimateAndSimilarityVerbs) {
+  Server server;
+  const std::string key = LoadDataset(server);
+
+  json::Value oe = Send(server,
+                        "{\"schema_version\":1,\"verb\":\"oestimate\","
+                        "\"params\":{\"dataset\":\"" + key + "\"}}");
+  ASSERT_TRUE(IsOk(oe));
+  auto cracks = oe.Find("result")->GetNumber("expected_cracks");
+  ASSERT_TRUE(cracks.ok());
+  EXPECT_GE(*cracks, 0.0);
+
+  json::Value similarity =
+      Send(server,
+           "{\"schema_version\":1,\"verb\":\"similarity\","
+           "\"params\":{\"dataset\":\"" + key +
+               "\",\"samples_per_fraction\":2}}");
+  ASSERT_TRUE(IsOk(similarity));
+  const json::Value* curve = similarity.Find("result")->Find("curve");
+  ASSERT_NE(curve, nullptr);
+  EXPECT_TRUE(curve->is_array());
+  EXPECT_FALSE(curve->items().empty());
+}
+
+// The tentpole acceptance criterion: the serve response embeds the exact
+// document the one-shot CLI prints, at any thread count.
+TEST(ServeTest, AssessRiskBitIdenticalToCli) {
+  const std::string path = WriteDatasetFile();
+
+  CliInvocation cli;
+  cli.command = "report";
+  cli.positional = {path};
+  cli.flags["json"] = "true";
+  std::ostringstream cli_out;
+  ASSERT_TRUE(RunCli(cli, cli_out).ok());
+  std::string cli_line = cli_out.str();
+  ASSERT_FALSE(cli_line.empty());
+  ASSERT_EQ(cli_line.back(), '\n');
+  cli_line.pop_back();
+
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    Server server;
+    json::Value load =
+        Send(server,
+             "{\"schema_version\":1,\"verb\":\"load_dataset\","
+             "\"params\":{\"path\":\"" + path + "\"}}");
+    ASSERT_TRUE(IsOk(load));
+    auto key = load.Find("result")->GetString("dataset");
+    ASSERT_TRUE(key.ok());
+    json::Value assess =
+        Send(server, "{\"schema_version\":1,\"verb\":\"assess_risk\","
+                     "\"params\":{\"dataset\":\"" + *key +
+                         "\",\"threads\":" + std::to_string(threads) + "}}");
+    ASSERT_TRUE(IsOk(assess));
+    EXPECT_EQ(assess.Find("result")->Find("report")->Dump(), cli_line)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ServeTest, ConcurrentClientsShareOneCachedDataset) {
+  ServerOptions options;
+  options.workers = 4;
+  Server server(options);
+  const std::string key = LoadDataset(server);
+  const std::string request =
+      "{\"schema_version\":1,\"verb\":\"assess_risk\","
+      "\"params\":{\"dataset\":\"" + key + "\"}}";
+
+  std::vector<std::string> responses(8);
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    clients.emplace_back(
+        [&, i] { responses[i] = server.HandleLine(request); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (const std::string& response : responses) {
+    EXPECT_EQ(response, responses[0]);
+  }
+  auto first = json::Value::Parse(responses[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(IsOk(*first));
+}
+
+TEST(ServeTest, DeadlineCancelsLongRequest) {
+  ServerOptions options;
+  options.enable_test_verbs = true;
+  Server server(options);
+  const auto start = std::chrono::steady_clock::now();
+  json::Value response =
+      Send(server,
+           "{\"schema_version\":1,\"verb\":\"sleep\","
+           "\"params\":{\"millis\":60000,\"deadline_ms\":50}}");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(ErrorCode(response), kErrDeadlineExceeded);
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+TEST(ServeTest, QueueFullBackpressure) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 0;  // never wait: the second request is refused
+  options.enable_test_verbs = true;
+  Server server(options);
+
+  std::thread occupant([&] {
+    server.HandleLine(
+        "{\"schema_version\":1,\"verb\":\"sleep\","
+        "\"params\":{\"millis\":400}}");
+  });
+  while (server.outstanding() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  json::Value refused = Send(
+      server,
+      "{\"schema_version\":1,\"verb\":\"sleep\",\"params\":{\"millis\":1}}");
+  EXPECT_EQ(ErrorCode(refused), kErrQueueFull);
+  occupant.join();
+}
+
+TEST(ServeTest, ShutdownDrainsInFlightWork) {
+  ServerOptions options;
+  options.workers = 1;
+  options.enable_test_verbs = true;
+  Server server(options);
+
+  std::string sleep_response;
+  std::thread occupant([&] {
+    sleep_response = server.HandleLine(
+        "{\"schema_version\":1,\"verb\":\"sleep\","
+        "\"params\":{\"millis\":200}}");
+  });
+  while (server.outstanding() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  json::Value drained =
+      Send(server, "{\"schema_version\":1,\"verb\":\"shutdown\"}");
+  ASSERT_TRUE(IsOk(drained));
+  EXPECT_TRUE(server.draining());
+  // Drain means drained: nothing admitted is still in flight when the
+  // shutdown response exists.
+  EXPECT_EQ(server.outstanding(), 0u);
+
+  occupant.join();
+  // The in-flight sleep completed successfully — nothing was dropped.
+  auto sleep_parsed = json::Value::Parse(sleep_response);
+  ASSERT_TRUE(sleep_parsed.ok());
+  EXPECT_TRUE(IsOk(*sleep_parsed));
+
+  // Post-shutdown compute requests are refused.
+  json::Value late =
+      Send(server,
+           "{\"schema_version\":1,\"verb\":\"load_dataset\","
+           "\"params\":{\"content\":\"0 1\\n\"}}");
+  EXPECT_EQ(ErrorCode(late), kErrShuttingDown);
+}
+
+TEST(ServeTransportTest, StreamsSessionEndToEnd) {
+  Server server;
+  std::istringstream in(
+      "{\"schema_version\":1,\"id\":1,\"verb\":\"load_dataset\","
+      "\"params\":{\"content\":\"0 1 2\\n0 1\\n1 2\\n2 0\\n\"}}\n"
+      "\n"
+      "{\"schema_version\":1,\"id\":2,\"verb\":\"metrics\"}\n"
+      "{\"schema_version\":1,\"id\":3,\"verb\":\"shutdown\"}\n"
+      "{\"schema_version\":1,\"id\":4,\"verb\":\"metrics\"}\n");
+  std::ostringstream out;
+  ASSERT_TRUE(ServeStreams(server, in, out).ok());
+
+  std::istringstream lines(out.str());
+  std::vector<json::Value> responses;
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok());
+    responses.push_back(*parsed);
+  }
+  // Blank input line skipped; the session stops at shutdown, so the
+  // trailing metrics request is never read.
+  ASSERT_EQ(responses.size(), 3u);
+  EXPECT_TRUE(IsOk(responses[0]));
+  EXPECT_TRUE(IsOk(responses[1]));
+  EXPECT_TRUE(IsOk(responses[2]));
+  EXPECT_EQ(responses[2].Find("id")->AsDouble(), 3.0);
+}
+
+TEST(ServeTransportTest, TcpSessionEndToEnd) {
+  Server server;
+  uint16_t port = 0;
+  std::mutex mu;
+  std::condition_variable cv;
+  TcpServerOptions options;
+  options.on_listening = [&](uint16_t bound) {
+    std::lock_guard<std::mutex> lock(mu);
+    port = bound;
+    cv.notify_all();
+  };
+  Status serve_status = Status::OK();
+  std::thread serving(
+      [&] { serve_status = ServeTcp(server, options); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!cv.wait_for(lock, std::chrono::seconds(5),
+                     [&] { return port != 0; })) {
+      serving.detach();
+      GTEST_SKIP() << "TCP listen did not come up (sandboxed environment?)";
+    }
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    server.HandleLine("{\"schema_version\":1,\"verb\":\"shutdown\"}");
+    serving.join();
+    GTEST_SKIP() << "loopback connect refused (sandboxed environment?)";
+  }
+
+  const std::string request =
+      "{\"schema_version\":1,\"id\":1,\"verb\":\"metrics\"}\n"
+      "{\"schema_version\":1,\"id\":2,\"verb\":\"shutdown\"}\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    received.append(buf, static_cast<size_t>(n));
+    if (std::count(received.begin(), received.end(), '\n') >= 2) break;
+  }
+  ::close(fd);
+  serving.join();
+  EXPECT_TRUE(serve_status.ok());
+
+  std::istringstream lines(received);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  auto metrics = json::Value::Parse(line);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(IsOk(*metrics));
+  ASSERT_TRUE(std::getline(lines, line));
+  auto drained = json::Value::Parse(line);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(IsOk(*drained));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace anonsafe

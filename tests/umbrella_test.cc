@@ -4,7 +4,18 @@
 
 #include "anonsafe.h"
 
+// The umbrella is the public surface and only the public surface:
+// implementation machinery must not ride in transitively.
+#ifdef ANONSAFE_CORE_ALPHA_SWEEP_H_
+#error "anonsafe.h leaks core/alpha_sweep.h (recipe internals)"
+#endif
+#ifdef ANONSAFE_EXEC_SCRATCH_H_
+#error "anonsafe.h leaks exec/scratch.h (scratch-pool internals)"
+#endif
+
 #include <gtest/gtest.h>
+
+#include <sstream>
 
 namespace anonsafe {
 namespace {
@@ -92,6 +103,24 @@ TEST(UmbrellaTest, WholeApiFlows) {
   TablePrinter printer({"k", "v"});
   printer.AddRow({"oe", TablePrinter::Fmt(oe->expected_cracks, 3)});
   EXPECT_FALSE(printer.ToString().empty());
+
+  // json + obs
+  json::Value doc = json::Value::Object();
+  doc.Set("oe", json::Value(oe->expected_cracks));
+  EXPECT_TRUE(json::Value::Parse(doc.Dump()).ok());
+
+  // serve (streams transport keeps this hermetic)
+  serve::Server server;
+  std::istringstream requests(
+      "{\"schema_version\":1,\"verb\":\"metrics\"}\n"
+      "{\"schema_version\":1,\"verb\":\"shutdown\"}\n");
+  std::ostringstream responses;
+  EXPECT_TRUE(serve::ServeStreams(server, requests, responses).ok());
+  EXPECT_FALSE(responses.str().empty());
+
+  // obs: the serve session above recorded request metrics.
+  EXPECT_FALSE(obs::ExportPrometheus(obs::MetricsRegistry::Global())
+                   .empty());
 }
 
 }  // namespace
