@@ -22,6 +22,15 @@
 # --rebaseline rewrites baseline_ns in bench/perf_baseline.json from
 # this run (pre_opt_ns is preserved). Timings are wall-machine-specific:
 # rebaseline whenever the harness moves to different hardware.
+#
+# After the kernel gate it also runs bench_planner (the block-decomposed
+# estimator against the monolithic direct method, docs/ESTIMATORS.md)
+# and emits BENCH_planner.json with the measured speedups. The planner
+# section is informational — decomposition speedups are structural
+# (orders of magnitude), so a ±15% timing gate would be noise; instead
+# it hard-fails if the planner stopped being exact on the fixture or if
+# the beyond-cutoff instance (n = 48 > kMaxPermanentN, largest block 12)
+# lost its exact provenance-tagged answer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,6 +40,7 @@ if [[ "${1:-}" == "--rebaseline" ]]; then
   shift
 fi
 BENCH="${1:-build/bench/bench_perf_microbench}"
+PLANNER_BENCH="${PLANNER_BENCH:-build/bench/bench_planner}"
 BASELINE="bench/perf_baseline.json"
 OUT="BENCH_kernels.json"
 
@@ -133,5 +143,89 @@ if failures and not rebaseline:
 if faster:
     print(f"check_perf: note: {', '.join(faster)} now >15% faster than "
           f"baseline; consider scripts/check_perf.sh --rebaseline")
+print(f"check_perf: OK ({out_path} written)")
+PY
+
+# ------------------------------------------------ planner vs monolithic
+if [[ ! -x "$PLANNER_BENCH" ]]; then
+  echo "check_perf: planner SKIP ($PLANNER_BENCH not built)" >&2
+  exit 0
+fi
+
+planner_raw="$(mktemp)"
+trap 'rm -f "$raw" "$planner_raw"' EXIT
+
+# BM_DirectMonolithic/2 pays a whole-graph n=24 permanent per item probe
+# (seconds per iteration), so a single repetition is all we take.
+"$PLANNER_BENCH" \
+  --benchmark_format=json >"$planner_raw"
+
+python3 - "$planner_raw" "BENCH_planner.json" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1:3]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+runs = {}
+for b in raw["benchmarks"]:
+    assert b["time_unit"] == "ns", f"unexpected time unit for {b['name']}"
+    runs[b["run_name"]] = b
+
+report = {
+    "note": "block-decomposed planner vs monolithic direct method on "
+            "clustered fixtures (12-item blocks); cpu_time in ns",
+    "pairs": {},
+    "beyond_monolithic": {},
+}
+failures = []
+for blocks in (1, 2):
+    direct = runs.get(f"BM_DirectMonolithic/{blocks}/iterations:1")
+    planner = runs.get(f"BM_PlannerVsMonolithic/{blocks}")
+    if direct is None or planner is None:
+        failures.append(f"missing pair for blocks={blocks}")
+        continue
+    if planner["exact"] != 1.0:
+        failures.append(f"planner inexact at blocks={blocks}")
+    pair = {
+        "items": int(planner["items"]),
+        "direct_ns": round(direct["cpu_time"], 1),
+        "planner_ns": round(planner["cpu_time"], 1),
+        "speedup": round(direct["cpu_time"] / planner["cpu_time"], 1),
+    }
+    report["pairs"][f"blocks={blocks}"] = pair
+    print(f"check_perf: planner blocks={blocks}: "
+          f"direct {pair['direct_ns']:.0f}ns vs planner "
+          f"{pair['planner_ns']:.0f}ns ({pair['speedup']}x)")
+
+beyond = runs.get("BM_PlannerBeyondMonolithic")
+if beyond is None:
+    failures.append("BM_PlannerBeyondMonolithic missing")
+else:
+    c = beyond
+    report["beyond_monolithic"] = {
+        "items": int(c["items"]),
+        "largest_block": int(c["largest_block"]),
+        "exact": c["exact"] == 1.0,
+        "expected_cracks": c["expected_cracks"],
+        "planner_ns": round(beyond["cpu_time"], 1),
+    }
+    # The acceptance instance: beyond the whole-graph permanent yet
+    # still exact because every block fits the Ryser cutoff.
+    if c["exact"] != 1.0 or c["items"] <= 26 or c["largest_block"] > 26:
+        failures.append("beyond-monolithic instance lost exactness")
+    print(f"check_perf: planner n={int(c['items'])} "
+          f"(largest block {int(c['largest_block'])}): exact answer in "
+          f"{beyond['cpu_time']:.0f}ns where the monolithic permanent "
+          f"cannot run")
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+if failures:
+    for msg in failures:
+        print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
 print(f"check_perf: OK ({out_path} written)")
 PY

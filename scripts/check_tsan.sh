@@ -28,10 +28,10 @@ set -e
 cmake -B build-tsan -S . -DANONSAFE_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan --target exec_test determinism_test sampler_test \
-      -j "$(nproc)"
+      estimator_test -j "$(nproc)"
 
 status=0
-for t in exec_test determinism_test sampler_test; do
+for t in exec_test determinism_test sampler_test estimator_test; do
   echo "== TSan: $t =="
   if ! ./build-tsan/tests/"$t" --gtest_brief=1; then
     status=1
@@ -42,4 +42,4 @@ if [[ "$status" -ne 0 ]]; then
   echo "check_tsan: FAIL (data race or test failure under TSan)" >&2
   exit 1
 fi
-echo "check_tsan: OK (exec_test, determinism_test, sampler_test race-free)"
+echo "check_tsan: OK (exec_test, determinism_test, sampler_test, estimator_test race-free)"

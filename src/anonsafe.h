@@ -65,6 +65,13 @@
 #include "graph/matching_sampler.h"  // IWYU pragma: export
 #include "graph/permanent.h"         // IWYU pragma: export
 
+// Unified estimator layer: the CrackEstimator interface and the
+// block-decomposed cost-based planner (docs/ESTIMATORS.md).
+#include "estimator/closed_forms.h"  // IWYU pragma: export
+#include "estimator/estimator.h"     // IWYU pragma: export
+#include "estimator/estimators.h"    // IWYU pragma: export
+#include "estimator/planner.h"       // IWYU pragma: export
+
 // Risk estimators and owner-side workflows. (The α-sweep internals in
 // core/alpha_sweep.h are implementation machinery of the recipe, not part
 // of the umbrella surface — include that header directly if you need it.)

@@ -14,6 +14,9 @@ Result<double> DirectExpectedCracks(const FrequencyGroups& observed,
 Result<CrackDistribution> DirectCrackDistribution(
     const FrequencyGroups& observed, const BeliefFunction& belief,
     uint64_t max_matchings) {
+  if (max_matchings == 0) {
+    return Status::InvalidArgument("max_matchings must be positive");
+  }
   ANONSAFE_ASSIGN_OR_RETURN(BipartiteGraph graph,
                             BipartiteGraph::Build(observed, belief));
   return EnumerateCrackDistribution(graph, max_matchings);

@@ -2,17 +2,19 @@
 
 #include <cassert>
 
+#include "estimator/closed_forms.h"
+
 namespace anonsafe {
 
 double IgnorantExpectedCracks(size_t num_items) {
-  return num_items == 0 ? 0.0 : 1.0;
+  // The ignorant belief is one complete block with every diagonal present.
+  return CompleteBipartiteExpectedCracks(num_items, num_items);
 }
 
 double IgnorantExpectedCracksOfInterest(size_t num_items,
                                         size_t num_interest) {
   assert(num_interest <= num_items);
-  if (num_items == 0) return 0.0;
-  return static_cast<double>(num_interest) / static_cast<double>(num_items);
+  return CompleteBipartiteExpectedCracks(num_interest, num_items);
 }
 
 double PointValuedExpectedCracks(const FrequencyGroups& observed) {
@@ -31,8 +33,9 @@ Result<double> PointValuedExpectedCracksOfInterest(
       if (interest[x]) ++c;
     }
     if (c > 0) {
-      expected += static_cast<double>(c) /
-                  static_cast<double>(observed.group_size(g));
+      // Each frequency group is a complete block under point-valued
+      // beliefs, with the items of interest as its diagonals.
+      expected += CompleteBipartiteExpectedCracks(c, observed.group_size(g));
     }
   }
   return expected;

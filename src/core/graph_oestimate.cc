@@ -3,6 +3,7 @@
 #include <deque>
 #include <vector>
 
+#include "estimator/closed_forms.h"
 #include "graph/edge_pruning.h"
 #include "obs/scoped_timer.h"
 
@@ -163,7 +164,9 @@ Result<OEstimateResult> ComputeRefinedOEstimateOnGraph(
     // Pruning a perfectly matchable graph leaves every vertex its matched
     // edge, so degree >= 1 always.
     if (degree == 1) ++out.forced_items;
-    out.expected_cracks += 1.0 / static_cast<double>(degree);
+    // The item's 1/degree term is the complete-block closed form with one
+    // diagonal — the same helper the planner's complete blocks use.
+    out.expected_cracks += CompleteBipartiteExpectedCracks(1, degree);
   }
   out.fraction = n == 0 ? 0.0 : out.expected_cracks / static_cast<double>(n);
   return out;

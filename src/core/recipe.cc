@@ -7,6 +7,7 @@
 #include "belief/builders.h"
 #include "core/alpha_sweep.h"
 #include "core/exact_formulas.h"
+#include "estimator/estimators.h"
 #include "obs/scoped_timer.h"
 #include "util/table_printer.h"
 
@@ -80,6 +81,10 @@ Status ValidateRecipeOptions(const RecipeOptions& options) {
     return Status::InvalidArgument(
         "binary_search_iterations must be positive: zero steps would "
         "silently report alpha_max = 0");
+  }
+  if (options.estimator == EstimatorKind::kAuto ||
+      options.estimator == EstimatorKind::kExact) {
+    ANONSAFE_RETURN_IF_ERROR(ValidatePlannerOptions(options.planner));
   }
   return Status::OK();
 }
@@ -165,6 +170,7 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   RecipeResult out;
   out.tolerance = options.tolerance;
   out.num_items = table.num_items();
+  out.estimator = options.estimator;
   out.crack_budget =
       options.tolerance * static_cast<double>(table.num_items());
 
@@ -223,11 +229,29 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   } else {
     obs::CountIf("anonsafe_recipe_artifact_hits_total");
   }
-  ANONSAFE_ASSIGN_OR_RETURN(
-      OEstimateResult oe,
-      ComputeOEstimate(groups, *base, options.oestimate, ctx));
-  out.interval_oe = oe.expected_cracks;
+  if (options.estimator == EstimatorKind::kOe) {
+    // The historical default path, untouched: bit-identical to releases
+    // that predate the estimator knob.
+    ANONSAFE_ASSIGN_OR_RETURN(
+        OEstimateResult oe,
+        ComputeOEstimate(groups, *base, options.oestimate, ctx));
+    out.interval_oe = oe.expected_cracks;
+  } else {
+    EstimatorConfig config;
+    config.planner = options.planner;
+    config.oestimate = options.oestimate;
+    config.sampler.exec = exec_options;
+    std::unique_ptr<CrackEstimator> estimator =
+        MakeEstimator(options.estimator, config);
+    ANONSAFE_ASSIGN_OR_RETURN(CrackEstimate estimate,
+                              estimator->Estimate(groups, *base, ctx));
+    out.interval_oe = estimate.expected_cracks;
+    out.interval_exact = estimate.exact;
+    out.interval_blocks = std::move(estimate.blocks);
+  }
   if (interval_timer.tracing()) {
+    interval_timer.Annotate("estimator",
+                            EstimatorKindName(options.estimator));
     interval_timer.Annotate("delta_med", TablePrinter::FmtG(out.delta_med, 4));
     interval_timer.Annotate("interval_oe",
                             TablePrinter::FmtG(out.interval_oe, 4));
@@ -312,6 +336,12 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
                                         const std::vector<bool>& interest,
                                         const RecipeOptions& options) {
   ANONSAFE_RETURN_IF_ERROR(ValidateRecipeOptions(options));
+  if (options.estimator != EstimatorKind::kOe) {
+    // Interest restriction needs the restricted O-estimate machinery; the
+    // planner has no per-item accounting of foreign blocks yet.
+    return Status::InvalidArgument(
+        "AssessRiskForItems supports only estimator=oe");
+  }
   if (interest.size() != table.num_items()) {
     return Status::InvalidArgument("interest mask size mismatch");
   }

@@ -8,6 +8,8 @@
 #include "core/oestimate.h"
 #include "data/database.h"
 #include "data/frequency.h"
+#include "estimator/estimator.h"
+#include "estimator/planner.h"
 #include "exec/exec.h"
 #include "util/result.h"
 
@@ -24,6 +26,21 @@ struct RecipeOptions {
 
   /// O-estimate configuration (propagation on by default).
   OEstimateOptions oestimate;
+
+  /// Engine for the interval risk check (steps 6-7): the historical
+  /// O-estimate (default, bit-identical to prior releases), the
+  /// block-decomposed planner (`auto`/`exact`), or the MCMC sampler.
+  ///
+  /// Only the step 6-7 check dispatches: the α bisection (steps 8-9)
+  /// always runs on the O-estimate machinery, because §5.3 defines the
+  /// α-compliant estimate on the OE and partially-compliant beliefs need
+  /// no perfect matching (which the planner's matching cover requires).
+  /// See docs/ESTIMATORS.md.
+  EstimatorKind estimator = EstimatorKind::kOe;
+
+  /// Planner knobs, read when `estimator` is kAuto or kExact
+  /// (`require_exact` is overridden by the kind).
+  PlannerOptions planner;
 
   /// Shared execution knobs: master seed (default 7), α-probe runs
   /// (default 5, the paper's value), worker threads (default 1).
@@ -61,10 +78,19 @@ struct RecipeResult {
   size_t num_items = 0;
   size_t num_groups = 0;       ///< g, the Lemma 3 point-valued worst case
   double delta_med = 0.0;      ///< median frequency-group gap (step 3)
-  double interval_oe = 0.0;    ///< OE at full compliance, width δ_med
+  double interval_oe = 0.0;    ///< interval risk at full compliance
   double alpha_max = 1.0;      ///< largest α within tolerance (step 9)
   double tolerance = 0.0;      ///< the τ used
   double crack_budget = 0.0;   ///< τ · n, the comparison threshold
+
+  /// Which engine produced `interval_oe` (RecipeOptions::estimator).
+  EstimatorKind estimator = EstimatorKind::kOe;
+  /// True when `interval_oe` is the exact expectation (planner kinds with
+  /// every block exact). Always false for kOe/kSampler, and meaningless
+  /// when the recipe stopped at step 2 (the check never ran).
+  bool interval_exact = false;
+  /// Per-block provenance of the interval check (planner kinds only).
+  std::vector<BlockProvenance> interval_blocks;
 
   /// One-paragraph human-readable summary of the decision.
   std::string Summary() const;

@@ -128,6 +128,23 @@ json::Value RiskReport::ToJson() const {
   r.Set("alpha_max", json::Value(recipe.alpha_max));
   r.Set("tolerance", json::Value(recipe.tolerance));
   r.Set("crack_budget", json::Value(recipe.crack_budget));
+  r.Set("estimator", json::Value(EstimatorKindName(recipe.estimator)));
+  r.Set("interval_exact", json::Value(recipe.interval_exact));
+  if (!recipe.interval_blocks.empty()) {
+    json::Value blocks = json::Value::Array();
+    for (const BlockProvenance& b : recipe.interval_blocks) {
+      json::Value block = json::Value::Object();
+      block.Set("block", json::Value(uint64_t{b.block}));
+      block.Set("size", json::Value(uint64_t{b.size}));
+      block.Set("num_edges", json::Value(uint64_t{b.num_edges}));
+      block.Set("method", json::Value(BlockMethodName(b.method)));
+      block.Set("cost", json::Value(b.cost));
+      block.Set("expected_cracks", json::Value(b.expected_cracks));
+      block.Set("exact", json::Value(b.exact));
+      blocks.Append(std::move(block));
+    }
+    r.Set("interval_blocks", std::move(blocks));
+  }
   v.Set("recipe", std::move(r));
 
   json::Value curve = json::Value::Array();
@@ -196,6 +213,34 @@ Result<RiskReport> RiskReport::FromJson(const json::Value& v) {
                             r->GetNumber("tolerance"));
   ANONSAFE_ASSIGN_OR_RETURN(report.recipe.crack_budget,
                             r->GetNumber("crack_budget"));
+  // Estimator provenance arrived with the planner; reports written before
+  // it default to the historical O-estimate.
+  ANONSAFE_ASSIGN_OR_RETURN(std::string estimator_name,
+                            r->GetStringOr("estimator", "oe"));
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.estimator,
+                            ParseEstimatorKind(estimator_name));
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.interval_exact,
+                            r->GetBoolOr("interval_exact", false));
+  if (const json::Value* blocks = r->Find("interval_blocks");
+      blocks != nullptr && blocks->is_array()) {
+    for (const json::Value& block : blocks->items()) {
+      BlockProvenance b;
+      ANONSAFE_ASSIGN_OR_RETURN(double idx, block.GetNumber("block"));
+      b.block = static_cast<size_t>(idx);
+      ANONSAFE_ASSIGN_OR_RETURN(double size, block.GetNumber("size"));
+      b.size = static_cast<size_t>(size);
+      ANONSAFE_ASSIGN_OR_RETURN(double edges, block.GetNumber("num_edges"));
+      b.num_edges = static_cast<size_t>(edges);
+      ANONSAFE_ASSIGN_OR_RETURN(std::string method,
+                                block.GetString("method"));
+      ANONSAFE_ASSIGN_OR_RETURN(b.method, ParseBlockMethod(method));
+      ANONSAFE_ASSIGN_OR_RETURN(b.cost, block.GetNumber("cost"));
+      ANONSAFE_ASSIGN_OR_RETURN(b.expected_cracks,
+                                block.GetNumber("expected_cracks"));
+      ANONSAFE_ASSIGN_OR_RETURN(b.exact, block.GetBoolOr("exact", true));
+      report.recipe.interval_blocks.push_back(std::move(b));
+    }
+  }
 
   const json::Value* curve = v.Find("similarity_curve");
   if (curve == nullptr || !curve->is_array()) {

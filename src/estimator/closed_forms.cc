@@ -1,0 +1,14 @@
+#include "estimator/closed_forms.h"
+
+#include <cassert>
+
+namespace anonsafe {
+
+double CompleteBipartiteExpectedCracks(size_t num_diagonal,
+                                       size_t block_size) {
+  assert(num_diagonal <= block_size);
+  if (block_size == 0 || num_diagonal == 0) return 0.0;
+  return static_cast<double>(num_diagonal) / static_cast<double>(block_size);
+}
+
+}  // namespace anonsafe

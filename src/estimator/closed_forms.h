@@ -1,0 +1,31 @@
+#ifndef ANONSAFE_ESTIMATOR_CLOSED_FORMS_H_
+#define ANONSAFE_ESTIMATOR_CLOSED_FORMS_H_
+
+#include <cstddef>
+
+namespace anonsafe {
+
+/// \brief Expected cracks contributed by a complete-bipartite block of
+/// `block_size` anonymized items against `block_size` candidates, of
+/// which `num_diagonal` carry a diagonal (identity) edge.
+///
+/// Every perfect matching of K_{k,k} assigns each item a uniformly random
+/// distinct anon, so each diagonal edge is hit with probability
+/// (k-1)!/k! = 1/k and the block contributes num_diagonal / block_size.
+///
+/// This single helper backs Lemma 1 (ignorant belief: one complete block,
+/// all diagonals, k = n), Lemmas 3–4 (point-valued belief: one complete
+/// block per frequency group, c_i of n_i diagonals), the refined
+/// O-estimate's per-item 1/degree term on complete blocks, and the
+/// planner's complete-bipartite block rule. The quotient is a single
+/// correctly-rounded double division of two exact integers, which is what
+/// makes the planner bit-identical to the permanent ratio
+/// perm(minor)/perm(block) it replaces.
+///
+/// Returns 0 for an empty block. Requires num_diagonal <= block_size.
+double CompleteBipartiteExpectedCracks(size_t num_diagonal,
+                                       size_t block_size);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_ESTIMATOR_CLOSED_FORMS_H_

@@ -1,0 +1,156 @@
+#include "estimator/estimators.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace anonsafe {
+
+const char* EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kAuto:
+      return "auto";
+    case EstimatorKind::kOe:
+      return "oe";
+    case EstimatorKind::kExact:
+      return "exact";
+    case EstimatorKind::kSampler:
+      return "sampler";
+  }
+  return "unknown";
+}
+
+Result<EstimatorKind> ParseEstimatorKind(const std::string& name) {
+  if (name == "auto") return EstimatorKind::kAuto;
+  if (name == "oe") return EstimatorKind::kOe;
+  if (name == "exact") return EstimatorKind::kExact;
+  if (name == "sampler") return EstimatorKind::kSampler;
+  return Status::InvalidArgument(
+      "unknown estimator \"" + name +
+      "\" (expected auto, oe, exact, or sampler)");
+}
+
+const char* BlockMethodName(BlockMethod method) {
+  switch (method) {
+    case BlockMethod::kSingleton:
+      return "singleton";
+    case BlockMethod::kCompleteBipartite:
+      return "complete_bipartite";
+    case BlockMethod::kChain:
+      return "chain";
+    case BlockMethod::kPermanent:
+      return "permanent";
+    case BlockMethod::kOEstimate:
+      return "oestimate";
+    case BlockMethod::kSampler:
+      return "sampler";
+  }
+  return "unknown";
+}
+
+Result<BlockMethod> ParseBlockMethod(const std::string& name) {
+  if (name == "singleton") return BlockMethod::kSingleton;
+  if (name == "complete_bipartite") return BlockMethod::kCompleteBipartite;
+  if (name == "chain") return BlockMethod::kChain;
+  if (name == "permanent") return BlockMethod::kPermanent;
+  if (name == "oestimate") return BlockMethod::kOEstimate;
+  if (name == "sampler") return BlockMethod::kSampler;
+  return Status::InvalidArgument("unknown block method \"" + name + "\"");
+}
+
+namespace {
+
+/// kAuto / kExact: the block-decomposed planner.
+class PlannerEstimator : public CrackEstimator {
+ public:
+  PlannerEstimator(PlannerOptions options, bool require_exact)
+      : options_(std::move(options)) {
+    options_.require_exact = require_exact;
+    require_exact_ = require_exact;
+  }
+
+  const char* name() const override {
+    return require_exact_ ? "exact" : "auto";
+  }
+
+  Result<CrackEstimate> Estimate(const FrequencyGroups& observed,
+                                 const BeliefFunction& belief,
+                                 exec::ExecContext* ctx) const override {
+    return PlanAndEstimate(observed, belief, options_, ctx);
+  }
+
+ private:
+  PlannerOptions options_;
+  bool require_exact_ = false;
+};
+
+/// kOe: the paper's linear-time O-estimate (Fig. 5–7).
+class OEstimateEstimator : public CrackEstimator {
+ public:
+  explicit OEstimateEstimator(OEstimateOptions options) : options_(options) {}
+
+  const char* name() const override { return "oe"; }
+
+  Result<CrackEstimate> Estimate(const FrequencyGroups& observed,
+                                 const BeliefFunction& belief,
+                                 exec::ExecContext* ctx) const override {
+    ANONSAFE_ASSIGN_OR_RETURN(
+        OEstimateResult oe, ComputeOEstimate(observed, belief, options_, ctx));
+    CrackEstimate out;
+    out.expected_cracks = oe.expected_cracks;
+    out.exact = false;
+    return out;
+  }
+
+ private:
+  OEstimateOptions options_;
+};
+
+/// kSampler: whole-instance MCMC over consistent crack mappings.
+class SamplerEstimator : public CrackEstimator {
+ public:
+  explicit SamplerEstimator(SamplerOptions options)
+      : options_(std::move(options)) {}
+
+  const char* name() const override { return "sampler"; }
+
+  Result<CrackEstimate> Estimate(const FrequencyGroups& observed,
+                                 const BeliefFunction& belief,
+                                 exec::ExecContext* ctx) const override {
+    ANONSAFE_ASSIGN_OR_RETURN(
+        MatchingSampler sampler,
+        MatchingSampler::Create(observed, belief, options_));
+    std::vector<size_t> counts = sampler.SampleCrackCounts(ctx);
+    double sum = 0.0;
+    for (size_t c : counts) sum += static_cast<double>(c);
+    CrackEstimate out;
+    out.expected_cracks =
+        counts.empty() ? 0.0 : sum / static_cast<double>(counts.size());
+    out.exact = false;
+    return out;
+  }
+
+ private:
+  SamplerOptions options_;
+};
+
+}  // namespace
+
+std::unique_ptr<CrackEstimator> MakeEstimator(EstimatorKind kind,
+                                              const EstimatorConfig& config) {
+  switch (kind) {
+    case EstimatorKind::kAuto:
+      return std::make_unique<PlannerEstimator>(config.planner,
+                                                /*require_exact=*/false);
+    case EstimatorKind::kExact:
+      return std::make_unique<PlannerEstimator>(config.planner,
+                                                /*require_exact=*/true);
+    case EstimatorKind::kOe:
+      return std::make_unique<OEstimateEstimator>(config.oestimate);
+    case EstimatorKind::kSampler:
+      return std::make_unique<SamplerEstimator>(config.sampler);
+  }
+  return std::make_unique<PlannerEstimator>(config.planner, false);
+}
+
+}  // namespace anonsafe

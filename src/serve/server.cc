@@ -8,6 +8,7 @@
 #include "belief/builders.h"
 #include "core/oestimate.h"
 #include "core/risk_report.h"
+#include "estimator/estimator.h"
 #include "core/similarity.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -257,6 +258,15 @@ Result<json::Value> Server::HandleAssessRisk(const json::Value& params,
   ANONSAFE_ASSIGN_OR_RETURN(
       options.include_similarity_curve,
       params.GetBoolOr("include_similarity_curve", true));
+  // Optional estimator choice for the interval risk check; an unknown
+  // name surfaces as invalid_params. The report JSON carries the per-
+  // block provenance back under recipe.interval_blocks.
+  ANONSAFE_ASSIGN_OR_RETURN(
+      std::string estimator_name,
+      params.GetStringOr("estimator",
+                         EstimatorKindName(options.recipe.estimator)));
+  ANONSAFE_ASSIGN_OR_RETURN(options.recipe.estimator,
+                            ParseEstimatorKind(estimator_name));
   // The request's exec params feed both the recipe options (seed, runs)
   // and the live context (threads, cancellation) — identical to the
   // one-shot CLI constructing them from flags.

@@ -9,6 +9,8 @@
 #include "belief/belief_io.h"
 #include "belief/builders.h"
 #include "core/graph_oestimate.h"
+#include "estimator/estimators.h"
+#include "estimator/planner.h"
 #include "core/per_item_risk.h"
 #include "core/recipe.h"
 #include "defense/group_merge.h"
@@ -80,9 +82,68 @@ Status RunAssess(const CliInvocation& cli, std::ostream& out) {
   options.tolerance = tolerance;
   options.exec.seed = seed;
   options.exec.threads = static_cast<size_t>(threads);
+  if (auto it = cli.flags.find("estimator"); it != cli.flags.end()) {
+    ANONSAFE_ASSIGN_OR_RETURN(options.estimator,
+                              ParseEstimatorKind(it->second));
+  }
   ANONSAFE_ASSIGN_OR_RETURN(RecipeResult result, AssessRisk(table, options));
   out << "decision: " << ToString(result.decision) << "\n"
       << result.Summary() << "\n";
+  if (options.estimator != EstimatorKind::kOe &&
+      result.decision != RecipeDecision::kDiscloseAtPointValued) {
+    out << "interval estimator: " << EstimatorKindName(result.estimator)
+        << (result.interval_exact ? " (exact)" : " (approximate)");
+    if (!result.interval_blocks.empty()) {
+      out << ", " << result.interval_blocks.size() << " block(s)";
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunPlan(const CliInvocation& cli, std::ostream& out) {
+  ANONSAFE_RETURN_IF_ERROR(RequirePositional(cli, 1));
+  ANONSAFE_ASSIGN_OR_RETURN(LabeledDatabase data,
+                            ReadFimiFile(cli.positional[0]));
+  ANONSAFE_ASSIGN_OR_RETURN(FrequencyTable table,
+                            FrequencyTable::Compute(data.database));
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double delta, FlagAsDouble(cli, "delta", groups.MedianGap()));
+  PlannerOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t cutoff,
+      FlagAsUint64(cli, "ryser-cutoff", options.ryser_cutoff));
+  options.ryser_cutoff = static_cast<size_t>(cutoff);
+  options.prefer_sampler = cli.flags.count("prefer-sampler") > 0;
+
+  ANONSAFE_ASSIGN_OR_RETURN(BeliefFunction belief,
+                            MakeCompliantIntervalBelief(table, delta));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      BipartiteGraph graph,
+      BipartiteGraph::Build(groups, belief, options.max_edges));
+  ANONSAFE_ASSIGN_OR_RETURN(BlockPlan plan,
+                            PlanBlocks(graph, groups, options));
+
+  // Inspect the plan without evaluating anything heavy: the whole point
+  // of the verb is to preview what `--estimator=auto` would run.
+  TablePrinter t({"block", "size", "edges", "method", "exact", "cost"});
+  double total_cost = 0.0;
+  size_t exact_blocks = 0;
+  for (size_t b = 0; b < plan.blocks.size(); ++b) {
+    const PlannedBlock& block = plan.blocks[b];
+    t.AddRow({TablePrinter::Fmt(b), TablePrinter::Fmt(block.items.size()),
+              TablePrinter::Fmt(block.num_edges),
+              BlockMethodName(block.method), block.exact ? "yes" : "no",
+              TablePrinter::FmtG(block.cost)});
+    total_cost += block.cost;
+    if (block.exact) ++exact_blocks;
+  }
+  t.Print(out);
+  out << "blocks: " << plan.blocks.size() << " (" << exact_blocks
+      << " exact), pruned edges: " << plan.pruned_edges
+      << ", delta: " << TablePrinter::FmtG(delta)
+      << ", total cost: " << TablePrinter::FmtG(total_cost) << "\n";
   return Status::OK();
 }
 
@@ -96,6 +157,10 @@ Status RunReport(const CliInvocation& cli, std::ostream& out) {
   RiskReportOptions options;
   options.recipe.tolerance = tolerance;
   options.recipe.exec.threads = static_cast<size_t>(threads);
+  if (auto it = cli.flags.find("estimator"); it != cli.flags.end()) {
+    ANONSAFE_ASSIGN_OR_RETURN(options.recipe.estimator,
+                              ParseEstimatorKind(it->second));
+  }
   ANONSAFE_ASSIGN_OR_RETURN(RiskReport report,
                             BuildRiskReport(data.database, options));
   if (cli.flags.count("json") > 0) {
@@ -430,6 +495,7 @@ Status RunDefend(const CliInvocation& cli, std::ostream& out) {
 Status DispatchCommand(const CliInvocation& cli, std::ostream& out) {
   if (cli.command == "stats") return RunStats(cli, out);
   if (cli.command == "assess") return RunAssess(cli, out);
+  if (cli.command == "plan") return RunPlan(cli, out);
   if (cli.command == "report") return RunReport(cli, out);
   if (cli.command == "serve") return RunServe(cli, out);
   if (cli.command == "similarity") return RunSimilarity(cli, out);
@@ -540,8 +606,14 @@ std::string CliUsage() {
       "\n"
       "  stats <file.dat>                      dataset statistics\n"
       "  assess <file.dat> [--tolerance=0.1] [--threads=1]\n"
+      "         [--estimator=oe|auto|exact|sampler]\n"
       "                                        Fig. 8 Assess-Risk recipe\n"
+      "  plan <file.dat> [--delta=] [--ryser-cutoff=20] [--prefer-sampler]\n"
+      "                                        preview the estimator plan:\n"
+      "                                        per-block method and cost\n"
+      "                                        (see docs/ESTIMATORS.md)\n"
       "  report <file.dat> [--tolerance=0.1] [--threads=1] [--json]\n"
+      "         [--estimator=oe|auto|exact|sampler]\n"
       "                                        full risk report\n"
       "  serve [--port=N] [--workers=1] [--queue-capacity=16]\n"
       "        [--deadline-ms=0] [--cache-capacity=8] [--max-line-bytes=]\n"

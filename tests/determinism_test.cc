@@ -9,12 +9,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "belief/belief_function.h"
 #include "belief/builders.h"
 #include "core/alpha_sweep.h"
+#include "core/direct_method.h"
 #include "core/oestimate.h"
 #include "core/recipe.h"
 #include "core/simulated.h"
 #include "data/frequency.h"
+#include "estimator/planner.h"
 #include "exec/exec.h"
 #include "graph/bipartite_graph.h"
 #include "graph/matching_sampler.h"
@@ -182,6 +185,72 @@ TEST(DeterminismTest, RyserPermanentBitIdenticalAcrossThreadCounts) {
     auto with = PermanentRyser(rows, &ctx);
     ASSERT_TRUE(with.ok());
     EXPECT_EQ(*with, *none) << threads << " threads";
+  }
+}
+
+// ------------------------------------------------------------- Planner
+
+// Differential test for the block-decomposed planner: on 200 random
+// small instances (n <= 12, mixed belief shapes) the auto estimator
+// must be bit-identical to the monolithic direct method at every
+// thread count. Whole-graph permanents at n <= 12 stay below 2^53, so
+// each per-item crack probability is a single correctly-rounded IEEE
+// division on both sides and the fixed-shape reduction makes the sum
+// order-independent of scheduling — EXPECT_EQ, not EXPECT_NEAR.
+TEST(DeterminismTest, PlannerMatchesDirectAcrossThreadCounts) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 2 + rng.UniformUint64(11);  // n in [2, 12]
+    std::vector<SupportCount> supports(n);
+    for (size_t i = 0; i < n; ++i) {
+      supports[i] = static_cast<SupportCount>(1 + rng.UniformUint64(300));
+    }
+    auto table = FrequencyTable::FromSupports(std::move(supports), 1000);
+    ASSERT_TRUE(table.ok());
+    FrequencyGroups groups = FrequencyGroups::Build(*table);
+
+    // Rotate through belief shapes: point-valued, uniform compliant
+    // width, and per-item intervals stretched to an adjacent group's
+    // frequency (the shape that produces chain blocks).
+    Result<BeliefFunction> belief = Status::Internal("unset");
+    switch (trial % 3) {
+      case 0:
+        belief = MakeCompliantIntervalBelief(*table, 0.0);
+        break;
+      case 1:
+        belief = MakeCompliantIntervalBelief(
+            *table, groups.MedianGap() * rng.UniformDouble(0.2, 2.2));
+        break;
+      default: {
+        std::vector<BeliefInterval> intervals(n);
+        for (ItemId x = 0; x < n; ++x) {
+          const size_t g = groups.group_of_item(x);
+          double lo = groups.group_frequency(g);
+          double hi = lo;
+          if (g + 1 < groups.num_groups() && rng.Bernoulli(0.4)) {
+            hi = groups.group_frequency(g + 1);
+          } else if (g > 0 && rng.Bernoulli(0.4)) {
+            lo = groups.group_frequency(g - 1);
+          }
+          intervals[x] = {lo, hi};
+        }
+        belief = BeliefFunction::Create(std::move(intervals));
+        break;
+      }
+    }
+    ASSERT_TRUE(belief.ok());
+
+    auto direct = DirectExpectedCracks(groups, *belief);
+    ASSERT_TRUE(direct.ok()) << "trial " << trial;
+    for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+      exec::ExecContext ctx(WithThreads(threads));
+      auto planned = PlanAndEstimate(groups, *belief, {}, &ctx);
+      ASSERT_TRUE(planned.ok())
+          << "trial " << trial << ", " << threads << " threads";
+      EXPECT_TRUE(planned->exact) << "trial " << trial;
+      EXPECT_EQ(planned->expected_cracks, *direct)
+          << "trial " << trial << ", " << threads << " threads";
+    }
   }
 }
 

@@ -231,6 +231,52 @@ TEST(ServeTest, OEstimateAndSimilarityVerbs) {
   EXPECT_FALSE(curve->items().empty());
 }
 
+TEST(ServeTest, EstimatorFieldSelectsPlanner) {
+  Server server;
+  const std::string key = LoadDataset(server);
+
+  json::Value assess =
+      Send(server,
+           "{\"schema_version\":1,\"verb\":\"assess_risk\","
+           "\"params\":{\"dataset\":\"" + key +
+               "\",\"estimator\":\"auto\"}}");
+  ASSERT_TRUE(IsOk(assess));
+  const json::Value* report = assess.Find("result")->Find("report");
+  ASSERT_NE(report, nullptr);
+  const json::Value* recipe = report->Find("recipe");
+  ASSERT_NE(recipe, nullptr);
+  auto estimator = recipe->GetString("estimator");
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_EQ(*estimator, "auto");
+  // The planner path tags the interval estimate with per-block
+  // provenance; the report must carry it through.
+  const json::Value* blocks = recipe->Find("interval_blocks");
+  ASSERT_NE(blocks, nullptr);
+  EXPECT_TRUE(blocks->is_array());
+  EXPECT_FALSE(blocks->items().empty());
+
+  // And the per-block counters are scrapeable through the metrics verb.
+  json::Value metrics =
+      Send(server, "{\"schema_version\":1,\"verb\":\"metrics\"}");
+  ASSERT_TRUE(IsOk(metrics));
+  auto prometheus = metrics.Find("result")->GetString("prometheus");
+  ASSERT_TRUE(prometheus.ok());
+  EXPECT_NE(prometheus->find("anonsafe_planner_blocks_total"),
+            std::string::npos);
+}
+
+TEST(ServeTest, UnknownEstimatorIsInvalidParams) {
+  Server server;
+  const std::string key = LoadDataset(server);
+  json::Value response =
+      Send(server,
+           "{\"schema_version\":1,\"verb\":\"assess_risk\","
+           "\"params\":{\"dataset\":\"" + key +
+               "\",\"estimator\":\"frobnicate\"}}");
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_EQ(ErrorCode(response), kErrInvalidParams);
+}
+
 // The tentpole acceptance criterion: the serve response embeds the exact
 // document the one-shot CLI prints, at any thread count.
 TEST(ServeTest, AssessRiskBitIdenticalToCli) {
