@@ -51,7 +51,8 @@ cat > "$session" <<EOF
 {"schema_version":1,"id":3,"verb":"assess_risk","params":{"dataset":"DATASET_KEY"}}
 {"schema_version":1,"id":4,"verb":"assess_risk","params":{"dataset":"DATASET_KEY","threads":8}}
 {"schema_version":1,"id":5,"verb":"metrics"}
-{"schema_version":1,"id":6,"verb":"shutdown"}
+{"schema_version":1,"id":6,"verb":"debug"}
+{"schema_version":1,"id":7,"verb":"shutdown"}
 EOF
 
 # First pass: learn the content-hash dataset key from a one-line session.
@@ -67,11 +68,11 @@ responses="$workdir/responses.jsonl"
 timeout 120 "$CLI" serve --workers=2 < "$session" > "$responses" \
   || fail "serve session did not complete cleanly"
 
-[[ "$(wc -l < "$responses")" -eq 6 ]] \
-  || fail "expected 6 response lines, got $(wc -l < "$responses")"
+[[ "$(wc -l < "$responses")" -eq 7 ]] \
+  || fail "expected 7 response lines, got $(wc -l < "$responses")"
 
 # Responses arrive in request order on one connection; ids confirm it.
-for i in 1 2 3 4 5 6; do
+for i in 1 2 3 4 5 6 7; do
   sed -n "${i}p" "$responses" | grep -q "\"id\":$i,\"ok\":true" \
     || fail "response $i missing or not ok: $(sed -n "${i}p" "$responses")"
 done
@@ -96,8 +97,20 @@ grep -q 'anonsafe_serve_dataset_cache_hits_total' <<<"$metrics" \
 grep -q 'anonsafe_recipe_artifact_hits_total' <<<"$metrics" \
   || fail "metrics response lacks recipe artifact hit counter (repeated assess did not reuse artifacts)"
 
-# 3. Shutdown drained and answered last.
-sed -n '6p' "$responses" | grep -q '"drained":true' \
+# 3. The debug verb exposes the flight recorder: every compute request so
+#    far (2 loads + 2 assess; metrics/debug are excluded) with outcomes.
+debug="$(sed -n '6p' "$responses")"
+grep -q '"flight_recorder":{"capacity":' <<<"$debug" \
+  || fail "debug response lacks flight_recorder"
+grep -q '"recorded":4' <<<"$debug" \
+  || fail "flight recorder should have recorded 4 requests: $debug"
+grep -q '"verb":"assess_risk"' <<<"$debug" \
+  || fail "flight recorder lost the assess_risk entries"
+grep -q '"outcome":"ok"' <<<"$debug" \
+  || fail "flight recorder entries lack outcomes"
+
+# 4. Shutdown drained and answered last.
+sed -n '7p' "$responses" | grep -q '"drained":true' \
   || fail "shutdown response missing drained:true"
 
-echo "check_serve: OK (key=$key; reports bit-identical at 1 and 8 threads; caches hit; drained)"
+echo "check_serve: OK (key=$key; reports bit-identical at 1 and 8 threads; caches hit; debug verb live; drained)"

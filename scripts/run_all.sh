@@ -23,6 +23,7 @@ cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
 scripts/check_metrics.sh
+scripts/check_obs.sh
 scripts/check_serve.sh
 scripts/check_plan.sh
 scripts/check_tsan.sh

@@ -20,8 +20,9 @@
 #include "util/status.h"          // IWYU pragma: export
 #include "util/table_printer.h"   // IWYU pragma: export
 
-// Observability (metrics registry, tracing, exporters).
+// Observability (metrics registry, tracing, logging, exporters).
 #include "obs/export.h"           // IWYU pragma: export
+#include "obs/log.h"              // IWYU pragma: export
 #include "obs/metrics.h"          // IWYU pragma: export
 #include "obs/scoped_timer.h"     // IWYU pragma: export
 #include "obs/trace.h"            // IWYU pragma: export
@@ -102,9 +103,10 @@
 #include "defense/suppression.h"  // IWYU pragma: export
 
 // Long-running risk-assessment service.
-#include "serve/dataset_cache.h"  // IWYU pragma: export
-#include "serve/protocol.h"       // IWYU pragma: export
-#include "serve/server.h"         // IWYU pragma: export
-#include "serve/transport.h"      // IWYU pragma: export
+#include "serve/dataset_cache.h"    // IWYU pragma: export
+#include "serve/flight_recorder.h"  // IWYU pragma: export
+#include "serve/protocol.h"         // IWYU pragma: export
+#include "serve/server.h"           // IWYU pragma: export
+#include "serve/transport.h"        // IWYU pragma: export
 
 #endif  // ANONSAFE_ANONSAFE_H_

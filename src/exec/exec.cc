@@ -4,8 +4,11 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
+
+#include "obs/trace.h"
 
 namespace anonsafe {
 namespace exec {
@@ -61,9 +64,15 @@ struct ForState {
   size_t remaining;
   std::vector<Status> statuses;
   std::vector<std::exception_ptr> exceptions;
+  // Per-chunk trace fragments (empty vectors when untraced/skipped);
+  // merged into the spawning tracer in index order after the join.
+  std::vector<std::vector<obs::SpanNode>> fragments;
 
   explicit ForState(size_t chunks)
-      : remaining(chunks), statuses(chunks), exceptions(chunks) {}
+      : remaining(chunks),
+        statuses(chunks),
+        exceptions(chunks),
+        fragments(chunks) {}
 };
 
 Status MergeForState(ForState* state, size_t chunks) {
@@ -76,6 +85,39 @@ Status MergeForState(ForState* state, size_t chunks) {
   return Status::OK();
 }
 
+/// Runs one chunk under a private fragment tracer on the spawning
+/// tracer's timeline: an `exec.chunk` root span (annotated with the
+/// chunk index and range) wraps whatever spans `body` opens, the
+/// fragment is installed as the running thread's current tracer for the
+/// duration, and the recorded spans land in `*slot` — the caller merges
+/// the slots in chunk-index order. Used verbatim by the sequential and
+/// the parallel path so the merged structure cannot differ.
+Status RunChunkTraced(const std::function<Status(size_t, size_t)>& body,
+                      size_t c, size_t begin, size_t end,
+                      std::chrono::steady_clock::time_point epoch,
+                      std::vector<obs::SpanNode>* slot) {
+  obs::Tracer fragment;
+  fragment.SetEpoch(epoch);
+  obs::Tracer* previous = obs::Tracer::Install(&fragment);
+  size_t span = fragment.OpenSpan("exec.chunk");
+  fragment.Annotate(span, "chunk", std::to_string(c));
+  fragment.Annotate(span, "range",
+                    std::to_string(begin) + ".." + std::to_string(end));
+  Status status;
+  try {
+    status = body(begin, end);
+  } catch (...) {
+    fragment.CloseAllOpen();
+    obs::Tracer::Install(previous);
+    *slot = fragment.TakeSpans();
+    throw;
+  }
+  fragment.CloseAllOpen();
+  obs::Tracer::Install(previous);
+  *slot = fragment.TakeSpans();
+  return status;
+}
+
 }  // namespace
 
 Status ParallelForChunks(ExecContext* ctx, size_t n, size_t grain,
@@ -85,28 +127,62 @@ Status ParallelForChunks(ExecContext* ctx, size_t n, size_t grain,
   if (chunks == 0) return Status::OK();
 
   ThreadPool* pool = ctx != nullptr ? ctx->pool() : nullptr;
+  // The spawning tracer, read on the calling thread: the request tracer
+  // installed by the owner, or the thread-local one under the global
+  // switch. Chunk bodies never record into it directly — they get
+  // fragments (below) so caller-helps stealing and worker scheduling
+  // cannot reorder or interleave spans.
+  obs::Tracer* tracer = obs::Tracer::CurrentOrNull();
+  const size_t parent_span =
+      tracer != nullptr ? tracer->InnermostOpenSpan() : obs::kNoSpan;
+
   const bool sequential =
       pool == nullptr || chunks == 1 || ThreadPool::OnWorkerThread();
   if (sequential) {
     // Same chunk boundaries and order as the parallel path so a null
     // context is bit-identical to any thread count.
-    for (size_t c = 0; c < chunks; ++c) {
-      if (ctx != nullptr && ctx->cancelled()) break;
-      size_t begin = c * grain;
-      size_t end = begin + grain < n ? begin + grain : n;
-      ANONSAFE_RETURN_IF_ERROR(body(begin, end));
+    if (tracer == nullptr) {
+      for (size_t c = 0; c < chunks; ++c) {
+        if (ctx != nullptr && ctx->cancelled()) break;
+        size_t begin = c * grain;
+        size_t end = begin + grain < n ? begin + grain : n;
+        ANONSAFE_RETURN_IF_ERROR(body(begin, end));
+      }
+      return Status::OK();
     }
-    return Status::OK();
+    std::vector<std::vector<obs::SpanNode>> fragments(chunks);
+    Status status;
+    try {
+      for (size_t c = 0; c < chunks; ++c) {
+        if (ctx != nullptr && ctx->cancelled()) break;
+        size_t begin = c * grain;
+        size_t end = begin + grain < n ? begin + grain : n;
+        status = RunChunkTraced(body, c, begin, end, tracer->EnsureEpoch(),
+                                &fragments[c]);
+        if (!status.ok()) break;
+      }
+    } catch (...) {
+      tracer->MergeChunkFragments(parent_span, std::move(fragments));
+      throw;
+    }
+    tracer->MergeChunkFragments(parent_span, std::move(fragments));
+    return status;
   }
 
+  const bool traced = tracer != nullptr;
+  auto epoch = traced ? tracer->EnsureEpoch()
+                      : std::chrono::steady_clock::time_point();
   auto state = std::make_shared<ForState>(chunks);
   for (size_t c = 0; c < chunks; ++c) {
     size_t begin = c * grain;
     size_t end = begin + grain < n ? begin + grain : n;
-    pool->Submit([state, ctx, &body, c, begin, end] {
+    pool->Submit([state, ctx, &body, c, begin, end, traced, epoch] {
       if (!ctx->cancelled()) {
         try {
-          state->statuses[c] = body(begin, end);
+          state->statuses[c] =
+              traced ? RunChunkTraced(body, c, begin, end, epoch,
+                                      &state->fragments[c])
+                     : body(begin, end);
         } catch (...) {
           state->exceptions[c] = std::current_exception();
         }
@@ -126,6 +202,11 @@ Status ParallelForChunks(ExecContext* ctx, size_t n, size_t grain,
     state->cv.wait_for(lock, std::chrono::milliseconds(1),
                        [&] { return state->remaining == 0; });
     if (state->remaining == 0) break;
+  }
+  // All chunks joined: splice the fragments back in index order. This
+  // runs on the spawning thread, so `tracer` is touched single-threaded.
+  if (traced) {
+    tracer->MergeChunkFragments(parent_span, std::move(state->fragments));
   }
   return MergeForState(state.get(), chunks);
 }

@@ -14,6 +14,9 @@
 #include "util/status.h"
 
 namespace anonsafe {
+namespace obs {
+class TraceContext;
+}  // namespace obs
 namespace exec {
 
 /// \brief Shared execution knobs, embedded once in every top-level
@@ -90,6 +93,17 @@ class ExecContext {
   /// Pool backing this context; null when execution is sequential.
   ThreadPool* pool() const { return pool_.get(); }
 
+  /// \name Request trace attachment
+  /// The (optional, non-owned) trace context of the request this
+  /// execution belongs to. Set by the request owner (the server, the
+  /// CLI); `ParallelForChunks` gives every chunk a fragment tracer on
+  /// the same timeline and merges the fragments back in chunk order, so
+  /// spans recorded on pool workers land in this request's single tree.
+  /// @{
+  void set_trace(obs::TraceContext* trace) { trace_ = trace; }
+  obs::TraceContext* trace() const { return trace_; }
+  /// @}
+
   /// \brief Effective grain: the per-struct override when set, else
   /// `default_grain`, clamped to at least 1.
   size_t ResolveGrain(size_t default_grain) const {
@@ -102,6 +116,7 @@ class ExecContext {
   size_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<bool> cancel_{false};
+  obs::TraceContext* trace_ = nullptr;
 };
 
 /// \brief Number of chunks ParallelForChunks splits `n` items into for
@@ -124,6 +139,13 @@ inline size_t NumChunks(size_t n, size_t grain) {
 /// calling thread. Chunks not yet started when `ctx->cancelled()`
 /// becomes true are skipped (OkStatus is still returned; callers check
 /// the flag).
+///
+/// When a tracer is current on the calling thread (see
+/// `obs::Tracer::CurrentOrNull`), every chunk runs under an `exec.chunk`
+/// span in a private fragment tracer sharing the caller's epoch; the
+/// fragments are merged under the innermost open span in chunk-index
+/// order on both the sequential and the parallel path, so the span
+/// *structure* is bit-identical at any thread count.
 Status ParallelForChunks(ExecContext* ctx, size_t n, size_t grain,
                          const std::function<Status(size_t, size_t)>& body);
 

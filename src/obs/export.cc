@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/json.h"
+
 namespace anonsafe {
 namespace obs {
 namespace {
@@ -31,14 +33,31 @@ void JsonEscapeTo(std::ostringstream& oss, const std::string& s) {
   }
 }
 
-/// Prometheus label-value escaping for HELP text and label values.
+/// Prometheus escaping for HELP text and label values: the exposition
+/// format requires `\` -> `\\`, newline -> `\n`, and `"` -> `\"` (the
+/// last one mandatory inside label values; harmless in HELP).
 std::string PromEscape(const std::string& s) {
   std::string out;
   for (char c : s) {
     if (c == '\\') out += "\\\\";
     else if (c == '\n') out += "\\n";
+    else if (c == '"') out += "\\\"";
     else out += c;
   }
+  return out;
+}
+
+/// `{k="v",...}` for a labeled series; empty string when unlabeled.
+std::string PromLabels(const LabelSet& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    out += key + "=\"" + PromEscape(value) + "\"";
+    first = false;
+  }
+  out += "}";
   return out;
 }
 
@@ -51,7 +70,22 @@ std::string ExportJson(const MetricsRegistry& registry) {
   for (const Counter* c : registry.counters()) {
     oss << (first ? "" : ",") << "\n    {\"name\": \"";
     JsonEscapeTo(oss, c->name());
-    oss << "\", \"value\": " << c->value() << "}";
+    oss << "\"";
+    if (!c->labels().empty()) {
+      oss << ", \"labels\": {";
+      bool first_label = true;
+      for (const auto& [key, value] : c->labels()) {
+        if (!first_label) oss << ", ";
+        oss << "\"";
+        JsonEscapeTo(oss, key);
+        oss << "\": \"";
+        JsonEscapeTo(oss, value);
+        oss << "\"";
+        first_label = false;
+      }
+      oss << "}";
+    }
+    oss << ", \"value\": " << c->value() << "}";
     first = false;
   }
   oss << (first ? "" : "\n  ") << "],\n  \"gauges\": [";
@@ -73,6 +107,10 @@ std::string ExportJson(const MetricsRegistry& registry) {
         << ", \"p50\": " << FmtDouble(snap.Quantile(0.50))
         << ", \"p95\": " << FmtDouble(snap.Quantile(0.95))
         << ", \"p99\": " << FmtDouble(snap.Quantile(0.99))
+        // The +Inf bucket, surfaced by name: quantiles saturate at the
+        // largest finite bound, so dashboards need this to alert on
+        // observations past the layout.
+        << ", \"overflow\": " << snap.counts.back()
         << ", \"buckets\": [";
     for (size_t b = 0; b < snap.counts.size(); ++b) {
       if (b) oss << ", ";
@@ -93,12 +131,21 @@ std::string ExportJson(const MetricsRegistry& registry) {
 
 std::string ExportPrometheus(const MetricsRegistry& registry) {
   std::ostringstream oss;
+  // Counters sort family-contiguously (labeled series right after their
+  // family name), so HELP/TYPE headers are emitted once per family.
+  std::string counter_family;
+  bool have_family = false;
   for (const Counter* c : registry.counters()) {
-    if (!c->help().empty()) {
-      oss << "# HELP " << c->name() << " " << PromEscape(c->help()) << "\n";
+    if (!have_family || c->name() != counter_family) {
+      if (!c->help().empty()) {
+        oss << "# HELP " << c->name() << " " << PromEscape(c->help())
+            << "\n";
+      }
+      oss << "# TYPE " << c->name() << " counter\n";
+      counter_family = c->name();
+      have_family = true;
     }
-    oss << "# TYPE " << c->name() << " counter\n"
-        << c->name() << " " << c->value() << "\n";
+    oss << c->name() << PromLabels(c->labels()) << " " << c->value() << "\n";
   }
   for (const Gauge* g : registry.gauges()) {
     if (!g->help().empty()) {
@@ -138,6 +185,53 @@ std::string ExportPrometheus(const MetricsRegistry& registry) {
     }
   }
   return oss.str();
+}
+
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const std::string& trace_id) {
+  json::Value doc = json::Value::Object();
+  doc.Set("displayTimeUnit", json::Value("ms"));
+  json::Value other = json::Value::Object();
+  other.Set("trace_id", json::Value(trace_id));
+  doc.Set("otherData", std::move(other));
+
+  json::Value events = json::Value::Array();
+  // Metadata event naming the (synthetic) process for the Perfetto UI.
+  json::Value meta = json::Value::Object();
+  meta.Set("name", json::Value("process_name"));
+  meta.Set("ph", json::Value("M"));
+  meta.Set("pid", json::Value(int64_t{1}));
+  meta.Set("tid", json::Value(int64_t{1}));
+  json::Value meta_args = json::Value::Object();
+  meta_args.Set("name", json::Value("anonsafe " + trace_id));
+  meta.Set("args", std::move(meta_args));
+  events.Append(std::move(meta));
+
+  const std::vector<SpanNode>& spans = tracer.spans();
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const SpanNode& node = spans[i];
+    json::Value event = json::Value::Object();
+    event.Set("name", json::Value(node.name));
+    event.Set("cat", json::Value("anonsafe"));
+    event.Set("ph", json::Value("X"));
+    event.Set("ts", json::Value(node.start_seconds * 1e6));
+    event.Set("dur", json::Value(node.duration_seconds * 1e6));
+    event.Set("pid", json::Value(int64_t{1}));
+    event.Set("tid", json::Value(int64_t{1}));
+    json::Value args = json::Value::Object();
+    args.Set("trace_id", json::Value(trace_id));
+    args.Set("span", json::Value(uint64_t{i}));
+    if (node.parent != kNoSpan) {
+      args.Set("parent", json::Value(uint64_t{node.parent}));
+    }
+    for (const auto& [key, value] : node.annotations) {
+      args.Set(key, json::Value(value));
+    }
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+  doc.Set("traceEvents", std::move(events));
+  return doc.Dump();
 }
 
 std::string PrometheusPathFor(const std::string& json_path) {

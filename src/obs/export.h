@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace anonsafe {
@@ -28,10 +29,20 @@ namespace obs {
 std::string ExportJson(const MetricsRegistry& registry);
 
 /// \brief Renders the registry in the Prometheus text exposition format
-/// (version 0.0.4): `# HELP`/`# TYPE` headers, `_bucket{le="..."}`
+/// (version 0.0.4): `# HELP`/`# TYPE` headers (once per family),
+/// `{label="value"}` series for labeled counters, `_bucket{le="..."}`
 /// cumulative bucket series, `_sum`/`_count`, and additional
 /// `<name>_p50/_p95/_p99` gauge series with the interpolated quantiles.
+/// Help strings and label values have `\`, newline and `"` escaped per
+/// the exposition format.
 std::string ExportPrometheus(const MetricsRegistry& registry);
+
+/// \brief Renders a span tree in the Chrome trace-event JSON format
+/// (one `"X"` complete event per span, timestamps in microseconds from
+/// the trace epoch), loadable in Perfetto / `chrome://tracing`. The
+/// trace id rides along in `otherData` and every event's args.
+std::string ExportChromeTrace(const Tracer& tracer,
+                              const std::string& trace_id);
 
 /// \brief Writes `ExportJson` to `json_path` and `ExportPrometheus` to a
 /// sibling path with the extension replaced by `.prom` (appended when

@@ -1,0 +1,174 @@
+#include "obs/log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+namespace anonsafe {
+namespace obs {
+namespace {
+
+int LevelFromEnv() {
+  const char* env = std::getenv("ANONSAFE_LOG_LEVEL");
+  if (env != nullptr) {
+    Result<LogLevel> parsed = ParseLogLevel(env);
+    if (parsed.ok()) return static_cast<int>(*parsed);
+  }
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{LevelFromEnv()};
+  return level;
+}
+
+/// Token bucket for one event key.
+struct Bucket {
+  double tokens;
+  std::chrono::steady_clock::time_point last_refill;
+  uint64_t suppressed = 0;
+};
+
+/// Everything below the level gate: sink, rate-limit config, buckets.
+/// One mutex — Log is off the hot path by design (guarded call sites and
+/// the rate limiter bound the frequency).
+struct LogState {
+  std::mutex mu;
+  std::ofstream file;
+  bool to_file = false;
+  std::function<void(const std::string&)> test_sink;
+  double tokens_per_second = 50.0;
+  double burst = 100.0;
+  std::map<std::string, Bucket> buckets;
+};
+
+LogState& State() {
+  static LogState* state = new LogState();
+  return *state;
+}
+
+double UnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "unknown";
+}
+
+Result<LogLevel> ParseLogLevel(const std::string& name) {
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  return Status::InvalidArgument(
+      "log level must be error, warn, info or debug; got '" + name + "'");
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(MinLevel().load(std::memory_order_relaxed));
+}
+
+void SetLogLevel(LogLevel level) {
+  MinLevel().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Log(LogLevel level, const char* event, LogFields fields) {
+  if (!LogEnabled(level)) return;
+
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+
+  const auto now = std::chrono::steady_clock::now();
+  auto [it, inserted] = state.buckets.try_emplace(
+      event, Bucket{state.burst, now, 0});
+  Bucket& bucket = it->second;
+  if (!inserted) {
+    double elapsed =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    bucket.tokens = std::min(state.burst,
+                             bucket.tokens + elapsed * state.tokens_per_second);
+    bucket.last_refill = now;
+  }
+  if (bucket.tokens < 1.0) {
+    ++bucket.suppressed;
+    return;
+  }
+  bucket.tokens -= 1.0;
+
+  json::Value line = json::Value::Object();
+  line.Set("ts", json::Value(UnixSeconds()));
+  line.Set("level", json::Value(LogLevelName(level)));
+  line.Set("event", json::Value(event));
+  for (auto& [key, value] : fields) {
+    line.Set(key, std::move(value));
+  }
+  if (bucket.suppressed > 0) {
+    line.Set("suppressed", json::Value(uint64_t{bucket.suppressed}));
+    bucket.suppressed = 0;
+  }
+  std::string text = line.Dump();
+
+  if (state.test_sink) {
+    state.test_sink(text);
+    return;
+  }
+  if (state.to_file) {
+    state.file << text << "\n";
+    state.file.flush();
+    return;
+  }
+  std::fprintf(stderr, "%s\n", text.c_str());
+  std::fflush(stderr);
+}
+
+Status SetLogFile(const std::string& path) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.file.is_open()) state.file.close();
+  state.to_file = false;
+  if (path.empty()) return Status::OK();
+  state.file.open(path, std::ios::app);
+  if (!state.file) {
+    return Status::IOError("cannot open log file '" + path + "'");
+  }
+  state.to_file = true;
+  return Status::OK();
+}
+
+void SetLogRateLimit(double tokens_per_second, double burst) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.tokens_per_second = tokens_per_second > 0 ? tokens_per_second : 0.0;
+  state.burst = burst >= 1.0 ? burst : 1.0;
+  // Refill every bucket to the new burst but keep suppressed counts: drops
+  // that happened under the old config still get reported.
+  const auto now = std::chrono::steady_clock::now();
+  for (auto& [key, bucket] : state.buckets) {
+    bucket.tokens = state.burst;
+    bucket.last_refill = now;
+  }
+}
+
+void SetLogSinkForTest(std::function<void(const std::string&)> sink) {
+  LogState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.test_sink = std::move(sink);
+}
+
+}  // namespace obs
+}  // namespace anonsafe

@@ -1,0 +1,70 @@
+#ifndef ANONSAFE_OBS_LOG_H_
+#define ANONSAFE_OBS_LOG_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace anonsafe {
+namespace obs {
+
+/// \brief Severity levels, most severe first. The active minimum level
+/// admits everything at or above it: `kWarn` admits error+warn.
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// \brief Parses "error" | "warn" | "info" | "debug"; InvalidArgument
+/// otherwise.
+Result<LogLevel> ParseLogLevel(const std::string& name);
+
+/// \name Minimum-level gate
+/// Defaults to `ANONSAFE_LOG_LEVEL` when set (unparseable values fall
+/// back), else `kWarn` so library users see problems without opting in
+/// to an access-log stream. One relaxed atomic load on the fast path.
+/// @{
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(GetLogLevel());
+}
+/// @}
+
+/// \brief Ordered key/value pairs attached to a log line. Values are
+/// `json::Value`, so numbers stay numbers in the emitted JSON.
+using LogFields = std::vector<std::pair<std::string, json::Value>>;
+
+/// \brief Emits one JSON line `{"ts":…,"level":…,"event":…,<fields…>}`
+/// to the active sink (stderr by default; see SetLogFile). Drops the
+/// line when `level` is below the active minimum or when the per-event
+/// token bucket is empty; the next admitted line for that event carries
+/// a `"suppressed": N` field reporting how many were dropped in between.
+///
+/// Thread-safe; one line is written atomically with respect to other
+/// Log calls. Call sites on hot paths should guard field construction:
+/// `if (obs::LogEnabled(LogLevel::kDebug)) obs::Log(...)`.
+void Log(LogLevel level, const char* event, LogFields fields = {});
+
+/// \brief Redirects log output to `path` (opened for append); an empty
+/// path restores stderr. IOError when the file cannot be opened.
+Status SetLogFile(const std::string& path);
+
+/// \brief Reconfigures the per-event token bucket (default: 50 lines/s
+/// refill, burst 100). Existing buckets refill to the new burst; pending
+/// suppressed counts survive so drops are still reported.
+void SetLogRateLimit(double tokens_per_second, double burst);
+
+/// \brief Test hook: captures emitted lines (without trailing newline)
+/// instead of writing them to the sink. Pass nullptr to restore normal
+/// output.
+void SetLogSinkForTest(std::function<void(const std::string&)> sink);
+
+}  // namespace obs
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_OBS_LOG_H_

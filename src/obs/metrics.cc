@@ -124,11 +124,41 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
+namespace {
+
+/// Map key for a labeled series: the family name plus the label pairs
+/// joined with control separators. '\t' (0x09) sorts before every
+/// printable character, so all series of family "f" sort directly after
+/// the unlabeled "f" and before any longer name like "f_total" — export
+/// order stays family-contiguous.
+std::string SeriesKey(const std::string& name, const LabelSet& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\t';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& help) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot.reset(new Counter(name, help));
+  return slot.get();
+}
+
+Counter* MetricsRegistry::GetCounterWithLabels(const std::string& name,
+                                               const LabelSet& labels,
+                                               const std::string& help) {
+  if (labels.empty()) return GetCounter(name, help);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[SeriesKey(name, labels)];
+  if (slot == nullptr) slot.reset(new Counter(name, help, labels));
   return slot.get();
 }
 

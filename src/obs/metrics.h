@@ -26,9 +26,16 @@ bool MetricsEnabled();
 void SetMetricsEnabled(bool enabled);
 /// @}
 
+/// \brief Ordered label key/value pairs for one metric series. Order is
+/// fixed by the first registration of the series and preserved in
+/// exports.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
 /// \brief Monotonically increasing event count (Prometheus counter).
 ///
-/// Lock-free on the hot path: one relaxed fetch_add.
+/// Lock-free on the hot path: one relaxed fetch_add. A counter may carry
+/// a label set (`GetCounterWithLabels`); labeled series of one family
+/// share the family name and export contiguously.
 class Counter {
  public:
   void Increment(uint64_t delta = 1) {
@@ -38,13 +45,17 @@ class Counter {
 
   const std::string& name() const { return name_; }
   const std::string& help() const { return help_; }
+  const LabelSet& labels() const { return labels_; }
 
  private:
   friend class MetricsRegistry;
-  Counter(std::string name, std::string help)
-      : name_(std::move(name)), help_(std::move(help)) {}
+  Counter(std::string name, std::string help, LabelSet labels = {})
+      : name_(std::move(name)),
+        help_(std::move(help)),
+        labels_(std::move(labels)) {}
 
   std::string name_, help_;
+  LabelSet labels_;
   std::atomic<uint64_t> value_{0};
 };
 
@@ -135,6 +146,13 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   Counter* GetCounter(const std::string& name, const std::string& help = "");
+  /// \brief One series of the counter family `name` distinguished by
+  /// `labels` (e.g. {{"verb", "assess_risk"}, {"outcome", "ok"}}). Same
+  /// idempotency contract as GetCounter; the label order of the first
+  /// call sticks. Series of one family sort together in exports.
+  Counter* GetCounterWithLabels(const std::string& name,
+                                const LabelSet& labels,
+                                const std::string& help = "");
   Gauge* GetGauge(const std::string& name, const std::string& help = "");
   /// Empty `bounds` selects `Histogram::LatencySecondsBuckets()`. Bounds
   /// must be strictly increasing; they are fixed by the first caller.

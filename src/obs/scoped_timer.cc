@@ -27,9 +27,9 @@ Counter* TimerCounter(const std::string& name) {
 
 ScopedTimer::ScopedTimer(const char* name) : name_(name) {
   metrics_ = MetricsEnabled();
-  bool tracing = TracingEnabled();
-  if (!metrics_ && !tracing) return;
-  if (tracing) span_ = Tracer::ThreadLocal().OpenSpan(name);
+  tracer_ = Tracer::CurrentOrNull();
+  if (!metrics_ && tracer_ == nullptr) return;
+  if (tracer_ != nullptr) span_ = tracer_->OpenSpan(name);
   start_ = std::chrono::steady_clock::now();
   timing_ = true;
 }
@@ -45,12 +45,12 @@ void ScopedTimer::Stop() {
     TimerHistogram(name_)->Observe(seconds);
     TimerCounter(name_)->Increment();
   }
-  if (span_ != kNoSpan) Tracer::ThreadLocal().CloseSpan(span_);
+  if (span_ != kNoSpan) tracer_->CloseSpan(span_);
 }
 
 void ScopedTimer::Annotate(const char* key, std::string value) {
   if (span_ == kNoSpan || stopped_) return;
-  Tracer::ThreadLocal().Annotate(span_, key, std::move(value));
+  tracer_->Annotate(span_, key, std::move(value));
 }
 
 double ScopedTimer::ElapsedSeconds() const {

@@ -30,11 +30,13 @@ class Stopwatch {
 ///
 /// When metrics are enabled, destruction observes the elapsed seconds in
 /// the histogram `anonsafe_<name>_seconds` (dots mapped to underscores)
-/// and bumps the counter `anonsafe_<name>_total`. When tracing is
-/// enabled, the scope is a span in the thread's trace tree, so nested
-/// timers produce the hierarchical phase breakdown. When both are off
-/// (the default), construction is two relaxed atomic loads and nothing
-/// else — no clock read, no allocation.
+/// and bumps the counter `anonsafe_<name>_total`. When a tracer is
+/// current on this thread (an installed request `TraceContext`, or the
+/// thread-local tracer under the global switch — see
+/// `Tracer::CurrentOrNull`), the scope is a span in that trace tree, so
+/// nested timers produce the hierarchical phase breakdown. When both are
+/// off (the default), construction is two relaxed atomic loads plus a
+/// thread-local read and nothing else — no clock read, no allocation.
 ///
 /// Usage: `obs::ScopedTimer timer("core.oestimate");`
 /// or, without naming a variable, `ANONSAFE_SCOPED_TIMER("graph.build");`.
@@ -65,6 +67,7 @@ class ScopedTimer {
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
+  Tracer* tracer_ = nullptr;  ///< tracer the span was opened on
   size_t span_ = kNoSpan;
   bool timing_ = false;   ///< clock was read at construction
   bool metrics_ = false;  ///< record into the registry at Stop()

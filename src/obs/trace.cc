@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/table_printer.h"
 
 namespace anonsafe {
@@ -37,6 +38,19 @@ void JsonEscapeTo(std::ostringstream& oss, const std::string& s) {
   }
 }
 
+// The installed request/fragment tracer, if any. A raw thread_local
+// pointer: Install is called only from RAII scopes that restore the
+// previous value, so the pointer never dangles past its scope.
+thread_local Tracer* tls_current_tracer = nullptr;
+
+Counter* ForcedClosesCounter() {
+  static Counter* counter = MetricsRegistry::Global().GetCounter(
+      "anonsafe_trace_forced_closes_total",
+      "spans force-closed because an enclosing span closed first "
+      "(broken open/close nesting)");
+  return counter;
+}
+
 }  // namespace
 
 bool TracingEnabled() { return TraceFlag().load(std::memory_order_relaxed); }
@@ -50,9 +64,22 @@ Tracer& Tracer::ThreadLocal() {
   return tracer;
 }
 
+Tracer* Tracer::CurrentOrNull() {
+  if (tls_current_tracer != nullptr) return tls_current_tracer;
+  if (TracingEnabled()) return &ThreadLocal();
+  return nullptr;
+}
+
+Tracer* Tracer::Install(Tracer* tracer) {
+  Tracer* previous = tls_current_tracer;
+  tls_current_tracer = tracer;
+  return previous;
+}
+
 size_t Tracer::OpenSpan(const char* name) {
-  if (spans_.empty() && open_stack_.empty()) {
+  if (!has_epoch_) {
     epoch_ = std::chrono::steady_clock::now();
+    has_epoch_ = true;
   }
   SpanNode node;
   node.name = name;
@@ -69,7 +96,9 @@ size_t Tracer::OpenSpan(const char* name) {
 
 void Tracer::CloseSpan(size_t span) {
   if (span >= spans_.size() || spans_[span].closed) return;
-  // Unwind anything opened inside `span` that is still open.
+  // Unwind anything opened inside `span` that is still open. Those inner
+  // spans being closed by an *outer* close is a nesting bug at the call
+  // site — count it and mark the span so it shows up in exports.
   while (!open_stack_.empty()) {
     size_t top = open_stack_.back();
     open_stack_.pop_back();
@@ -77,6 +106,8 @@ void Tracer::CloseSpan(size_t span) {
     node.duration_seconds = SecondsSince(epoch_) - node.start_seconds;
     node.closed = true;
     if (top == span) break;
+    node.annotations.emplace_back("forced_close", "out-of-order");
+    ForcedClosesCounter()->Increment();
   }
 }
 
@@ -88,6 +119,54 @@ void Tracer::Annotate(size_t span, std::string key, std::string value) {
 void Tracer::Clear() {
   spans_.clear();
   open_stack_.clear();
+  has_epoch_ = false;
+}
+
+void Tracer::SetEpoch(std::chrono::steady_clock::time_point epoch) {
+  epoch_ = epoch;
+  has_epoch_ = true;
+}
+
+std::chrono::steady_clock::time_point Tracer::EnsureEpoch() {
+  if (!has_epoch_) {
+    epoch_ = std::chrono::steady_clock::now();
+    has_epoch_ = true;
+  }
+  return epoch_;
+}
+
+void Tracer::CloseAllOpen() {
+  while (!open_stack_.empty()) {
+    size_t top = open_stack_.back();
+    open_stack_.pop_back();
+    SpanNode& node = spans_[top];
+    node.duration_seconds = SecondsSince(epoch_) - node.start_seconds;
+    node.closed = true;
+  }
+}
+
+std::vector<SpanNode> Tracer::TakeSpans() {
+  std::vector<SpanNode> out = std::move(spans_);
+  Clear();
+  return out;
+}
+
+void Tracer::MergeChunkFragments(
+    size_t parent, std::vector<std::vector<SpanNode>> fragments) {
+  const size_t depth_offset =
+      parent == kNoSpan ? 0 : spans_[parent].depth + 1;
+  for (std::vector<SpanNode>& fragment : fragments) {
+    const size_t base = spans_.size();
+    for (SpanNode& node : fragment) {
+      if (node.parent == kNoSpan) {
+        node.parent = parent;
+      } else {
+        node.parent += base;
+      }
+      node.depth += depth_offset;
+      spans_.push_back(std::move(node));
+    }
+  }
 }
 
 std::string Tracer::RenderTable() const {
@@ -144,6 +223,21 @@ std::string Tracer::ToJson() const {
   }
   oss << "]";
   return oss.str();
+}
+
+TraceContext::TraceContext(std::string trace_id)
+    : trace_id_(std::move(trace_id)) {
+  tracer_.SetEpoch(std::chrono::steady_clock::now());
+}
+
+TraceContextScope::TraceContextScope(TraceContext* context) {
+  if (context == nullptr) return;
+  previous_ = Tracer::Install(&context->tracer());
+  active_ = true;
+}
+
+TraceContextScope::~TraceContextScope() {
+  if (active_) Tracer::Install(previous_);
 }
 
 }  // namespace obs

@@ -13,7 +13,10 @@ namespace obs {
 /// \name Tracing switch
 /// Off by default; `ANONSAFE_TRACE` (any value except "0") or
 /// `SetTracingEnabled(true)` turns it on. When off, `ScopedTimer` never
-/// touches the tracer and performs no allocation.
+/// touches the tracer and performs no allocation. Request-scoped tracing
+/// (a `TraceContext` installed on the thread) works independently of the
+/// global switch, so a server can trace one request without tracing the
+/// process.
 /// @{
 bool TracingEnabled();
 void SetTracingEnabled(bool enabled);
@@ -32,26 +35,41 @@ struct SpanNode {
   std::vector<std::pair<std::string, std::string>> annotations;
 };
 
-/// \brief Per-thread collector of completed spans.
+/// \brief Collector of completed spans for one logical timeline.
 ///
 /// Spans form a tree through the open-span stack: a span opened while
 /// another is open becomes its child. The tree is kept in open order
-/// (preorder), so rendering is a single indent-by-depth pass. Each thread
-/// owns an independent tracer — the analysis core is single-threaded per
-/// request, and per-thread trees avoid any cross-thread synchronization
-/// on the trace path.
+/// (preorder), so rendering is a single indent-by-depth pass. A tracer is
+/// single-threaded by construction — each thread records into the tracer
+/// *installed* on it (see `Install`), and parallel fan-outs give every
+/// chunk a private fragment tracer whose spans are merged back into the
+/// spawning tracer in chunk-index order (`MergeChunkFragments`), so the
+/// merged tree is bit-identical at any thread count.
 class Tracer {
  public:
-  /// \brief This thread's tracer.
+  /// \brief This thread's fallback tracer (used by the CLI's process-wide
+  /// `--trace` mode when no request tracer is installed).
   static Tracer& ThreadLocal();
+
+  /// \brief The tracer instrumentation on this thread should record into:
+  /// the installed one if any, else the thread-local one when the global
+  /// switch is on, else nullptr (tracing off — record nothing).
+  static Tracer* CurrentOrNull();
+
+  /// \brief Installs `tracer` as this thread's current tracer and returns
+  /// the previously installed one (restore it when the scope ends).
+  /// Passing nullptr uninstalls.
+  static Tracer* Install(Tracer* tracer);
 
   /// \brief Opens a span as a child of the innermost open span.
   /// Returns its index (pass to CloseSpan/Annotate).
   size_t OpenSpan(const char* name);
 
   /// \brief Closes the span, recording its duration. Spans opened after
-  /// `span` and still open are closed too (RAII callers unwind in order,
-  /// so this only matters after exceptions are off-path returns).
+  /// `span` and still open are force-closed too (RAII callers unwind in
+  /// order, so this only matters after exceptions or off-path returns);
+  /// each force-close bumps `anonsafe_trace_forced_closes_total` and
+  /// annotates the victim span so broken nesting is visible in exports.
   void CloseSpan(size_t span);
 
   void Annotate(size_t span, std::string key, std::string value);
@@ -59,8 +77,41 @@ class Tracer {
   const std::vector<SpanNode>& spans() const { return spans_; }
   size_t num_open() const { return open_stack_.size(); }
 
+  /// \brief Innermost open span (kNoSpan when none) — the parent a
+  /// parallel fan-out merges its chunk fragments under.
+  size_t InnermostOpenSpan() const {
+    return open_stack_.empty() ? kNoSpan : open_stack_.back();
+  }
+
   /// \brief Drops all recorded spans (start of a traced request).
   void Clear();
+
+  /// \name Epoch control
+  /// The epoch anchors `start_seconds`. It is set lazily by the first
+  /// OpenSpan after Clear(); fragment tracers instead inherit the
+  /// spawning tracer's epoch so every fragment shares one timeline.
+  /// @{
+  std::chrono::steady_clock::time_point epoch() const { return epoch_; }
+  void SetEpoch(std::chrono::steady_clock::time_point epoch);
+  /// \brief The epoch, set to now first if none is set yet.
+  std::chrono::steady_clock::time_point EnsureEpoch();
+  /// @}
+
+  /// \brief Closes every still-open span (innermost first). End of a
+  /// chunk fragment: chunk bodies must not leak open spans into the
+  /// merged tree.
+  void CloseAllOpen();
+
+  /// \brief Moves the recorded spans out, leaving the tracer cleared.
+  std::vector<SpanNode> TakeSpans();
+
+  /// \brief Splices per-chunk fragment span trees under `parent` (kNoSpan
+  /// = splice as roots), in the order given — callers pass fragments
+  /// indexed by chunk, making the merged tree independent of which thread
+  /// ran which chunk. Fragment roots become children of `parent`; indices
+  /// and depths are rebased.
+  void MergeChunkFragments(size_t parent,
+                           std::vector<std::vector<SpanNode>> fragments);
 
   /// \brief Renders the span tree as an indented fixed-width table
   /// (phase, total ms, share of root, annotations).
@@ -73,6 +124,41 @@ class Tracer {
   std::vector<SpanNode> spans_;
   std::vector<size_t> open_stack_;
   std::chrono::steady_clock::time_point epoch_;
+  bool has_epoch_ = false;
+};
+
+/// \brief Identity and span collector for one traced request: a trace id
+/// chosen by the creator (the server uses "req-<serial>") plus the tracer
+/// every span of the request — on any thread — ends up in. The epoch is
+/// fixed at construction so fragments recorded on workers align with the
+/// request timeline.
+class TraceContext {
+ public:
+  explicit TraceContext(std::string trace_id);
+
+  const std::string& trace_id() const { return trace_id_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+ private:
+  std::string trace_id_;
+  Tracer tracer_;
+};
+
+/// \brief RAII: installs `context`'s tracer as the current tracer on this
+/// thread for the scope (nullptr = no-op). Restores the previous tracer
+/// on destruction, so scopes nest.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext* context);
+  ~TraceContextScope();
+
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  Tracer* previous_ = nullptr;
+  bool active_ = false;
 };
 
 }  // namespace obs

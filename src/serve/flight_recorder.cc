@@ -1,0 +1,59 @@
+#include "serve/flight_recorder.h"
+
+#include <utility>
+
+namespace anonsafe {
+namespace serve {
+
+json::Value RequestSummaryToJson(const RequestSummary& summary) {
+  json::Value v = json::Value::Object();
+  v.Set("serial", json::Value(uint64_t{summary.serial}));
+  v.Set("verb", json::Value(summary.verb));
+  if (!summary.dataset.empty()) {
+    v.Set("dataset", json::Value(summary.dataset));
+  }
+  if (!summary.estimator.empty()) {
+    v.Set("estimator", json::Value(summary.estimator));
+  }
+  v.Set("outcome", json::Value(summary.outcome));
+  v.Set("queue_ms", json::Value(summary.queue_ms));
+  v.Set("exec_ms", json::Value(summary.exec_ms));
+  v.Set("total_ms", json::Value(summary.total_ms));
+  if (!summary.trace_id.empty()) {
+    v.Set("trace_id", json::Value(summary.trace_id));
+  }
+  return v;
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::Record(RequestSummary summary) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(summary));
+    return;
+  }
+  ring_[next_] = std::move(summary);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<RequestSummary> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<RequestSummary> out;
+  out.reserve(ring_.size());
+  // Oldest first: once saturated, `next_` is the oldest slot.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace serve
+}  // namespace anonsafe

@@ -1,0 +1,61 @@
+#ifndef ANONSAFE_SERVE_FLIGHT_RECORDER_H_
+#define ANONSAFE_SERVE_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace anonsafe {
+namespace serve {
+
+/// \brief One finished (or refused) request, as the flight recorder
+/// keeps it. Cheap to copy; everything an operator needs to reconstruct
+/// "what has this server been doing" without any log stream attached.
+struct RequestSummary {
+  uint64_t serial = 0;       ///< server-wide request number (1-based)
+  std::string verb;          ///< empty when the line never parsed
+  std::string dataset;       ///< dataset hash/key when the verb had one
+  std::string estimator;     ///< from RiskReport provenance (assess_risk)
+  std::string outcome;       ///< "ok" or the protocol error code
+  double queue_ms = 0.0;     ///< admission wait (0 when never admitted)
+  double exec_ms = 0.0;      ///< verb execution (0 when refused)
+  double total_ms = 0.0;     ///< wall time from line in to response out
+  std::string trace_id;      ///< set when the request was traced
+};
+
+json::Value RequestSummaryToJson(const RequestSummary& summary);
+
+/// \brief Fixed-size ring buffer of the last N request summaries —
+/// including refused ones (`queue_full`, `deadline_exceeded`,
+/// `shutting_down`), which leave no other artifact. Thread-safe; Record
+/// is a mutex-guarded slot write, so it stays on the request path
+/// without measurable cost.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity);
+
+  void Record(RequestSummary summary);
+
+  /// \brief The retained summaries, oldest first.
+  std::vector<RequestSummary> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// \brief Requests recorded over the recorder's lifetime (>= retained).
+  uint64_t total_recorded() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<RequestSummary> ring_;  ///< grows to capacity_, then wraps
+  size_t next_ = 0;                   ///< write position once saturated
+  uint64_t total_ = 0;
+};
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_FLIGHT_RECORDER_H_

@@ -11,8 +11,10 @@
 #include "estimator/estimator.h"
 #include "core/similarity.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace anonsafe {
 namespace serve {
@@ -40,6 +42,20 @@ Result<exec::ExecOptions> ExecOptionsFromParams(const json::Value& params) {
   return eo;
 }
 
+/// The outcome code a response line reduces to: "ok", or the protocol
+/// error code. Drives the access log, the flight recorder and the
+/// per-verb request counter.
+std::string ResponseOutcome(const json::Value& response) {
+  const json::Value* ok = response.Find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->AsBool()) return "ok";
+  if (const json::Value* error = response.Find("error")) {
+    if (const json::Value* code = error->Find("code")) {
+      if (code->is_string()) return code->AsString();
+    }
+  }
+  return kErrInternal;
+}
+
 json::Value SimilarityPointToJson(const SimilarityPoint& p) {
   json::Value point = json::Value::Object();
   point.Set("sample_fraction", json::Value(p.sample_fraction));
@@ -59,7 +75,8 @@ Server::Server(const ServerOptions& options)
         return o;
       }()),
       cache_(options_.dataset_cache_capacity),
-      pool_(std::make_unique<exec::ThreadPool>(options_.workers)) {
+      pool_(std::make_unique<exec::ThreadPool>(options_.workers)),
+      recorder_(options_.flight_recorder_capacity) {
   if (options_.enable_metrics) obs::SetMetricsEnabled(true);
   watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
@@ -85,21 +102,66 @@ size_t Server::outstanding() const {
 
 std::string Server::HandleLine(const std::string& line) {
   obs::ScopedTimer timer("serve.request");
+  obs::Stopwatch wall;
+  RequestSummary record;
+  record.serial = request_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+
   ParsedLine parsed = ParseRequestLine(line, options_.max_line_bytes);
-  json::Value response = parsed.ok ? Dispatch(parsed.request) : parsed.error;
-  const json::Value* ok = response.Find("ok");
-  if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
-    obs::CountIf("anonsafe_serve_errors_total");
+  if (parsed.ok) record.verb = parsed.request.verb;
+  json::Value response =
+      parsed.ok ? Dispatch(parsed.request, &record) : parsed.error;
+
+  record.total_ms = wall.Seconds() * 1e3;
+  record.outcome = ResponseOutcome(response);
+  if (record.outcome != "ok") obs::CountIf("anonsafe_serve_errors_total");
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetCounterWithLabels(
+            "anonsafe_serve_requests_total",
+            {{"verb", record.verb.empty() ? "(invalid)" : record.verb},
+             {"outcome", record.outcome}},
+            "serve requests by verb and outcome")
+        ->Increment();
+  }
+  // The per-request access log. Guarded so a server at error/warn level
+  // pays nothing per request beyond the atomic load.
+  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
+    obs::LogFields fields;
+    fields.emplace_back("serial", json::Value(uint64_t{record.serial}));
+    fields.emplace_back("verb", json::Value(record.verb));
+    fields.emplace_back("outcome", json::Value(record.outcome));
+    if (!record.dataset.empty()) {
+      fields.emplace_back("dataset", json::Value(record.dataset));
+    }
+    if (!record.estimator.empty()) {
+      fields.emplace_back("estimator", json::Value(record.estimator));
+    }
+    fields.emplace_back("queue_ms", json::Value(record.queue_ms));
+    fields.emplace_back("exec_ms", json::Value(record.exec_ms));
+    fields.emplace_back("total_ms", json::Value(record.total_ms));
+    if (!record.trace_id.empty()) {
+      fields.emplace_back("trace_id", json::Value(record.trace_id));
+    }
+    obs::Log(obs::LogLevel::kInfo, "serve.request", std::move(fields));
+  }
+  // Keep observation verbs out of the ring: a dashboard polling
+  // `metrics`/`debug` must not evict the requests worth debugging.
+  if (record.verb != "metrics" && record.verb != "debug") {
+    recorder_.Record(std::move(record));
   }
   return response.Dump();
 }
 
-json::Value Server::Dispatch(const Request& request) {
-  // Control verbs bypass admission: `metrics` must answer even under a
-  // full queue (that is when an operator needs it most) and `shutdown`
-  // must be able to stop a saturated server.
+json::Value Server::Dispatch(const Request& request,
+                             RequestSummary* record) {
+  // Control verbs bypass admission: `metrics` and `debug` must answer
+  // even under a full queue (that is when an operator needs them most)
+  // and `shutdown` must be able to stop a saturated server.
   if (request.verb == "metrics") {
     return MakeOkResponse(request.id, HandleMetrics());
+  }
+  if (request.verb == "debug") {
+    return MakeOkResponse(request.id, HandleDebug());
   }
   if (request.verb == "shutdown") return HandleShutdown(request.id);
   const bool compute_verb =
@@ -110,11 +172,13 @@ json::Value Server::Dispatch(const Request& request) {
     return MakeErrorResponse(request.id, kErrUnknownVerb,
                              "unknown verb '" + request.verb + "'");
   }
-  return RunAdmitted(request);
+  return RunAdmitted(request, record);
 }
 
-json::Value Server::RunAdmitted(const Request& request) {
+json::Value Server::RunAdmitted(const Request& request,
+                                RequestSummary* record) {
   {
+    obs::Stopwatch queue_wait;
     std::unique_lock<std::mutex> lock(mu_);
     if (draining_) {
       return MakeErrorResponse(request.id, kErrShuttingDown,
@@ -134,15 +198,35 @@ json::Value Server::RunAdmitted(const Request& request) {
       --waiting_;
     }
     ++running_;
+    record->queue_ms = queue_wait.Seconds() * 1e3;
   }
 
   Result<json::Value> outcome =
       Status::Internal("request task never ran");  // overwritten below
+  // Created when the client opted in (`"trace": true`), when the server
+  // watches for slow requests, or when process-wide tracing is on. One
+  // tree per request: the scope below installs it on the executing
+  // worker, and ExecContext carries it into nested parallel fan-outs.
+  std::unique_ptr<obs::TraceContext> trace_context;
+  bool want_trace_field = false;
   {
     Result<exec::ExecOptions> exec_options =
         ExecOptionsFromParams(request.params);
-    if (exec_options.ok()) {
+    Result<bool> trace_param = request.params.GetBoolOr("trace", false);
+    if (!exec_options.ok()) {
+      outcome = exec_options.status();
+    } else if (!trace_param.ok()) {
+      outcome = trace_param.status();
+    } else {
+      want_trace_field = *trace_param;
+      if (want_trace_field || options_.slow_request_ms > 0 ||
+          obs::TracingEnabled()) {
+        trace_context = std::make_unique<obs::TraceContext>(
+            "req-" + std::to_string(record->serial));
+        record->trace_id = trace_context->trace_id();
+      }
       exec::ExecContext ctx(*exec_options);
+      ctx.set_trace(trace_context.get());
 
       Result<double> deadline_ms = request.params.GetNumberOr(
           "deadline_ms", static_cast<double>(options_.default_deadline_ms));
@@ -160,17 +244,57 @@ json::Value Server::RunAdmitted(const Request& request) {
         // The connection thread waits; the shared pool executes. Pool
         // occupancy never exceeds `workers` because admission capped
         // `running_` above.
+        obs::Stopwatch exec_watch;
         std::promise<void> done;
         pool_->Submit([&] {
+          obs::TraceContextScope trace_scope(trace_context.get());
           outcome = RunVerb(request, &ctx);
           done.set_value();
         });
         done.get_future().wait();
+        record->exec_ms = exec_watch.Seconds() * 1e3;
         if (has_deadline) UnregisterDeadline(deadline_serial);
       }
-    } else {
-      outcome = exec_options.status();
     }
+  }
+
+  // Provenance for the access log / flight recorder: the dataset key
+  // (the request param, or the content hash `load_dataset` computed)
+  // and the estimator the risk report actually used (per-request
+  // provenance, not the requested default).
+  if (const json::Value* ds = request.params.Find("dataset")) {
+    if (ds->is_string()) record->dataset = ds->AsString();
+  }
+  if (outcome.ok()) {
+    if (const json::Value* ds = outcome->Find("dataset")) {
+      if (ds->is_string()) record->dataset = ds->AsString();
+    }
+    if (request.verb == "assess_risk") {
+      if (const json::Value* report = outcome->Find("report")) {
+        if (const json::Value* recipe = report->Find("recipe")) {
+          if (const json::Value* est = recipe->Find("estimator")) {
+            if (est->is_string()) record->estimator = est->AsString();
+          }
+        }
+      }
+    }
+  }
+
+  // Slow-request autopsy: the merged span tree, as a warn log line,
+  // while the request is still the freshest thing in the recorder.
+  if (options_.slow_request_ms > 0 && trace_context != nullptr &&
+      record->exec_ms >
+          static_cast<double>(options_.slow_request_ms) &&
+      obs::LogEnabled(obs::LogLevel::kWarn)) {
+    obs::LogFields fields;
+    fields.emplace_back("trace_id", json::Value(record->trace_id));
+    fields.emplace_back("verb", json::Value(request.verb));
+    fields.emplace_back("exec_ms", json::Value(record->exec_ms));
+    fields.emplace_back("slow_request_ms",
+                        json::Value(uint64_t{options_.slow_request_ms}));
+    fields.emplace_back("trace_table",
+                        json::Value(trace_context->tracer().RenderTable()));
+    obs::Log(obs::LogLevel::kWarn, "serve.slow_request", std::move(fields));
   }
 
   // Build the full response envelope BEFORE releasing the slot, so when
@@ -182,6 +306,18 @@ json::Value Server::RunAdmitted(const Request& request) {
           : MakeErrorResponse(request.id,
                               ErrorCodeForStatus(outcome.status()),
                               outcome.status().message());
+
+  // The opt-in trace rides on the envelope, not inside `result`, so the
+  // result document stays bit-identical to the untraced (and one-shot
+  // CLI) output.
+  if (want_trace_field && trace_context != nullptr) {
+    json::Value trace = json::Value::Object();
+    trace.Set("trace_id", json::Value(record->trace_id));
+    Result<json::Value> spans =
+        json::Value::Parse(trace_context->tracer().ToJson());
+    if (spans.ok()) trace.Set("spans", std::move(*spans));
+    response.Set("trace", std::move(trace));
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -348,6 +484,7 @@ Result<json::Value> Server::HandleSimilarity(const json::Value& params,
 
 Result<json::Value> Server::HandleSleep(const json::Value& params,
                                         exec::ExecContext* ctx) {
+  obs::ScopedTimer timer("serve.sleep");
   ANONSAFE_ASSIGN_OR_RETURN(double millis, params.GetNumber("millis"));
   if (millis < 0) return Status::InvalidArgument("millis must be >= 0");
   const auto deadline = std::chrono::steady_clock::now() +
@@ -373,10 +510,47 @@ json::Value Server::HandleMetrics() {
   return result;
 }
 
+json::Value Server::HandleDebug() {
+  json::Value recorder = json::Value::Object();
+  recorder.Set("capacity", json::Value(uint64_t{recorder_.capacity()}));
+  recorder.Set("recorded", json::Value(uint64_t{recorder_.total_recorded()}));
+  json::Value requests = json::Value::Array();
+  for (const RequestSummary& summary : recorder_.Snapshot()) {
+    requests.Append(RequestSummaryToJson(summary));
+  }
+  recorder.Set("requests", std::move(requests));
+
+  json::Value result = json::Value::Object();
+  result.Set("flight_recorder", std::move(recorder));
+  result.Set("workers", json::Value(uint64_t{options_.workers}));
+  result.Set("queue_capacity", json::Value(uint64_t{options_.queue_capacity}));
+  result.Set("slow_request_ms",
+             json::Value(uint64_t{options_.slow_request_ms}));
+  result.Set("log_level", json::Value(obs::LogLevelName(obs::GetLogLevel())));
+  result.Set("outstanding", json::Value(uint64_t{outstanding()}));
+  return result;
+}
+
 json::Value Server::HandleShutdown(const json::Value& id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  draining_ = true;
-  drain_cv_.wait(lock, [&] { return running_ + waiting_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    drain_cv_.wait(lock, [&] { return running_ + waiting_ == 0; });
+  }
+  // Graceful-shutdown dump: the flight recorder's content would die with
+  // the process; emit it while the log sink is still alive.
+  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
+    json::Value requests = json::Value::Array();
+    for (const RequestSummary& summary : recorder_.Snapshot()) {
+      requests.Append(RequestSummaryToJson(summary));
+    }
+    obs::LogFields fields;
+    fields.emplace_back("recorded",
+                        json::Value(uint64_t{recorder_.total_recorded()}));
+    fields.emplace_back("requests", std::move(requests));
+    obs::Log(obs::LogLevel::kInfo, "serve.flight_recorder_dump",
+             std::move(fields));
+  }
   json::Value result = json::Value::Object();
   result.Set("drained", json::Value(true));
   return MakeOkResponse(id, std::move(result));

@@ -1,6 +1,7 @@
 #ifndef ANONSAFE_SERVE_SERVER_H_
 #define ANONSAFE_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -11,7 +12,9 @@
 #include <vector>
 
 #include "exec/exec.h"
+#include "obs/trace.h"
 #include "serve/dataset_cache.h"
+#include "serve/flight_recorder.h"
 #include "serve/protocol.h"
 #include "util/result.h"
 
@@ -50,6 +53,15 @@ struct ServerOptions {
   /// Enables test-only verbs (`sleep`) used by the protocol tests to
   /// exercise deadlines, backpressure and drains deterministically.
   bool enable_test_verbs = false;
+
+  /// Requests whose verb execution exceeds this many milliseconds get
+  /// their merged span tree dumped as a `serve.slow_request` warn log
+  /// line. 0 disables the threshold (and the tracing it implies).
+  uint64_t slow_request_ms = 0;
+
+  /// Request summaries retained by the flight recorder (the `debug`
+  /// verb and the shutdown dump). Clamped to at least 1.
+  size_t flight_recorder_capacity = 64;
 };
 
 /// \brief The long-running risk-assessment service core: newline-delimited
@@ -57,7 +69,8 @@ struct ServerOptions {
 /// of the transport (stdin/stdout and TCP both funnel into `HandleLine`).
 ///
 /// Verbs: `load_dataset`, `assess_risk`, `oestimate`, `similarity`,
-/// `metrics`, `shutdown` (see docs/SERVER.md for the schema). Responses
+/// `metrics`, `debug`, `shutdown` (see docs/SERVER.md for the schema).
+/// Responses
 /// are deterministic: `assess_risk` returns the exact `RiskReport::ToJson`
 /// document the one-shot CLI prints, bit-identical at any thread count.
 ///
@@ -94,6 +107,9 @@ class Server {
   const ServerOptions& options() const { return options_; }
   DatasetCache& dataset_cache() { return cache_; }
 
+  /// \brief Access to the flight recorder (exposed for tests).
+  const FlightRecorder& flight_recorder() const { return recorder_; }
+
  private:
   struct DeadlineEntry {
     uint64_t serial;
@@ -101,8 +117,8 @@ class Server {
     std::chrono::steady_clock::time_point deadline;
   };
 
-  json::Value Dispatch(const Request& request);
-  json::Value RunAdmitted(const Request& request);
+  json::Value Dispatch(const Request& request, RequestSummary* record);
+  json::Value RunAdmitted(const Request& request, RequestSummary* record);
   Result<json::Value> RunVerb(const Request& request,
                               exec::ExecContext* ctx);
 
@@ -116,6 +132,7 @@ class Server {
   Result<json::Value> HandleSleep(const json::Value& params,
                                   exec::ExecContext* ctx);
   json::Value HandleMetrics();
+  json::Value HandleDebug();
   json::Value HandleShutdown(const json::Value& id);
 
   uint64_t RegisterDeadline(exec::ExecContext* ctx,
@@ -126,6 +143,8 @@ class Server {
   const ServerOptions options_;
   DatasetCache cache_;
   std::unique_ptr<exec::ThreadPool> pool_;
+  FlightRecorder recorder_;
+  std::atomic<uint64_t> request_serial_{0};
 
   mutable std::mutex mu_;
   std::condition_variable slot_cv_;   // a running slot freed

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -23,6 +24,7 @@
 #include "mining/rules.h"
 #include "datagen/benchmark_profiles.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/server.h"
@@ -190,11 +192,26 @@ Status RunServe(const CliInvocation& cli, std::ostream& out) {
   ANONSAFE_ASSIGN_OR_RETURN(
       uint64_t deadline_ms,
       FlagAsUint64(cli, "deadline-ms", options.default_deadline_ms));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t slow_ms, FlagAsUint64(cli, "slow-ms", options.slow_request_ms));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t flight_recorder,
+      FlagAsUint64(cli, "flight-recorder", options.flight_recorder_capacity));
   options.workers = static_cast<size_t>(workers);
   options.queue_capacity = static_cast<size_t>(queue_capacity);
   options.max_line_bytes = static_cast<size_t>(max_line_bytes);
   options.dataset_cache_capacity = static_cast<size_t>(cache_capacity);
   options.default_deadline_ms = deadline_ms;
+  options.slow_request_ms = slow_ms;
+  options.flight_recorder_capacity = static_cast<size_t>(flight_recorder);
+
+  // A server is the one place the access-log stream earns its keep: when
+  // the operator set no level (flag or environment), raise the default
+  // from warn to info so per-request lines flow.
+  if (cli.flags.count("log-level") == 0 &&
+      std::getenv("ANONSAFE_LOG_LEVEL") == nullptr) {
+    obs::SetLogLevel(obs::LogLevel::kInfo);
+  }
 
   serve::Server server(options);
   if (cli.flags.count("port") == 0) {
@@ -568,7 +585,30 @@ Result<uint64_t> FlagAsUint64(const CliInvocation& cli,
 }
 
 Status RunCli(const CliInvocation& cli, std::ostream& out) {
-  const bool trace = cli.flags.count("trace") > 0;
+  if (auto it = cli.flags.find("log-level"); it != cli.flags.end()) {
+    ANONSAFE_ASSIGN_OR_RETURN(obs::LogLevel level,
+                              obs::ParseLogLevel(it->second));
+    obs::SetLogLevel(level);
+  }
+  if (auto it = cli.flags.find("log-file"); it != cli.flags.end()) {
+    ANONSAFE_RETURN_IF_ERROR(obs::SetLogFile(it->second));
+  }
+
+  // `--trace-format`/`--trace-out` imply `--trace`.
+  const auto trace_out_it = cli.flags.find("trace-out");
+  std::string trace_format = "table";
+  if (auto it = cli.flags.find("trace-format"); it != cli.flags.end()) {
+    trace_format = it->second;
+  }
+  if (trace_format != "table" && trace_format != "json" &&
+      trace_format != "chrome") {
+    return Status::InvalidArgument(
+        "--trace-format must be table, json or chrome; got '" +
+        trace_format + "'");
+  }
+  const bool trace = cli.flags.count("trace") > 0 ||
+                     cli.flags.count("trace-format") > 0 ||
+                     trace_out_it != cli.flags.end();
   const auto metrics_it = cli.flags.find("metrics-out");
   const bool metrics = metrics_it != cli.flags.end();
   if (trace) {
@@ -583,8 +623,30 @@ Status RunCli(const CliInvocation& cli, std::ostream& out) {
   Status status = DispatchCommand(cli, out);
 
   if (trace) {
-    out << "\ntrace (" << cli.command << "):\n"
-        << obs::Tracer::ThreadLocal().RenderTable();
+    const obs::Tracer& tracer = obs::Tracer::ThreadLocal();
+    std::string rendered;
+    if (trace_format == "table") {
+      rendered = "\ntrace (" + cli.command + "):\n" + tracer.RenderTable();
+    } else if (trace_format == "json") {
+      rendered = tracer.ToJson() + "\n";
+    } else {
+      rendered = obs::ExportChromeTrace(tracer, "cli-" + cli.command) + "\n";
+    }
+    if (trace_out_it != cli.flags.end()) {
+      std::ofstream trace_file(trace_out_it->second);
+      if (trace_file) trace_file << rendered;
+      if (!trace_file) {
+        if (status.ok()) {
+          status = Status::IOError("cannot write trace to '" +
+                                   trace_out_it->second + "'");
+        }
+      } else {
+        out << "trace: " << trace_out_it->second << " (" << trace_format
+            << ")\n";
+      }
+    } else {
+      out << rendered;
+    }
   }
   if (metrics) {
     Status written = obs::WriteMetricsFiles(obs::MetricsRegistry::Global(),
@@ -617,6 +679,7 @@ std::string CliUsage() {
       "                                        full risk report\n"
       "  serve [--port=N] [--workers=1] [--queue-capacity=16]\n"
       "        [--deadline-ms=0] [--cache-capacity=8] [--max-line-bytes=]\n"
+      "        [--slow-ms=0] [--flight-recorder=64]\n"
       "                                        long-running JSON service\n"
       "                                        (stdio without --port;\n"
       "                                        see docs/SERVER.md)\n"
@@ -636,8 +699,18 @@ std::string CliUsage() {
       "  --threads=N           worker threads for parallel phases (0 = all\n"
       "                        cores); results are identical for any N\n"
       "  --trace               print a per-phase timing tree after the run\n"
+      "  --trace-format=<fmt>  trace output format: table (default), json,\n"
+      "                        or chrome (Perfetto-loadable trace events);\n"
+      "                        implies --trace\n"
+      "  --trace-out=<path>    write the trace to a file instead of stdout;\n"
+      "                        implies --trace\n"
       "  --metrics-out=<path>  write run metrics as JSON (plus a .prom\n"
       "                        sibling in Prometheus text format)\n"
+      "  --log-level=<level>   structured-log threshold: error, warn\n"
+      "                        (default), info, debug; also via the\n"
+      "                        ANONSAFE_LOG_LEVEL env var\n"
+      "  --log-file=<path>     append JSON log lines to a file instead of\n"
+      "                        stderr\n"
       "\n"
       "Transaction files are FIMI format: one transaction per line,\n"
       "whitespace-separated integer item labels.\n";

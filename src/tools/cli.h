@@ -50,9 +50,18 @@ Result<uint64_t> FlagAsUint64(const CliInvocation& cli,
 ///
 ///   --trace               enable scoped tracing for the run and append the
 ///                         per-phase span tree (indented timing table)
+///   --trace-format=<fmt>  trace rendering: `table` (default), `json`
+///                         (Tracer::ToJson) or `chrome` (trace-event JSON
+///                         loadable in Perfetto); implies --trace
+///   --trace-out=<path>    write the rendered trace to a file instead of
+///                         `out`; implies --trace
 ///   --metrics-out=<path>  enable metrics, reset the process registry, and
 ///                         after the run write it to `<path>` as JSON plus
 ///                         a `.prom` sibling in Prometheus text format
+///   --log-level=<level>   structured-log threshold (error|warn|info|debug);
+///                         overrides the ANONSAFE_LOG_LEVEL env var
+///   --log-file=<path>     append JSON log lines to `<path>` instead of
+///                         stderr
 ///
 /// Returns the first error encountered; `out` receives partial output.
 Status RunCli(const CliInvocation& cli, std::ostream& out);

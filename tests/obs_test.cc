@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
+#include "util/json.h"
 
 // Allocation counter for the disabled-mode zero-cost test. Overriding the
 // global operators in this translation unit makes every heap allocation in
@@ -362,7 +363,8 @@ TEST(ExportTest, JsonGolden) {
             "  ],\n"
             "  \"histograms\": [\n"
             "    {\"name\": \"latency_seconds\", \"count\": 3, \"sum\": 12, "
-            "\"p50\": 1.5, \"p95\": 2, \"p99\": 2, \"buckets\": "
+            "\"p50\": 1.5, \"p95\": 2, \"p99\": 2, \"overflow\": 1, "
+            "\"buckets\": "
             "[{\"le\": 1, \"count\": 1}, {\"le\": 2, \"count\": 1}, "
             "{\"le\": \"+Inf\", \"count\": 1}]}\n"
             "  ]\n"
@@ -402,6 +404,103 @@ TEST(ExportTest, PrometheusGolden) {
             "latency_seconds_p95 2\n"
             "# TYPE latency_seconds_p99 gauge\n"
             "latency_seconds_p99 2\n");
+}
+
+TEST(ExportTest, PrometheusEscapesHostileHelpText) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("hostile_total",
+                      "line one\nline \"two\" with \\ backslash")
+      ->Increment();
+  std::string text = obs::ExportPrometheus(registry);
+  // The exposition format requires \n, \" and \\ escapes; a raw newline in
+  // HELP would break every scraper.
+  EXPECT_NE(text.find("# HELP hostile_total "
+                      "line one\\nline \\\"two\\\" with \\\\ backslash\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("line one\nline"), std::string::npos);
+}
+
+TEST(ExportTest, LabeledCountersExport) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("other_total")->Increment(7);
+  obs::Counter* ok = registry.GetCounterWithLabels(
+      "requests_total", {{"verb", "assess_risk"}, {"outcome", "ok"}},
+      "requests by verb/outcome");
+  obs::Counter* bad = registry.GetCounterWithLabels(
+      "requests_total", {{"verb", "assess_risk"}, {"outcome", "bad_request"}});
+  ok->Increment(3);
+  ok->Increment(2);
+  bad->Increment();
+  // Same (name, labels) key returns the same series.
+  EXPECT_EQ(registry.GetCounterWithLabels(
+                "requests_total",
+                {{"verb", "assess_risk"}, {"outcome", "ok"}}),
+            ok);
+
+  std::string json = obs::ExportJson(registry);
+  EXPECT_NE(json.find("{\"name\": \"requests_total\", \"labels\": "
+                      "{\"verb\": \"assess_risk\", \"outcome\": "
+                      "\"bad_request\"}, \"value\": 1}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"outcome\": \"ok\"}, \"value\": 5}"),
+            std::string::npos);
+
+  std::string prom = obs::ExportPrometheus(registry);
+  // One HELP/TYPE header for the family, labeled series right after it.
+  EXPECT_EQ(prom.find("# TYPE requests_total counter"),
+            prom.rfind("# TYPE requests_total counter"));
+  EXPECT_NE(
+      prom.find("requests_total{verb=\"assess_risk\",outcome=\"ok\"} 5\n"),
+      std::string::npos);
+  EXPECT_NE(prom.find("requests_total{verb=\"assess_risk\","
+                      "outcome=\"bad_request\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ExportTest, PrometheusEscapesLabelValues) {
+  obs::MetricsRegistry registry;
+  registry
+      .GetCounterWithLabels("evil_total", {{"verb", "a\"b\\c\nd"}})
+      ->Increment();
+  std::string prom = obs::ExportPrometheus(registry);
+  EXPECT_NE(prom.find("evil_total{verb=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceShape) {
+  obs::Tracer tracer;
+  tracer.Clear();
+  size_t root = tracer.OpenSpan("assess_risk");
+  size_t child = tracer.OpenSpan("oestimate");
+  tracer.Annotate(child, "blocks", "4");
+  tracer.CloseSpan(child);
+  tracer.CloseSpan(root);
+
+  std::string text = obs::ExportChromeTrace(tracer, "cli-assess");
+  Result<json::Value> parsed = json::Value::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const json::Value& doc = parsed.value();
+  EXPECT_EQ(doc.GetStringOr("displayTimeUnit", "").value(), "ms");
+  const json::Value* other = doc.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->GetStringOr("trace_id", "").value(), "cli-assess");
+
+  const json::Value* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Metadata event + one "X" event per span.
+  ASSERT_EQ(events->items().size(), 3u);
+  EXPECT_EQ(events->items()[0].GetStringOr("ph", "").value(), "M");
+  const json::Value& root_event = events->items()[1];
+  EXPECT_EQ(root_event.GetStringOr("ph", "").value(), "X");
+  EXPECT_EQ(root_event.GetStringOr("name", "").value(), "assess_risk");
+  const json::Value& child_event = events->items()[2];
+  EXPECT_EQ(child_event.GetStringOr("name", "").value(), "oestimate");
+  const json::Value* args = child_event.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->GetNumberOr("parent", -1).value(), 0.0);
+  EXPECT_EQ(args->GetStringOr("blocks", "").value(), "4");
+  EXPECT_EQ(args->GetStringOr("trace_id", "").value(), "cli-assess");
 }
 
 TEST(ExportTest, PrometheusPathReplacesExtension) {

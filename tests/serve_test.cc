@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
 #include "tools/cli.h"
@@ -503,6 +504,275 @@ TEST(ServeTransportTest, TcpSessionEndToEnd) {
   auto drained = json::Value::Parse(line);
   ASSERT_TRUE(drained.ok());
   EXPECT_TRUE(IsOk(*drained));
+}
+
+// ------------------------------------------------ Request observability
+
+// The timing-free shape of a span exported in a response's `trace` field.
+std::string TraceShape(const json::Value& response) {
+  const json::Value* trace = response.Find("trace");
+  if (trace == nullptr) return "";
+  const json::Value* spans = trace->Find("spans");
+  if (spans == nullptr || !spans->is_array()) return "";
+  std::string shape;
+  for (const json::Value& span : spans->items()) {
+    shape += span.GetStringOr("name", "?").value();
+    shape += "@" + std::to_string(
+                       static_cast<long long>(span.GetNumberOr("depth", -1)
+                                                  .value()));
+    const json::Value* parent = span.Find("parent");
+    if (parent != nullptr && parent->is_number()) {
+      shape += "<" + std::to_string(
+                         static_cast<long long>(parent->AsDouble()));
+    }
+    if (const json::Value* annotations = span.Find("annotations")) {
+      shape += annotations->Dump();
+    }
+    shape += ";";
+  }
+  return shape;
+}
+
+TEST(ServeObsTest, TraceFieldIsOptIn) {
+  Server server;
+  std::string key = LoadDataset(server);
+
+  json::Value plain = Send(
+      server, "{\"schema_version\":1,\"id\":2,\"verb\":\"assess_risk\","
+              "\"params\":{\"dataset\":\"" + key + "\"}}");
+  ASSERT_TRUE(IsOk(plain));
+  EXPECT_EQ(plain.Find("trace"), nullptr);
+
+  json::Value traced = Send(
+      server, "{\"schema_version\":1,\"id\":3,\"verb\":\"assess_risk\","
+              "\"params\":{\"dataset\":\"" + key + "\",\"trace\":true}}");
+  ASSERT_TRUE(IsOk(traced));
+  const json::Value* trace = traced.Find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->GetStringOr("trace_id", "").value(), "req-3");
+  const json::Value* spans = trace->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_TRUE(spans->is_array());
+  EXPECT_FALSE(spans->items().empty());
+  EXPECT_EQ(spans->items()[0].GetStringOr("name", "").value(),
+            "serve.assess_risk");
+
+  // The trace rides on the envelope; the result stays bit-identical to
+  // the untraced run.
+  EXPECT_EQ(plain.Find("result")->Dump(), traced.Find("result")->Dump());
+}
+
+TEST(ServeObsTest, TracedSpanTreeIdenticalAtOneAndEightThreads) {
+  // Fresh server per thread count: repeated assess_risk on one server
+  // reuses cached recipe artifacts, which legitimately skips spans.
+  auto traced_assess = [](size_t threads) {
+    Server server;
+    std::string key = LoadDataset(server);
+    return Send(
+        server, "{\"schema_version\":1,\"id\":2,\"verb\":\"assess_risk\","
+                "\"params\":{\"dataset\":\"" + key +
+                "\",\"trace\":true,\"threads\":" + std::to_string(threads) +
+                "}}");
+  };
+  json::Value one = traced_assess(1);
+  json::Value eight = traced_assess(8);
+  ASSERT_TRUE(IsOk(one));
+  ASSERT_TRUE(IsOk(eight));
+  std::string shape_one = TraceShape(one);
+  ASSERT_FALSE(shape_one.empty());
+  EXPECT_EQ(shape_one, TraceShape(eight));
+  // And the results themselves are bit-identical, as ever.
+  EXPECT_EQ(one.Find("result")->Dump(), eight.Find("result")->Dump());
+}
+
+TEST(ServeObsTest, FlightRecorderRetainsOutcomes) {
+  ServerOptions options;
+  options.enable_test_verbs = true;
+  options.workers = 1;
+  options.queue_capacity = 0;
+  Server server(options);
+  std::string key = LoadDataset(server);
+
+  // A deadline-exceeded request.
+  Send(server, "{\"schema_version\":1,\"verb\":\"sleep\","
+               "\"params\":{\"millis\":60000,\"deadline_ms\":50}}");
+  // A queue-rejected request: occupy the single worker, then overflow.
+  std::thread occupant([&] {
+    server.HandleLine(
+        "{\"schema_version\":1,\"verb\":\"sleep\","
+        "\"params\":{\"millis\":300}}");
+  });
+  while (server.outstanding() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Send(server,
+       "{\"schema_version\":1,\"verb\":\"sleep\",\"params\":{\"millis\":1}}");
+  occupant.join();
+  // And a parse error.
+  server.HandleLine("not json");
+
+  std::vector<std::string> outcomes;
+  for (const RequestSummary& summary : server.flight_recorder().Snapshot()) {
+    outcomes.push_back(summary.verb + ":" + summary.outcome);
+  }
+  auto has = [&](const std::string& entry) {
+    return std::count(outcomes.begin(), outcomes.end(), entry) > 0;
+  };
+  EXPECT_TRUE(has("load_dataset:ok"));
+  EXPECT_TRUE(has(std::string("sleep:") + kErrDeadlineExceeded));
+  EXPECT_TRUE(has(std::string("sleep:") + kErrQueueFull));
+  EXPECT_TRUE(has(std::string(":") + kErrParse));
+  EXPECT_TRUE(has("sleep:ok"));
+}
+
+TEST(ServeObsTest, FlightRecorderEvictsOldestAndSkipsControlVerbs) {
+  ServerOptions options;
+  options.flight_recorder_capacity = 2;
+  Server server(options);
+  std::string key = LoadDataset(server);
+  Send(server, "{\"schema_version\":1,\"id\":2,\"verb\":\"assess_risk\","
+               "\"params\":{\"dataset\":\"" + key + "\"}}");
+  // `metrics` and `debug` are observers, not requests worth debugging —
+  // polling them must not evict real entries.
+  Send(server, "{\"schema_version\":1,\"verb\":\"metrics\"}");
+  Send(server, "{\"schema_version\":1,\"verb\":\"debug\"}");
+
+  std::vector<RequestSummary> entries = server.flight_recorder().Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].verb, "load_dataset");
+  EXPECT_EQ(entries[1].verb, "assess_risk");
+  EXPECT_EQ(server.flight_recorder().total_recorded(), 2u);
+
+  // A third real request evicts the oldest.
+  Send(server, "{\"schema_version\":1,\"id\":3,\"verb\":\"assess_risk\","
+               "\"params\":{\"dataset\":\"" + key + "\"}}");
+  entries = server.flight_recorder().Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].verb, "assess_risk");
+  EXPECT_EQ(entries[1].verb, "assess_risk");
+}
+
+TEST(ServeObsTest, DebugVerbReportsRecorderAndConfig) {
+  ServerOptions options;
+  options.workers = 3;
+  options.slow_request_ms = 250;
+  Server server(options);
+  std::string key = LoadDataset(server);
+
+  json::Value response =
+      Send(server, "{\"schema_version\":1,\"id\":9,\"verb\":\"debug\"}");
+  ASSERT_TRUE(IsOk(response));
+  const json::Value* result = response.Find("result");
+  ASSERT_NE(result, nullptr);
+  EXPECT_EQ(result->GetNumberOr("workers", 0).value(), 3.0);
+  EXPECT_EQ(result->GetNumberOr("slow_request_ms", 0).value(), 250.0);
+  EXPECT_EQ(result->GetNumberOr("outstanding", -1).value(), 0.0);
+  EXPECT_FALSE(result->GetStringOr("log_level", "").value().empty());
+
+  const json::Value* recorder = result->Find("flight_recorder");
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->GetNumberOr("recorded", 0).value(), 1.0);
+  const json::Value* requests = recorder->Find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_TRUE(requests->is_array());
+  ASSERT_EQ(requests->items().size(), 1u);
+  const json::Value& entry = requests->items()[0];
+  EXPECT_EQ(entry.GetStringOr("verb", "").value(), "load_dataset");
+  EXPECT_EQ(entry.GetStringOr("outcome", "").value(), "ok");
+  EXPECT_TRUE(entry.Find("total_ms") != nullptr);
+}
+
+TEST(ServeObsTest, AccessLogAndShutdownDump) {
+  std::mutex log_mu;
+  std::vector<std::string> lines;
+  obs::LogLevel previous = obs::GetLogLevel();
+  obs::SetLogLevel(obs::LogLevel::kInfo);
+  obs::SetLogSinkForTest([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    lines.push_back(line);
+  });
+
+  {
+    Server server;
+    std::string key = LoadDataset(server);
+    Send(server, "{\"schema_version\":1,\"id\":2,\"verb\":\"assess_risk\","
+                 "\"params\":{\"dataset\":\"" + key + "\"}}");
+    Send(server, "{\"schema_version\":1,\"verb\":\"shutdown\"}");
+  }
+  obs::SetLogSinkForTest(nullptr);
+  obs::SetLogLevel(previous);
+
+  // One serve.request access-log line per request (including shutdown),
+  // plus the flight-recorder dump emitted while draining.
+  std::vector<json::Value> requests;
+  const json::Value* dump = nullptr;
+  std::vector<json::Value> parsed_lines;
+  for (const std::string& line : lines) {
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    parsed_lines.push_back(std::move(*parsed));
+  }
+  for (const json::Value& v : parsed_lines) {
+    std::string event = v.GetStringOr("event", "").value();
+    if (event == "serve.request") requests.push_back(v);
+    if (event == "serve.flight_recorder_dump") dump = &v;
+  }
+  ASSERT_EQ(requests.size(), 3u);
+  EXPECT_EQ(requests[0].GetStringOr("verb", "").value(), "load_dataset");
+  EXPECT_EQ(requests[1].GetStringOr("verb", "").value(), "assess_risk");
+  EXPECT_EQ(requests[1].GetStringOr("outcome", "").value(), "ok");
+  EXPECT_FALSE(requests[1].GetStringOr("estimator", "").value().empty());
+  EXPECT_FALSE(requests[1].GetStringOr("dataset", "").value().empty());
+  EXPECT_TRUE(requests[1].Find("queue_ms") != nullptr);
+  EXPECT_TRUE(requests[1].Find("exec_ms") != nullptr);
+  EXPECT_TRUE(requests[1].Find("total_ms") != nullptr);
+
+  ASSERT_NE(dump, nullptr);
+  EXPECT_EQ(dump->GetNumberOr("recorded", 0).value(), 2.0);
+  const json::Value* dumped = dump->Find("requests");
+  ASSERT_NE(dumped, nullptr);
+  ASSERT_TRUE(dumped->is_array());
+  EXPECT_EQ(dumped->items().size(), 2u);
+}
+
+TEST(ServeObsTest, SlowRequestThresholdDumpsTrace) {
+  std::mutex log_mu;
+  std::vector<std::string> lines;
+  obs::LogLevel previous = obs::GetLogLevel();
+  obs::SetLogLevel(obs::LogLevel::kWarn);  // warn only: no access log
+  obs::SetLogSinkForTest([&](const std::string& line) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    lines.push_back(line);
+  });
+
+  ServerOptions options;
+  options.enable_test_verbs = true;
+  options.slow_request_ms = 10;
+  {
+    Server server(options);
+    Send(server, "{\"schema_version\":1,\"verb\":\"sleep\","
+                 "\"params\":{\"millis\":50}}");
+  }
+  obs::SetLogSinkForTest(nullptr);
+  obs::SetLogLevel(previous);
+
+  bool found = false;
+  for (const std::string& line : lines) {
+    auto parsed = json::Value::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    if (parsed->GetStringOr("event", "").value() != "serve.slow_request") {
+      continue;
+    }
+    found = true;
+    EXPECT_EQ(parsed->GetStringOr("verb", "").value(), "sleep");
+    EXPECT_GE(parsed->GetNumberOr("exec_ms", 0).value(), 10.0);
+    EXPECT_FALSE(parsed->GetStringOr("trace_id", "").value().empty());
+    // The dumped table contains the verb's span.
+    EXPECT_NE(parsed->GetStringOr("trace_table", "").value().find(
+                  "serve.sleep"),
+              std::string::npos);
+  }
+  EXPECT_TRUE(found);
 }
 
 }  // namespace

@@ -1,0 +1,250 @@
+// Request-scoped tracing: the merged span tree of a parallel region must
+// be *structurally* bit-identical at any thread count (names, parents,
+// depths, annotations — everything except wall-clock timings), because
+// chunks record into private fragment tracers that are merged back in
+// chunk-index order regardless of which thread ran which chunk.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/recipe.h"
+#include "data/frequency.h"
+#include "exec/exec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace anonsafe {
+namespace {
+
+/// The timing-free projection of a span tree: equal projections mean
+/// structurally identical trees.
+struct SpanShape {
+  std::string name;
+  size_t parent;
+  size_t depth;
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  bool operator==(const SpanShape& other) const {
+    return name == other.name && parent == other.parent &&
+           depth == other.depth && annotations == other.annotations;
+  }
+};
+
+std::vector<SpanShape> Shape(const obs::Tracer& tracer) {
+  std::vector<SpanShape> out;
+  out.reserve(tracer.spans().size());
+  for (const obs::SpanNode& node : tracer.spans()) {
+    out.push_back({node.name, node.parent, node.depth, node.annotations});
+  }
+  return out;
+}
+
+Result<FrequencyTable> MakeProfile(size_t num_items, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SupportCount> supports;
+  supports.reserve(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    supports.push_back(1 + rng.UniformUint64(500));
+  }
+  return FrequencyTable::FromSupports(std::move(supports), 1000);
+}
+
+// ------------------------------------------------ MergeChunkFragments
+
+TEST(TraceMergeTest, MergeChunkFragmentsRebasesIndicesAndDepths) {
+  obs::Tracer parent;
+  size_t root = parent.OpenSpan("fanout");
+
+  // Two fragments, the second with a nested child.
+  obs::Tracer frag0;
+  frag0.SetEpoch(parent.EnsureEpoch());
+  frag0.CloseSpan(frag0.OpenSpan("chunk0"));
+
+  obs::Tracer frag1;
+  frag1.SetEpoch(parent.epoch());
+  size_t c1 = frag1.OpenSpan("chunk1");
+  frag1.CloseSpan(frag1.OpenSpan("inner"));
+  frag1.CloseSpan(c1);
+
+  std::vector<std::vector<obs::SpanNode>> fragments;
+  fragments.push_back(frag0.TakeSpans());
+  fragments.push_back(frag1.TakeSpans());
+  parent.MergeChunkFragments(root, std::move(fragments));
+  parent.CloseSpan(root);
+
+  const std::vector<obs::SpanNode>& spans = parent.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "fanout");
+  EXPECT_EQ(spans[1].name, "chunk0");
+  EXPECT_EQ(spans[1].parent, 0u);
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].name, "chunk1");
+  EXPECT_EQ(spans[2].parent, 0u);
+  EXPECT_EQ(spans[3].name, "inner");
+  EXPECT_EQ(spans[3].parent, 2u);
+  EXPECT_EQ(spans[3].depth, 2u);
+  EXPECT_TRUE(spans[0].closed);
+}
+
+TEST(TraceMergeTest, MergeWithoutParentSplicesAsRoots) {
+  obs::Tracer parent;
+  obs::Tracer frag;
+  frag.SetEpoch(parent.EnsureEpoch());
+  frag.CloseSpan(frag.OpenSpan("lone"));
+  std::vector<std::vector<obs::SpanNode>> fragments;
+  fragments.push_back(frag.TakeSpans());
+  parent.MergeChunkFragments(obs::kNoSpan, std::move(fragments));
+  ASSERT_EQ(parent.spans().size(), 1u);
+  EXPECT_EQ(parent.spans()[0].parent, obs::kNoSpan);
+  EXPECT_EQ(parent.spans()[0].depth, 0u);
+}
+
+// --------------------------------------------------- ParallelForChunks
+
+std::vector<SpanShape> TracedParallelShape(size_t threads, size_t n,
+                                           size_t grain) {
+  obs::TraceContext context("test");
+  obs::TraceContextScope scope(&context);
+  exec::ExecOptions options;
+  options.threads = threads;
+  exec::ExecContext ctx(options);
+  size_t root = context.tracer().OpenSpan("region");
+  Status status = exec::ParallelForChunks(
+      &ctx, n, grain, [](size_t begin, size_t end) {
+        // A per-chunk span under the exec.chunk fragment root.
+        obs::Tracer* tracer = obs::Tracer::CurrentOrNull();
+        if (tracer != nullptr) {
+          size_t s = tracer->OpenSpan("body");
+          tracer->Annotate(s, "items", std::to_string(end - begin));
+          tracer->CloseSpan(s);
+        }
+        return Status::OK();
+      });
+  EXPECT_TRUE(status.ok());
+  context.tracer().CloseSpan(root);
+  return Shape(context.tracer());
+}
+
+TEST(TraceMergeTest, ParallelForChunksStructureIdenticalAcrossThreads) {
+  std::vector<SpanShape> sequential = TracedParallelShape(1, 1000, 64);
+  std::vector<SpanShape> parallel = TracedParallelShape(8, 1000, 64);
+  ASSERT_FALSE(sequential.empty());
+  EXPECT_EQ(sequential, parallel);
+
+  // Sanity: one exec.chunk fragment per chunk, annotated with its index,
+  // parented under the open "region" span.
+  size_t chunks = 0;
+  for (const SpanShape& s : sequential) {
+    if (s.name != "exec.chunk") continue;
+    EXPECT_EQ(s.parent, 0u);
+    ASSERT_FALSE(s.annotations.empty());
+    EXPECT_EQ(s.annotations[0].first, "chunk");
+    EXPECT_EQ(s.annotations[0].second, std::to_string(chunks));
+    ++chunks;
+  }
+  EXPECT_EQ(chunks, exec::NumChunks(1000, 64));
+}
+
+TEST(TraceMergeTest, UntracedParallelForChunksRecordsNothing) {
+  ASSERT_EQ(obs::Tracer::CurrentOrNull(), nullptr)
+      << "test requires tracing off";
+  exec::ExecOptions options;
+  options.threads = 4;
+  exec::ExecContext ctx(options);
+  Status status = exec::ParallelForChunks(
+      &ctx, 100, 10, [](size_t, size_t) { return Status::OK(); });
+  EXPECT_TRUE(status.ok());
+}
+
+// --------------------------------------------------------- AssessRisk
+
+std::vector<SpanShape> TracedAssessShape(size_t threads,
+                                         const FrequencyTable& table) {
+  obs::TraceContext context("req-test");
+  obs::TraceContextScope scope(&context);
+  RecipeOptions options;
+  options.tolerance = 0.1;
+  options.exec.threads = threads;
+  exec::ExecContext ctx(options.exec);
+  ctx.set_trace(&context);
+  auto result = AssessRisk(table, options, &ctx);
+  EXPECT_TRUE(result.ok());
+  return Shape(context.tracer());
+}
+
+TEST(TraceMergeTest, AssessRiskSpanTreeIdenticalAtOneAndEightThreads) {
+  auto table = MakeProfile(300, 17);
+  ASSERT_TRUE(table.ok());
+  std::vector<SpanShape> one = TracedAssessShape(1, *table);
+  std::vector<SpanShape> eight = TracedAssessShape(8, *table);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, eight);
+}
+
+// ------------------------------------------------------- TraceContext
+
+TEST(TraceMergeTest, TraceContextScopeNestsAndRestores) {
+  EXPECT_EQ(obs::Tracer::CurrentOrNull(), nullptr);
+  obs::TraceContext outer("outer");
+  {
+    obs::TraceContextScope outer_scope(&outer);
+    EXPECT_EQ(obs::Tracer::CurrentOrNull(), &outer.tracer());
+    {
+      obs::TraceContext inner("inner");
+      obs::TraceContextScope inner_scope(&inner);
+      EXPECT_EQ(obs::Tracer::CurrentOrNull(), &inner.tracer());
+    }
+    EXPECT_EQ(obs::Tracer::CurrentOrNull(), &outer.tracer());
+    // A nullptr context scope is a no-op, not an uninstall.
+    {
+      obs::TraceContextScope noop(nullptr);
+      EXPECT_EQ(obs::Tracer::CurrentOrNull(), &outer.tracer());
+    }
+  }
+  EXPECT_EQ(obs::Tracer::CurrentOrNull(), nullptr);
+}
+
+// ------------------------------------------------------- Forced closes
+
+TEST(TraceMergeTest, ForcedCloseCountsAndAnnotates) {
+  obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "anonsafe_trace_forced_closes_total");
+  uint64_t before = counter->value();
+
+  obs::Tracer tracer;
+  size_t outer = tracer.OpenSpan("outer");
+  tracer.OpenSpan("leaked_a");
+  tracer.OpenSpan("leaked_b");
+  // Closing `outer` out of order force-closes the two leaked spans.
+  tracer.CloseSpan(outer);
+
+  EXPECT_EQ(counter->value(), before + 2);
+  ASSERT_EQ(tracer.spans().size(), 3u);
+  for (size_t i = 1; i <= 2; ++i) {
+    const obs::SpanNode& node = tracer.spans()[i];
+    EXPECT_TRUE(node.closed);
+    ASSERT_FALSE(node.annotations.empty());
+    EXPECT_EQ(node.annotations.back().first, "forced_close");
+    EXPECT_EQ(node.annotations.back().second, "out-of-order");
+  }
+  // The targeted span itself is not a forced close.
+  EXPECT_TRUE(tracer.spans()[0].annotations.empty());
+
+  // CloseAllOpen is the orderly fragment epilogue: not a forced close.
+  obs::Tracer clean;
+  clean.OpenSpan("root");
+  clean.OpenSpan("child");
+  clean.CloseAllOpen();
+  EXPECT_EQ(counter->value(), before + 2);
+  EXPECT_TRUE(clean.spans()[0].closed);
+  EXPECT_TRUE(clean.spans()[1].closed);
+}
+
+}  // namespace
+}  // namespace anonsafe
