@@ -23,7 +23,13 @@
 # this run (pre_opt_ns is preserved). Timings are wall-machine-specific:
 # rebaseline whenever the harness moves to different hardware.
 #
-# After the kernel gate it also runs bench_planner (the block-decomposed
+# After the kernel gate it runs bench_serve (the epoll serve load
+# harness: 1k+ concurrent connections with p50/p95/p99 and req/s, plus
+# the assess_risk_batch amortization + bit-identity gates) and emits
+# BENCH_serve.json; the load phase self-skips when the sandbox has no
+# loopback TCP.
+#
+# It then runs bench_planner (the block-decomposed
 # estimator against the monolithic direct method, docs/ESTIMATORS.md)
 # and emits BENCH_planner.json with the measured speedups. The planner
 # section is informational — decomposition speedups are structural
@@ -145,6 +151,66 @@ if faster:
           f"baseline; consider scripts/check_perf.sh --rebaseline")
 print(f"check_perf: OK ({out_path} written)")
 PY
+
+# ---------------------------------------------------- serve load harness
+# bench_serve drives the epoll event loop with 1k+ concurrent loopback
+# connections and measures the assess_risk_batch amortization claim.
+# Gates: >=1000 connections served with zero errors (vacuous when the
+# sandbox has no loopback TCP), batch-of-16 < 3x one assess_risk, and
+# batch items bit-identical to sequential singles. Emits
+# BENCH_serve.json.
+SERVE_BENCH="${SERVE_BENCH:-build/bench/bench_serve}"
+if [[ -x "$SERVE_BENCH" ]]; then
+  serve_raw="$(mktemp)"
+  "$SERVE_BENCH" >"$serve_raw"
+  python3 - "$serve_raw" "BENCH_serve.json" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1:3]
+with open(raw_path) as f:
+    report = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+failures = []
+if report.get("skipped"):
+    print("check_perf: serve load phase SKIP "
+          f"({report.get('skip_reason', 'loopback TCP unavailable')})")
+else:
+    lat = report["latency"]
+    print(f"check_perf: serve: {report['connections']} connections, "
+          f"{report['requests']} requests, {report['rps']:.0f} req/s, "
+          f"p50 {lat['p50_ms']:.1f}ms / p95 {lat['p95_ms']:.1f}ms / "
+          f"p99 {lat['p99_ms']:.1f}ms")
+    if report["connections"] < 1000:
+        failures.append(f"only {report['connections']} connections "
+                        "(expected >= 1000)")
+    if report["errors"] != 0:
+        failures.append(f"{report['errors']} request errors under load")
+
+# The batch phase runs in-process, so it gates even without TCP.
+b = report["batch"]
+print(f"check_perf: serve batch: single {b['single_ms']:.2f}ms vs "
+      f"batch-of-{b['items']} {b['batch16_ms']:.2f}ms "
+      f"({b['ratio_vs_single']:.2f}x), bit_identical="
+      f"{str(b['bit_identical']).lower()}")
+if b["ratio_vs_single"] >= 3.0:
+    failures.append(f"batch-of-16 is {b['ratio_vs_single']:.2f}x a single "
+                    "assess_risk (gate: < 3x)")
+if not b["bit_identical"]:
+    failures.append("batch items not bit-identical to sequential singles")
+
+if failures:
+    for msg in failures:
+        print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: OK ({out_path} written)")
+PY
+  rm -f "$serve_raw"
+else
+  echo "check_perf: serve SKIP ($SERVE_BENCH not built)" >&2
+fi
 
 # ------------------------------------------------ planner vs monolithic
 if [[ ! -x "$PLANNER_BENCH" ]]; then

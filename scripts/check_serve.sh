@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # End-to-end validation of `anonsafe serve`: drive a scripted stdio
-# session (load -> assess x2 -> metrics -> shutdown) against a fixed
-# dataset and check that
+# session (load -> assess x2 -> metrics -> debug -> server_info ->
+# batch -> shutdown) against a fixed dataset and check that
 #   1. the assess_risk response embeds exactly the document the one-shot
 #      CLI prints with `report --json` (bit-identity), at 1 and 8 threads,
 #   2. the repeated load and assess hit the dataset / artifact caches
 #      (visible in the metrics response counters),
-#   3. shutdown drains: every request gets a response line, in order.
+#   3. shutdown drains: every request gets a response line, in order,
+#   4. the v2 surface works end to end: server_info advertises both
+#      schema versions plus limits, assess_risk_batch returns per-item
+#      envelopes with the default-params item bit-identical to the CLI
+#      report, and a second session under --tenant-rate/--tenant-burst
+#      refuses the request that overruns its burst with quota_exceeded.
 #
 # Usage:
 #   scripts/check_serve.sh [path/to/anonsafe]
@@ -52,7 +57,9 @@ cat > "$session" <<EOF
 {"schema_version":1,"id":4,"verb":"assess_risk","params":{"dataset":"DATASET_KEY","threads":8}}
 {"schema_version":1,"id":5,"verb":"metrics"}
 {"schema_version":1,"id":6,"verb":"debug"}
-{"schema_version":1,"id":7,"verb":"shutdown"}
+{"schema_version":2,"id":7,"verb":"server_info"}
+{"schema_version":2,"id":8,"verb":"assess_risk_batch","params":{"dataset":"DATASET_KEY","items":[{},{"tolerance":0.1},{"estimator":"nope"}]}}
+{"schema_version":1,"id":9,"verb":"shutdown"}
 EOF
 
 # First pass: learn the content-hash dataset key from a one-line session.
@@ -68,11 +75,11 @@ responses="$workdir/responses.jsonl"
 timeout 120 "$CLI" serve --workers=2 < "$session" > "$responses" \
   || fail "serve session did not complete cleanly"
 
-[[ "$(wc -l < "$responses")" -eq 7 ]] \
-  || fail "expected 7 response lines, got $(wc -l < "$responses")"
+[[ "$(wc -l < "$responses")" -eq 9 ]] \
+  || fail "expected 9 response lines, got $(wc -l < "$responses")"
 
 # Responses arrive in request order on one connection; ids confirm it.
-for i in 1 2 3 4 5 6 7; do
+for i in 1 2 3 4 5 6 7 8 9; do
   sed -n "${i}p" "$responses" | grep -q "\"id\":$i,\"ok\":true" \
     || fail "response $i missing or not ok: $(sed -n "${i}p" "$responses")"
 done
@@ -110,7 +117,54 @@ grep -q '"outcome":"ok"' <<<"$debug" \
   || fail "flight recorder entries lack outcomes"
 
 # 4. Shutdown drained and answered last.
-sed -n '7p' "$responses" | grep -q '"drained":true' \
+sed -n '9p' "$responses" | grep -q '"drained":true' \
   || fail "shutdown response missing drained:true"
 
-echo "check_serve: OK (key=$key; reports bit-identical at 1 and 8 threads; caches hit; debug verb live; drained)"
+# 5. server_info (v2 envelope echoed) advertises both schema versions,
+#    the batch verb and the server limits.
+info="$(sed -n '7p' "$responses")"
+grep -q '"schema_version":2,"id":7,"ok":true' <<<"$info" \
+  || fail "server_info response did not echo the v2 envelope"
+grep -q '"schema_versions":\[1,2\]' <<<"$info" \
+  || fail "server_info does not advertise schema versions 1 and 2"
+grep -q '"assess_risk_batch"' <<<"$info" \
+  || fail "server_info does not list assess_risk_batch"
+grep -q '"max_batch_items"' <<<"$info" \
+  || fail "server_info limits lack max_batch_items"
+
+# 6. assess_risk_batch: per-item envelopes — two ok items (the
+#    default-params one bit-identical to the one-shot CLI report) and an
+#    invalid_params envelope for the unknown estimator, with the batch
+#    response itself ok.
+batch="$(sed -n '8p' "$responses")"
+grep -qF "\"report\":$(cat "$workdir/cli.json")" <<<"$batch" \
+  || fail "batch default-params item differs from CLI report --json"
+[[ "$(grep -o '"ok":true' <<<"$batch" | wc -l)" -eq 3 ]] \
+  || fail "batch should carry two ok item envelopes plus its own ok"
+grep -q '"code":"invalid_params"' <<<"$batch" \
+  || fail "unknown-estimator item did not produce an invalid_params envelope"
+
+# 7. Tenant quotas: burst 2 at a negligible refill rate — the third
+#    request from the same tenant is refused with quota_exceeded while
+#    the session itself stays up and drains.
+quota_session="$workdir/quota_session.jsonl"
+cat > "$quota_session" <<EOF
+{"schema_version":2,"id":1,"tenant":"team-a","verb":"load_dataset","params":{"path":"$data"}}
+{"schema_version":2,"id":2,"tenant":"team-a","verb":"assess_risk","params":{"dataset":"$key"}}
+{"schema_version":2,"id":3,"tenant":"team-a","verb":"assess_risk","params":{"dataset":"$key"}}
+{"schema_version":1,"id":4,"verb":"shutdown"}
+EOF
+quota_responses="$workdir/quota_responses.jsonl"
+timeout 120 "$CLI" serve --tenant-rate=0.001 --tenant-burst=2 \
+  < "$quota_session" > "$quota_responses" \
+  || fail "quota session did not complete cleanly"
+[[ "$(wc -l < "$quota_responses")" -eq 4 ]] \
+  || fail "expected 4 quota-session responses, got $(wc -l < "$quota_responses")"
+sed -n '2p' "$quota_responses" | grep -q '"ok":true' \
+  || fail "request within the tenant burst was refused"
+sed -n '3p' "$quota_responses" | grep -q '"code":"quota_exceeded"' \
+  || fail "request over the tenant burst was not refused with quota_exceeded"
+sed -n '4p' "$quota_responses" | grep -q '"drained":true' \
+  || fail "quota session shutdown missing drained:true"
+
+echo "check_serve: OK (key=$key; reports bit-identical at 1 and 8 threads; caches hit; debug verb live; server_info + batch + quotas probed; drained)"

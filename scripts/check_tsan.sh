@@ -3,7 +3,9 @@
 # the suites that exercise it concurrently: the pool/ParallelFor unit
 # tests, the cross-thread bit-identity suite, the sampler tests
 # (independent MCMC chains on the pool), the structured-log contention
-# tests, and the trace fragment-merge tests.
+# tests, the trace fragment-merge tests, and both serve suites (async
+# admission + runner threads, the epoll event loop, quotas, batch
+# fan-out).
 #
 # Usage:
 #   scripts/check_tsan.sh
@@ -29,11 +31,12 @@ set -e
 cmake -B build-tsan -S . -DANONSAFE_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan --target exec_test determinism_test sampler_test \
-      estimator_test obs_log_test trace_merge_test -j "$(nproc)"
+      estimator_test obs_log_test trace_merge_test serve_test \
+      serve_v2_test -j "$(nproc)"
 
 status=0
 for t in exec_test determinism_test sampler_test estimator_test \
-         obs_log_test trace_merge_test; do
+         obs_log_test trace_merge_test serve_test serve_v2_test; do
   echo "== TSan: $t =="
   if ! ./build-tsan/tests/"$t" --gtest_brief=1; then
     status=1
@@ -44,4 +47,4 @@ if [[ "$status" -ne 0 ]]; then
   echo "check_tsan: FAIL (data race or test failure under TSan)" >&2
   exit 1
 fi
-echo "check_tsan: OK (exec_test, determinism_test, sampler_test, estimator_test, obs_log_test, trace_merge_test race-free)"
+echo "check_tsan: OK (exec_test, determinism_test, sampler_test, estimator_test, obs_log_test, trace_merge_test, serve_test, serve_v2_test race-free)"

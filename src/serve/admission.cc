@@ -1,0 +1,41 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace anonsafe {
+namespace serve {
+
+TenantQuotas::TenantQuotas(double rate, double burst)
+    : rate_(rate), burst_(std::max(burst, 1.0)) {}
+
+bool TenantQuotas::TryAcquire(const std::string& tenant) {
+  return TryAcquireAt(tenant, std::chrono::steady_clock::now());
+}
+
+bool TenantQuotas::TryAcquireAt(const std::string& tenant,
+                                std::chrono::steady_clock::time_point now) {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(tenant, Bucket{burst_, now}).first;
+  }
+  Bucket& bucket = it->second;
+  if (now > bucket.refilled_at) {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.refilled_at).count();
+    bucket.tokens = std::min(burst_, bucket.tokens + elapsed * rate_);
+    bucket.refilled_at = now;
+  }
+  if (bucket.tokens < 1.0) return false;
+  bucket.tokens -= 1.0;
+  return true;
+}
+
+size_t TenantQuotas::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace serve
+}  // namespace anonsafe

@@ -1,0 +1,115 @@
+#ifndef ANONSAFE_SERVE_ADMISSION_H_
+#define ANONSAFE_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace anonsafe {
+namespace serve {
+
+/// \brief Per-tenant token-bucket rate limiting.
+///
+/// Each tenant owns an independent bucket of `burst` tokens refilled at
+/// `rate` tokens per second; a request costs one token, and a tenant
+/// with an empty bucket is refused with `quota_exceeded` *before*
+/// admission, so one chatty tenant cannot monopolize the bounded queue
+/// that every tenant shares. Tenants are created lazily on first use;
+/// the anonymous tenant (v1 clients, or v2 requests without the field)
+/// is just another bucket. `rate <= 0` disables quotas entirely — the
+/// default, and the reason v1 sessions behave bit-identically to the
+/// pre-quota server.
+class TenantQuotas {
+ public:
+  /// \brief `rate` tokens per second per tenant, buckets start (and cap)
+  /// at `burst`. Non-positive `rate` disables enforcement.
+  TenantQuotas(double rate, double burst);
+
+  bool enabled() const { return rate_ > 0.0; }
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+  /// \brief Takes one token from `tenant`'s bucket. True when the
+  /// request is within quota (always true when disabled).
+  bool TryAcquire(const std::string& tenant);
+
+  /// \brief Test seam: TryAcquire at an explicit monotonic time.
+  bool TryAcquireAt(const std::string& tenant,
+                    std::chrono::steady_clock::time_point now);
+
+  /// \brief Tenants seen so far (lazily created buckets).
+  size_t num_tenants() const;
+
+ private:
+  struct Bucket {
+    double tokens;
+    std::chrono::steady_clock::time_point refilled_at;
+  };
+
+  const double rate_;
+  const double burst_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_;
+};
+
+/// \brief Fair-share FIFO of admitted-but-waiting work.
+///
+/// One FIFO per tenant, drained round-robin: when a running slot frees,
+/// the next tenant after the last-served one (in first-arrival order)
+/// supplies the job, so a tenant queueing 100 requests cannot starve a
+/// tenant queueing 1 — each gets a slot per round. Within one tenant,
+/// order stays strictly FIFO. With a single tenant this degenerates to
+/// the plain FIFO the pre-tenancy server used. Not internally locked:
+/// the server already serializes admission under its own mutex.
+template <typename Job>
+class FairShareQueue {
+ public:
+  void Push(const std::string& tenant, Job job) {
+    auto it = queues_.find(tenant);
+    if (it == queues_.end()) {
+      it = queues_.emplace(tenant, std::deque<Job>()).first;
+      round_robin_.push_back(tenant);
+    }
+    it->second.push_back(std::move(job));
+    ++size_;
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+  /// \brief Pops the next job fair-share; call only when !empty().
+  Job Pop() {
+    // Advance past tenants with nothing queued (their rotation slot is
+    // kept so a tenant that queues again resumes its position).
+    for (size_t scanned = 0; scanned < round_robin_.size(); ++scanned) {
+      next_ = next_ % round_robin_.size();
+      auto it = queues_.find(round_robin_[next_]);
+      ++next_;
+      if (it == queues_.end() || it->second.empty()) continue;
+      Job job = std::move(it->second.front());
+      it->second.pop_front();
+      --size_;
+      return job;
+    }
+    // Unreachable when the size_ contract holds.
+    Job job = std::move(queues_.begin()->second.front());
+    queues_.begin()->second.pop_front();
+    --size_;
+    return job;
+  }
+
+ private:
+  std::map<std::string, std::deque<Job>> queues_;
+  std::vector<std::string> round_robin_;  ///< tenants in arrival order
+  size_t next_ = 0;                       ///< rotation cursor
+  size_t size_ = 0;
+};
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_ADMISSION_H_

@@ -1,0 +1,349 @@
+#include "serve/event_loop.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace anonsafe {
+namespace serve {
+namespace {
+
+/// Sentinel ids for the two non-connection epoll registrations.
+constexpr uint64_t kListenId = ~uint64_t{0};
+constexpr uint64_t kWakeId = ~uint64_t{0} - 1;
+
+Status IoError(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// One TCP connection's state. Owned by the event-loop thread; runner
+/// threads only ever see the connection *id*.
+struct Conn {
+  int fd = -1;
+  std::string in_buf;   ///< bytes read, not yet split into lines
+  std::string out_buf;  ///< response bytes not yet written
+  bool in_flight = false;  ///< a dispatched request awaits its response
+  bool closing = false;    ///< close once out_buf drains
+  bool want_read = true;   ///< EPOLLIN currently armed
+  bool want_write = false;  ///< EPOLLOUT currently armed
+};
+
+class EventLoop {
+ public:
+  EventLoop(Server& server, const TcpServerOptions& options)
+      : server_(server), options_(options) {}
+
+  ~EventLoop() {
+    for (auto& [id, conn] : conns_) {
+      (void)id;
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Status Run() {
+    ANONSAFE_RETURN_IF_ERROR(Setup());
+    std::vector<epoll_event> events(256);
+    for (;;) {
+      // The 50ms timeout is the drain poll: a shutdown admitted on a
+      // runner thread flips draining() without an fd becoming readable.
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()), 50);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return IoError("epoll_wait");
+      }
+      for (int i = 0; i < n; ++i) {
+        const uint64_t id = events[i].data.u64;
+        const uint32_t mask = events[i].events;
+        if (id == kListenId) {
+          AcceptReady();
+        } else if (id == kWakeId) {
+          DrainCompletions();
+        } else {
+          auto it = conns_.find(id);
+          if (it == conns_.end()) continue;  // closed earlier this batch
+          if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+            CloseConn(it);
+            continue;
+          }
+          if ((mask & EPOLLIN) != 0) ReadReady(it);
+          it = conns_.find(id);  // ReadReady may have closed it
+          if (it != conns_.end() && (mask & EPOLLOUT) != 0) FlushWrites(it);
+        }
+      }
+      if (server_.draining()) {
+        if (listen_fd_ >= 0) {
+          ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+          ::close(listen_fd_);
+          listen_fd_ = -1;
+        }
+        // Idle connections (nothing running, nothing buffered) will
+        // never produce another response; busy ones close from
+        // FlushWrites once their final response is out.
+        for (auto it = conns_.begin(); it != conns_.end();) {
+          if (!it->second.in_flight && it->second.out_buf.empty()) {
+            it = CloseConn(it);
+          } else {
+            it->second.closing = true;
+            ++it;
+          }
+        }
+        if (conns_.empty()) return Status::OK();
+      }
+    }
+  }
+
+ private:
+  Status Setup() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return IoError("epoll_create1");
+    wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (wake_fd_ < 0) return IoError("eventfd");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd_ < 0) return IoError("socket");
+    int reuse = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      return IoError("bind");
+    }
+    // A deep backlog: the bench opens 1k+ connections in a burst.
+    if (::listen(listen_fd_, 1024) < 0) return IoError("listen");
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+    if (options_.on_listening) options_.on_listening(ntohs(bound.sin_port));
+
+    ANONSAFE_RETURN_IF_ERROR(Arm(listen_fd_, kListenId, EPOLLIN));
+    ANONSAFE_RETURN_IF_ERROR(Arm(wake_fd_, kWakeId, EPOLLIN));
+    return Status::OK();
+  }
+
+  Status Arm(int fd, uint64_t id, uint32_t mask) {
+    epoll_event ev{};
+    ev.events = mask;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return IoError("epoll_ctl(ADD)");
+    }
+    return Status::OK();
+  }
+
+  void Rearm(Conn& conn, uint64_t id) {
+    epoll_event ev{};
+    ev.events = (conn.want_read ? EPOLLIN : 0u) |
+                (conn.want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  void AcceptReady() {
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN, or a transient accept error
+      if (server_.draining()) {
+        ::close(fd);
+        continue;
+      }
+      int nodelay = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+      const uint64_t id = next_conn_id_++;
+      Conn conn;
+      conn.fd = fd;
+      if (!Arm(fd, id, EPOLLIN).ok()) {
+        ::close(fd);
+        continue;
+      }
+      conns_.emplace(id, std::move(conn));
+    }
+  }
+
+  void ReadReady(std::unordered_map<uint64_t, Conn>::iterator it) {
+    Conn& conn = it->second;
+    char buf[64 * 1024];
+    for (;;) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.in_buf.append(buf, static_cast<size_t>(n));
+        if (conn.in_buf.size() > sizeof(buf)) break;  // be fair to peers
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF (or a hard error). Anything already buffered is a partial
+      // line with no terminator — not a request.
+      CloseConn(it);
+      return;
+    }
+    Dispatch(it->first, conn);
+    if (!conn.out_buf.empty()) FlushWrites(it);
+  }
+
+  /// Dispatches buffered complete lines, one in flight per connection,
+  /// while the connection is writable enough to accept the answers.
+  /// Never writes to the socket (callers flush) — keeping dispatch and
+  /// flush one-directional avoids Dispatch/Flush recursion.
+  void Dispatch(uint64_t id, Conn& conn) {
+    while (!conn.in_flight && !conn.closing &&
+           conn.out_buf.size() < options_.write_buffer_bytes) {
+      const size_t newline = conn.in_buf.find('\n');
+      if (newline == std::string::npos) {
+        if (conn.in_buf.size() > server_.options().max_line_bytes) {
+          // The line can never complete within the cap; the rest of it
+          // cannot be a request boundary we trust.
+          std::string response =
+              MakeErrorResponse(json::Value(), kErrOversizedLine,
+                                "request line exceeds the limit of " +
+                                    std::to_string(
+                                        server_.options().max_line_bytes) +
+                                    " bytes")
+                  .Dump();
+          response.push_back('\n');
+          conn.out_buf += response;
+          conn.closing = true;
+          conn.in_buf.clear();
+        }
+        break;
+      }
+      std::string line = conn.in_buf.substr(0, newline);
+      conn.in_buf.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      conn.in_flight = true;
+      server_.HandleLineAsync(
+          line, [this, id](std::string response) {
+            OnResponse(id, std::move(response));
+          });
+    }
+    UpdateInterest(id, conn);
+  }
+
+  /// Called from runner threads (or inline from HandleLineAsync): queue
+  /// the response for the loop thread and kick the eventfd.
+  void OnResponse(uint64_t id, std::string response) {
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.emplace_back(id, std::move(response));
+    }
+    const uint64_t one = 1;
+    ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+    (void)ignored;
+  }
+
+  void DrainCompletions() {
+    uint64_t counter = 0;
+    ssize_t ignored = ::read(wake_fd_, &counter, sizeof(counter));
+    (void)ignored;
+    std::deque<std::pair<uint64_t, std::string>> done;
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done.swap(done_);
+    }
+    for (auto& [id, response] : done) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;  // connection died mid-request
+      Conn& conn = it->second;
+      conn.in_flight = false;
+      conn.out_buf += response;
+      conn.out_buf.push_back('\n');
+      if (server_.draining()) conn.closing = true;
+      Dispatch(id, conn);
+      FlushWrites(it);
+    }
+  }
+
+  void FlushWrites(std::unordered_map<uint64_t, Conn>::iterator it) {
+    Conn& conn = it->second;
+    while (!conn.out_buf.empty()) {
+      const ssize_t n =
+          ::write(conn.fd, conn.out_buf.data(), conn.out_buf.size());
+      if (n > 0) {
+        conn.out_buf.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      CloseConn(it);  // peer is gone; drop the rest
+      return;
+    }
+    if (conn.out_buf.empty() && conn.closing && !conn.in_flight) {
+      CloseConn(it);
+      return;
+    }
+    // Draining below half the cap resumes reads/dispatch (hysteresis so
+    // a connection hovering at the cap does not flap). Dispatch never
+    // writes, so this cannot recurse back here.
+    if (conn.out_buf.size() < options_.write_buffer_bytes / 2) {
+      Dispatch(it->first, conn);
+    } else {
+      UpdateInterest(it->first, conn);
+    }
+  }
+
+  void UpdateInterest(uint64_t id, Conn& conn) {
+    // Reads stay armed only while this connection's buffered input and
+    // output are within bounds: a peer that pipelines without reading
+    // responses throttles itself, never the server.
+    const bool want_read =
+        !conn.closing &&
+        conn.out_buf.size() < options_.write_buffer_bytes &&
+        conn.in_buf.size() < server_.options().max_line_bytes + (64u << 10);
+    const bool want_write = !conn.out_buf.empty();
+    if (want_read != conn.want_read || want_write != conn.want_write) {
+      conn.want_read = want_read;
+      conn.want_write = want_write;
+      Rearm(conn, id);
+    }
+  }
+
+  std::unordered_map<uint64_t, Conn>::iterator CloseConn(
+      std::unordered_map<uint64_t, Conn>::iterator it) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    it->second.fd = -1;
+    return conns_.erase(it);
+  }
+
+  Server& server_;
+  const TcpServerOptions options_;
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int wake_fd_ = -1;
+  uint64_t next_conn_id_ = 0;
+  std::unordered_map<uint64_t, Conn> conns_;
+  std::mutex done_mu_;
+  std::deque<std::pair<uint64_t, std::string>> done_;
+};
+
+}  // namespace
+
+Status RunEventLoop(Server& server, const TcpServerOptions& options) {
+  EventLoop loop(server, options);
+  return loop.Run();
+}
+
+}  // namespace serve
+}  // namespace anonsafe

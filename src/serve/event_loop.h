@@ -1,0 +1,41 @@
+#ifndef ANONSAFE_SERVE_EVENT_LOOP_H_
+#define ANONSAFE_SERVE_EVENT_LOOP_H_
+
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "util/status.h"
+
+namespace anonsafe {
+namespace serve {
+
+/// \brief The epoll event loop behind `ServeTcp` (split out so the bench
+/// harness can run it directly on an already-configured server).
+///
+/// Single I/O thread, level-triggered epoll over nonblocking sockets:
+///
+///   * **Reads** accumulate into a per-connection buffer; each complete
+///     newline-terminated line is dispatched through
+///     `Server::HandleLineAsync`. A partial line larger than the
+///     server's line cap gets an `oversized_line` error and the
+///     connection closes after the error is flushed — the rest of the
+///     line cannot be a request boundary we trust.
+///   * **Responses** complete on server runner threads and return to the
+///     loop through an eventfd-signalled completion queue, keyed by
+///     connection id (a connection that died mid-request just drops its
+///     response). One request per connection is in flight at a time, so
+///     responses are trivially in request order; pipelined lines wait in
+///     the read buffer.
+///   * **Writes** go through a bounded per-connection buffer
+///     (`TcpServerOptions::write_buffer_bytes`). While it is above the
+///     cap the loop neither reads from nor dispatches for the
+///     connection; it resumes below half. A slow reader throttles
+///     itself, never the server.
+///   * **Drain**: once the server is draining, the listener closes, idle
+///     connections close, and busy ones close after their final
+///     response flushes; the loop returns when none remain.
+Status RunEventLoop(Server& server, const TcpServerOptions& options);
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_EVENT_LOOP_H_

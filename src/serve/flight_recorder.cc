@@ -9,6 +9,9 @@ json::Value RequestSummaryToJson(const RequestSummary& summary) {
   json::Value v = json::Value::Object();
   v.Set("serial", json::Value(uint64_t{summary.serial}));
   v.Set("verb", json::Value(summary.verb));
+  if (!summary.tenant.empty()) {
+    v.Set("tenant", json::Value(summary.tenant));
+  }
   if (!summary.dataset.empty()) {
     v.Set("dataset", json::Value(summary.dataset));
   }

@@ -17,6 +17,7 @@ namespace serve {
 struct RequestSummary {
   uint64_t serial = 0;       ///< server-wide request number (1-based)
   std::string verb;          ///< empty when the line never parsed
+  std::string tenant;        ///< v2 tenant field (empty for v1/anonymous)
   std::string dataset;       ///< dataset hash/key when the verb had one
   std::string estimator;     ///< from RiskReport provenance (assess_risk)
   std::string outcome;       ///< "ok" or the protocol error code

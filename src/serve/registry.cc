@@ -1,0 +1,79 @@
+#include "serve/registry.h"
+
+#include <cassert>
+
+namespace anonsafe {
+namespace serve {
+
+const char* JsonTypeName(json::Value::Type type) {
+  switch (type) {
+    case json::Value::Type::kNull:
+      return "null";
+    case json::Value::Type::kBool:
+      return "bool";
+    case json::Value::Type::kNumber:
+      return "number";
+    case json::Value::Type::kString:
+      return "string";
+    case json::Value::Type::kArray:
+      return "array";
+    case json::Value::Type::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+void HandlerRegistry::Register(VerbSpec spec) {
+  assert(Find(spec.name) == nullptr && "duplicate verb registration");
+  verbs_.push_back(std::move(spec));
+}
+
+const VerbSpec* HandlerRegistry::Find(const std::string& verb) const {
+  for (const VerbSpec& spec : verbs_) {
+    if (spec.name == verb) return &spec;
+  }
+  return nullptr;
+}
+
+const std::vector<ParamSpec>& HandlerRegistry::GenericParams() {
+  static const std::vector<ParamSpec>* kGeneric = new std::vector<ParamSpec>{
+      {"seed", json::Value::Type::kNumber},
+      {"runs", json::Value::Type::kNumber},
+      {"threads", json::Value::Type::kNumber},
+      {"deadline_ms", json::Value::Type::kNumber},
+      {"trace", json::Value::Type::kBool},
+  };
+  return *kGeneric;
+}
+
+Status CheckParams(const std::vector<ParamSpec>& specs,
+                   const json::Value& params) {
+  for (const ParamSpec& spec : specs) {
+    const json::Value* value = params.Find(spec.name);
+    if (value == nullptr) {
+      if (spec.required) {
+        return Status::InvalidArgument(std::string("missing required param '") +
+                                       spec.name + "'");
+      }
+      continue;
+    }
+    if (value->type() != spec.type) {
+      return Status::InvalidArgument(std::string("param '") + spec.name +
+                                     "' must be a " + JsonTypeName(spec.type) +
+                                     ", got " + JsonTypeName(value->type()));
+    }
+  }
+  return Status::OK();
+}
+
+Status HandlerRegistry::ValidateParams(const VerbSpec& spec,
+                                       const json::Value& params) const {
+  ANONSAFE_RETURN_IF_ERROR(CheckParams(spec.params, params));
+  if (!spec.is_control()) {
+    ANONSAFE_RETURN_IF_ERROR(CheckParams(GenericParams(), params));
+  }
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace anonsafe

@@ -1,0 +1,111 @@
+#ifndef ANONSAFE_SERVE_REGISTRY_H_
+#define ANONSAFE_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace anonsafe {
+namespace exec {
+class ExecContext;
+}  // namespace exec
+namespace serve {
+
+/// \brief One declared parameter of a verb: its name, the JSON type it
+/// must have when present, and whether the request must carry it.
+/// Undeclared params are ignored (the additive-change policy: clients
+/// may send fields this server predates), but a declared param with the
+/// wrong type is an `invalid_params` error generated uniformly by the
+/// registry — handlers never see ill-typed declared input.
+struct ParamSpec {
+  const char* name;
+  json::Value::Type type;
+  bool required = false;
+};
+
+/// \name Verb behaviour flags.
+/// @{
+/// Answers without passing admission control: works on a saturated or
+/// draining server (metrics, debug, server_info, shutdown).
+inline constexpr uint32_t kVerbControl = 1u << 0;
+/// Excluded from the flight recorder and exempt from tenant quotas — an
+/// observer of the server, not a request worth debugging (metrics,
+/// debug, server_info).
+inline constexpr uint32_t kVerbObserver = 1u << 1;
+/// Registered only when `ServerOptions::enable_test_verbs` is set;
+/// otherwise resolves to `unknown_verb` exactly like an absent entry.
+inline constexpr uint32_t kVerbTestOnly = 1u << 2;
+/// Requires a v2 envelope: a v1 request naming the verb gets
+/// `unknown_verb` (the verb does not exist in its protocol).
+inline constexpr uint32_t kVerbV2Only = 1u << 3;
+/// @}
+
+struct Request;
+
+/// \brief One verb: name, param schema, flags, handler. The handler runs
+/// on a request-runner thread for compute verbs and inline on the
+/// calling (transport) thread for control verbs; `ctx` is null for
+/// control verbs, which never execute work worth cancelling.
+struct VerbSpec {
+  std::string name;
+  std::vector<ParamSpec> params;
+  uint32_t flags = 0;
+  std::function<Result<json::Value>(const Request&, exec::ExecContext*)>
+      handler;
+
+  bool is_control() const { return (flags & kVerbControl) != 0; }
+  bool is_observer() const { return (flags & kVerbObserver) != 0; }
+  bool is_test_only() const { return (flags & kVerbTestOnly) != 0; }
+  bool is_v2_only() const { return (flags & kVerbV2Only) != 0; }
+};
+
+/// \brief The verb table: declarative registration, uniform
+/// `unknown_verb` / `invalid_params` generation, and the machine-readable
+/// listing `server_info` advertises. Built once at server construction
+/// and immutable afterwards, so lookups are lock-free.
+class HandlerRegistry {
+ public:
+  /// \brief Registers a verb; names must be unique.
+  void Register(VerbSpec spec);
+
+  /// \brief Lookup by name; null when the verb does not exist.
+  const VerbSpec* Find(const std::string& verb) const;
+
+  /// \brief Validates `params` against the verb's schema plus the
+  /// generic params every compute verb understands (`seed`, `runs`,
+  /// `threads`, `deadline_ms`, `trace`): required params must be
+  /// present, declared params must have the declared type.
+  /// InvalidArgument (→ `invalid_params`) otherwise.
+  Status ValidateParams(const VerbSpec& spec,
+                        const json::Value& params) const;
+
+  /// \brief Registration order listing, for `server_info`.
+  const std::vector<VerbSpec>& verbs() const { return verbs_; }
+
+  /// \brief The generic params accepted by every non-control verb.
+  static const std::vector<ParamSpec>& GenericParams();
+
+ private:
+  std::vector<VerbSpec> verbs_;
+};
+
+/// \brief Human name of a JSON type for error messages ("string",
+/// "number", "bool", "array", "object", "null").
+const char* JsonTypeName(json::Value::Type type);
+
+/// \brief Validates `params` against one spec list (required presence,
+/// declared types). The building block `ValidateParams` composes; also
+/// used standalone for `assess_risk_batch` item objects, which have
+/// their own schema.
+Status CheckParams(const std::vector<ParamSpec>& specs,
+                   const json::Value& params);
+
+}  // namespace serve
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_SERVE_REGISTRY_H_

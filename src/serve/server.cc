@@ -4,17 +4,16 @@
 #include <future>
 #include <sstream>
 #include <thread>
+#include <utility>
 
 #include "belief/builders.h"
 #include "core/oestimate.h"
 #include "core/risk_report.h"
-#include "estimator/estimator.h"
 #include "core/similarity.h"
+#include "estimator/estimator.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
-#include "obs/scoped_timer.h"
-#include "obs/trace.h"
 
 namespace anonsafe {
 namespace serve {
@@ -56,6 +55,13 @@ std::string ResponseOutcome(const json::Value& response) {
   return kErrInternal;
 }
 
+json::Value RenderOutcome(const json::Value& id, Result<json::Value> outcome,
+                          int64_t version) {
+  if (outcome.ok()) return MakeOkResponse(id, std::move(*outcome), version);
+  return MakeErrorResponse(id, ErrorCodeForStatus(outcome.status()),
+                           outcome.status().message(), version);
+}
+
 json::Value SimilarityPointToJson(const SimilarityPoint& p) {
   json::Value point = json::Value::Object();
   point.Set("sample_fraction", json::Value(p.sample_fraction));
@@ -66,22 +72,138 @@ json::Value SimilarityPointToJson(const SimilarityPoint& p) {
   return point;
 }
 
+/// The assess_risk core shared between the single verb and batch items:
+/// recipe options from `params`, report built against the cached
+/// dataset's shared artifacts. The param read order is fixed — it is
+/// what makes a batch item bit-identical to the single request carrying
+/// the same params.
+Result<json::Value> AssessReportFromParams(const CachedDataset& ds,
+                                           const json::Value& params,
+                                           const exec::ExecOptions& exec_opts,
+                                           exec::ExecContext* ctx) {
+  RiskReportOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      options.recipe.tolerance,
+      params.GetNumberOr("tolerance", options.recipe.tolerance));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      options.include_similarity_curve,
+      params.GetBoolOr("include_similarity_curve", true));
+  // Optional estimator choice for the interval risk check; an unknown
+  // name surfaces as invalid_params. The report JSON carries the per-
+  // block provenance back under recipe.interval_blocks.
+  ANONSAFE_ASSIGN_OR_RETURN(
+      std::string estimator_name,
+      params.GetStringOr("estimator",
+                         EstimatorKindName(options.recipe.estimator)));
+  ANONSAFE_ASSIGN_OR_RETURN(options.recipe.estimator,
+                            ParseEstimatorKind(estimator_name));
+  options.recipe.exec = exec_opts;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      RiskReport report,
+      BuildRiskReport(ds.data.database, options, ctx, ds.artifacts.get()));
+  return report.ToJson();
+}
+
+/// The params one `assess_risk_batch` item may carry: the assess_risk
+/// knobs plus per-item exec params. Batch items are self-contained —
+/// an item without `seed` gets the CLI default, exactly like a single
+/// request without `seed`. `deadline_ms`/`trace`/`tenant` exist only at
+/// the request level; an item carrying them is a schema error.
+const std::vector<ParamSpec>& BatchItemParams() {
+  static const std::vector<ParamSpec>* kParams = new std::vector<ParamSpec>{
+      {"tolerance", json::Value::Type::kNumber},
+      {"include_similarity_curve", json::Value::Type::kBool},
+      {"estimator", json::Value::Type::kString},
+      {"seed", json::Value::Type::kNumber},
+      {"runs", json::Value::Type::kNumber},
+      {"threads", json::Value::Type::kNumber},
+  };
+  return *kParams;
+}
+
+Result<json::Value> RunOneBatchItem(const CachedDataset& ds,
+                                    const json::Value& item,
+                                    exec::ExecContext* ctx) {
+  if (!item.is_object()) {
+    return Status::InvalidArgument("batch item must be an object");
+  }
+  ANONSAFE_RETURN_IF_ERROR(CheckParams(BatchItemParams(), item));
+  for (const auto& [key, value] : item.members()) {
+    (void)value;
+    bool declared = false;
+    for (const ParamSpec& spec : BatchItemParams()) {
+      if (key == spec.name) declared = true;
+    }
+    if (!declared) {
+      return Status::InvalidArgument("unknown batch item param '" + key +
+                                     "'");
+    }
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(exec::ExecOptions exec_opts,
+                            ExecOptionsFromParams(item));
+  return AssessReportFromParams(ds, item, exec_opts, ctx);
+}
+
+/// Per-item envelope: `{"ok":true,"report":...}` or
+/// `{"ok":false,"error":{"code":...,"message":...}}`. One bad item never
+/// fails its siblings — results stay positional.
+json::Value BatchItemEnvelope(Result<json::Value> outcome) {
+  json::Value env = json::Value::Object();
+  if (outcome.ok()) {
+    env.Set("ok", json::Value(true));
+    env.Set("report", std::move(*outcome));
+    return env;
+  }
+  json::Value err = json::Value::Object();
+  err.Set("code", json::Value(ErrorCodeForStatus(outcome.status())));
+  err.Set("message", json::Value(outcome.status().message()));
+  env.Set("ok", json::Value(false));
+  env.Set("error", std::move(err));
+  return env;
+}
+
 }  // namespace
 
 Server::Server(const ServerOptions& options)
     : options_([&] {
         ServerOptions o = options;
         if (o.workers == 0) o.workers = 1;
+        if (o.max_batch_items == 0) o.max_batch_items = 1;
         return o;
       }()),
       cache_(options_.dataset_cache_capacity),
-      pool_(std::make_unique<exec::ThreadPool>(options_.workers)),
-      recorder_(options_.flight_recorder_capacity) {
+      recorder_(options_.flight_recorder_capacity),
+      quotas_(options_.tenant_rate, options_.tenant_burst) {
   if (options_.enable_metrics) obs::SetMetricsEnabled(true);
+  BuildRegistry();
+  // Plain threads, not an exec::ThreadPool: ParallelForChunks detects
+  // pool workers and falls back to sequential execution to avoid
+  // deadlocking nested fan-outs, so running verbs on a pool would
+  // silently serialize every request's intra-request parallelism (the
+  // batch verb, the alpha sweep). Runner threads are not pool workers,
+  // so each request's own fan-out engages normally.
+  runners_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    runners_.emplace_back([this] { RunnerLoop(); });
+  }
   watchdog_ = std::thread([this] { WatchdogLoop(); });
 }
 
 Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Orphaned waiters (a transport that died without draining) still
+    // get their callbacks: promote everything, then let the runners
+    // finish the backlog before exiting.
+    while (!wait_queue_.empty()) {
+      --waiting_;
+      ++running_;
+      ready_.push_back(wait_queue_.Pop());
+    }
+    runners_stop_ = true;
+  }
+  ready_cv_.notify_all();
+  for (std::thread& t : runners_) t.join();
   {
     std::lock_guard<std::mutex> lock(watchdog_mu_);
     watchdog_stop_ = true;
@@ -101,112 +223,176 @@ size_t Server::outstanding() const {
 }
 
 std::string Server::HandleLine(const std::string& line) {
-  obs::ScopedTimer timer("serve.request");
-  obs::Stopwatch wall;
-  RequestSummary record;
-  record.serial = request_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::promise<std::string> response;
+  HandleLineAsync(line,
+                  [&response](std::string text) { response.set_value(std::move(text)); });
+  return response.get_future().get();
+}
+
+void Server::HandleLineAsync(const std::string& line, ResponseCallback done) {
+  auto job = std::make_unique<Job>();
+  job->done = std::move(done);
+  job->record.serial =
+      request_serial_.fetch_add(1, std::memory_order_relaxed) + 1;
 
   ParsedLine parsed = ParseRequestLine(line, options_.max_line_bytes);
-  if (parsed.ok) record.verb = parsed.request.verb;
-  json::Value response =
-      parsed.ok ? Dispatch(parsed.request, &record) : parsed.error;
+  if (!parsed.ok) {
+    Complete(std::move(job), std::move(parsed.error));
+    return;
+  }
+  job->request = std::move(parsed.request);
+  job->record.verb = job->request.verb;
+  job->record.tenant = job->request.tenant;
+  const Request& request = job->request;
 
-  record.total_ms = wall.Seconds() * 1e3;
-  record.outcome = ResponseOutcome(response);
-  if (record.outcome != "ok") obs::CountIf("anonsafe_serve_errors_total");
-  if (obs::MetricsEnabled()) {
-    obs::MetricsRegistry::Global()
-        .GetCounterWithLabels(
-            "anonsafe_serve_requests_total",
-            {{"verb", record.verb.empty() ? "(invalid)" : record.verb},
-             {"outcome", record.outcome}},
-            "serve requests by verb and outcome")
-        ->Increment();
+  const VerbSpec* spec = registry_.Find(request.verb);
+  if (spec != nullptr && spec->is_test_only() && !options_.enable_test_verbs) {
+    spec = nullptr;  // gated off: indistinguishable from absent
   }
-  // The per-request access log. Guarded so a server at error/warn level
-  // pays nothing per request beyond the atomic load.
-  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
-    obs::LogFields fields;
-    fields.emplace_back("serial", json::Value(uint64_t{record.serial}));
-    fields.emplace_back("verb", json::Value(record.verb));
-    fields.emplace_back("outcome", json::Value(record.outcome));
-    if (!record.dataset.empty()) {
-      fields.emplace_back("dataset", json::Value(record.dataset));
-    }
-    if (!record.estimator.empty()) {
-      fields.emplace_back("estimator", json::Value(record.estimator));
-    }
-    fields.emplace_back("queue_ms", json::Value(record.queue_ms));
-    fields.emplace_back("exec_ms", json::Value(record.exec_ms));
-    fields.emplace_back("total_ms", json::Value(record.total_ms));
-    if (!record.trace_id.empty()) {
-      fields.emplace_back("trace_id", json::Value(record.trace_id));
-    }
-    obs::Log(obs::LogLevel::kInfo, "serve.request", std::move(fields));
+  if (spec == nullptr) {
+    Complete(std::move(job),
+             MakeErrorResponse(request.id, kErrUnknownVerb,
+                               "unknown verb '" + request.verb + "'",
+                               request.schema_version));
+    return;
   }
-  // Keep observation verbs out of the ring: a dashboard polling
-  // `metrics`/`debug` must not evict the requests worth debugging.
-  if (record.verb != "metrics" && record.verb != "debug") {
-    recorder_.Record(std::move(record));
+  if (spec->is_v2_only() && request.schema_version < 2) {
+    // The verb does not exist in the v1 protocol; to a v1 client this
+    // is indistinguishable from talking to a v1 server.
+    Complete(std::move(job),
+             MakeErrorResponse(request.id, kErrUnknownVerb,
+                               "unknown verb '" + request.verb +
+                                   "' (requires schema_version >= 2)",
+                               request.schema_version));
+    return;
   }
-  return response.Dump();
+  job->spec = spec;
+
+  if (Status valid = registry_.ValidateParams(*spec, request.params);
+      !valid.ok()) {
+    Complete(std::move(job),
+             MakeErrorResponse(request.id, kErrInvalidParams, valid.message(),
+                               request.schema_version));
+    return;
+  }
+
+  // Per-tenant quota, charged before admission so an over-quota tenant
+  // cannot even occupy queue slots. Observer verbs are exempt — an
+  // operator polling `metrics` must not spend the tenant's budget — and
+  // control verbs never queue anyway.
+  if (!spec->is_control() && !spec->is_observer() && quotas_.enabled() &&
+      !quotas_.TryAcquire(request.tenant)) {
+    obs::CountIf("anonsafe_serve_quota_rejections_total");
+    const std::string who =
+        request.tenant.empty() ? "(anonymous)" : request.tenant;
+    Complete(std::move(job),
+             MakeErrorResponse(request.id, kErrQuotaExceeded,
+                               "tenant '" + who + "' is over its request "
+                               "quota; retry after a refill interval",
+                               request.schema_version));
+    return;
+  }
+
+  if (spec->is_control()) {
+    if (request.verb == "shutdown") {
+      StartShutdown(std::move(job));
+      return;
+    }
+    // Control verbs answer inline on the calling thread: they must work
+    // on a saturated or draining server, which is exactly when no
+    // runner slot would be available.
+    Result<json::Value> outcome = spec->handler(request, nullptr);
+    json::Value response =
+        RenderOutcome(request.id, std::move(outcome), request.schema_version);
+    Complete(std::move(job), std::move(response));
+    return;
+  }
+  Admit(std::move(job));
 }
 
-json::Value Server::Dispatch(const Request& request,
-                             RequestSummary* record) {
-  // Control verbs bypass admission: `metrics` and `debug` must answer
-  // even under a full queue (that is when an operator needs them most)
-  // and `shutdown` must be able to stop a saturated server.
-  if (request.verb == "metrics") {
-    return MakeOkResponse(request.id, HandleMetrics());
-  }
-  if (request.verb == "debug") {
-    return MakeOkResponse(request.id, HandleDebug());
-  }
-  if (request.verb == "shutdown") return HandleShutdown(request.id);
-  const bool compute_verb =
-      request.verb == "load_dataset" || request.verb == "assess_risk" ||
-      request.verb == "oestimate" || request.verb == "similarity" ||
-      (options_.enable_test_verbs && request.verb == "sleep");
-  if (!compute_verb) {
-    return MakeErrorResponse(request.id, kErrUnknownVerb,
-                             "unknown verb '" + request.verb + "'");
-  }
-  return RunAdmitted(request, record);
-}
-
-json::Value Server::RunAdmitted(const Request& request,
-                                RequestSummary* record) {
+void Server::Admit(std::unique_ptr<Job> job) {
+  json::Value refusal;
+  bool refused = false;
   {
-    obs::Stopwatch queue_wait;
-    std::unique_lock<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(mu_);
     if (draining_) {
-      return MakeErrorResponse(request.id, kErrShuttingDown,
-                               "server is shutting down");
-    }
-    if (running_ >= options_.workers) {
-      if (waiting_ >= options_.queue_capacity) {
-        return MakeErrorResponse(
-            request.id, kErrQueueFull,
-            "request queue is full (" + std::to_string(options_.workers) +
-                " running, " + std::to_string(waiting_) + " waiting)");
-      }
+      refusal = MakeErrorResponse(job->request.id, kErrShuttingDown,
+                                  "server is shutting down",
+                                  job->request.schema_version);
+      refused = true;
+    } else if (running_ < options_.workers) {
+      ++running_;
+      ++undelivered_;
+      job->admitted_at = std::chrono::steady_clock::now();
+      ready_.push_back(std::move(job));
+      UpdateAdmissionGauges();
+    } else if (waiting_ < options_.queue_capacity) {
       // Admitted: once counted in waiting_ the request WILL run — a
-      // concurrent shutdown drains it rather than dropping it.
+      // concurrent shutdown drains it rather than dropping it. The wait
+      // queue is fair-share across tenants so one tenant's burst cannot
+      // starve another's single request.
       ++waiting_;
-      slot_cv_.wait(lock, [&] { return running_ < options_.workers; });
-      --waiting_;
+      ++undelivered_;
+      job->admitted_at = std::chrono::steady_clock::now();
+      const std::string tenant = job->request.tenant;
+      wait_queue_.Push(tenant, std::move(job));
+      UpdateAdmissionGauges();
+    } else {
+      refusal = MakeErrorResponse(
+          job->request.id, kErrQueueFull,
+          "request queue is full (" + std::to_string(options_.workers) +
+              " running, " + std::to_string(waiting_) + " waiting)",
+          job->request.schema_version);
+      refused = true;
     }
-    ++running_;
-    record->queue_ms = queue_wait.Seconds() * 1e3;
   }
+  if (refused) {
+    Complete(std::move(job), std::move(refusal));
+    return;
+  }
+  ready_cv_.notify_one();
+}
 
+void Server::RunnerLoop() {
+  for (;;) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [&] { return runners_stop_ || !ready_.empty(); });
+      if (ready_.empty()) return;  // stopping and nothing left to drain
+      job = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    ExecuteJob(std::move(job));
+  }
+}
+
+void Server::ExecuteJob(std::unique_ptr<Job> job) {
+  job->record.queue_ms =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job->admitted_at)
+          .count() *
+      1e3;
+  json::Value response = RunWithContext(job.get());
+  // The slot is released BEFORE the response is delivered: a client
+  // that pipelines its next request the moment it sees this response
+  // must find the slot free, not racily hit queue_full. The shutdown
+  // drain waits on undelivered_ (decremented after the callback
+  // returns), so its answer still never overtakes an in-flight one.
+  ReleaseSlot();
+  Complete(std::move(job), std::move(response));
+  FinishDelivery();
+}
+
+json::Value Server::RunWithContext(Job* job) {
+  const Request& request = job->request;
+  RequestSummary* record = &job->record;
   Result<json::Value> outcome =
       Status::Internal("request task never ran");  // overwritten below
   // Created when the client opted in (`"trace": true`), when the server
   // watches for slow requests, or when process-wide tracing is on. One
-  // tree per request: the scope below installs it on the executing
-  // worker, and ExecContext carries it into nested parallel fan-outs.
+  // tree per request: the scope below installs it on the runner thread,
+  // and ExecContext carries it into nested parallel fan-outs.
   std::unique_ptr<obs::TraceContext> trace_context;
   bool want_trace_field = false;
   {
@@ -241,17 +427,11 @@ json::Value Server::RunAdmitted(const Request& request,
                         std::chrono::milliseconds(
                             static_cast<int64_t>(*deadline_ms)));
         }
-        // The connection thread waits; the shared pool executes. Pool
-        // occupancy never exceeds `workers` because admission capped
-        // `running_` above.
         obs::Stopwatch exec_watch;
-        std::promise<void> done;
-        pool_->Submit([&] {
+        {
           obs::TraceContextScope trace_scope(trace_context.get());
-          outcome = RunVerb(request, &ctx);
-          done.set_value();
-        });
-        done.get_future().wait();
+          outcome = job->spec->handler(request, &ctx);
+        }
         record->exec_ms = exec_watch.Seconds() * 1e3;
         if (has_deadline) UnregisterDeadline(deadline_serial);
       }
@@ -283,8 +463,7 @@ json::Value Server::RunAdmitted(const Request& request,
   // Slow-request autopsy: the merged span tree, as a warn log line,
   // while the request is still the freshest thing in the recorder.
   if (options_.slow_request_ms > 0 && trace_context != nullptr &&
-      record->exec_ms >
-          static_cast<double>(options_.slow_request_ms) &&
+      record->exec_ms > static_cast<double>(options_.slow_request_ms) &&
       obs::LogEnabled(obs::LogLevel::kWarn)) {
     obs::LogFields fields;
     fields.emplace_back("trace_id", json::Value(record->trace_id));
@@ -297,15 +476,8 @@ json::Value Server::RunAdmitted(const Request& request,
     obs::Log(obs::LogLevel::kWarn, "serve.slow_request", std::move(fields));
   }
 
-  // Build the full response envelope BEFORE releasing the slot, so when
-  // the drain condition fires every admitted request's response already
-  // exists — shutdown never overtakes an in-flight answer.
   json::Value response =
-      outcome.ok()
-          ? MakeOkResponse(request.id, std::move(*outcome))
-          : MakeErrorResponse(request.id,
-                              ErrorCodeForStatus(outcome.status()),
-                              outcome.status().message());
+      RenderOutcome(request.id, std::move(outcome), request.schema_version);
 
   // The opt-in trace rides on the envelope, not inside `result`, so the
   // result document stays bit-identical to the untraced (and one-shot
@@ -318,33 +490,212 @@ json::Value Server::RunAdmitted(const Request& request,
     if (spans.ok()) trace.Set("spans", std::move(*spans));
     response.Set("trace", std::move(trace));
   }
-
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    --running_;
-    if (running_ + waiting_ == 0) drain_cv_.notify_all();
-  }
-  slot_cv_.notify_one();
   return response;
 }
 
-Result<json::Value> Server::RunVerb(const Request& request,
-                                    exec::ExecContext* ctx) {
-  if (request.verb == "load_dataset") {
-    return HandleLoadDataset(request.params);
+void Server::Complete(std::unique_ptr<Job> job, json::Value response) {
+  RequestSummary& record = job->record;
+  const double total_s = job->wall.Seconds();
+  record.total_ms = total_s * 1e3;
+  record.outcome = ResponseOutcome(response);
+  if (record.outcome != "ok") obs::CountIf("anonsafe_serve_errors_total");
+  if (obs::MetricsEnabled()) {
+    obs::TimerHistogram("serve.request")->Observe(total_s);
+    obs::TimerCounter("serve.request")->Increment();
+    obs::MetricsRegistry::Global()
+        .GetCounterWithLabels(
+            "anonsafe_serve_requests_total",
+            {{"verb", record.verb.empty() ? "(invalid)" : record.verb},
+             {"outcome", record.outcome}},
+            "serve requests by verb and outcome")
+        ->Increment();
+    if (!record.tenant.empty()) {
+      obs::MetricsRegistry::Global()
+          .GetCounterWithLabels("anonsafe_serve_tenant_requests_total",
+                                {{"tenant", record.tenant}},
+                                "serve requests by tenant")
+          ->Increment();
+    }
   }
-  if (request.verb == "assess_risk") {
-    return HandleAssessRisk(request.params, ctx);
+  // The per-request access log. Guarded so a server at error/warn level
+  // pays nothing per request beyond the atomic load.
+  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
+    obs::LogFields fields;
+    fields.emplace_back("serial", json::Value(uint64_t{record.serial}));
+    fields.emplace_back("verb", json::Value(record.verb));
+    fields.emplace_back("outcome", json::Value(record.outcome));
+    if (!record.tenant.empty()) {
+      fields.emplace_back("tenant", json::Value(record.tenant));
+    }
+    if (!record.dataset.empty()) {
+      fields.emplace_back("dataset", json::Value(record.dataset));
+    }
+    if (!record.estimator.empty()) {
+      fields.emplace_back("estimator", json::Value(record.estimator));
+    }
+    fields.emplace_back("queue_ms", json::Value(record.queue_ms));
+    fields.emplace_back("exec_ms", json::Value(record.exec_ms));
+    fields.emplace_back("total_ms", json::Value(record.total_ms));
+    if (!record.trace_id.empty()) {
+      fields.emplace_back("trace_id", json::Value(record.trace_id));
+    }
+    obs::Log(obs::LogLevel::kInfo, "serve.request", std::move(fields));
   }
-  if (request.verb == "oestimate") {
-    return HandleOEstimate(request.params, ctx);
+  // Keep observer verbs out of the ring: a dashboard polling
+  // `metrics`/`debug`/`server_info` must not evict the requests worth
+  // debugging.
+  if (job->spec == nullptr || !job->spec->is_observer()) {
+    recorder_.Record(std::move(record));
   }
-  if (request.verb == "similarity") {
-    return HandleSimilarity(request.params, ctx);
+  ResponseCallback done = std::move(job->done);
+  std::string text = response.Dump();
+  job.reset();
+  done(std::move(text));
+}
+
+void Server::ReleaseSlot() {
+  bool promoted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+    if (!wait_queue_.empty()) {
+      --waiting_;
+      ++running_;
+      ready_.push_back(wait_queue_.Pop());
+      promoted = true;
+    }
+    UpdateAdmissionGauges();
   }
-  if (request.verb == "sleep") return HandleSleep(request.params, ctx);
-  return Status::Internal("verb '" + request.verb + "' dispatched but "
-                          "unhandled");
+  if (promoted) ready_cv_.notify_one();
+}
+
+void Server::FinishDelivery() {
+  std::vector<std::unique_ptr<Job>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --undelivered_;
+    if (draining_ && undelivered_ == 0) {
+      drained.swap(shutdown_waiters_);
+    }
+  }
+  for (std::unique_ptr<Job>& job : drained) {
+    CompleteShutdown(std::move(job));
+  }
+}
+
+void Server::StartShutdown(std::unique_ptr<Job> job) {
+  bool drained_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    if (undelivered_ == 0) {
+      drained_now = true;
+    } else {
+      // The drain completes on whichever runner delivers the last
+      // response; that thread answers the shutdown (FinishDelivery).
+      shutdown_waiters_.push_back(std::move(job));
+    }
+  }
+  if (drained_now) CompleteShutdown(std::move(job));
+}
+
+void Server::CompleteShutdown(std::unique_ptr<Job> job) {
+  // Graceful-shutdown dump: the flight recorder's content would die with
+  // the process; emit it while the log sink is still alive (and before
+  // the shutdown request itself is recorded).
+  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
+    json::Value requests = json::Value::Array();
+    for (const RequestSummary& summary : recorder_.Snapshot()) {
+      requests.Append(RequestSummaryToJson(summary));
+    }
+    obs::LogFields fields;
+    fields.emplace_back("recorded",
+                        json::Value(uint64_t{recorder_.total_recorded()}));
+    fields.emplace_back("requests", std::move(requests));
+    obs::Log(obs::LogLevel::kInfo, "serve.flight_recorder_dump",
+             std::move(fields));
+  }
+  json::Value result = json::Value::Object();
+  result.Set("drained", json::Value(true));
+  json::Value response = MakeOkResponse(job->request.id, std::move(result),
+                                        job->request.schema_version);
+  Complete(std::move(job), std::move(response));
+}
+
+void Server::UpdateAdmissionGauges() {
+  obs::GaugeIf("anonsafe_serve_running", static_cast<double>(running_));
+  obs::GaugeIf("anonsafe_serve_queue_depth", static_cast<double>(waiting_));
+}
+
+void Server::BuildRegistry() {
+  using Type = json::Value::Type;
+  registry_.Register(
+      {"load_dataset",
+       {{"path", Type::kString}, {"content", Type::kString}},
+       0,
+       [this](const Request& req, exec::ExecContext*) {
+         return HandleLoadDataset(req.params);
+       }});
+  registry_.Register(
+      {"assess_risk",
+       {{"dataset", Type::kString, true},
+        {"tolerance", Type::kNumber},
+        {"include_similarity_curve", Type::kBool},
+        {"estimator", Type::kString}},
+       0,
+       [this](const Request& req, exec::ExecContext* ctx) {
+         return HandleAssessRisk(req.params, ctx);
+       }});
+  registry_.Register(
+      {"assess_risk_batch",
+       {{"dataset", Type::kString, true}, {"items", Type::kArray, true}},
+       kVerbV2Only,
+       [this](const Request& req, exec::ExecContext* ctx) {
+         return HandleAssessRiskBatch(req.params, ctx);
+       }});
+  registry_.Register(
+      {"oestimate",
+       {{"dataset", Type::kString, true},
+        {"delta", Type::kNumber},
+        {"propagate", Type::kBool}},
+       0,
+       [this](const Request& req, exec::ExecContext* ctx) {
+         return HandleOEstimate(req.params, ctx);
+       }});
+  registry_.Register(
+      {"similarity",
+       {{"dataset", Type::kString, true},
+        {"samples_per_fraction", Type::kNumber}},
+       0,
+       [this](const Request& req, exec::ExecContext* ctx) {
+         return HandleSimilarity(req.params, ctx);
+       }});
+  registry_.Register({"sleep",
+                      {{"millis", Type::kNumber, true}},
+                      kVerbTestOnly,
+                      [this](const Request& req, exec::ExecContext* ctx) {
+                        return HandleSleep(req.params, ctx);
+                      }});
+  registry_.Register({"metrics",
+                      {},
+                      kVerbControl | kVerbObserver,
+                      [this](const Request&, exec::ExecContext*)
+                          -> Result<json::Value> { return HandleMetrics(); }});
+  registry_.Register({"debug",
+                      {},
+                      kVerbControl | kVerbObserver,
+                      [this](const Request&, exec::ExecContext*)
+                          -> Result<json::Value> { return HandleDebug(); }});
+  registry_.Register(
+      {"server_info",
+       {},
+       kVerbControl | kVerbObserver,
+       [this](const Request&, exec::ExecContext*) -> Result<json::Value> {
+         return HandleServerInfo();
+       }});
+  // shutdown is special-cased in HandleLineAsync: its response must wait
+  // for the drain, which no synchronous handler can express.
+  registry_.Register({"shutdown", {}, kVerbControl, nullptr});
 }
 
 Result<json::Value> Server::HandleLoadDataset(const json::Value& params) {
@@ -387,32 +738,83 @@ Result<json::Value> Server::HandleAssessRisk(const json::Value& params,
     return Status::NotFound("dataset '" + key +
                             "' is not resident; call load_dataset first");
   }
-  RiskReportOptions options;
-  ANONSAFE_ASSIGN_OR_RETURN(
-      options.recipe.tolerance,
-      params.GetNumberOr("tolerance", options.recipe.tolerance));
-  ANONSAFE_ASSIGN_OR_RETURN(
-      options.include_similarity_curve,
-      params.GetBoolOr("include_similarity_curve", true));
-  // Optional estimator choice for the interval risk check; an unknown
-  // name surfaces as invalid_params. The report JSON carries the per-
-  // block provenance back under recipe.interval_blocks.
-  ANONSAFE_ASSIGN_OR_RETURN(
-      std::string estimator_name,
-      params.GetStringOr("estimator",
-                         EstimatorKindName(options.recipe.estimator)));
-  ANONSAFE_ASSIGN_OR_RETURN(options.recipe.estimator,
-                            ParseEstimatorKind(estimator_name));
   // The request's exec params feed both the recipe options (seed, runs)
   // and the live context (threads, cancellation) — identical to the
   // one-shot CLI constructing them from flags.
-  options.recipe.exec = ctx->options();
   ANONSAFE_ASSIGN_OR_RETURN(
-      RiskReport report,
-      BuildRiskReport(ds->data.database, options, ctx, ds->artifacts.get()));
+      json::Value report,
+      AssessReportFromParams(*ds, params, ctx->options(), ctx));
   json::Value result = json::Value::Object();
   result.Set("dataset", json::Value(key));
-  result.Set("report", report.ToJson());
+  result.Set("report", std::move(report));
+  return result;
+}
+
+Result<json::Value> Server::HandleAssessRiskBatch(const json::Value& params,
+                                                  exec::ExecContext* ctx) {
+  obs::ScopedTimer timer("serve.assess_risk_batch");
+  ANONSAFE_ASSIGN_OR_RETURN(std::string key, params.GetString("dataset"));
+  std::shared_ptr<const CachedDataset> ds = cache_.Find(key);
+  if (ds == nullptr) {
+    return Status::NotFound("dataset '" + key +
+                            "' is not resident; call load_dataset first");
+  }
+  const json::Value& items = *params.Find("items");  // type-checked upstream
+  const std::vector<json::Value>& list = items.items();
+  if (list.empty()) {
+    return Status::InvalidArgument("'items' must be a non-empty array");
+  }
+  if (list.size() > options_.max_batch_items) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(list.size()) +
+        " items exceeds max_batch_items (" +
+        std::to_string(options_.max_batch_items) + "); split the request");
+  }
+  if (timer.tracing()) timer.Annotate("items", std::to_string(list.size()));
+
+  // Fan the items out across the request's own threads. Chunk geometry
+  // depends only on (n, grain), and each item's document depends only on
+  // its own params, so the batch is bit-identical at any thread count —
+  // and item i is bit-identical to a single assess_risk with the same
+  // params. Identical items are memoized within the batch: probe grids
+  // routinely repeat an anchor configuration, and recomputing it would
+  // change nothing observable but the latency.
+  std::mutex memo_mu;
+  std::map<std::string, json::Value> memo;
+  std::vector<json::Value> slots(list.size());
+  ANONSAFE_RETURN_IF_ERROR(exec::ParallelForChunks(
+      ctx, list.size(), /*grain=*/1,
+      [&](size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          if (ctx != nullptr && ctx->cancelled()) {
+            return Status::Cancelled("assess_risk_batch cancelled");
+          }
+          const std::string memo_key = list[i].Dump();
+          {
+            std::lock_guard<std::mutex> lock(memo_mu);
+            auto it = memo.find(memo_key);
+            if (it != memo.end()) {
+              slots[i] = it->second;
+              continue;
+            }
+          }
+          json::Value env = BatchItemEnvelope(
+              RunOneBatchItem(*ds, list[i], ctx));
+          {
+            std::lock_guard<std::mutex> lock(memo_mu);
+            memo.emplace(memo_key, env);
+          }
+          slots[i] = std::move(env);
+        }
+        return Status::OK();
+      }));
+  obs::CountIf("anonsafe_serve_batch_items_total", list.size());
+
+  json::Value out_items = json::Value::Array();
+  for (json::Value& slot : slots) out_items.Append(std::move(slot));
+  json::Value result = json::Value::Object();
+  result.Set("dataset", json::Value(key));
+  result.Set("items", std::move(out_items));
   return result;
 }
 
@@ -524,36 +926,73 @@ json::Value Server::HandleDebug() {
   result.Set("flight_recorder", std::move(recorder));
   result.Set("workers", json::Value(uint64_t{options_.workers}));
   result.Set("queue_capacity", json::Value(uint64_t{options_.queue_capacity}));
+  result.Set("max_batch_items",
+             json::Value(uint64_t{options_.max_batch_items}));
   result.Set("slow_request_ms",
              json::Value(uint64_t{options_.slow_request_ms}));
   result.Set("log_level", json::Value(obs::LogLevelName(obs::GetLogLevel())));
   result.Set("outstanding", json::Value(uint64_t{outstanding()}));
+  json::Value quota = json::Value::Object();
+  quota.Set("enabled", json::Value(quotas_.enabled()));
+  if (quotas_.enabled()) {
+    quota.Set("rate_per_s", json::Value(quotas_.rate()));
+    quota.Set("burst", json::Value(quotas_.burst()));
+    quota.Set("tenants", json::Value(uint64_t{quotas_.num_tenants()}));
+  }
+  result.Set("tenant_quota", std::move(quota));
   return result;
 }
 
-json::Value Server::HandleShutdown(const json::Value& id) {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    draining_ = true;
-    drain_cv_.wait(lock, [&] { return running_ + waiting_ == 0; });
+json::Value Server::HandleServerInfo() {
+  json::Value versions = json::Value::Array();
+  for (int64_t v = kServeSchemaVersionMin; v <= kServeSchemaVersion; ++v) {
+    versions.Append(json::Value(v));
   }
-  // Graceful-shutdown dump: the flight recorder's content would die with
-  // the process; emit it while the log sink is still alive.
-  if (obs::LogEnabled(obs::LogLevel::kInfo)) {
-    json::Value requests = json::Value::Array();
-    for (const RequestSummary& summary : recorder_.Snapshot()) {
-      requests.Append(RequestSummaryToJson(summary));
+  json::Value verbs = json::Value::Array();
+  for (const VerbSpec& spec : registry_.verbs()) {
+    if (spec.is_test_only() && !options_.enable_test_verbs) continue;
+    json::Value verb = json::Value::Object();
+    verb.Set("verb", json::Value(spec.name));
+    json::Value params = json::Value::Array();
+    for (const ParamSpec& p : spec.params) {
+      json::Value param = json::Value::Object();
+      param.Set("name", json::Value(p.name));
+      param.Set("type", json::Value(JsonTypeName(p.type)));
+      param.Set("required", json::Value(p.required));
+      params.Append(std::move(param));
     }
-    obs::LogFields fields;
-    fields.emplace_back("recorded",
-                        json::Value(uint64_t{recorder_.total_recorded()}));
-    fields.emplace_back("requests", std::move(requests));
-    obs::Log(obs::LogLevel::kInfo, "serve.flight_recorder_dump",
-             std::move(fields));
+    verb.Set("params", std::move(params));
+    if (spec.is_control()) verb.Set("control", json::Value(true));
+    if (spec.is_v2_only()) {
+      verb.Set("min_schema_version", json::Value(int64_t{2}));
+    }
+    verbs.Append(std::move(verb));
   }
+  json::Value limits = json::Value::Object();
+  limits.Set("max_line_bytes", json::Value(uint64_t{options_.max_line_bytes}));
+  limits.Set("max_batch_items",
+             json::Value(uint64_t{options_.max_batch_items}));
+  limits.Set("workers", json::Value(uint64_t{options_.workers}));
+  limits.Set("queue_capacity",
+             json::Value(uint64_t{options_.queue_capacity}));
+  limits.Set("dataset_cache_capacity",
+             json::Value(uint64_t{options_.dataset_cache_capacity}));
+  limits.Set("default_deadline_ms",
+             json::Value(uint64_t{options_.default_deadline_ms}));
+  json::Value quota = json::Value::Object();
+  quota.Set("enabled", json::Value(quotas_.enabled()));
+  if (quotas_.enabled()) {
+    quota.Set("rate_per_s", json::Value(quotas_.rate()));
+    quota.Set("burst", json::Value(quotas_.burst()));
+  }
+
   json::Value result = json::Value::Object();
-  result.Set("drained", json::Value(true));
-  return MakeOkResponse(id, std::move(result));
+  result.Set("server", json::Value("anonsafe-serve"));
+  result.Set("schema_versions", std::move(versions));
+  result.Set("verbs", std::move(verbs));
+  result.Set("limits", std::move(limits));
+  result.Set("tenant_quota", std::move(quota));
+  return result;
 }
 
 uint64_t Server::RegisterDeadline(

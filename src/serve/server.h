@@ -5,6 +5,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,10 +15,13 @@
 #include <vector>
 
 #include "exec/exec.h"
+#include "obs/scoped_timer.h"
 #include "obs/trace.h"
+#include "serve/admission.h"
 #include "serve/dataset_cache.h"
 #include "serve/flight_recorder.h"
 #include "serve/protocol.h"
+#include "serve/registry.h"
 #include "util/result.h"
 
 namespace anonsafe {
@@ -62,38 +68,73 @@ struct ServerOptions {
   /// Request summaries retained by the flight recorder (the `debug`
   /// verb and the shutdown dump). Clamped to at least 1.
   size_t flight_recorder_capacity = 64;
+
+  /// Items one `assess_risk_batch` request may carry; larger batches are
+  /// refused with `invalid_params` (split them client-side).
+  size_t max_batch_items = 256;
+
+  /// Per-tenant token-bucket quota: `tenant_rate` requests per second
+  /// per tenant, buckets hold (and start at) `tenant_burst` tokens.
+  /// A tenant with an empty bucket gets `quota_exceeded` before
+  /// admission. 0 disables quotas (the default).
+  double tenant_rate = 0.0;
+  double tenant_burst = 8.0;
 };
 
 /// \brief The long-running risk-assessment service core: newline-delimited
 /// JSON requests in, one JSON response line per request out, independent
-/// of the transport (stdin/stdout and TCP both funnel into `HandleLine`).
+/// of the transport (stdio streams and the epoll TCP event loop both
+/// funnel into `HandleLineAsync` / the blocking `HandleLine` wrapper).
 ///
-/// Verbs: `load_dataset`, `assess_risk`, `oestimate`, `similarity`,
-/// `metrics`, `debug`, `shutdown` (see docs/SERVER.md for the schema).
-/// Responses
-/// are deterministic: `assess_risk` returns the exact `RiskReport::ToJson`
-/// document the one-shot CLI prints, bit-identical at any thread count.
+/// Verbs are declared in a `HandlerRegistry` — each entry carries its
+/// name, param schema and behaviour flags (control / observer /
+/// test-only / v2-only), and `unknown_verb` / `invalid_params` errors
+/// are generated uniformly from the table. Current verbs:
+/// `load_dataset`, `assess_risk`, `assess_risk_batch` (v2),
+/// `oestimate`, `similarity`, `metrics`, `debug`, `server_info`,
+/// `shutdown` (see docs/SERVER.md for the schema). Responses are
+/// deterministic: `assess_risk` returns the exact `RiskReport::ToJson`
+/// document the one-shot CLI prints, bit-identical at any thread count,
+/// and `assess_risk_batch` items are bit-identical to the equivalent
+/// sequence of single requests.
 ///
-/// Concurrency model: each transport connection calls `HandleLine` from
-/// its own thread, so requests on one connection execute strictly in
-/// order while different connections proceed in parallel. Compute verbs
-/// pass admission control (running ≤ workers, waiting ≤ queue_capacity,
-/// else `queue_full`) and then run on the shared ThreadPool with a
-/// per-request ExecContext; a deadline watchdog cancels the context
-/// cooperatively when the request's deadline passes. `shutdown` stops
-/// admission and drains: every admitted request completes and its
-/// response is written before the shutdown response is produced.
+/// Concurrency model: transports feed complete request lines to
+/// `HandleLineAsync`, which never blocks the caller. Control verbs
+/// (`metrics`, `debug`, `server_info`) answer inline; compute verbs
+/// pass per-tenant quota and admission control (running ≤ workers,
+/// waiting ≤ queue_capacity with fair-share draining across tenants,
+/// else `queue_full`) and then execute on dedicated runner threads —
+/// deliberately *not* exec-pool workers, so a request's own
+/// `ParallelForChunks` fan-outs (the batch verb, the alpha sweep) still
+/// go parallel. A deadline watchdog cancels the request's ExecContext
+/// cooperatively when its deadline passes. `shutdown` stops admission
+/// and drains: every admitted request completes and its response is
+/// handed to its callback before the shutdown response is produced.
 class Server {
  public:
+  /// \brief Receives the finished response line (no trailing newline).
+  /// Invoked exactly once per `HandleLineAsync` call — inline for
+  /// protocol errors and control verbs, from a runner thread for
+  /// compute verbs, and from whichever thread completes the drain for
+  /// `shutdown`.
+  using ResponseCallback = std::function<void(std::string)>;
+
   explicit Server(const ServerOptions& options = {});
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// \brief Processes one request line and returns the response line
-  /// (no trailing newline). Never throws; every failure is a protocol
-  /// error response. Safe to call from many threads.
+  /// \brief Processes one request line; `done` receives the response
+  /// line. Never throws and never blocks on verb execution — the event
+  /// loop calls this from its I/O thread. Safe to call from many
+  /// threads.
+  void HandleLineAsync(const std::string& line, ResponseCallback done);
+
+  /// \brief Blocking wrapper around `HandleLineAsync`: returns the
+  /// response line (no trailing newline). The streams transport and the
+  /// in-process tests use this; per-connection ordering falls out of
+  /// calling it back-to-back.
   std::string HandleLine(const std::string& line);
 
   /// \brief True once a `shutdown` request has been accepted; transports
@@ -110,21 +151,56 @@ class Server {
   /// \brief Access to the flight recorder (exposed for tests).
   const FlightRecorder& flight_recorder() const { return recorder_; }
 
+  /// \brief The verb table (exposed for tests and `server_info`).
+  const HandlerRegistry& registry() const { return registry_; }
+
  private:
+  /// One request in flight: parsed envelope, bookkeeping for the access
+  /// log / flight recorder, and the completion callback.
+  struct Job {
+    Request request;
+    const VerbSpec* spec = nullptr;
+    RequestSummary record;
+    ResponseCallback done;
+    obs::Stopwatch wall;  ///< line in → response out
+    std::chrono::steady_clock::time_point admitted_at{};
+  };
+
   struct DeadlineEntry {
     uint64_t serial;
     exec::ExecContext* ctx;
     std::chrono::steady_clock::time_point deadline;
   };
 
-  json::Value Dispatch(const Request& request, RequestSummary* record);
-  json::Value RunAdmitted(const Request& request, RequestSummary* record);
-  Result<json::Value> RunVerb(const Request& request,
-                              exec::ExecContext* ctx);
+  void BuildRegistry();
+
+  /// Admission + scheduling for compute verbs; consumes the job.
+  void Admit(std::unique_ptr<Job> job);
+  /// Runner-thread entry: execute the verb, finalize, release the slot.
+  void ExecuteJob(std::unique_ptr<Job> job);
+  /// Runs the verb body with exec context / tracing / deadline attached.
+  json::Value RunWithContext(Job* job);
+  /// Finalizes (counters, access log, flight recorder) and invokes the
+  /// callback. The single exit point every request funnels through.
+  void Complete(std::unique_ptr<Job> job, json::Value response);
+  /// Frees a running slot and schedules the next fair-share waiter.
+  /// Called BEFORE the response is delivered: a client that pipelines
+  /// its next request on seeing a response must find the slot free.
+  void ReleaseSlot();
+  /// Drain accounting after the response callback returned; fires
+  /// pending shutdown completions once every admitted request's
+  /// response has been delivered.
+  void FinishDelivery();
+  void RunnerLoop();
+
+  void StartShutdown(std::unique_ptr<Job> job);
+  void CompleteShutdown(std::unique_ptr<Job> job);
 
   Result<json::Value> HandleLoadDataset(const json::Value& params);
   Result<json::Value> HandleAssessRisk(const json::Value& params,
                                        exec::ExecContext* ctx);
+  Result<json::Value> HandleAssessRiskBatch(const json::Value& params,
+                                            exec::ExecContext* ctx);
   Result<json::Value> HandleOEstimate(const json::Value& params,
                                       exec::ExecContext* ctx);
   Result<json::Value> HandleSimilarity(const json::Value& params,
@@ -133,25 +209,36 @@ class Server {
                                   exec::ExecContext* ctx);
   json::Value HandleMetrics();
   json::Value HandleDebug();
-  json::Value HandleShutdown(const json::Value& id);
+  json::Value HandleServerInfo();
 
   uint64_t RegisterDeadline(exec::ExecContext* ctx,
                             std::chrono::steady_clock::time_point deadline);
   void UnregisterDeadline(uint64_t serial);
   void WatchdogLoop();
+  void UpdateAdmissionGauges();  // callers hold mu_
 
   const ServerOptions options_;
   DatasetCache cache_;
-  std::unique_ptr<exec::ThreadPool> pool_;
   FlightRecorder recorder_;
+  HandlerRegistry registry_;
+  TenantQuotas quotas_;
   std::atomic<uint64_t> request_serial_{0};
 
   mutable std::mutex mu_;
-  std::condition_variable slot_cv_;   // a running slot freed
-  std::condition_variable drain_cv_;  // outstanding_ reached zero
+  std::condition_variable ready_cv_;  // work for a runner thread
+  std::deque<std::unique_ptr<Job>> ready_;
+  FairShareQueue<std::unique_ptr<Job>> wait_queue_;
+  std::vector<std::unique_ptr<Job>> shutdown_waiters_;
   size_t running_ = 0;
   size_t waiting_ = 0;
+  /// Admitted jobs whose response callback has not returned yet. Slots
+  /// (running_/waiting_) free up before delivery; the shutdown drain
+  /// waits on this instead so its answer never overtakes an in-flight
+  /// response.
+  size_t undelivered_ = 0;
   bool draining_ = false;
+  bool runners_stop_ = false;
+  std::vector<std::thread> runners_;
 
   std::mutex watchdog_mu_;
   std::condition_variable watchdog_cv_;

@@ -1,74 +1,13 @@
 #include "serve/transport.h"
 
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
 #include <istream>
 #include <ostream>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "serve/protocol.h"
+#include "serve/event_loop.h"
 
 namespace anonsafe {
 namespace serve {
-namespace {
-
-/// One connection: buffered reads off the socket, one HandleLine call per
-/// newline-terminated request, one write per response. A line exceeding
-/// the server's cap gets an oversized_line error and the connection is
-/// closed — the remaining bytes of that line cannot be a request boundary
-/// we trust.
-void ServeConnection(Server* server, int fd) {
-  const size_t max_line = server->options().max_line_bytes;
-  std::string pending;
-  std::vector<char> buf(64 * 1024);
-  for (;;) {
-    const size_t newline = pending.find('\n');
-    if (newline != std::string::npos) {
-      std::string line = pending.substr(0, newline);
-      pending.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      std::string response = server->HandleLine(line);
-      response.push_back('\n');
-      size_t written = 0;
-      while (written < response.size()) {
-        const ssize_t n = ::write(fd, response.data() + written,
-                                  response.size() - written);
-        if (n <= 0) {
-          ::close(fd);
-          return;
-        }
-        written += static_cast<size_t>(n);
-      }
-      if (server->draining()) break;
-      continue;
-    }
-    if (pending.size() > max_line) {
-      // +1 slack for the newline itself is irrelevant at this scale.
-      std::string response =
-          MakeErrorResponse(json::Value(), kErrOversizedLine,
-                            "request line exceeds the limit of " +
-                                std::to_string(max_line) + " bytes")
-              .Dump();
-      response.push_back('\n');
-      (void)::write(fd, response.data(), response.size());
-      break;
-    }
-    const ssize_t n = ::read(fd, buf.data(), buf.size());
-    if (n <= 0) break;  // EOF or error: drop the partial line
-    pending.append(buf.data(), static_cast<size_t>(n));
-  }
-  ::close(fd);
-}
-
-}  // namespace
 
 Status ServeStreams(Server& server, std::istream& in, std::ostream& out) {
   std::string line;
@@ -83,53 +22,7 @@ Status ServeStreams(Server& server, std::istream& in, std::ostream& out) {
 }
 
 Status ServeTcp(Server& server, const TcpServerOptions& options) {
-  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  int reuse = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options.port);
-  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    const Status status =
-        Status::IOError(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd);
-    return status;
-  }
-  if (::listen(listen_fd, 16) < 0) {
-    const Status status =
-        Status::IOError(std::string("listen: ") + std::strerror(errno));
-    ::close(listen_fd);
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &bound_len);
-  if (options.on_listening) options.on_listening(ntohs(bound.sin_port));
-
-  std::vector<std::thread> connections;
-  // Poll with a short timeout so a shutdown request on any connection
-  // stops the accept loop promptly even with no new connections arriving.
-  while (!server.draining()) {
-    pollfd pfd{listen_fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      break;
-    }
-    if (ready == 0) continue;
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd < 0) continue;
-    connections.emplace_back(ServeConnection, &server, fd);
-  }
-  ::close(listen_fd);
-  for (std::thread& t : connections) t.join();
-  return Status::OK();
+  return RunEventLoop(server, options);
 }
 
 }  // namespace serve

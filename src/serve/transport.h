@@ -26,13 +26,24 @@ struct TcpServerOptions {
   /// (and scripts parsing stderr) learn a kernel-assigned port before the
   /// first connection.
   std::function<void(uint16_t)> on_listening;
+
+  /// Per-connection bounded write buffer. When a connection's unsent
+  /// responses exceed this many bytes (a slow or stalled reader), the
+  /// event loop stops reading from — and dispatching for — that
+  /// connection until the buffer drains below half. Backpressure instead
+  /// of unbounded buffering or a blocked server thread.
+  size_t write_buffer_bytes = 1u << 20;
 };
 
-/// \brief Accept loop on 127.0.0.1: one thread per connection, each
-/// feeding lines to `server.HandleLine`. Returns once a `shutdown`
-/// request drains the server (the accept loop polls `server.draining()`),
-/// after joining every connection thread. IOError when the socket cannot
-/// be created or bound.
+/// \brief Serves 127.0.0.1 with a single-threaded, level-triggered epoll
+/// event loop: one nonblocking socket per connection, per-connection
+/// read/write buffers with partial-line handling, verb execution on the
+/// server's runner pool via `Server::HandleLineAsync`. One request per
+/// connection is in flight at a time (responses stay in request order);
+/// concurrency comes from many connections — the loop comfortably
+/// multiplexes thousands. Returns once a `shutdown` request drains the
+/// server and every connection's final response is flushed. IOError when
+/// the socket cannot be created or bound.
 Status ServeTcp(Server& server, const TcpServerOptions& options = {});
 
 }  // namespace serve

@@ -197,6 +197,19 @@ Status RunServe(const CliInvocation& cli, std::ostream& out) {
   ANONSAFE_ASSIGN_OR_RETURN(
       uint64_t flight_recorder,
       FlagAsUint64(cli, "flight-recorder", options.flight_recorder_capacity));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t max_batch_items,
+      FlagAsUint64(cli, "max-batch-items", options.max_batch_items));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double tenant_rate,
+      FlagAsDouble(cli, "tenant-rate", options.tenant_rate));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double tenant_burst,
+      FlagAsDouble(cli, "tenant-burst", options.tenant_burst));
+  if (tenant_rate < 0 || tenant_burst < 0) {
+    return Status::InvalidArgument(
+        "--tenant-rate/--tenant-burst must be non-negative");
+  }
   options.workers = static_cast<size_t>(workers);
   options.queue_capacity = static_cast<size_t>(queue_capacity);
   options.max_line_bytes = static_cast<size_t>(max_line_bytes);
@@ -204,6 +217,9 @@ Status RunServe(const CliInvocation& cli, std::ostream& out) {
   options.default_deadline_ms = deadline_ms;
   options.slow_request_ms = slow_ms;
   options.flight_recorder_capacity = static_cast<size_t>(flight_recorder);
+  options.max_batch_items = static_cast<size_t>(max_batch_items);
+  options.tenant_rate = tenant_rate;
+  options.tenant_burst = tenant_burst;
 
   // A server is the one place the access-log stream earns its keep: when
   // the operator set no level (flag or environment), raise the default
@@ -225,6 +241,13 @@ Status RunServe(const CliInvocation& cli, std::ostream& out) {
   }
   serve::TcpServerOptions tcp;
   tcp.port = static_cast<uint16_t>(port);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t write_buffer,
+      FlagAsUint64(cli, "write-buffer-bytes", tcp.write_buffer_bytes));
+  if (write_buffer == 0) {
+    return Status::InvalidArgument("--write-buffer-bytes must be positive");
+  }
+  tcp.write_buffer_bytes = static_cast<size_t>(write_buffer);
   tcp.on_listening = [&out](uint16_t bound) {
     out << "anonsafe serve: listening on 127.0.0.1:" << bound << "\n";
     out.flush();
@@ -679,7 +702,9 @@ std::string CliUsage() {
       "                                        full risk report\n"
       "  serve [--port=N] [--workers=1] [--queue-capacity=16]\n"
       "        [--deadline-ms=0] [--cache-capacity=8] [--max-line-bytes=]\n"
-      "        [--slow-ms=0] [--flight-recorder=64]\n"
+      "        [--slow-ms=0] [--flight-recorder=64] [--max-batch-items=256]\n"
+      "        [--tenant-rate=0] [--tenant-burst=8]\n"
+      "        [--write-buffer-bytes=1048576]\n"
       "                                        long-running JSON service\n"
       "                                        (stdio without --port;\n"
       "                                        see docs/SERVER.md)\n"

@@ -118,7 +118,7 @@ TEST(ServeProtocolTest, MissingOrWrongSchemaVersion) {
   EXPECT_EQ(ErrorCode(Send(server, "{\"verb\":\"metrics\"}")),
             kErrBadSchemaVersion);
   EXPECT_EQ(ErrorCode(Send(
-                server, "{\"schema_version\":2,\"verb\":\"metrics\"}")),
+                server, "{\"schema_version\":3,\"verb\":\"metrics\"}")),
             kErrBadSchemaVersion);
   EXPECT_EQ(
       ErrorCode(Send(server,
