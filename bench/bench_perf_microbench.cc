@@ -11,6 +11,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "belief/builders.h"
 #include "datagen/quest.h"
 #include "mining/miner.h"
@@ -24,6 +27,8 @@
 #include "graph/hopcroft_karp.h"
 #include "graph/matching_sampler.h"
 #include "graph/permanent.h"
+#include "graph/simd_kernels.h"
+#include "util/cpu.h"
 #include "util/rng.h"
 
 namespace anonsafe {
@@ -149,6 +154,54 @@ void BM_Permanent(benchmark::State& state) {
 }
 BENCHMARK(BM_Permanent)->DenseRange(8, 24, 2);
 
+void BM_PermanentBatch(benchmark::State& state) {
+  // The planner's block shape: a run of small matrices evaluated with one
+  // kernel resolution and one shared scratch plan (EvalPermanentBlock
+  // batches the block plus all its diagonal minors this way).
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(k * 77 + 5);
+  std::vector<std::vector<uint64_t>> matrices(32);
+  for (auto& rows : matrices) {
+    rows.assign(k, 0);
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < k; ++j) {
+        if (rng.Bernoulli(0.6)) rows[i] |= (1ULL << j);
+      }
+      rows[i] |= (1ULL << i);
+    }
+  }
+  for (auto _ : state) {
+    auto perms = PermanentBatch(matrices);
+    benchmark::DoNotOptimize((*perms)[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(matrices.size()));
+}
+BENCHMARK(BM_PermanentBatch)->DenseRange(8, 12, 2);
+
+void BM_SamplerProbe(benchmark::State& state) {
+  // The dispatched fixed-point probe on its own: one crack count per
+  // sample is the sampler's per-sample epilogue cost.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(123);
+  std::vector<ItemId> v(n);
+  std::vector<uint8_t> interest(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = rng.Bernoulli(0.5) ? static_cast<ItemId>(i)
+                              : static_cast<ItemId>(rng.UniformUint64(n));
+    interest[i] = rng.Bernoulli(0.5) ? 1 : 0;
+  }
+  const auto& kernels = internal::Kernels();
+  for (auto _ : state) {
+    size_t cracks =
+        kernels.count_fixed_points(v.data(), interest.data(), n);
+    benchmark::DoNotOptimize(cracks);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SamplerProbe)->Arg(8192);
+
 void BM_GraphBuildHK(benchmark::State& state) {
   // Explicit-graph pipeline: CSR build from belief + Hopcroft–Karp
   // maximum matching (the perfect-matching existence check).
@@ -254,4 +307,16 @@ BENCHMARK(BM_MineEclat)->Range(512, 4096);
 }  // namespace
 }  // namespace anonsafe
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Stamp the run with the resolved SIMD tier and CPU model: check_perf.sh
+  // refuses to compare against a baseline recorded on a different ISA.
+  benchmark::AddCustomContext("anonsafe_simd_isa",
+                              anonsafe::internal::Kernels().name);
+  benchmark::AddCustomContext("anonsafe_cpu_model",
+                              anonsafe::cpu::CpuModelName());
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

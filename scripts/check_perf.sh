@@ -16,12 +16,25 @@
 # Ryser, per-call allocation, per-probe re-stabbing). BENCH_kernels.json
 # reports speedup_vs_pre_opt = pre_opt / current for each kernel.
 #
+# The kernels are ISA-dispatched (scalar / AVX2 / AVX-512, see
+# docs/PERFORMANCE.md "SIMD dispatch"), so timings from different ISA
+# tiers are not comparable. The bench binary embeds the active tier and
+# CPU model in its JSON context; the baseline records the tier it was
+# taken on, and the gate refuses to compare across tiers (rebaseline
+# instead). On any non-scalar tier, BM_Permanent/24 must additionally
+# hold >= 3x over pre_opt_ns — the SIMD acceptance floor.
+#
+# After the main gate, a per-ISA sweep re-runs BM_Permanent/24 under
+# each ANONSAFE_FORCE_ISA tier the host supports and appends an
+# "isa_sweep" section to BENCH_kernels.json (informational).
+#
 # Usage:
 #   scripts/check_perf.sh [--rebaseline] [path/to/bench_perf_microbench]
 #
-# --rebaseline rewrites baseline_ns in bench/perf_baseline.json from
-# this run (pre_opt_ns is preserved). Timings are wall-machine-specific:
-# rebaseline whenever the harness moves to different hardware.
+# --rebaseline rewrites baseline_ns (and the recorded isa/cpu_model) in
+# bench/perf_baseline.json from this run (pre_opt_ns is preserved).
+# Timings are wall-machine-specific: rebaseline whenever the harness
+# moves to different hardware or a different SIMD tier.
 #
 # After the kernel gate it runs bench_serve (the epoll serve load
 # harness: 1k+ concurrent connections with p50/p95/p99 and req/s, plus
@@ -59,7 +72,7 @@ if ! command -v python3 >/dev/null 2>&1; then
   exit 0
 fi
 
-FILTER='BM_Permanent/(20|22|24)$|BM_GraphBuildHK/4096$|BM_AssessRiskBisection/8192$'
+FILTER='BM_Permanent/(20|22|24)$|BM_PermanentBatch/12$|BM_SamplerProbe/8192$|BM_GraphBuildHK/4096$|BM_AssessRiskBisection/8192$'
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -82,6 +95,11 @@ TOLERANCE = 0.15  # the ±15% gate
 with open(raw_path) as f:
     raw = json.load(f)
 
+ctx = raw.get("context", {})
+isa = ctx.get("anonsafe_simd_isa", "unknown")
+cpu_model = ctx.get("anonsafe_cpu_model", "unknown")
+print(f"check_perf: simd_isa={isa} cpu_model={cpu_model}")
+
 current = {}
 for b in raw["benchmarks"]:
     if b.get("aggregate_name") != "median":
@@ -98,9 +116,22 @@ try:
 except FileNotFoundError:
     baseline = {"baseline_ns": {}, "pre_opt_ns": {}}
 
+# Timings from different SIMD tiers are not comparable: a baseline taken
+# on avx512 would flag a healthy scalar run as a 10x regression (and an
+# avx512 run would sail past a scalar baseline while regressing within
+# its own tier). Refuse the comparison instead of gating on noise.
+base_isa = baseline.get("isa")
+if base_isa is not None and base_isa != isa and not rebaseline:
+    sys.exit(f"check_perf: FAIL: baseline was recorded on isa={base_isa} "
+             f"but this run uses isa={isa}; cross-ISA timings are not "
+             f"comparable. Re-run scripts/check_perf.sh --rebaseline on "
+             f"this tier (or unset ANONSAFE_FORCE_ISA).")
+
 report = {
     "note": "medians of 3 repetitions; cpu_time in ns; gate is +/-15% "
             "vs bench/perf_baseline.json",
+    "simd_isa": isa,
+    "cpu_model": cpu_model,
     "kernels": {},
 }
 failures = []
@@ -124,16 +155,31 @@ for name in sorted(current):
         entry["speedup_vs_pre_opt"] = round(pre / cur, 2)
     report["kernels"][name] = entry
 
+# SIMD acceptance floor: whenever a vector tier is active, the flagship
+# Ryser kernel must hold at least 3x over the pre-optimization tree.
+# (Scalar runs are exempt — the floor measures the SIMD lanes, not the
+# earlier bitmask-layout work.)
+hard_failures = []
+perm24 = report["kernels"].get("BM_Permanent/24")
+if isa not in ("scalar", "unknown") and perm24 is not None:
+    speedup = perm24.get("speedup_vs_pre_opt")
+    if speedup is not None and speedup < 3.0:
+        hard_failures.append(f"BM_Permanent/24 on isa={isa}: only {speedup}x "
+                             f"vs pre-opt (SIMD floor: >= 3x)")
+
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
 
 if rebaseline:
     baseline["baseline_ns"] = {k: round(v, 1) for k, v in current.items()}
+    baseline["isa"] = isa
+    baseline["cpu_model"] = cpu_model
     with open(baseline_path, "w") as f:
         json.dump(baseline, f, indent=2)
         f.write("\n")
-    print(f"check_perf: rebaselined {baseline_path} from this run")
+    print(f"check_perf: rebaselined {baseline_path} from this run "
+          f"(isa={isa})")
 
 for name, e in report["kernels"].items():
     speed = (f"  ({e['speedup_vs_pre_opt']}x vs pre-opt)"
@@ -142,14 +188,73 @@ for name, e in report["kernels"].items():
              if "vs_baseline" in e else "  [no baseline]")
     print(f"check_perf: {name}: {e['cpu_time_ns']:.0f}ns{delta}{speed}")
 
-if failures and not rebaseline:
-    for msg in failures:
+# The SIMD floor is vs pre_opt_ns, which never rebaselines, so it gates
+# even on a --rebaseline run.
+if hard_failures or (failures and not rebaseline):
+    for msg in hard_failures + ([] if rebaseline else failures):
         print(f"check_perf: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 if faster:
     print(f"check_perf: note: {', '.join(faster)} now >15% faster than "
           f"baseline; consider scripts/check_perf.sh --rebaseline")
 print(f"check_perf: OK ({out_path} written)")
+PY
+
+# -------------------------------------------------------- per-ISA sweep
+# Informational: re-run the flagship kernel once under each forced tier
+# so BENCH_kernels.json records the scalar/AVX2/AVX-512 spread on this
+# host. Forcing a tier the host (or build) lacks clamps downward with a
+# warning, so entries are deduplicated by the tier the binary actually
+# reports. Single repetition — the spread (1x vs 4x vs 13x) dwarfs
+# run-to-run noise, and scalar n=24 costs ~1s per pass.
+sweep_dir="$(mktemp -d)"
+trap 'rm -f "$raw"; rm -rf "$sweep_dir"' EXIT
+for isa in scalar avx2 avx512; do
+  ANONSAFE_FORCE_ISA="$isa" "$BENCH" \
+    --benchmark_filter='BM_Permanent/24$' \
+    --benchmark_format=json >"$sweep_dir/$isa.json" || true
+done
+python3 - "$OUT" "$BASELINE" "$sweep_dir"/*.json <<'PY'
+import json, sys
+
+out_path, baseline_path = sys.argv[1:3]
+with open(out_path) as f:
+    report = json.load(f)
+try:
+    with open(baseline_path) as f:
+        pre = json.load(f).get("pre_opt_ns", {}).get("BM_Permanent/24")
+except FileNotFoundError:
+    pre = None
+
+sweep = {}
+for path in sys.argv[3:]:
+    try:
+        with open(path) as f:
+            raw = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        continue
+    isa = raw.get("context", {}).get("anonsafe_simd_isa", "unknown")
+    if isa in sweep:
+        continue  # forced tier clamped down to one already measured
+    for b in raw.get("benchmarks", []):
+        if b.get("run_name") == "BM_Permanent/24":
+            entry = {"cpu_time_ns": round(b["cpu_time"], 1)}
+            if pre is not None:
+                entry["speedup_vs_pre_opt"] = round(pre / b["cpu_time"], 2)
+            sweep[isa] = entry
+
+report["isa_sweep"] = {
+    "note": "BM_Permanent/24 under each ANONSAFE_FORCE_ISA tier this "
+            "host supports; single repetition, informational",
+    "BM_Permanent/24": sweep,
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+for isa, e in sorted(sweep.items()):
+    speed = (f"  ({e['speedup_vs_pre_opt']}x vs pre-opt)"
+             if "speedup_vs_pre_opt" in e else "")
+    print(f"check_perf: isa sweep {isa}: {e['cpu_time_ns']:.0f}ns{speed}")
 PY
 
 # ---------------------------------------------------- serve load harness
@@ -219,7 +324,7 @@ if [[ ! -x "$PLANNER_BENCH" ]]; then
 fi
 
 planner_raw="$(mktemp)"
-trap 'rm -f "$raw" "$planner_raw"' EXIT
+trap 'rm -f "$raw" "$planner_raw"; rm -rf "$sweep_dir"' EXIT
 
 # BM_DirectMonolithic/2 pays a whole-graph n=24 permanent per item probe
 # (seconds per iteration), so a single repetition is all we take.

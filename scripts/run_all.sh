@@ -22,6 +22,15 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# The SIMD differential suite under every forced ISA tier: forcing a
+# tier the host/build lacks clamps downward with a warning, so each
+# pass is meaningful on any machine and all three must agree bitwise.
+for isa in scalar avx2 avx512; do
+  echo "== kernel_differential_test (ANONSAFE_FORCE_ISA=$isa) =="
+  ANONSAFE_FORCE_ISA="$isa" ./build/tests/kernel_differential_test \
+    --gtest_brief=1
+done
+
 scripts/check_metrics.sh
 scripts/check_obs.sh
 scripts/check_serve.sh

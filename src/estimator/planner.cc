@@ -240,23 +240,25 @@ std::vector<uint64_t> BlockRowMasks(const BipartiteGraph& pruned,
 /// Exact masked Ryser on one block: per diagonal item, the ratio of the
 /// block minor's permanent to the block permanent — the same integers
 /// the whole-graph direct method divides, just with the other blocks'
-/// common factor cancelled.
+/// common factor cancelled. The block matrix and all its diagonal minors
+/// evaluate as one PermanentBatch call (index 0 = the block, then one
+/// minor per present diagonal item), sharing a single kernel resolution
+/// and scratch plan across the batch.
 Status EvalPermanentBlock(const BipartiteGraph& pruned,
                           const PlannedBlock& block,
                           std::vector<double>* contrib) {
   const size_t k = block.items.size();
-  std::vector<uint64_t> rows = BlockRowMasks(pruned, block);
-  ANONSAFE_ASSIGN_OR_RETURN(double total, PermanentRyser(rows));
-  if (total <= 0.0) {
-    return Status::FailedPrecondition(
-        "planner block has no perfect matching after pruning");
-  }
-  std::vector<uint64_t> minor;
+  std::vector<std::vector<uint64_t>> matrices;
+  matrices.reserve(k + 1);
+  matrices.push_back(BlockRowMasks(pruned, block));
+  const std::vector<uint64_t>& rows = matrices.front();
+  std::vector<size_t> minor_item;  // global item id per minor, batch order
+  minor_item.reserve(k);
   for (size_t lx = 0; lx < k; ++lx) {
     const size_t la = LocalIndex(block.anons, block.items[lx]);
     if (la == kNoBlock) continue;  // identity anon lives elsewhere
     if (!(rows[la] & (uint64_t{1} << lx))) continue;  // diagonal absent
-    minor.clear();
+    std::vector<uint64_t> minor;
     minor.reserve(k - 1);
     const uint64_t low_mask = (uint64_t{1} << lx) - 1;
     for (size_t i = 0; i < k; ++i) {
@@ -264,8 +266,18 @@ Status EvalPermanentBlock(const BipartiteGraph& pruned,
       const uint64_t row = rows[i];
       minor.push_back((row & low_mask) | ((row >> (lx + 1)) << lx));
     }
-    ANONSAFE_ASSIGN_OR_RETURN(double sub, PermanentRyser(minor));
-    (*contrib)[block.items[lx]] = sub / total;
+    matrices.push_back(std::move(minor));
+    minor_item.push_back(block.items[lx]);
+  }
+  ANONSAFE_ASSIGN_OR_RETURN(std::vector<double> perms,
+                            PermanentBatch(matrices));
+  const double total = perms.front();
+  if (total <= 0.0) {
+    return Status::FailedPrecondition(
+        "planner block has no perfect matching after pruning");
+  }
+  for (size_t idx = 0; idx < minor_item.size(); ++idx) {
+    (*contrib)[minor_item[idx]] = perms[idx + 1] / total;
   }
   return Status::OK();
 }

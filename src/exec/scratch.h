@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -45,7 +47,40 @@ inline constexpr size_t kMaxRetainedBytes = 64u * 1024 * 1024;
 /// Retired buffers kept per (thread, element type).
 inline constexpr size_t kMaxRetainedBuffers = 16;
 
-template <typename T>
+/// Minimal over-aligning allocator: the SIMD permanent kernels load their
+/// precomputed tables with aligned vector loads, so their scratch buffers
+/// must start on a 64-byte (cache-line / ZMM) boundary, which the default
+/// allocator only guarantees up to alignof(std::max_align_t).
+template <typename T, size_t Alignment>
+struct AlignedAlloc {
+  static_assert((Alignment & (Alignment - 1)) == 0, "power-of-two alignment");
+  using value_type = T;
+
+  AlignedAlloc() = default;
+  template <typename U>
+  AlignedAlloc(const AlignedAlloc<U, Alignment>&) noexcept {}
+  template <typename U>
+  struct rebind {
+    using other = AlignedAlloc<U, Alignment>;
+  };
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAlloc&, const AlignedAlloc&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAlloc&, const AlignedAlloc&) {
+    return false;
+  }
+};
+
+template <typename T, typename Alloc = std::allocator<T>>
 class ScratchVec {
  public:
   /// Acquires an empty buffer (capacity may be recycled).
@@ -73,8 +108,8 @@ class ScratchVec {
 
   ~ScratchVec() { Retire(); }
 
-  std::vector<T>& vec() { return buf_; }
-  const std::vector<T>& vec() const { return buf_; }
+  std::vector<T, Alloc>& vec() { return buf_; }
+  const std::vector<T, Alloc>& vec() const { return buf_; }
 
   T* data() { return buf_.data(); }
   const T* data() const { return buf_.data(); }
@@ -97,15 +132,18 @@ class ScratchVec {
   static void DrainThreadFreeList() { FreeList().clear(); }
 
  private:
-  static std::vector<std::vector<T>>& FreeList() {
-    thread_local std::vector<std::vector<T>> free_list;
+  // The free list is a static member of each ScratchVec<T, Alloc>
+  // instantiation, so buffers are pooled per (thread, element type,
+  // allocator) and an aligned buffer can never be recycled as a plain one.
+  static std::vector<std::vector<T, Alloc>>& FreeList() {
+    thread_local std::vector<std::vector<T, Alloc>> free_list;
     return free_list;
   }
 
-  static std::vector<T> Take(size_t want) {
+  static std::vector<T, Alloc> Take(size_t want) {
     auto& fl = FreeList();
     if (!fl.empty()) {
-      std::vector<T> v = std::move(fl.back());
+      std::vector<T, Alloc> v = std::move(fl.back());
       fl.pop_back();
       obs::CountIf("anonsafe_scratch_reuse_total");
       if (want != 0) {
@@ -130,9 +168,14 @@ class ScratchVec {
     }
   }
 
-  std::vector<T> buf_;
+  std::vector<T, Alloc> buf_;
   bool moved_out_ = false;
 };
+
+/// Pooled scratch buffer whose storage starts on a 64-byte boundary, for
+/// working sets consumed by aligned SIMD loads.
+template <typename T>
+using AlignedScratchVec = ScratchVec<T, AlignedAlloc<T, 64>>;
 
 /// @}
 

@@ -1,0 +1,187 @@
+#include "graph/simd_kernels.h"
+
+// AVX2 tier: two 256-bit halves per 8-lane vector. Compiled with -mavx2
+// -ffp-contract=off when the compiler supports it; otherwise this TU
+// degrades to a nullptr accessor and dispatch falls back a tier.
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+#include "graph/ryser_kernel_body.h"
+
+namespace anonsafe {
+namespace internal {
+namespace {
+
+struct V8Avx2 {
+  __m256d lo, hi;
+
+  static V8Avx2 Zero() {
+    return {_mm256_setzero_pd(), _mm256_setzero_pd()};
+  }
+  static V8Avx2 Load(const double* p) {
+    return {_mm256_load_pd(p), _mm256_load_pd(p + 4)};
+  }
+  static V8Avx2 Broadcast(double x) {
+    const __m256d v = _mm256_set1_pd(x);
+    return {v, v};
+  }
+  static V8Avx2 Add(V8Avx2 a, V8Avx2 b) {
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+  }
+  static V8Avx2 Sub(V8Avx2 a, V8Avx2 b) {
+    return {_mm256_sub_pd(a.lo, b.lo), _mm256_sub_pd(a.hi, b.hi)};
+  }
+  static V8Avx2 Mul(V8Avx2 a, V8Avx2 b) {
+    return {_mm256_mul_pd(a.lo, b.lo), _mm256_mul_pd(a.hi, b.hi)};
+  }
+  static V8Avx2 XorSigns(V8Avx2 a, const double* signs) {
+    return {_mm256_xor_pd(a.lo, _mm256_load_pd(signs)),
+            _mm256_xor_pd(a.hi, _mm256_load_pd(signs + 4))};
+  }
+  static V8Avx2 MaskKeep(V8Avx2 a, unsigned m) {
+    // Expand bits j..j+3 of m to all-ones lanes via broadcast + bit test.
+    const __m256i bits_lo = _mm256_setr_epi64x(1, 2, 4, 8);
+    const __m256i bits_hi = _mm256_setr_epi64x(16, 32, 64, 128);
+    const __m256i mm = _mm256_set1_epi64x(static_cast<long long>(m));
+    const __m256d keep_lo = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+        _mm256_and_si256(mm, bits_lo), bits_lo));
+    const __m256d keep_hi = _mm256_castsi256_pd(_mm256_cmpeq_epi64(
+        _mm256_and_si256(mm, bits_hi), bits_hi));
+    return {_mm256_and_pd(a.lo, keep_lo), _mm256_and_pd(a.hi, keep_hi)};
+  }
+  static unsigned ZeroMask(V8Avx2 a) {
+    const __m256d zero = _mm256_setzero_pd();
+    const unsigned lo = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a.lo, zero, _CMP_EQ_OQ)));
+    const unsigned hi = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a.hi, zero, _CMP_EQ_OQ)));
+    return lo | (hi << 4);
+  }
+  static V8Avx2 NeumaierE(V8Avx2 s, V8Avx2 y, V8Avx2 t1) {
+    const __m256d abs_mask =
+        _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+    V8Avx2 r;
+    {
+      const __m256d ge = _mm256_cmp_pd(_mm256_and_pd(s.lo, abs_mask),
+                                       _mm256_and_pd(y.lo, abs_mask),
+                                       _CMP_GE_OQ);
+      const __m256d a =
+          _mm256_add_pd(_mm256_sub_pd(s.lo, t1.lo), y.lo);
+      const __m256d b =
+          _mm256_add_pd(_mm256_sub_pd(y.lo, t1.lo), s.lo);
+      r.lo = _mm256_blendv_pd(b, a, ge);
+    }
+    {
+      const __m256d ge = _mm256_cmp_pd(_mm256_and_pd(s.hi, abs_mask),
+                                       _mm256_and_pd(y.hi, abs_mask),
+                                       _CMP_GE_OQ);
+      const __m256d a =
+          _mm256_add_pd(_mm256_sub_pd(s.hi, t1.hi), y.hi);
+      const __m256d b =
+          _mm256_add_pd(_mm256_sub_pd(y.hi, t1.hi), s.hi);
+      r.hi = _mm256_blendv_pd(b, a, ge);
+    }
+    return r;
+  }
+  static void Store(V8Avx2 a, double* p) {
+    _mm256_storeu_pd(p, a.lo);
+    _mm256_storeu_pd(p + 4, a.hi);
+  }
+};
+
+size_t CountFixedPointsAvx2(const ItemId* v, const uint8_t* interest,
+                            size_t n) {
+  size_t count = 0;
+  __m256i iota = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+  const __m256i step = _mm256_set1_epi32(8);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i eq = _mm256_cmpeq_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)), iota);
+    if (interest != nullptr) {
+      const __m128i bytes = _mm_loadl_epi64(
+          reinterpret_cast<const __m128i*>(interest + i));
+      const __m256i wanted = _mm256_cmpgt_epi32(
+          _mm256_cvtepu8_epi32(bytes), _mm256_setzero_si256());
+      eq = _mm256_and_si256(eq, wanted);
+    }
+    count += static_cast<size_t>(std::popcount(static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(eq)))));
+    iota = _mm256_add_epi32(iota, step);
+  }
+  for (; i < n; ++i) {
+    if (v[i] == static_cast<ItemId>(i) &&
+        (interest == nullptr || interest[i] != 0)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CountConsistentIdentityAvx2(const size_t* group, const size_t* lo,
+                                   const size_t* hi,
+                                   const uint8_t* has_range, size_t n) {
+  static_assert(sizeof(size_t) == 8, "64-bit lanes assumed");
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i g = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(group + i));
+    const __m256i l = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(lo + i));
+    const __m256i h = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(hi + i));
+    // Group/range indices are tiny (< 2^63), so signed compares suffice.
+    const __m256i below = _mm256_cmpgt_epi64(l, g);   // lo > g -> out
+    const __m256i above = _mm256_cmpgt_epi64(g, h);   // g > hi -> out
+    uint32_t bytes = 0;
+    std::memcpy(&bytes, has_range + i, 4);
+    const __m256i wanted = _mm256_cmpgt_epi64(
+        _mm256_cvtepu8_epi64(_mm_cvtsi32_si128(static_cast<int>(bytes))),
+        _mm256_setzero_si256());
+    const __m256i ok = _mm256_andnot_si256(
+        below, _mm256_andnot_si256(above, wanted));
+    count += static_cast<size_t>(std::popcount(static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_castsi256_pd(ok)))));
+  }
+  for (; i < n; ++i) {
+    if (has_range[i] != 0 && lo[i] <= group[i] && group[i] <= hi[i]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+const KernelVTable* Avx2Kernels() {
+  static const KernelVTable vtable = {
+      cpu::Isa::kAvx2,
+      "avx2",
+      &RyserRangeLanes<V8Avx2>,
+      &CountFixedPointsAvx2,
+      &CountConsistentIdentityAvx2,
+  };
+  return &vtable;
+}
+
+}  // namespace internal
+}  // namespace anonsafe
+
+#else  // !__AVX2__
+
+namespace anonsafe {
+namespace internal {
+
+const KernelVTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace anonsafe
+
+#endif  // __AVX2__

@@ -1,0 +1,138 @@
+#include "graph/simd_kernels.h"
+
+// AVX-512 tier: one 512-bit register per 8-lane vector, lane masks map
+// directly onto __mmask8. Compiled with -mavx512f -mavx512dq
+// -ffp-contract=off when the compiler supports it; otherwise this TU
+// degrades to a nullptr accessor and dispatch falls back a tier.
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "graph/ryser_kernel_body.h"
+
+namespace anonsafe {
+namespace internal {
+namespace {
+
+struct V8Avx512 {
+  __m512d v;
+
+  static V8Avx512 Zero() { return {_mm512_setzero_pd()}; }
+  static V8Avx512 Load(const double* p) { return {_mm512_load_pd(p)}; }
+  static V8Avx512 Broadcast(double x) { return {_mm512_set1_pd(x)}; }
+  static V8Avx512 Add(V8Avx512 a, V8Avx512 b) {
+    return {_mm512_add_pd(a.v, b.v)};
+  }
+  static V8Avx512 Sub(V8Avx512 a, V8Avx512 b) {
+    return {_mm512_sub_pd(a.v, b.v)};
+  }
+  static V8Avx512 Mul(V8Avx512 a, V8Avx512 b) {
+    return {_mm512_mul_pd(a.v, b.v)};
+  }
+  static V8Avx512 XorSigns(V8Avx512 a, const double* signs) {
+    return {_mm512_xor_pd(a.v, _mm512_load_pd(signs))};
+  }
+  static V8Avx512 MaskKeep(V8Avx512 a, unsigned m) {
+    return {_mm512_maskz_mov_pd(static_cast<__mmask8>(m), a.v)};
+  }
+  static unsigned ZeroMask(V8Avx512 a) {
+    return static_cast<unsigned>(
+        _mm512_cmp_pd_mask(a.v, _mm512_setzero_pd(), _CMP_EQ_OQ));
+  }
+  static V8Avx512 NeumaierE(V8Avx512 s, V8Avx512 y, V8Avx512 t1) {
+    const __mmask8 ge = _mm512_cmp_pd_mask(_mm512_abs_pd(s.v),
+                                           _mm512_abs_pd(y.v), _CMP_GE_OQ);
+    const __m512d a = _mm512_add_pd(_mm512_sub_pd(s.v, t1.v), y.v);
+    const __m512d b = _mm512_add_pd(_mm512_sub_pd(y.v, t1.v), s.v);
+    return {_mm512_mask_blend_pd(ge, b, a)};
+  }
+  static void Store(V8Avx512 a, double* p) { _mm512_storeu_pd(p, a.v); }
+};
+
+size_t CountFixedPointsAvx512(const ItemId* v, const uint8_t* interest,
+                              size_t n) {
+  size_t count = 0;
+  __m512i iota = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                   13, 14, 15);
+  const __m512i step = _mm512_set1_epi32(16);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __mmask16 eq = _mm512_cmpeq_epu32_mask(
+        _mm512_loadu_si512(reinterpret_cast<const void*>(v + i)), iota);
+    if (interest != nullptr) {
+      const __m512i wanted = _mm512_cvtepu8_epi32(_mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(interest + i)));
+      eq &= _mm512_test_epi32_mask(wanted, wanted);
+    }
+    count += static_cast<size_t>(
+        std::popcount(static_cast<unsigned>(eq)));
+    iota = _mm512_add_epi32(iota, step);
+  }
+  for (; i < n; ++i) {
+    if (v[i] == static_cast<ItemId>(i) &&
+        (interest == nullptr || interest[i] != 0)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CountConsistentIdentityAvx512(const size_t* group, const size_t* lo,
+                                     const size_t* hi,
+                                     const uint8_t* has_range, size_t n) {
+  static_assert(sizeof(size_t) == 8, "64-bit lanes assumed");
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i g = _mm512_loadu_si512(
+        reinterpret_cast<const void*>(group + i));
+    const __m512i l = _mm512_loadu_si512(
+        reinterpret_cast<const void*>(lo + i));
+    const __m512i h = _mm512_loadu_si512(
+        reinterpret_cast<const void*>(hi + i));
+    const __m512i wanted = _mm512_cvtepu8_epi64(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(has_range + i)));
+    const __mmask8 ok = _mm512_cmple_epu64_mask(l, g) &
+                        _mm512_cmple_epu64_mask(g, h) &
+                        _mm512_test_epi64_mask(wanted, wanted);
+    count += static_cast<size_t>(std::popcount(static_cast<unsigned>(ok)));
+  }
+  for (; i < n; ++i) {
+    if (has_range[i] != 0 && lo[i] <= group[i] && group[i] <= hi[i]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+const KernelVTable* Avx512Kernels() {
+  static const KernelVTable vtable = {
+      cpu::Isa::kAvx512,
+      "avx512",
+      &RyserRangeLanes<V8Avx512>,
+      &CountFixedPointsAvx512,
+      &CountConsistentIdentityAvx512,
+  };
+  return &vtable;
+}
+
+}  // namespace internal
+}  // namespace anonsafe
+
+#else  // !(__AVX512F__ && __AVX512DQ__)
+
+namespace anonsafe {
+namespace internal {
+
+const KernelVTable* Avx512Kernels() { return nullptr; }
+
+}  // namespace internal
+}  // namespace anonsafe
+
+#endif  // __AVX512F__ && __AVX512DQ__

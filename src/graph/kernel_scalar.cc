@@ -1,0 +1,126 @@
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "graph/ryser_kernel_body.h"
+#include "graph/simd_kernels.h"
+
+// Scalar tier: the 8-lane trait is a plain double[8] with per-lane
+// loops. Every operation is the same IEEE-754 binary64 op the vector
+// tiers issue, so results are bit-identical; the compiler may
+// auto-vectorize the lane loops (legal — lanes are independent and no
+// reassociation is possible), but this TU carries no -m flags, so the
+// binary runs on any x86-64 (or non-x86) host.
+
+namespace anonsafe {
+namespace internal {
+namespace {
+
+struct V8Scalar {
+  double d[kRyserLanes];
+
+  static V8Scalar Zero() {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) r.d[j] = 0.0;
+    return r;
+  }
+  static V8Scalar Load(const double* p) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) r.d[j] = p[j];
+    return r;
+  }
+  static V8Scalar Broadcast(double x) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) r.d[j] = x;
+    return r;
+  }
+  static V8Scalar Add(V8Scalar a, V8Scalar b) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) r.d[j] = a.d[j] + b.d[j];
+    return r;
+  }
+  static V8Scalar Sub(V8Scalar a, V8Scalar b) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) r.d[j] = a.d[j] - b.d[j];
+    return r;
+  }
+  static V8Scalar Mul(V8Scalar a, V8Scalar b) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) r.d[j] = a.d[j] * b.d[j];
+    return r;
+  }
+  static V8Scalar XorSigns(V8Scalar a, const double* signs) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) {
+      r.d[j] = std::bit_cast<double>(std::bit_cast<uint64_t>(a.d[j]) ^
+                                     std::bit_cast<uint64_t>(signs[j]));
+    }
+    return r;
+  }
+  static V8Scalar MaskKeep(V8Scalar a, unsigned m) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) {
+      r.d[j] = ((m >> j) & 1u) != 0 ? a.d[j] : 0.0;
+    }
+    return r;
+  }
+  static unsigned ZeroMask(V8Scalar a) {
+    unsigned m = 0;
+    for (size_t j = 0; j < kRyserLanes; ++j) {
+      if (a.d[j] == 0.0) m |= 1u << j;
+    }
+    return m;
+  }
+  static V8Scalar NeumaierE(V8Scalar s, V8Scalar y, V8Scalar t1) {
+    V8Scalar r;
+    for (size_t j = 0; j < kRyserLanes; ++j) {
+      r.d[j] = std::fabs(s.d[j]) >= std::fabs(y.d[j])
+                   ? (s.d[j] - t1.d[j]) + y.d[j]
+                   : (y.d[j] - t1.d[j]) + s.d[j];
+    }
+    return r;
+  }
+  static void Store(V8Scalar a, double* p) {
+    for (size_t j = 0; j < kRyserLanes; ++j) p[j] = a.d[j];
+  }
+};
+
+size_t CountFixedPointsScalar(const ItemId* v, const uint8_t* interest,
+                              size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (v[i] == static_cast<ItemId>(i) &&
+        (interest == nullptr || interest[i] != 0)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t CountConsistentIdentityScalar(const size_t* group, const size_t* lo,
+                                     const size_t* hi,
+                                     const uint8_t* has_range, size_t n) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (has_range[i] != 0 && lo[i] <= group[i] && group[i] <= hi[i]) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+const KernelVTable* ScalarKernels() {
+  static const KernelVTable vtable = {
+      cpu::Isa::kScalar,
+      "scalar",
+      &RyserRangeLanes<V8Scalar>,
+      &CountFixedPointsScalar,
+      &CountConsistentIdentityScalar,
+  };
+  return &vtable;
+}
+
+}  // namespace internal
+}  // namespace anonsafe

@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "exec/scratch.h"
+#include "graph/simd_kernels.h"
 #include "obs/scoped_timer.h"
 #include "util/rng.h"
 
@@ -66,7 +67,7 @@ Result<MatchingSampler> MatchingSampler::Create(
   s.group_of_anon_.resize(n);
   s.item_lo_.assign(n, 0);
   s.item_hi_.assign(n, 0);
-  s.item_has_range_.assign(n, false);
+  s.item_has_range_.assign(n, 0);
   for (ItemId x = 0; x < n; ++x) {
     // Identity-surrogate convention: anonymized item x truly corresponds
     // to item x, so its observed frequency group is x's true group.
@@ -76,20 +77,19 @@ Result<MatchingSampler> MatchingSampler::Create(
     if (observed.StabRange(iv.lo, iv.hi, &lo, &hi)) {
       s.item_lo_[x] = lo;
       s.item_hi_[x] = hi;
-      s.item_has_range_[x] = true;
+      s.item_has_range_[x] = 1;
     }
   }
 
   // Seed matching: identity when consistent (the paper's choice — every
   // item starts cracked), otherwise exchange-greedy maximum matching for
-  // the interval structure.
-  bool identity_ok = true;
-  for (ItemId a = 0; a < n; ++a) {
-    if (!s.Consistent(a, a)) {
-      identity_ok = false;
-      break;
-    }
-  }
+  // the interval structure. Identity is consistent exactly when every
+  // anon's own group stabs its own belief range — the dispatched
+  // identity-consistency probe counts those in one pass.
+  const bool identity_ok =
+      internal::Kernels().count_consistent_identity(
+          s.group_of_anon_.data(), s.item_lo_.data(), s.item_hi_.data(),
+          s.item_has_range_.data(), n) == n;
   s.seed_item_of_anon_.assign(n, kInvalidItem);
   if (identity_ok) {
     for (ItemId a = 0; a < n; ++a) s.seed_item_of_anon_[a] = a;
@@ -242,16 +242,10 @@ void MatchingSampler::SweepChain(ChainState* chain) const {
   }
 }
 
-size_t MatchingSampler::CountCracksOf(
-    const ChainState& chain, const std::vector<bool>* interest) const {
-  size_t cracks = 0;
-  for (ItemId a = 0; a < num_items(); ++a) {
-    if (chain.item_of_anon[a] == a &&
-        (interest == nullptr || (*interest)[a])) {
-      ++cracks;
-    }
-  }
-  return cracks;
+size_t MatchingSampler::CountCracksOf(const ChainState& chain,
+                                      const uint8_t* interest) const {
+  return internal::Kernels().count_fixed_points(chain.item_of_anon.data(),
+                                                interest, num_items());
 }
 
 std::vector<size_t> MatchingSampler::SampleImpl(
@@ -267,6 +261,18 @@ std::vector<size_t> MatchingSampler::SampleImpl(
       total == 0 ? 0 : (total + per_chain - 1) / per_chain;
   const size_t burn_in = options_.EffectiveBurnIn(num_items());
   const uint64_t master_seed = options_.exec.seed;
+
+  // Widen the interest mask to bytes once, outside the parallel loop, so
+  // every probe reads a flat array (vector<bool> cannot be streamed).
+  std::vector<uint8_t> interest_bytes;
+  const uint8_t* interest_ptr = nullptr;
+  if (interest != nullptr) {
+    interest_bytes.resize(interest->size());
+    for (size_t i = 0; i < interest->size(); ++i) {
+      interest_bytes[i] = (*interest)[i] ? 1 : 0;
+    }
+    interest_ptr = interest_bytes.data();
+  }
 
   // Chains are fully independent: chain c always runs the RNG stream
   // SplitSeed(master_seed, c) and writes into its own output slots, so
@@ -290,7 +296,7 @@ std::vector<size_t> MatchingSampler::SampleImpl(
               SweepChain(&chain);
             }
           }
-          samples[begin + s] = CountCracksOf(chain, interest);
+          samples[begin + s] = CountCracksOf(chain, interest_ptr);
         }
         return Status::OK();
       });

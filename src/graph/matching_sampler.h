@@ -122,20 +122,26 @@ class MatchingSampler {
   void InitChain(ChainState* chain, uint64_t chain_seed) const;
   void SweepChain(ChainState* chain) const;
   bool Consistent(ItemId anon, ItemId item) const {
-    return item_has_range_[item] && item_lo_[item] <= group_of_anon_[anon] &&
+    return item_has_range_[item] != 0 &&
+           item_lo_[item] <= group_of_anon_[anon] &&
            group_of_anon_[anon] <= item_hi_[item];
   }
+  /// Crack-frequency probe over a chain's current matching; dispatched to
+  /// the SIMD fixed-point kernel. `interest` is an optional byte mask
+  /// (nullptr = all items).
   size_t CountCracksOf(const ChainState& chain,
-                       const std::vector<bool>* interest) const;
+                       const uint8_t* interest) const;
   std::vector<size_t> SampleImpl(const std::vector<bool>* interest,
                                  exec::ExecContext* ctx) const;
 
   SamplerOptions options_;
 
-  // Static structure.
+  // Static structure. The range/consistency columns are flat arrays of
+  // machine words (and `item_has_range_` a byte mask, not vector<bool>)
+  // so the dispatched probe kernels can stream them.
   std::vector<size_t> group_of_anon_;
   std::vector<size_t> item_lo_, item_hi_;
-  std::vector<bool> item_has_range_;
+  std::vector<uint8_t> item_has_range_;
   std::vector<ItemId> seed_item_of_anon_;  // seed matching
   size_t seed_size_ = 0;
 

@@ -3,138 +3,123 @@
 #include <algorithm>
 #include <bit>
 #include <string>
+#include <utility>
 
 #include "exec/exec.h"
 #include "exec/scratch.h"
+#include "graph/simd_kernels.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 
 namespace anonsafe {
 namespace {
 
-/// One contiguous slice [begin, end) of the Ryser iteration space
-/// (iter 1 .. 2^n - 1). The per-row column sums are reseeded from the
-/// Gray code of `begin - 1`, so slices are independent and the result
-/// is identical to the classic single-pass form.
-///
-/// Two kernel-level optimizations over the textbook loop, both exactly
-/// value-preserving:
-///  - `cols[j]` is the bitmask of *rows containing column j* (the
-///    transpose), so the ±1 update after a column flip walks only those
-///    rows instead of branching over all n;
-///  - `zero_rows` counts rows whose running sum is 0. While it is
-///    nonzero the product Π row_sums is exactly +0.0 (sums are small
-///    non-negative integers, no underflow), and adding ±0.0 never
-///    changes `total` (which is never -0.0), so the product loop is
-///    skipped outright. On sparse matrices most subsets die here.
-///
-/// `row_sums` is caller-provided scratch of size n; `*skipped`
-/// accumulates the number of subsets short-circuited by the zero-row
-/// counter.
-long double RyserRange(const std::vector<uint64_t>& rows,
-                       const uint64_t* cols, uint64_t begin, uint64_t end,
-                       double* row_sums, uint64_t* skipped) {
+using internal::KernelVTable;
+using internal::kRyserLanes;
+using internal::kRyserLowBits;
+using internal::NeumaierAdd;
+using internal::RyserPlan;
+
+static_assert(internal::kMaxRyserRows == kMaxPermanentN,
+              "lane kernel row capacity must match the public Ryser cap");
+
+/// Caller-owned scratch behind a RyserPlan. The low table must be 64-byte
+/// aligned (the SIMD tiers use aligned loads; each [p][i] row slice is
+/// exactly one cache line). Reusable across matrices — PermanentBatch
+/// builds every plan of a batch into the same buffers.
+struct RyserScratch {
+  exec::AlignedScratchVec<double> low;
+  exec::ScratchVec<uint64_t> rows_hi;
+  exec::ScratchVec<uint64_t> colhi;
+};
+
+/// Precomputes the lane decomposition of `rows` (see simd_kernels.h):
+/// subset iter = 8t + j has gray(iter) = (gray(t) << 3) | low3(j, t & 1)
+/// with low3(j, p) = (j ^ (j >> 1)) ^ (p << 2), so each row's subset sum
+/// splits into a per-block scalar over the high columns plus this
+/// per-lane table over the three low columns.
+RyserPlan BuildRyserPlan(const std::vector<uint64_t>& rows,
+                         RyserScratch* scratch) {
   const size_t n = rows.size();
-  uint64_t gray = (begin - 1) ^ ((begin - 1) >> 1);
-  size_t zero_rows = 0;
+  RyserPlan plan;
+  plan.n = n;
+  scratch->low.resize(2 * n * kRyserLanes);
+  scratch->rows_hi.resize(n);
+  const size_t hi_cols = n > kRyserLowBits ? n - kRyserLowBits : 0;
+  scratch->colhi.assign(hi_cols, 0);
+  constexpr uint64_t kLowMask = (1ULL << kRyserLowBits) - 1;
   for (size_t i = 0; i < n; ++i) {
-    row_sums[i] = static_cast<double>(std::popcount(rows[i] & gray));
-    if (row_sums[i] == 0.0) ++zero_rows;
-  }
-  long double total = 0.0L;
-  uint64_t local_skipped = 0;
-  for (uint64_t iter = begin; iter < end; ++iter) {
-    const uint64_t new_gray = iter ^ (iter >> 1);
-    const uint64_t diff = gray ^ new_gray;
-    const int col = std::countr_zero(diff);
-    const double sign_col = (new_gray & diff) ? 1.0 : -1.0;
-    for (uint64_t m = cols[col]; m != 0; m &= m - 1) {
-      const int i = std::countr_zero(m);
-      const double before = row_sums[i];
-      row_sums[i] = before + sign_col;
-      if (before == 0.0) {
-        --zero_rows;
-      } else if (row_sums[i] == 0.0) {
-        ++zero_rows;
+    const uint64_t low_bits = rows[i] & kLowMask;
+    if (low_bits == 0) plan.low_zero_rows |= 1ULL << i;
+    for (size_t p = 0; p < 2; ++p) {
+      for (size_t j = 0; j < kRyserLanes; ++j) {
+        const uint64_t low3 = (j ^ (j >> 1)) ^ (p << 2);
+        scratch->low[(p * n + i) * kRyserLanes + j] =
+            static_cast<double>(std::popcount(low_bits & low3));
       }
     }
-    gray = new_gray;
-
-    if (zero_rows != 0) {
-      ++local_skipped;
-      continue;
-    }
-    long double prod = 1.0L;
-    for (size_t i = 0; i < n; ++i) prod *= row_sums[i];
-    int bits = std::popcount(new_gray);
-    // (-1)^n (-1)^{|S|} = (-1)^{n - |S|}
-    if ((n - static_cast<size_t>(bits)) & 1) {
-      total -= prod;
-    } else {
-      total += prod;
+    const uint64_t hi = rows[i] >> kRyserLowBits;
+    scratch->rows_hi[i] = hi;
+    for (uint64_t m = hi; m != 0; m &= m - 1) {
+      scratch->colhi[static_cast<size_t>(std::countr_zero(m))] |= 1ULL << i;
     }
   }
-  if (skipped != nullptr) *skipped += local_skipped;
-  return total;
+  plan.low = scratch->low.data();
+  plan.rows_hi = scratch->rows_hi.data();
+  plan.colhi = scratch->colhi.data();
+  return plan;
 }
 
 /// Ryser with Gray code on the *columns included* set:
-///   perm(A) = (-1)^n Σ_{∅≠S⊆[n]} (-1)^{|S|} Π_i row_sum_i(S).
-/// For n >= kRyserParallelMinN the 2^n - 1 subsets split into
-/// kRyserChunks ranges — a function of n alone, so chunked partials
-/// fold in the same order whatever the thread count.
-double RyserImpl(const std::vector<uint64_t>& rows,
-                 exec::ExecContext* ctx) {
+///   perm(A) = (-1)^n Σ_{∅≠S⊆[n]} (-1)^{|S|} Π_i row_sum_i(S),
+/// evaluated 8 subsets at a time by the dispatched lane kernel. For
+/// n >= kRyserParallelMinN the 2^n - 1 subsets split into kRyserChunks
+/// ranges — a function of n alone — and each chunk's Neumaier pair lands
+/// in a fixed slot; pairs fold in chunk order (sums first, then
+/// compensations, mirroring the kernel's lane fold), so the value is
+/// bit-identical for any thread count and any ISA tier.
+double RyserImpl(const KernelVTable& kernel, const std::vector<uint64_t>& rows,
+                 exec::ExecContext* ctx, RyserScratch* scratch,
+                 uint64_t* skipped) {
   const size_t n = rows.size();
   if (n == 0) return 1.0;  // empty product convention
   const uint64_t limit = 1ULL << n;
-
-  // Transpose to per-column row masks (n <= 26 rows fit one word).
-  exec::ScratchVec<uint64_t> cols(n, 0);
-  for (size_t i = 0; i < n; ++i) {
-    for (uint64_t m = rows[i]; m != 0; m &= m - 1) {
-      cols[static_cast<size_t>(std::countr_zero(m))] |= (1ULL << i);
-    }
-  }
+  const RyserPlan plan = BuildRyserPlan(rows, scratch);
 
   if (n < kRyserParallelMinN) {
-    exec::ScratchVec<double> row_sums(n);
-    uint64_t skipped = 0;
-    double result = static_cast<double>(
-        RyserRange(rows, cols.data(), 1, limit, row_sums.data(), &skipped));
-    obs::CountIf("anonsafe_ryser_skipped_products_total", skipped);
-    return result;
+    double sum = 0.0;
+    double comp = 0.0;
+    kernel.ryser_range(plan, 1, limit, &sum, &comp, skipped);
+    return sum + comp;
   }
 
   const size_t iters = static_cast<size_t>(limit - 1);
   const size_t grain = (iters + kRyserChunks - 1) / kRyserChunks;
   const size_t chunks = exec::NumChunks(iters, grain);
-  std::vector<long double> partials(chunks, 0.0L);
+  std::vector<double> sums(chunks, 0.0);
+  std::vector<double> comps(chunks, 0.0);
   std::vector<uint64_t> skipped_slots(chunks, 0);
-  // The body cannot fail; the Status channel is unused here.
+  // The body cannot fail; the Status channel is unused here. Workers only
+  // read the shared plan.
   Status st = exec::ParallelForChunks(
       ctx, iters, grain, [&](size_t begin, size_t end) {
-        exec::ScratchVec<double> row_sums(n);
-        partials[begin / grain] =
-            RyserRange(rows, cols.data(), 1 + begin, 1 + end,
-                       row_sums.data(), &skipped_slots[begin / grain]);
+        kernel.ryser_range(plan, 1 + begin, 1 + end, &sums[begin / grain],
+                           &comps[begin / grain],
+                           &skipped_slots[begin / grain]);
         return Status::OK();
       });
   (void)st;
-  long double total = 0.0L;
-  uint64_t skipped = 0;
-  for (size_t c = 0; c < chunks; ++c) {
-    total += partials[c];
-    skipped += skipped_slots[c];
+  double fs = 0.0;
+  double fc = 0.0;
+  for (size_t c = 0; c < chunks; ++c) NeumaierAdd(&fs, &fc, sums[c]);
+  for (size_t c = 0; c < chunks; ++c) NeumaierAdd(&fs, &fc, comps[c]);
+  if (skipped != nullptr) {
+    for (size_t c = 0; c < chunks; ++c) *skipped += skipped_slots[c];
   }
-  obs::CountIf("anonsafe_ryser_skipped_products_total", skipped);
-  return static_cast<double>(total);
+  return fs + fc;
 }
 
-}  // namespace
-
-Result<double> PermanentRyser(const std::vector<uint64_t>& rows,
-                              exec::ExecContext* ctx) {
+Status ValidateRows(const std::vector<uint64_t>& rows) {
   if (rows.size() > kMaxPermanentN) {
     return Status::OutOfRange(
         "permanent limited to n <= " + std::to_string(kMaxPermanentN) +
@@ -145,7 +130,70 @@ Result<double> PermanentRyser(const std::vector<uint64_t>& rows,
       return Status::InvalidArgument("row mask wider than the matrix");
     }
   }
-  return RyserImpl(rows, ctx);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::pair<uint64_t, uint64_t>> RyserChunkRanges(size_t n) {
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  if (n == 0) return ranges;
+  const uint64_t limit = 1ULL << n;
+  if (n < kRyserParallelMinN) {
+    ranges.emplace_back(1, limit);
+    return ranges;
+  }
+  const uint64_t iters = limit - 1;
+  const uint64_t grain = (iters + kRyserChunks - 1) / kRyserChunks;
+  for (uint64_t b = 0; b < iters; b += grain) {
+    ranges.emplace_back(1 + b, 1 + std::min(iters, b + grain));
+  }
+  return ranges;
+}
+
+Result<double> PermanentRyser(const std::vector<uint64_t>& rows,
+                              exec::ExecContext* ctx) {
+  ANONSAFE_RETURN_IF_ERROR(ValidateRows(rows));
+  RyserScratch scratch;
+  uint64_t skipped = 0;
+  const double result =
+      RyserImpl(internal::Kernels(), rows, ctx, &scratch, &skipped);
+  obs::CountIf("anonsafe_ryser_skipped_products_total", skipped);
+  return result;
+}
+
+Result<double> PermanentRyserForIsa(const std::vector<uint64_t>& rows,
+                                    cpu::Isa isa, exec::ExecContext* ctx) {
+  const KernelVTable* kernel = internal::KernelsFor(isa);
+  if (kernel == nullptr) {
+    return Status::InvalidArgument(
+        std::string("ISA tier not available on this host/build: ") +
+        cpu::IsaName(isa));
+  }
+  ANONSAFE_RETURN_IF_ERROR(ValidateRows(rows));
+  RyserScratch scratch;
+  uint64_t skipped = 0;
+  const double result = RyserImpl(*kernel, rows, ctx, &scratch, &skipped);
+  obs::CountIf("anonsafe_ryser_skipped_products_total", skipped);
+  return result;
+}
+
+Result<std::vector<double>> PermanentBatch(
+    const std::vector<std::vector<uint64_t>>& matrices,
+    exec::ExecContext* ctx) {
+  for (const std::vector<uint64_t>& rows : matrices) {
+    ANONSAFE_RETURN_IF_ERROR(ValidateRows(rows));
+  }
+  const KernelVTable& kernel = internal::Kernels();
+  RyserScratch scratch;
+  std::vector<double> out;
+  out.reserve(matrices.size());
+  uint64_t skipped = 0;
+  for (const std::vector<uint64_t>& rows : matrices) {
+    out.push_back(RyserImpl(kernel, rows, ctx, &scratch, &skipped));
+  }
+  obs::CountIf("anonsafe_ryser_skipped_products_total", skipped);
+  return out;
 }
 
 Result<double> CountPerfectMatchings(const BipartiteGraph& graph,

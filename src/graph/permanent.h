@@ -2,9 +2,11 @@
 #define ANONSAFE_GRAPH_PERMANENT_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "util/cpu.h"
 #include "util/result.h"
 
 namespace anonsafe {
@@ -39,6 +41,28 @@ inline constexpr size_t kRyserChunks = 64;
 /// count.
 Result<double> PermanentRyser(const std::vector<uint64_t>& rows,
                               exec::ExecContext* ctx = nullptr);
+
+/// \brief PermanentRyser evaluated with a specific SIMD tier instead of
+/// the runtime-dispatched one. Fails with InvalidArgument when the tier
+/// is unsupported by the CPU or was not compiled in. All tiers return
+/// bit-identical values (differential-test / bench hook).
+Result<double> PermanentRyserForIsa(const std::vector<uint64_t>& rows,
+                                    cpu::Isa isa,
+                                    exec::ExecContext* ctx = nullptr);
+
+/// \brief Permanents of a batch of small matrices, evaluated with one
+/// kernel resolution and one shared scratch plan across the whole batch.
+/// Each entry is bit-identical to PermanentRyser on that matrix alone.
+/// The planner's per-block minor sweep is the intended caller: a block of
+/// order k evaluates 1 + k matrices back to back.
+Result<std::vector<double>> PermanentBatch(
+    const std::vector<std::vector<uint64_t>>& matrices,
+    exec::ExecContext* ctx = nullptr);
+
+/// \brief The chunk decomposition PermanentRyser uses for an order-n
+/// matrix: half-open subset ranges within [1, 2^n), a function of n only.
+/// Exposed so differential tests can reproduce the exact fold order.
+std::vector<std::pair<uint64_t, uint64_t>> RyserChunkRanges(size_t n);
 
 /// \brief Number of perfect matchings of the graph (permanent of A_G).
 Result<double> CountPerfectMatchings(const BipartiteGraph& graph,

@@ -1,0 +1,131 @@
+#ifndef ANONSAFE_GRAPH_RYSER_KERNEL_BODY_H_
+#define ANONSAFE_GRAPH_RYSER_KERNEL_BODY_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "graph/simd_kernels.h"
+
+// The Ryser lane kernel, templated over an 8-lane double vector trait so
+// each ISA translation unit instantiates the *same* floating-point DAG
+// with its own registers. Bit-identity across tiers rests on every V8
+// operation being a plain IEEE-754 binary64 op (add/sub/mul/compare/
+// select/bitwise) applied lane-wise in this fixed order — no FMA, no
+// reassociation, no approximations. The trait contract:
+//
+//   static V8 Zero();
+//   static V8 Load(const double* p);          // p 64-byte aligned
+//   static V8 Broadcast(double x);
+//   static V8 Add(V8, V8) / Sub(V8, V8) / Mul(V8, V8);
+//   static V8 XorSigns(V8, const double* s);  // lane-wise XOR with s[0..7]
+//   static V8 MaskKeep(V8, unsigned m);       // lane j -> +0.0 unless bit j
+//   static unsigned ZeroMask(V8);             // bit j set iff lane j == ±0.0
+//   static V8 NeumaierE(V8 s, V8 y, V8 t1);   // |s|>=|y| ? (s-t1)+y : (y-t1)+s
+//   static void Store(V8, double* p);
+
+namespace anonsafe {
+namespace internal {
+
+/// Evaluates Ryser terms for global subsets [begin, end) ⊆ [1, 2^n) in
+/// blocks of 8 lanes. Per block t the subset of lane j is
+/// (gray(t) << 3) | low3(j, t & 1); the per-row sum splits into a scalar
+/// high part h[i] (incrementally maintained across blocks: the t -> t+1
+/// Gray step flips exactly one high column) and the precomputed per-lane
+/// low table. Boundary blocks mask out-of-range lanes to +0.0, which is
+/// an exact no-op on the accumulators (they are never -0.0: both start
+/// at +0.0 and x + y == -0.0 only when both operands are -0.0).
+///
+/// The zero-row skip of the scalar kernel is preserved per block: a row
+/// with empty low columns and zero high sum forces all 8 products to
+/// +0.0, so the block is skipped outright; rows that are only zero in
+/// some lanes flow through the product and are tallied by ZeroMask.
+/// Either way `*zero_products` counts exactly the in-range subsets with
+/// a zero product, the same value the scalar loop counted.
+template <typename V8>
+void RyserRangeLanes(const RyserPlan& plan, uint64_t begin, uint64_t end,
+                     double* sum, double* comp, uint64_t* zero_products) {
+  const size_t n = plan.n;
+  uint64_t t = begin >> kRyserLowBits;
+  const uint64_t t_last = (end - 1) >> kRyserLowBits;
+  uint64_t gray = t ^ (t >> 1);
+
+  // Reseed the high sums (and the dead-row counter) from gray(t).
+  double h[kMaxRyserRows];
+  size_t dead = 0;
+  for (size_t i = 0; i < n; ++i) {
+    h[i] = static_cast<double>(std::popcount(plan.rows_hi[i] & gray));
+    if (((plan.low_zero_rows >> i) & 1) != 0 && h[i] == 0.0) ++dead;
+  }
+
+  V8 s = V8::Zero();
+  V8 c = V8::Zero();
+  uint64_t zeroed = 0;
+  for (;; ++t) {
+    const uint64_t base = t << kRyserLowBits;
+    unsigned m = 0xFFu;
+    if (base < begin) m = (m << (begin - base)) & 0xFFu;
+    if (end - base < kRyserLanes) m &= 0xFFu >> (kRyserLanes - (end - base));
+
+    if (dead == 0) {
+      const size_t p = t & 1;
+      const double* low = plan.low + p * n * kRyserLanes;
+      V8 v = V8::Add(V8::Broadcast(h[0]), V8::Load(low));
+      for (size_t i = 1; i < n; ++i) {
+        v = V8::Mul(v, V8::Add(V8::Broadcast(h[i]),
+                               V8::Load(low + i * kRyserLanes)));
+      }
+      const size_t bn =
+          (n + static_cast<size_t>(std::popcount(gray))) & 1;
+      v = V8::XorSigns(v, kRyserSignTable[p][bn]);
+      zeroed += static_cast<uint64_t>(std::popcount(V8::ZeroMask(v) & m));
+      const V8 y = m == 0xFFu ? v : V8::MaskKeep(v, m);
+      const V8 t1 = V8::Add(s, y);
+      c = V8::Add(c, V8::NeumaierE(s, y, t1));
+      s = t1;
+    } else {
+      zeroed += static_cast<uint64_t>(std::popcount(m));
+    }
+
+    if (t == t_last) break;
+    // Gray step t -> t+1 flips high column countr_zero(t+1); walk only
+    // the rows containing it (transposed colhi masks).
+    const uint64_t next = t + 1;
+    const uint64_t next_gray = next ^ (next >> 1);
+    const uint64_t diff = gray ^ next_gray;
+    const double delta = (next_gray & diff) != 0 ? 1.0 : -1.0;
+    const int b = std::countr_zero(diff);
+    for (uint64_t rows = plan.colhi[b]; rows != 0; rows &= rows - 1) {
+      const int i = std::countr_zero(rows);
+      const double before = h[i];
+      h[i] = before + delta;
+      if (((plan.low_zero_rows >> i) & 1) != 0) {
+        if (before == 0.0) {
+          --dead;
+        } else if (h[i] == 0.0) {
+          ++dead;
+        }
+      }
+    }
+    gray = next_gray;
+  }
+
+  // Fold the 8 lanes into one Neumaier pair: sums first, then the lane
+  // compensations, in lane order. The caller folds chunk pairs the same
+  // way, so the whole reduction tree is fixed.
+  double lanes_s[kRyserLanes];
+  double lanes_c[kRyserLanes];
+  V8::Store(s, lanes_s);
+  V8::Store(c, lanes_c);
+  double fs = 0.0;
+  double fc = 0.0;
+  for (size_t j = 0; j < kRyserLanes; ++j) NeumaierAdd(&fs, &fc, lanes_s[j]);
+  for (size_t j = 0; j < kRyserLanes; ++j) NeumaierAdd(&fs, &fc, lanes_c[j]);
+  *sum = fs;
+  *comp = fc;
+  if (zero_products != nullptr) *zero_products += zeroed;
+}
+
+}  // namespace internal
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_GRAPH_RYSER_KERNEL_BODY_H_

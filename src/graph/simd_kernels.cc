@@ -1,0 +1,55 @@
+#include "graph/simd_kernels.h"
+
+namespace anonsafe {
+namespace internal {
+
+// The term sign of subset S is (-1)^(n - |S|); with |S| =
+// popcount(gray(t)) + popcount(low3(j, p)) the lane-dependent part is
+// the parity of popcount(low3(j, p)), folded with block_parity =
+// (n + popcount(gray(t))) & 1 by the kernel's table index. For p = 0 the
+// lane values low3 = gray3(j) have popcount parity 0,1,0,1,...; p = 1
+// XORs in bit 2, flipping every parity. XORing the ±0.0 entry onto a
+// product negates it exactly when the term is negative.
+alignas(64) const double kRyserSignTable[2][2][kRyserLanes] = {
+    {{+0.0, -0.0, +0.0, -0.0, +0.0, -0.0, +0.0, -0.0},   // p=0, even block
+     {-0.0, +0.0, -0.0, +0.0, -0.0, +0.0, -0.0, +0.0}},  // p=0, odd block
+    {{-0.0, +0.0, -0.0, +0.0, -0.0, +0.0, -0.0, +0.0},   // p=1, even block
+     {+0.0, -0.0, +0.0, -0.0, +0.0, -0.0, +0.0, -0.0}},  // p=1, odd block
+};
+
+namespace {
+
+const KernelVTable* ResolveKernels() {
+  // Fall down the tier ladder from the active tier: a tier can be
+  // unavailable because the CPU lacks it, ANONSAFE_FORCE_ISA demoted it,
+  // or the compiler could not build its TU.
+  for (int tier = static_cast<int>(cpu::ActiveIsa()); tier > 0; --tier) {
+    if (const KernelVTable* k = KernelsFor(static_cast<cpu::Isa>(tier))) {
+      return k;
+    }
+  }
+  return ScalarKernels();
+}
+
+}  // namespace
+
+const KernelVTable& Kernels() {
+  static const KernelVTable* const kernels = ResolveKernels();
+  return *kernels;
+}
+
+const KernelVTable* KernelsFor(cpu::Isa isa) {
+  if (!cpu::IsaSupported(isa)) return nullptr;
+  switch (isa) {
+    case cpu::Isa::kScalar:
+      return ScalarKernels();
+    case cpu::Isa::kAvx2:
+      return Avx2Kernels();
+    case cpu::Isa::kAvx512:
+      return Avx512Kernels();
+  }
+  return nullptr;
+}
+
+}  // namespace internal
+}  // namespace anonsafe

@@ -1,0 +1,120 @@
+#ifndef ANONSAFE_GRAPH_SIMD_KERNELS_H_
+#define ANONSAFE_GRAPH_SIMD_KERNELS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "data/types.h"
+#include "util/cpu.h"
+
+namespace anonsafe {
+namespace internal {
+
+/// \name Runtime-dispatched SIMD kernels
+///
+/// Three translation units (kernel_scalar.cc / kernel_avx2.cc /
+/// kernel_avx512.cc) compile the *same* kernel bodies — the Ryser lane
+/// kernel is one shared template over an 8-lane vector trait — with
+/// per-TU instruction-set flags. `Kernels()` resolves the vtable once at
+/// first use from `cpu::ActiveIsa()` (honouring ANONSAFE_FORCE_ISA) and
+/// falls down the tier ladder when a tier was not compiled in; the
+/// resolution is a magic static, so concurrent first use is race-free.
+///
+/// Bitwise contract: every kernel in a vtable returns results that are
+/// bit-identical to every other tier's, because the floating-point DAG
+/// is fixed by the shared template (see docs/PERFORMANCE.md, "SIMD
+/// dispatch"). The kernel TUs are compiled with -ffp-contract=off so FMA
+/// fusion cannot perturb the DAG under -march=native builds.
+/// @{
+
+/// Ryser evaluates kRyserLanes = 8 Gray-code subsets per step. Subset
+/// index `iter = 8t + j` decomposes as
+///   gray(iter) = (gray(t) << 3) | (gray3(j) ^ ((t & 1) << 2)),
+/// so the three low columns contribute a per-lane table (`low`) while
+/// the high columns contribute a per-row scalar updated once per block.
+inline constexpr size_t kRyserLanes = 8;
+inline constexpr size_t kRyserLowBits = 3;
+
+/// Row capacity of the lane kernel's fixed buffers; permanent.cc
+/// static_asserts this equals kMaxPermanentN.
+inline constexpr size_t kMaxRyserRows = 26;
+
+/// Per-lane sign masks (±0.0 doubles XORed onto products), indexed by
+/// [t & 1][block_parity][lane] where block_parity = (n + popcount(gray(t)))
+/// & 1. Matrix-independent; defined in simd_kernels.cc, 64-byte aligned.
+extern const double kRyserSignTable[2][2][kRyserLanes];
+
+/// One matrix prepared for the lane kernel. All pointers reference
+/// caller-owned scratch that outlives the kernel call; `low` must be
+/// 64-byte aligned (exec::AlignedScratchVec).
+struct RyserPlan {
+  size_t n = 0;
+  /// Lane low-sum table, [2][n][kRyserLanes]:
+  /// low[(p*n + i)*8 + j] = popcount(rows[i] & 0b111 & low3(j, p)).
+  const double* low = nullptr;
+  /// rows[i] >> kRyserLowBits, n entries (reseeds the per-row high sums
+  /// at a chunk boundary).
+  const uint64_t* rows_hi = nullptr;
+  /// Transposed high columns: colhi[b] has bit i set iff row i contains
+  /// column kRyserLowBits + b. max(0, n - kRyserLowBits) entries.
+  const uint64_t* colhi = nullptr;
+  /// Bit i set iff (rows[i] & 0b111) == 0: such a row's block is dead
+  /// whenever its high sum is zero, and all 8 lane products are +0.0.
+  uint64_t low_zero_rows = 0;
+};
+
+/// The per-ISA entry points. `ryser_range` evaluates subsets
+/// [begin, end) of 1..2^n-1 and returns the range's signed term sum as a
+/// Neumaier pair (*sum, *comp); the caller folds pairs across chunks
+/// with NeumaierAdd in chunk order. `*zero_products` accumulates the
+/// number of in-range subsets whose product was exactly zero (the
+/// anonsafe_ryser_skipped_products_total metric) — identical across
+/// tiers by construction.
+struct KernelVTable {
+  cpu::Isa isa = cpu::Isa::kScalar;
+  const char* name = "scalar";
+  void (*ryser_range)(const RyserPlan& plan, uint64_t begin, uint64_t end,
+                      double* sum, double* comp, uint64_t* zero_products) =
+      nullptr;
+  /// # of i in [0, n) with v[i] == i and (interest == nullptr ||
+  /// interest[i] != 0) — the sampler's crack-frequency probe.
+  size_t (*count_fixed_points)(const ItemId* v, const uint8_t* interest,
+                               size_t n) = nullptr;
+  /// # of i in [0, n) with has_range[i] != 0 && lo[i] <= group[i] <=
+  /// hi[i] — the sampler's identity-consistency probe.
+  size_t (*count_consistent_identity)(const size_t* group, const size_t* lo,
+                                      const size_t* hi,
+                                      const uint8_t* has_range,
+                                      size_t n) = nullptr;
+};
+
+/// Vtable for the active tier (ActiveIsa clamped to what was compiled
+/// in). Cached after the first call.
+const KernelVTable& Kernels();
+
+/// Vtable for a specific tier, or nullptr when that tier is not
+/// supported by the CPU or was not compiled in (test / bench hook).
+const KernelVTable* KernelsFor(cpu::Isa isa);
+
+/// The Neumaier compensated step shared by the kernel fold and the
+/// chunk fold in permanent.cc: s + y with the rounding error captured in
+/// c. One fixed expression so every fold site has the same DAG.
+inline void NeumaierAdd(double* s, double* c, double y) {
+  const double t = *s + y;
+  *c += std::fabs(*s) >= std::fabs(y) ? (*s - t) + y : (y - t) + *s;
+  *s = t;
+}
+
+/// Per-TU vtable accessors (defined in the kernel TUs; nullptr when the
+/// TU was compiled without its instruction-set flag).
+const KernelVTable* ScalarKernels();
+const KernelVTable* Avx2Kernels();
+const KernelVTable* Avx512Kernels();
+
+/// @}
+
+}  // namespace internal
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_GRAPH_SIMD_KERNELS_H_

@@ -11,6 +11,7 @@
 #include "core/risk_report.h"
 #include "core/similarity.h"
 #include "estimator/estimator.h"
+#include "graph/simd_kernels.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -992,6 +993,7 @@ json::Value Server::HandleServerInfo() {
   result.Set("verbs", std::move(verbs));
   result.Set("limits", std::move(limits));
   result.Set("tenant_quota", std::move(quota));
+  result.Set("simd_isa", json::Value(internal::Kernels().name));
   return result;
 }
 

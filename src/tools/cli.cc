@@ -23,12 +23,14 @@
 #include "mining/miner.h"
 #include "mining/rules.h"
 #include "datagen/benchmark_profiles.h"
+#include "graph/simd_kernels.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/transport.h"
+#include "util/cpu.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 
@@ -228,6 +230,13 @@ Status RunServe(const CliInvocation& cli, std::ostream& out) {
       std::getenv("ANONSAFE_LOG_LEVEL") == nullptr) {
     obs::SetLogLevel(obs::LogLevel::kInfo);
   }
+
+  // Resolve the SIMD dispatch once at startup and say which tier the
+  // kernels will run on (honours ANONSAFE_FORCE_ISA); operators diffing
+  // perf across hosts need this in the log.
+  obs::Log(obs::LogLevel::kInfo, "serve.simd_dispatch",
+           {{"isa", json::Value(internal::Kernels().name)},
+            {"cpu_model", json::Value(cpu::CpuModelName())}});
 
   serve::Server server(options);
   if (cli.flags.count("port") == 0) {

@@ -1,0 +1,143 @@
+#include "util/cpu.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#define ANONSAFE_CPU_X86 1
+#endif
+
+namespace anonsafe {
+namespace cpu {
+namespace {
+
+bool ProbeSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#ifdef ANONSAFE_CPU_X86
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+#else
+    case Isa::kAvx2:
+    case Isa::kAvx512:
+      return false;
+#endif
+  }
+  return false;
+}
+
+/// Resolves ANONSAFE_FORCE_ISA against the hardware once. Unknown values
+/// and unsupported tiers warn on stderr (util cannot depend on obs) and
+/// fall back to the best supported tier.
+Isa ResolveActiveIsa() {
+  const Isa best = DetectBestIsa();
+  const char* forced = std::getenv("ANONSAFE_FORCE_ISA");
+  if (forced == nullptr || *forced == '\0') return best;
+  Isa want = best;
+  if (!ParseIsaName(forced, &want)) {
+    std::fprintf(stderr,
+                 "anonsafe: ANONSAFE_FORCE_ISA=%s is not one of "
+                 "scalar|avx2|avx512; using %s\n",
+                 forced, IsaName(best));
+    return best;
+  }
+  if (!IsaSupported(want)) {
+    std::fprintf(stderr,
+                 "anonsafe: ANONSAFE_FORCE_ISA=%s not supported by this "
+                 "CPU; clamping to %s\n",
+                 forced, IsaName(best));
+    return best;
+  }
+  return want;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseIsaName(std::string_view name, Isa* out) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "scalar") {
+    *out = Isa::kScalar;
+  } else if (lower == "avx2") {
+    *out = Isa::kAvx2;
+  } else if (lower == "avx512") {
+    *out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool IsaSupported(Isa isa) {
+  // One probe per tier for the process lifetime; __builtin_cpu_supports
+  // reads a table initialized before main, so this is cheap either way.
+  static const bool scalar = ProbeSupported(Isa::kScalar);
+  static const bool avx2 = ProbeSupported(Isa::kAvx2);
+  static const bool avx512 = ProbeSupported(Isa::kAvx512);
+  switch (isa) {
+    case Isa::kScalar:
+      return scalar;
+    case Isa::kAvx2:
+      return avx2;
+    case Isa::kAvx512:
+      return avx512;
+  }
+  return false;
+}
+
+Isa DetectBestIsa() {
+  if (IsaSupported(Isa::kAvx512)) return Isa::kAvx512;
+  if (IsaSupported(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+Isa ActiveIsa() {
+  static const Isa active = ResolveActiveIsa();
+  return active;
+}
+
+std::string CpuModelName() {
+#ifdef ANONSAFE_CPU_X86
+  unsigned int max_ext = __get_cpuid_max(0x80000000u, nullptr);
+  if (max_ext >= 0x80000004u) {
+    char brand[49] = {0};
+    for (unsigned int leaf = 0; leaf < 3; ++leaf) {
+      unsigned int eax = 0, ebx = 0, ecx = 0, edx = 0;
+      __get_cpuid(0x80000002u + leaf, &eax, &ebx, &ecx, &edx);
+      unsigned int regs[4] = {eax, ebx, ecx, edx};
+      std::memcpy(brand + 16 * leaf, regs, 16);
+    }
+    // Brand strings pad with spaces; trim both ends.
+    std::string name(brand);
+    const size_t first = name.find_first_not_of(' ');
+    if (first == std::string::npos) return "unknown";
+    const size_t last = name.find_last_not_of(' ');
+    return name.substr(first, last - first + 1);
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace cpu
+}  // namespace anonsafe

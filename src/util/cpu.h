@@ -1,0 +1,62 @@
+#ifndef ANONSAFE_UTIL_CPU_H_
+#define ANONSAFE_UTIL_CPU_H_
+
+#include <string>
+#include <string_view>
+
+namespace anonsafe {
+namespace cpu {
+
+/// \name CPU feature detection
+///
+/// The SIMD kernel layer (src/graph/simd_kernels.h) selects one
+/// instruction-set tier per process. Detection runs once (cached behind a
+/// magic static, so concurrent first use is race-free) and can be
+/// overridden for testing with the environment variable
+///
+///   ANONSAFE_FORCE_ISA=scalar|avx2|avx512
+///
+/// which lets one machine exercise every dispatch path. Forcing a tier
+/// the CPU does not support clamps down to the best supported tier with a
+/// one-time warning on stderr (the override is a test knob; silently
+/// executing illegal instructions is not an option).
+/// @{
+
+/// Instruction-set tiers, ascending. kAvx512 means AVX-512 F + DQ (the
+/// subsets the kernels use); kAvx2 implies FMA-free AVX2.
+enum class Isa : int {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Lower-case canonical name: "scalar" / "avx2" / "avx512".
+const char* IsaName(Isa isa);
+
+/// Parses a (case-insensitive) tier name. Returns false and leaves `*out`
+/// untouched when the name is not one of the three tiers.
+bool ParseIsaName(std::string_view name, Isa* out);
+
+/// True when the running CPU can execute the tier (cached CPUID probe).
+/// kScalar is always supported.
+bool IsaSupported(Isa isa);
+
+/// Highest tier the running CPU supports.
+Isa DetectBestIsa();
+
+/// The tier this process uses: DetectBestIsa() clamped against
+/// ANONSAFE_FORCE_ISA. Evaluated once per process and cached; the first
+/// call may happen concurrently from several threads (magic static).
+Isa ActiveIsa();
+
+/// CPUID brand string (e.g. "Intel(R) Xeon(R) ..."), or "unknown" when
+/// the platform does not expose one. Recorded in perf baselines so a
+/// gate never silently compares timings across machines.
+std::string CpuModelName();
+
+/// @}
+
+}  // namespace cpu
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_UTIL_CPU_H_

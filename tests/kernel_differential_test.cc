@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -20,21 +21,38 @@
 #include "graph/consistency.h"
 #include "graph/matching_sampler.h"
 #include "graph/permanent.h"
+#include "graph/simd_kernels.h"
+#include "util/cpu.h"
 #include "util/rng.h"
 
-// Differential tests pinning the reworked hot kernels (masked Ryser with
-// zero-row skipping, CSR adjacency, cached α probes) against slow,
-// obviously-correct reference implementations. Everything here demands
-// *bit-identical* doubles: all intermediate quantities are exact small
-// integers, so any correct evaluation order yields the same value.
+// Differential tests pinning the reworked hot kernels (SIMD lane Ryser,
+// dispatched sampler probes, CSR adjacency, cached α probes) against
+// slow, obviously-correct reference implementations. The lane kernels
+// promise a *bit-identical* double for every ISA tier and thread count;
+// the textbook long-double reference is bitwise only while products stay
+// exactly representable (n <= 12 conservatively), and within rounding
+// slack beyond that.
 
 namespace anonsafe {
 namespace {
 
+/// ISA tiers that are both supported by this CPU and compiled in; every
+/// cross-ISA differential iterates these.
+std::vector<cpu::Isa> AvailableIsas() {
+  std::vector<cpu::Isa> isas;
+  for (cpu::Isa isa :
+       {cpu::Isa::kScalar, cpu::Isa::kAvx2, cpu::Isa::kAvx512}) {
+    if (internal::KernelsFor(isa) != nullptr) isas.push_back(isa);
+  }
+  return isas;
+}
+
 // ------------------------------------------------------- reference Ryser
 
-/// Textbook Ryser with Gray-code column updates: no column masks, no
-/// zero-row skipping — every subset's product is computed over all rows.
+/// Textbook Ryser with Gray-code column updates and a long-double
+/// accumulator: no lanes, no zero-row skipping. Its rounding differs from
+/// the lane kernel once term products exceed 2^53, so bitwise comparisons
+/// against it are restricted to small n.
 double ReferenceRyser(const std::vector<uint64_t>& rows) {
   const size_t n = rows.size();
   if (n == 0) return 1.0;
@@ -62,7 +80,53 @@ double ReferenceRyser(const std::vector<uint64_t>& rows) {
   return static_cast<double>(total);
 }
 
-TEST(RyserDifferentialTest, RandomMatricesMatchReferenceBitwise) {
+/// Independent evaluation of the lane kernel's exact floating-point DAG:
+/// subsets are enumerated directly (row sums recomputed from scratch per
+/// subset — no Gray-code increments, no tables, no skip counter), but
+/// terms land in the same 8 per-lane Neumaier accumulators, lanes fold in
+/// lane order, and chunk pairs fold in chunk order, mirroring
+/// RyserChunkRanges / RyserImpl. Any correct lane kernel must reproduce
+/// this bitwise at every n.
+double ReferenceRyserLanes(const std::vector<uint64_t>& rows) {
+  const size_t n = rows.size();
+  if (n == 0) return 1.0;
+  const auto ranges = RyserChunkRanges(n);
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(ranges.size());
+  for (const auto& [begin, end] : ranges) {
+    double lanes_s[internal::kRyserLanes] = {0.0};
+    double lanes_c[internal::kRyserLanes] = {0.0};
+    for (uint64_t iter = begin; iter < end; ++iter) {
+      const uint64_t subset = iter ^ (iter >> 1);
+      const size_t lane = iter % internal::kRyserLanes;
+      double prod =
+          static_cast<double>(std::popcount(rows[0] & subset));
+      for (size_t i = 1; i < n; ++i) {
+        prod *= static_cast<double>(std::popcount(rows[i] & subset));
+      }
+      const bool negative =
+          ((n - static_cast<size_t>(std::popcount(subset))) & 1) != 0;
+      internal::NeumaierAdd(&lanes_s[lane], &lanes_c[lane],
+                            negative ? -prod : prod);
+    }
+    double fs = 0.0;
+    double fc = 0.0;
+    for (double s : lanes_s) internal::NeumaierAdd(&fs, &fc, s);
+    for (double c : lanes_c) internal::NeumaierAdd(&fs, &fc, c);
+    pairs.emplace_back(fs, fc);
+  }
+  if (pairs.size() == 1) return pairs[0].first + pairs[0].second;
+  double fs = 0.0;
+  double fc = 0.0;
+  for (const auto& [s, c] : pairs) internal::NeumaierAdd(&fs, &fc, s);
+  for (const auto& [s, c] : pairs) internal::NeumaierAdd(&fs, &fc, c);
+  return fs + fc;
+}
+
+TEST(RyserDifferentialTest, RandomMatricesAllIsasBitwise) {
+  const std::vector<cpu::Isa> isas = AvailableIsas();
+  ASSERT_FALSE(isas.empty());
+  exec::ExecContext ctx8(exec::ExecOptions{.threads = 8});
   Rng rng(2024);
   for (int trial = 0; trial < 200; ++trial) {
     const size_t n = 2 + rng.UniformUint64(15);  // 2..16
@@ -75,10 +139,63 @@ TEST(RyserDifferentialTest, RandomMatricesMatchReferenceBitwise) {
         if (rng.Bernoulli(density)) rows[i] |= (1ULL << j);
       }
     }
-    auto fast = PermanentRyser(rows);
-    ASSERT_TRUE(fast.ok()) << fast.status().ToString();
-    EXPECT_EQ(*fast, ReferenceRyser(rows))
-        << "trial=" << trial << " n=" << n << " density=" << density;
+    const double lanes_ref = ReferenceRyserLanes(rows);
+    for (cpu::Isa isa : isas) {
+      auto seq = PermanentRyserForIsa(rows, isa);
+      ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+      EXPECT_EQ(*seq, lanes_ref)
+          << "trial=" << trial << " n=" << n << " density=" << density
+          << " isa=" << cpu::IsaName(isa);
+      auto par = PermanentRyserForIsa(rows, isa, &ctx8);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(*par, lanes_ref)
+          << "trial=" << trial << " n=" << n << " threads=8 isa="
+          << cpu::IsaName(isa);
+    }
+    // Against the long-double textbook loop: bitwise while every term
+    // product fits a double exactly (n <= 12: 12^12 < 2^53), within
+    // compensated-summation slack beyond.
+    const double textbook = ReferenceRyser(rows);
+    if (n <= 12) {
+      EXPECT_EQ(lanes_ref, textbook)
+          << "trial=" << trial << " n=" << n << " density=" << density;
+    } else {
+      EXPECT_NEAR(lanes_ref, textbook,
+                  1e-9 * std::max(1.0, std::fabs(textbook)))
+          << "trial=" << trial << " n=" << n << " density=" << density;
+    }
+  }
+}
+
+TEST(RyserDifferentialTest, LargeMatricesAllIsasBitwise) {
+  // The big-n path: chunked iteration spaces, high columns spanning the
+  // full mask, dense products far beyond 2^53. Cross-ISA and cross-thread
+  // bit-identity must hold all the way to kMaxPermanentN. (Excluded from
+  // the TSan preset by name — 2^26 subsets under TSan is too slow.)
+  const std::vector<cpu::Isa> isas = AvailableIsas();
+  ASSERT_FALSE(isas.empty());
+  exec::ExecContext ctx8(exec::ExecOptions{.threads = 8});
+  Rng rng(4242);
+  for (const size_t n : {size_t{20}, size_t{24}, size_t{26}}) {
+    std::vector<uint64_t> rows(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (rng.Bernoulli(0.5)) rows[i] |= (1ULL << j);
+      }
+      // Guarantee a nonzero row so the product path stays hot.
+      if (rows[i] == 0) rows[i] = 1ULL << (i % n);
+    }
+    auto first = PermanentRyserForIsa(rows, isas.front());
+    ASSERT_TRUE(first.ok());
+    for (cpu::Isa isa : isas) {
+      auto seq = PermanentRyserForIsa(rows, isa);
+      ASSERT_TRUE(seq.ok());
+      EXPECT_EQ(*seq, *first) << "n=" << n << " isa=" << cpu::IsaName(isa);
+      auto par = PermanentRyserForIsa(rows, isa, &ctx8);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(*par, *first)
+          << "n=" << n << " threads=8 isa=" << cpu::IsaName(isa);
+    }
   }
 }
 
@@ -100,7 +217,8 @@ TEST(RyserDifferentialTest, ZeroRowAndZeroColumnMatrices) {
 
 TEST(RyserDifferentialTest, ParallelChunkingMatchesReference) {
   // n >= kRyserParallelMinN engages the chunked path; with and without a
-  // thread pool the value must equal the single-pass reference exactly.
+  // thread pool the value must equal the lane reference exactly (and the
+  // textbook loop within compensated-summation slack).
   Rng rng(7);
   const size_t n = 15;
   std::vector<uint64_t> rows(n, 0);
@@ -109,7 +227,7 @@ TEST(RyserDifferentialTest, ParallelChunkingMatchesReference) {
       if (rng.Bernoulli(0.4)) rows[i] |= (1ULL << j);
     }
   }
-  const double expected = ReferenceRyser(rows);
+  const double expected = ReferenceRyserLanes(rows);
   auto seq = PermanentRyser(rows);
   ASSERT_TRUE(seq.ok());
   EXPECT_EQ(*seq, expected);
@@ -117,6 +235,61 @@ TEST(RyserDifferentialTest, ParallelChunkingMatchesReference) {
   auto par = PermanentRyser(rows, &ctx);
   ASSERT_TRUE(par.ok());
   EXPECT_EQ(*par, expected);
+  const double textbook = ReferenceRyser(rows);
+  EXPECT_NEAR(expected, textbook, 1e-9 * std::max(1.0, std::fabs(textbook)));
+}
+
+TEST(RyserDifferentialTest, ChunkRangesCoverTheIterationSpace) {
+  EXPECT_TRUE(RyserChunkRanges(0).empty());
+  const auto small = RyserChunkRanges(5);
+  ASSERT_EQ(small.size(), 1u);
+  EXPECT_EQ(small[0], (std::pair<uint64_t, uint64_t>{1, 32}));
+  const auto big = RyserChunkRanges(14);
+  ASSERT_EQ(big.size(), kRyserChunks);
+  uint64_t next = 1;
+  for (const auto& [begin, end] : big) {
+    EXPECT_EQ(begin, next);
+    EXPECT_LT(begin, end);
+    next = end;
+  }
+  EXPECT_EQ(next, uint64_t{1} << 14);
+}
+
+TEST(PermanentBatchTest, MatchesSinglesBitwise) {
+  Rng rng(31337);
+  std::vector<std::vector<uint64_t>> matrices;
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{4}, size_t{8},
+                         size_t{12}, size_t{15}}) {
+    std::vector<uint64_t> rows(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        if (rng.Bernoulli(0.6)) rows[i] |= (1ULL << j);
+      }
+      rows[i] |= 1ULL << i;  // forced diagonal: permanent stays positive
+    }
+    matrices.push_back(std::move(rows));
+  }
+  auto batch = PermanentBatch(matrices);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->size(), matrices.size());
+  for (size_t i = 0; i < matrices.size(); ++i) {
+    auto single = PermanentRyser(matrices[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*batch)[i], *single) << "matrix " << i;
+  }
+}
+
+TEST(PermanentBatchTest, RejectsAnyInvalidMatrixUpfront) {
+  std::vector<std::vector<uint64_t>> matrices;
+  matrices.push_back({0b11, 0b11});
+  matrices.push_back({0b111, 0b101});  // mask wider than the 2x2 matrix
+  EXPECT_FALSE(PermanentBatch(matrices).ok());
+  matrices[1] = std::vector<uint64_t>(kMaxPermanentN + 1, 1);
+  EXPECT_FALSE(PermanentBatch(matrices).ok());
+  matrices.pop_back();
+  auto ok = PermanentBatch(matrices);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[0], 2.0);
 }
 
 TEST(RyserDifferentialTest, DiagonalAbsentMinorPath) {
@@ -507,6 +680,25 @@ TEST(ScratchPoolTest, ReusesRetiredBuffer) {
   exec::ScratchVec<double>::DrainThreadFreeList();
 }
 
+TEST(ScratchPoolTest, AlignedScratchIs64ByteAligned) {
+  exec::AlignedScratchVec<double>::DrainThreadFreeList();
+  for (const size_t n : {size_t{1}, size_t{7}, size_t{37}, size_t{1024}}) {
+    exec::AlignedScratchVec<double> v(n);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 64, 0u) << "n=" << n;
+  }
+  // Aligned buffers pool separately from plain ones: retiring an aligned
+  // buffer must never hand it to a plain ScratchVec<double> (or vice
+  // versa), so the plain free list stays empty here.
+  exec::ScratchVec<double>::DrainThreadFreeList();
+  { exec::AlignedScratchVec<double> a(64); }
+  exec::ScratchVec<double> b(64);
+  exec::AlignedScratchVec<double> c(64);
+  EXPECT_NE(static_cast<const void*>(b.data()),
+            static_cast<const void*>(c.data()));
+  exec::AlignedScratchVec<double>::DrainThreadFreeList();
+  exec::ScratchVec<double>::DrainThreadFreeList();
+}
+
 TEST(ScratchPoolTest, OversizedBuffersAreNotPooled) {
   exec::ScratchVec<double>::DrainThreadFreeList();
   const size_t huge = exec::kMaxRetainedBytes / sizeof(double) + 1;
@@ -521,6 +713,137 @@ TEST(ScratchPoolTest, OversizedBuffersAreNotPooled) {
   b.resize(8);
   (void)retired;
   exec::ScratchVec<double>::DrainThreadFreeList();
+}
+
+// ------------------------------------------------- sampler probe kernels
+
+size_t RefFixedPoints(const std::vector<ItemId>& v, const uint8_t* interest) {
+  size_t count = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == static_cast<ItemId>(i) &&
+        (interest == nullptr || interest[i] != 0)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(SamplerProbeDifferentialTest, CountFixedPointsAllIsas) {
+  const std::vector<cpu::Isa> isas = AvailableIsas();
+  Rng rng(808);
+  // Sizes straddling every vector width and tail shape (0, partial
+  // blocks, exact blocks, one past, and large).
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                         size_t{9}, size_t{15}, size_t{16}, size_t{17},
+                         size_t{31}, size_t{64}, size_t{100}, size_t{1000}}) {
+    std::vector<ItemId> v(n);
+    std::vector<uint8_t> interest(n);
+    for (size_t i = 0; i < n; ++i) {
+      // ~half the positions are fixed points; others point elsewhere or
+      // are unmatched (kInvalidItem never equals an index).
+      v[i] = rng.Bernoulli(0.5) ? static_cast<ItemId>(i)
+             : rng.Bernoulli(0.5)
+                 ? static_cast<ItemId>(rng.UniformUint64(n))
+                 : kInvalidItem;
+      interest[i] = rng.Bernoulli(0.5) ? 1 : 0;
+    }
+    const size_t want_all = RefFixedPoints(v, nullptr);
+    const size_t want_masked = RefFixedPoints(v, interest.data());
+    for (cpu::Isa isa : isas) {
+      const internal::KernelVTable* k = internal::KernelsFor(isa);
+      ASSERT_NE(k, nullptr);
+      EXPECT_EQ(k->count_fixed_points(v.data(), nullptr, n), want_all)
+          << "n=" << n << " isa=" << cpu::IsaName(isa);
+      EXPECT_EQ(k->count_fixed_points(v.data(), interest.data(), n),
+                want_masked)
+          << "n=" << n << " isa=" << cpu::IsaName(isa) << " masked";
+    }
+  }
+}
+
+TEST(SamplerProbeDifferentialTest, CountConsistentIdentityAllIsas) {
+  const std::vector<cpu::Isa> isas = AvailableIsas();
+  Rng rng(909);
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4},
+                         size_t{5}, size_t{8}, size_t{9}, size_t{16},
+                         size_t{17}, size_t{100}, size_t{1000}}) {
+    std::vector<size_t> group(n), lo(n), hi(n);
+    std::vector<uint8_t> has_range(n);
+    for (size_t i = 0; i < n; ++i) {
+      group[i] = rng.UniformUint64(20);
+      lo[i] = rng.UniformUint64(20);
+      hi[i] = lo[i] + rng.UniformUint64(5);
+      has_range[i] = rng.Bernoulli(0.8) ? 1 : 0;
+    }
+    size_t want = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (has_range[i] != 0 && lo[i] <= group[i] && group[i] <= hi[i]) {
+        ++want;
+      }
+    }
+    for (cpu::Isa isa : isas) {
+      const internal::KernelVTable* k = internal::KernelsFor(isa);
+      ASSERT_NE(k, nullptr);
+      EXPECT_EQ(k->count_consistent_identity(group.data(), lo.data(),
+                                             hi.data(), has_range.data(), n),
+                want)
+          << "n=" << n << " isa=" << cpu::IsaName(isa);
+    }
+  }
+}
+
+// ----------------------------------------------------------- dispatch
+
+TEST(SimdDispatchTest, ParseIsaNames) {
+  cpu::Isa isa = cpu::Isa::kAvx512;
+  EXPECT_TRUE(cpu::ParseIsaName("scalar", &isa));
+  EXPECT_EQ(isa, cpu::Isa::kScalar);
+  EXPECT_TRUE(cpu::ParseIsaName("avx2", &isa));
+  EXPECT_EQ(isa, cpu::Isa::kAvx2);
+  EXPECT_TRUE(cpu::ParseIsaName("avx512", &isa));
+  EXPECT_EQ(isa, cpu::Isa::kAvx512);
+  EXPECT_FALSE(cpu::ParseIsaName("sse9", &isa));
+  EXPECT_FALSE(cpu::ParseIsaName("", &isa));
+}
+
+TEST(SimdDispatchTest, ActiveKernelMatchesActiveIsa) {
+  // Scalar is always supported and compiled in.
+  EXPECT_TRUE(cpu::IsaSupported(cpu::Isa::kScalar));
+  ASSERT_NE(internal::KernelsFor(cpu::Isa::kScalar), nullptr);
+  // The resolved vtable runs the active tier whenever that tier's TU is
+  // available, and never a tier above it (ANONSAFE_FORCE_ISA demotions
+  // included — run_all.sh re-runs this binary under each forced value).
+  const internal::KernelVTable& k = internal::Kernels();
+  EXPECT_TRUE(cpu::IsaSupported(k.isa));
+  EXPECT_LE(static_cast<int>(k.isa), static_cast<int>(cpu::ActiveIsa()));
+  if (internal::KernelsFor(cpu::ActiveIsa()) != nullptr) {
+    EXPECT_EQ(k.isa, cpu::ActiveIsa());
+    EXPECT_STREQ(k.name, cpu::IsaName(cpu::ActiveIsa()));
+  }
+}
+
+TEST(SimdDispatchTest, ConcurrentFirstUseIsRaceFree) {
+  // Dispatch resolution is a magic static; hammer it from 8 threads (the
+  // TSan preset runs this binary, so an init race would be reported).
+  // Each thread also runs a small permanent through the resolved kernel.
+  const std::vector<uint64_t> rows = {0b1101, 0b0111, 0b1011, 0b1110};
+  auto expect = PermanentRyser(rows);
+  ASSERT_TRUE(expect.ok());
+  std::vector<std::thread> threads;
+  std::vector<const internal::KernelVTable*> seen(8, nullptr);
+  std::vector<double> values(8, 0.0);
+  for (size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      seen[t] = &internal::Kernels();
+      auto p = PermanentRyser(rows);
+      values[t] = p.ok() ? *p : -1.0;
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (size_t t = 0; t < 8; ++t) {
+    EXPECT_EQ(seen[t], &internal::Kernels());
+    EXPECT_EQ(values[t], *expect);
+  }
 }
 
 // --------------------------------------------------------------- burn-in
