@@ -42,6 +42,11 @@
 # BENCH_serve.json; the load phase self-skips when the sandbox has no
 # loopback TCP.
 #
+# Next comes bench_defense (the RecommendDefense sweep on the CONNECT
+# stand-in): the frontier must be byte-identical between the sequential
+# and the all-cores run and non-empty; the speedup is informational.
+# Emits BENCH_defense.json.
+#
 # It then runs bench_planner (the block-decomposed
 # estimator against the monolithic direct method, docs/ESTIMATORS.md)
 # and emits BENCH_planner.json with the measured speedups. The planner
@@ -315,6 +320,54 @@ PY
   rm -f "$serve_raw"
 else
   echo "check_perf: serve SKIP ($SERVE_BENCH not built)" >&2
+fi
+
+# ---------------------------------------------- defense sweep harness
+# bench_defense runs the full RecommendDefense sweep on the CONNECT
+# stand-in, once sequentially and once at all cores. Gate: the two
+# frontier documents are byte-identical and the frontier is non-empty;
+# the thread speedup is recorded informationally (coarse-grained sweep,
+# machine-dependent). Emits BENCH_defense.json.
+DEFENSE_BENCH="${DEFENSE_BENCH:-build/bench/bench_defense}"
+if [[ -x "$DEFENSE_BENCH" ]]; then
+  defense_raw="$(mktemp)"
+  "$DEFENSE_BENCH" >"$defense_raw" \
+    || { echo "check_perf: FAIL: bench_defense exited non-zero (frontier \
+not bit-identical across thread counts?)" >&2; rm -f "$defense_raw"; exit 1; }
+  python3 - "$defense_raw" "BENCH_defense.json" <<'PY'
+import json, sys
+
+raw_path, out_path = sys.argv[1:3]
+with open(raw_path) as f:
+    report = json.load(f)
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+failures = []
+print(f"check_perf: defense: {report['candidates']} candidates "
+      f"({report['feasible']} feasible) on {report['num_items']} items / "
+      f"{report['num_transactions']} transactions, frontier "
+      f"{report['frontier_size']}, t1 {report['t1_ms']:.0f}ms vs "
+      f"t{report['threads']} {report['tN_ms']:.0f}ms "
+      f"({report['speedup']:.2f}x), bit_identical="
+      f"{str(report['bit_identical']).lower()}")
+if not report["bit_identical"]:
+    failures.append("frontier not bit-identical across thread counts")
+if report["frontier_size"] == 0:
+    failures.append("empty Pareto frontier on the CONNECT stand-in")
+if report["feasible"] == 0:
+    failures.append("no feasible defense candidates")
+
+if failures:
+    for msg in failures:
+        print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: OK ({out_path} written)")
+PY
+  rm -f "$defense_raw"
+else
+  echo "check_perf: defense SKIP ($DEFENSE_BENCH not built)" >&2
 fi
 
 # ------------------------------------------------ planner vs monolithic

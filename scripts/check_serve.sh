@@ -67,7 +67,10 @@ key="$(printf '%s\n' \
   "{\"schema_version\":1,\"id\":0,\"verb\":\"load_dataset\",\"params\":{\"path\":\"$data\"}}" \
   "{\"schema_version\":1,\"id\":0,\"verb\":\"shutdown\"}" \
   | timeout 60 "$CLI" serve \
-  | head -1 | sed 's/.*"dataset":"\([0-9a-f]*\)".*/\1/')"
+  | sed -n 's/.*"dataset":"\([0-9a-f]*\)".*/\1/p' | head -1)"
+# (sed consumes serve's whole stream; a mid-pipe `head -1` would close
+# the pipe before the shutdown response and SIGPIPE the server, which
+# pipefail turns into a flaky 141.)
 [[ "$key" =~ ^[0-9a-f]{16}$ ]] || fail "could not learn dataset key (got '$key')"
 
 sed -i "s/DATASET_KEY/$key/g" "$session"

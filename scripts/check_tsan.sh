@@ -34,12 +34,13 @@ cmake -B build-tsan -S . -DANONSAFE_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan --target exec_test determinism_test sampler_test \
       estimator_test obs_log_test trace_merge_test serve_test \
-      serve_v2_test kernel_differential_test -j "$(nproc)"
+      serve_v2_test kernel_differential_test optimizer_test \
+      -j "$(nproc)"
 
 status=0
 for t in exec_test determinism_test sampler_test estimator_test \
          obs_log_test trace_merge_test serve_test serve_v2_test \
-         kernel_differential_test; do
+         kernel_differential_test optimizer_test; do
   echo "== TSan: $t =="
   # The n>=20 cross-ISA matrices take minutes under TSan's ~10x
   # slowdown and add no concurrency coverage beyond the smaller cases
@@ -57,4 +58,4 @@ if [[ "$status" -ne 0 ]]; then
   echo "check_tsan: FAIL (data race or test failure under TSan)" >&2
   exit 1
 fi
-echo "check_tsan: OK (exec_test, determinism_test, sampler_test, estimator_test, obs_log_test, trace_merge_test, serve_test, serve_v2_test, kernel_differential_test race-free)"
+echo "check_tsan: OK (exec_test, determinism_test, sampler_test, estimator_test, obs_log_test, trace_merge_test, serve_test, serve_v2_test, kernel_differential_test, optimizer_test race-free)"

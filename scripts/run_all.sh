@@ -34,6 +34,7 @@ done
 scripts/check_metrics.sh
 scripts/check_obs.sh
 scripts/check_serve.sh
+scripts/check_defense.sh
 scripts/check_plan.sh
 scripts/check_tsan.sh
 scripts/check_perf.sh

@@ -100,7 +100,10 @@
 // Defenses.
 #include "defense/group_merge.h"  // IWYU pragma: export
 #include "defense/k_anonymity.h"  // IWYU pragma: export
+#include "defense/optimizer.h"    // IWYU pragma: export
+#include "defense/scheme.h"       // IWYU pragma: export
 #include "defense/suppression.h"  // IWYU pragma: export
+#include "defense/utility.h"      // IWYU pragma: export
 
 // Long-running risk-assessment service.
 #include "serve/dataset_cache.h"    // IWYU pragma: export

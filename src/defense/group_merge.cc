@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "defense/scheme.h"
+
 namespace anonsafe {
 namespace {
 
@@ -22,19 +24,21 @@ SupportCount WeightedMedianSupport(const FrequencyGroups& groups,
   return groups.group_support(last);
 }
 
-}  // namespace
-
-Result<DefenseReport> MergeGroupsBelowGap(const FrequencyTable& table,
-                                          double min_gap) {
+/// The merge core: every run of groups whose consecutive gaps are all
+/// below `min_gap` collapses onto the run's weighted median support.
+Result<defense::DefensePlan> MergeBelowGapPlan(const FrequencyTable& table,
+                                               double min_gap) {
   if (min_gap < 0.0) {
     return Status::InvalidArgument("gap threshold must be >= 0");
   }
   FrequencyGroups groups = FrequencyGroups::Build(table);
 
-  DefenseReport report;
-  report.groups_before = groups.num_groups();
-  report.merged_gap = min_gap;
-  report.new_supports.resize(table.num_items());
+  defense::DefensePlan plan;
+  plan.groups_before = groups.num_groups();
+  plan.merged_gap = min_gap;
+  plan.items_before = table.num_items();
+  plan.items_after = table.num_items();
+  plan.new_supports.resize(table.num_items());
 
   uint64_t total_support = 0;
   for (ItemId x = 0; x < table.num_items(); ++x) {
@@ -52,32 +56,35 @@ Result<DefenseReport> MergeGroupsBelowGap(const FrequencyTable& table,
     SupportCount merged = WeightedMedianSupport(groups, run_start, g);
     for (size_t h = run_start; h <= g; ++h) {
       for (ItemId x : groups.group_items(h)) {
-        report.new_supports[x] = merged;
+        plan.new_supports[x] = merged;
         uint64_t old_support = groups.group_support(h);
-        report.l1_distortion += old_support > merged
-                                    ? old_support - merged
-                                    : merged - old_support;
+        plan.l1_distortion += old_support > merged ? old_support - merged
+                                                   : merged - old_support;
       }
     }
     ++groups_after;
     run_start = g + 1;
   }
-  report.groups_after = groups_after;
-  report.relative_distortion =
+  plan.groups_after = groups_after;
+  plan.relative_distortion =
       total_support == 0
           ? 0.0
-          : static_cast<double>(report.l1_distortion) /
+          : static_cast<double>(plan.l1_distortion) /
                 static_cast<double>(total_support);
-  return report;
+  return plan;
 }
 
-Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
-                                        const DefenseOptions& options) {
-  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
+/// The tolerance core: bisect the gap threshold for the smallest-
+/// distortion merge whose perturbed profile passes the chosen safety
+/// criterion at tolerance τ.
+Result<defense::DefensePlan> ToleranceSearchPlan(const FrequencyTable& table,
+                                                 double tolerance,
+                                                 bool point_valued,
+                                                 size_t iters) {
+  if (!(tolerance > 0.0) || tolerance > 1.0) {
     return Status::InvalidArgument("tolerance must lie in (0, 1]");
   }
-  const double budget =
-      options.tolerance * static_cast<double>(table.num_items());
+  const double budget = tolerance * static_cast<double>(table.num_items());
   if (budget < 1.0) {
     return Status::FailedPrecondition(
         "tolerance budget below one crack; even a single frequency group "
@@ -85,13 +92,13 @@ Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
   }
   FrequencyGroups original = FrequencyGroups::Build(table);
 
-  auto passes = [&](const DefenseReport& report) -> Result<bool> {
+  auto passes = [&](const defense::DefensePlan& plan) -> Result<bool> {
     ANONSAFE_ASSIGN_OR_RETURN(
         FrequencyTable merged,
-        FrequencyTable::FromSupports(report.new_supports,
+        FrequencyTable::FromSupports(plan.new_supports,
                                      table.num_transactions()));
     FrequencyGroups groups = FrequencyGroups::Build(merged);
-    if (options.point_valued_criterion) {
+    if (point_valued) {
       return static_cast<double>(groups.num_groups()) <= budget;
     }
     // Recipe step-7 criterion: interval O-estimate at the *new* delta_med.
@@ -117,31 +124,67 @@ Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
   double lo = 0.0;
   double hi = gaps.max * 2.0 + 2.0 / static_cast<double>(
                                          table.num_transactions());
-  ANONSAFE_ASSIGN_OR_RETURN(DefenseReport lo_report,
-                            MergeGroupsBelowGap(table, lo));
-  ANONSAFE_ASSIGN_OR_RETURN(bool lo_passes, passes(lo_report));
-  if (lo_passes) return lo_report;  // already safe, no perturbation
+  ANONSAFE_ASSIGN_OR_RETURN(defense::DefensePlan lo_plan,
+                            MergeBelowGapPlan(table, lo));
+  ANONSAFE_ASSIGN_OR_RETURN(bool lo_passes, passes(lo_plan));
+  if (lo_passes) return lo_plan;  // already safe, no perturbation
 
-  ANONSAFE_ASSIGN_OR_RETURN(DefenseReport hi_report,
-                            MergeGroupsBelowGap(table, hi));
-  ANONSAFE_ASSIGN_OR_RETURN(bool hi_passes, passes(hi_report));
+  ANONSAFE_ASSIGN_OR_RETURN(defense::DefensePlan hi_plan,
+                            MergeBelowGapPlan(table, hi));
+  ANONSAFE_ASSIGN_OR_RETURN(bool hi_passes, passes(hi_plan));
   if (!hi_passes) {
     return Status::FailedPrecondition(
         "even a full merge cannot reach the tolerance");
   }
-  for (size_t iter = 0; iter < options.binary_search_iters; ++iter) {
+  for (size_t iter = 0; iter < iters; ++iter) {
     double mid = (lo + hi) / 2.0;
-    ANONSAFE_ASSIGN_OR_RETURN(DefenseReport mid_report,
-                              MergeGroupsBelowGap(table, mid));
-    ANONSAFE_ASSIGN_OR_RETURN(bool ok, passes(mid_report));
+    ANONSAFE_ASSIGN_OR_RETURN(defense::DefensePlan mid_plan,
+                              MergeBelowGapPlan(table, mid));
+    ANONSAFE_ASSIGN_OR_RETURN(bool ok, passes(mid_plan));
     if (ok) {
       hi = mid;
-      hi_report = std::move(mid_report);
+      hi_plan = std::move(mid_plan);
     } else {
       lo = mid;
     }
   }
-  return hi_report;
+  return hi_plan;
+}
+
+/// Legacy view of a merge plan (the one-release transition shape).
+DefenseReport ToDefenseReport(defense::DefensePlan plan) {
+  DefenseReport report;
+  report.new_supports = std::move(plan.new_supports);
+  report.groups_before = plan.groups_before;
+  report.groups_after = plan.groups_after;
+  report.l1_distortion = plan.l1_distortion;
+  report.relative_distortion = plan.relative_distortion;
+  report.merged_gap = plan.merged_gap;
+  return report;
+}
+
+}  // namespace
+
+Result<DefenseReport> MergeGroupsBelowGap(const FrequencyTable& table,
+                                          double min_gap) {
+  defense::DefenseParams params;
+  params.Set("gap", min_gap);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefensePlan plan,
+      defense::DefenseScheme::Find("group_merge")->Plan(table, params));
+  return ToDefenseReport(std::move(plan));
+}
+
+Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
+                                        const DefenseOptions& options) {
+  defense::DefenseParams params;
+  params.Set("tolerance", options.tolerance);
+  params.Set("point_valued", options.point_valued_criterion ? 1.0 : 0.0);
+  params.Set("iters", static_cast<double>(options.binary_search_iters));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefensePlan plan,
+      defense::DefenseScheme::Find("group_merge")->Plan(table, params));
+  return ToDefenseReport(std::move(plan));
 }
 
 Result<Database> ApplySupportChanges(
@@ -212,4 +255,97 @@ Result<Database> ApplySupportChanges(
   return out;
 }
 
+namespace defense {
+namespace {
+
+class GroupMergeScheme final : public DefenseScheme {
+ public:
+  const char* name() const override { return "group_merge"; }
+
+  /// One gap threshold per distinct inter-group gap: the midpoint above
+  /// gap i merges exactly the runs whose gaps are <= it, and the final
+  /// threshold (the bisection's `hi`) merges everything. Capped at 8
+  /// evenly spaced thresholds for large profiles.
+  std::vector<DefenseParams> ParamSpace(
+      const FrequencyTable& table) const override {
+    FrequencyGroups groups = FrequencyGroups::Build(table);
+    std::vector<DefenseParams> space;
+    if (groups.num_groups() < 2) return space;
+    std::vector<double> gaps = groups.FrequencyGaps();
+    std::sort(gaps.begin(), gaps.end());
+    gaps.erase(std::unique(gaps.begin(), gaps.end()), gaps.end());
+    std::vector<double> thresholds;
+    for (size_t i = 0; i + 1 < gaps.size(); ++i) {
+      thresholds.push_back((gaps[i] + gaps[i + 1]) / 2.0);
+    }
+    thresholds.push_back(gaps.back() * 2.0 +
+                         2.0 / static_cast<double>(table.num_transactions()));
+    constexpr size_t kMaxThresholds = 8;
+    const size_t n = thresholds.size();
+    if (n <= kMaxThresholds) {
+      for (double t : thresholds) {
+        DefenseParams params;
+        params.Set("gap", t);
+        space.push_back(std::move(params));
+      }
+      return space;
+    }
+    for (size_t i = 0; i < kMaxThresholds; ++i) {
+      DefenseParams params;
+      params.Set("gap", thresholds[i * n / kMaxThresholds]);
+      space.push_back(std::move(params));
+    }
+    return space;
+  }
+
+  Result<DefensePlan> Plan(const FrequencyTable& table,
+                           const DefenseParams& params) const override {
+    ANONSAFE_RETURN_IF_ERROR(internal::CheckAllowedParams(
+        params, {"gap", "tolerance", "point_valued", "iters"}, name()));
+    const double* gap = params.Find("gap");
+    const double* tolerance = params.Find("tolerance");
+    if ((gap != nullptr) == (tolerance != nullptr)) {
+      return Status::InvalidArgument(
+          "group_merge takes exactly one of 'gap' or 'tolerance'");
+    }
+    Result<DefensePlan> plan =
+        gap != nullptr
+            ? MergeBelowGapPlan(table, *gap)
+            : ToleranceSearchPlan(
+                  table, *tolerance, params.GetOr("point_valued", 0.0) != 0.0,
+                  static_cast<size_t>(params.GetOr("iters", 24.0)));
+    if (!plan.ok()) return plan.status();
+    plan->scheme = name();
+    plan->params = params;
+    return plan;
+  }
+
+  Result<Database> Apply(const Database& db, const DefensePlan& plan,
+                         Rng* rng) const override {
+    if (plan.scheme != name()) {
+      return Status::InvalidArgument("plan was produced by scheme '" +
+                                     plan.scheme + "', not '" + name() + "'");
+    }
+    return ApplySupportChanges(db, plan.new_supports, rng);
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<DefenseScheme> MakeGroupMergeScheme() {
+  return std::make_unique<GroupMergeScheme>();
+}
+
+/// Shared with the k-anonymity scheme (which bisects over the same
+/// merge core): exposed through this internal hook instead of the
+/// deprecated public wrapper.
+Result<DefensePlan> MergeBelowGapPlanInternal(const FrequencyTable& table,
+                                              double min_gap) {
+  return MergeBelowGapPlan(table, min_gap);
+}
+
+}  // namespace internal
+}  // namespace defense
 }  // namespace anonsafe

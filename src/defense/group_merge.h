@@ -37,6 +37,10 @@ struct DefenseReport {
 /// all below `min_gap` (in frequency units) onto one support — the
 /// size-weighted median support of the run, which minimizes the L1
 /// distortion among single-support choices.
+///
+/// \deprecated Transition wrapper (one release) over
+/// `defense::DefenseScheme::Find("group_merge")->Plan(table, {gap})`;
+/// see the migration table in docs/DEFENSE.md.
 Result<DefenseReport> MergeGroupsBelowGap(const FrequencyTable& table,
                                           double min_gap);
 
@@ -55,6 +59,10 @@ struct DefenseOptions {
 /// safety criterion at tolerance τ. Fails with FailedPrecondition when
 /// even merging everything into one group cannot pass (never happens for
 /// τ·n >= 1).
+///
+/// \deprecated Transition wrapper (one release) over
+/// `defense::DefenseScheme::Find("group_merge")->Plan(table, {tolerance,
+/// point_valued, iters})`; see the migration table in docs/DEFENSE.md.
 Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
                                         const DefenseOptions& options = {});
 

@@ -2,8 +2,83 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+
+#include "defense/scheme.h"
 
 namespace anonsafe {
+namespace {
+
+/// The bisection core: cheapest group merge whose perturbed profile is
+/// at least k-anonymous.
+Result<defense::DefensePlan> PlanKAnonymityMerge(const FrequencyTable& table,
+                                                 size_t k, size_t iters) {
+  const size_t n = table.num_items();
+  if (k < 1 || k > n) {
+    return Status::InvalidArgument(
+        "k must lie in [1, n]; got k=" + std::to_string(k) + " for n=" +
+        std::to_string(n));
+  }
+
+  auto anonymity_of =
+      [&](const defense::DefensePlan& plan) -> Result<size_t> {
+    ANONSAFE_ASSIGN_OR_RETURN(
+        FrequencyTable merged,
+        FrequencyTable::FromSupports(plan.new_supports,
+                                     table.num_transactions()));
+    return FrequencyKAnonymity(FrequencyGroups::Build(merged));
+  };
+
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefensePlan none,
+      defense::internal::MergeBelowGapPlanInternal(table, 0.0));
+  ANONSAFE_ASSIGN_OR_RETURN(size_t base_k, anonymity_of(none));
+  if (base_k >= k) return none;  // already k-anonymous
+
+  FrequencyGroups groups = FrequencyGroups::Build(table);
+  double hi = groups.GapSummary().max * 2.0 +
+              2.0 / static_cast<double>(table.num_transactions());
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefensePlan full,
+      defense::internal::MergeBelowGapPlanInternal(table, hi));
+  ANONSAFE_ASSIGN_OR_RETURN(size_t full_k, anonymity_of(full));
+  if (full_k < k) {
+    return Status::FailedPrecondition(
+        "even a full merge yields only " + std::to_string(full_k) +
+        "-anonymity");
+  }
+
+  double lo = 0.0;
+  defense::DefensePlan best = std::move(full);
+  for (size_t iter = 0; iter < iters; ++iter) {
+    double mid = (lo + hi) / 2.0;
+    ANONSAFE_ASSIGN_OR_RETURN(
+        defense::DefensePlan candidate,
+        defense::internal::MergeBelowGapPlanInternal(table, mid));
+    ANONSAFE_ASSIGN_OR_RETURN(size_t candidate_k, anonymity_of(candidate));
+    if (candidate_k >= k) {
+      hi = mid;
+      best = std::move(candidate);
+    } else {
+      lo = mid;
+    }
+  }
+  return best;
+}
+
+/// Legacy view of a merge plan (the one-release transition shape).
+DefenseReport ToDefenseReport(defense::DefensePlan plan) {
+  DefenseReport report;
+  report.new_supports = std::move(plan.new_supports);
+  report.groups_before = plan.groups_before;
+  report.groups_after = plan.groups_after;
+  report.l1_distortion = plan.l1_distortion;
+  report.relative_distortion = plan.relative_distortion;
+  report.merged_gap = plan.merged_gap;
+  return report;
+}
+
+}  // namespace
 
 size_t FrequencyKAnonymity(const FrequencyGroups& groups) {
   if (groups.num_groups() == 0) return 0;
@@ -22,53 +97,76 @@ double KAnonymityCrackBound(size_t num_items, size_t k) {
 Result<DefenseReport> DefendToKAnonymity(const FrequencyTable& table,
                                          size_t k,
                                          size_t binary_search_iters) {
-  const size_t n = table.num_items();
-  if (k < 1 || k > n) {
-    return Status::InvalidArgument(
-        "k must lie in [1, n]; got k=" + std::to_string(k) + " for n=" +
-        std::to_string(n));
-  }
-
-  auto anonymity_of = [&](const DefenseReport& report) -> Result<size_t> {
-    ANONSAFE_ASSIGN_OR_RETURN(
-        FrequencyTable merged,
-        FrequencyTable::FromSupports(report.new_supports,
-                                     table.num_transactions()));
-    return FrequencyKAnonymity(FrequencyGroups::Build(merged));
-  };
-
-  ANONSAFE_ASSIGN_OR_RETURN(DefenseReport none,
-                            MergeGroupsBelowGap(table, 0.0));
-  ANONSAFE_ASSIGN_OR_RETURN(size_t base_k, anonymity_of(none));
-  if (base_k >= k) return none;  // already k-anonymous
-
-  FrequencyGroups groups = FrequencyGroups::Build(table);
-  double hi = groups.GapSummary().max * 2.0 +
-              2.0 / static_cast<double>(table.num_transactions());
-  ANONSAFE_ASSIGN_OR_RETURN(DefenseReport full,
-                            MergeGroupsBelowGap(table, hi));
-  ANONSAFE_ASSIGN_OR_RETURN(size_t full_k, anonymity_of(full));
-  if (full_k < k) {
-    return Status::FailedPrecondition(
-        "even a full merge yields only " + std::to_string(full_k) +
-        "-anonymity");
-  }
-
-  double lo = 0.0;
-  DefenseReport best = std::move(full);
-  for (size_t iter = 0; iter < binary_search_iters; ++iter) {
-    double mid = (lo + hi) / 2.0;
-    ANONSAFE_ASSIGN_OR_RETURN(DefenseReport candidate,
-                              MergeGroupsBelowGap(table, mid));
-    ANONSAFE_ASSIGN_OR_RETURN(size_t candidate_k, anonymity_of(candidate));
-    if (candidate_k >= k) {
-      hi = mid;
-      best = std::move(candidate);
-    } else {
-      lo = mid;
-    }
-  }
-  return best;
+  defense::DefenseParams params;
+  params.Set("k", static_cast<double>(k));
+  params.Set("iters", static_cast<double>(binary_search_iters));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefensePlan plan,
+      defense::DefenseScheme::Find("k_anonymity")->Plan(table, params));
+  return ToDefenseReport(std::move(plan));
 }
 
+namespace defense {
+namespace {
+
+class KAnonymityScheme final : public DefenseScheme {
+ public:
+  const char* name() const override { return "k_anonymity"; }
+
+  /// The classic k ladder, filtered to k <= n and capped at 8 rungs
+  /// (evenly subsampled) for large domains.
+  std::vector<DefenseParams> ParamSpace(
+      const FrequencyTable& table) const override {
+    static constexpr size_t kLadder[] = {2,  3,  4,  6,  8, 12,
+                                         16, 24, 32, 48, 64};
+    std::vector<size_t> ks;
+    for (size_t k : kLadder) {
+      if (k <= table.num_items()) ks.push_back(k);
+    }
+    constexpr size_t kMaxRungs = 8;
+    std::vector<DefenseParams> space;
+    const size_t n = ks.size();
+    for (size_t i = 0; i < std::min(n, kMaxRungs); ++i) {
+      DefenseParams params;
+      params.Set("k", static_cast<double>(
+                          ks[n <= kMaxRungs ? i : i * n / kMaxRungs]));
+      space.push_back(std::move(params));
+    }
+    return space;
+  }
+
+  Result<DefensePlan> Plan(const FrequencyTable& table,
+                           const DefenseParams& params) const override {
+    ANONSAFE_RETURN_IF_ERROR(
+        internal::CheckAllowedParams(params, {"k", "iters"}, name()));
+    ANONSAFE_ASSIGN_OR_RETURN(double k, params.Get("k"));
+    Result<DefensePlan> plan = PlanKAnonymityMerge(
+        table, static_cast<size_t>(k),
+        static_cast<size_t>(params.GetOr("iters", 24.0)));
+    if (!plan.ok()) return plan.status();
+    plan->scheme = name();
+    plan->params = params;
+    return plan;
+  }
+
+  Result<Database> Apply(const Database& db, const DefensePlan& plan,
+                         Rng* rng) const override {
+    if (plan.scheme != name()) {
+      return Status::InvalidArgument("plan was produced by scheme '" +
+                                     plan.scheme + "', not '" + name() + "'");
+    }
+    return ApplySupportChanges(db, plan.new_supports, rng);
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<DefenseScheme> MakeKAnonymityScheme() {
+  return std::make_unique<KAnonymityScheme>();
+}
+
+}  // namespace internal
+}  // namespace defense
 }  // namespace anonsafe

@@ -28,6 +28,10 @@ double KAnonymityCrackBound(size_t num_items, size_t k);
 /// Fails with InvalidArgument for k < 1 or k > n, and with
 /// FailedPrecondition when even the full merge cannot reach k (only
 /// possible when n < k).
+///
+/// \deprecated Transition wrapper (one release) over
+/// `defense::DefenseScheme::Find("k_anonymity")->Plan(table, {k, iters})`;
+/// see the migration table in docs/DEFENSE.md.
 Result<DefenseReport> DefendToKAnonymity(const FrequencyTable& table,
                                          size_t k,
                                          size_t binary_search_iters = 24);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "belief/builders.h"
 #include "core/per_item_risk.h"
+#include "defense/scheme.h"
 
 namespace anonsafe {
 namespace {
@@ -47,59 +50,88 @@ Result<SubdomainRisk> AnalyzeSubdomain(const FrequencyTable& table,
   return out;
 }
 
-}  // namespace
-
-Result<SuppressionReport> PlanSuppression(const FrequencyTable& table,
-                                          const SuppressionOptions& options) {
-  if (!(options.tolerance > 0.0) || options.tolerance > 1.0) {
+/// The greedy suppression core. The final `AnalyzeSubdomain` pass is
+/// kept in the plan (`oe_after`, `residual_ranked`) instead of being
+/// computed and dropped — the optimizer reads it rather than re-derive.
+Result<defense::DefensePlan> PlanSuppressionCore(const FrequencyTable& table,
+                                                 double tolerance,
+                                                 double max_fraction,
+                                                 size_t rerank_batch) {
+  if (!(tolerance > 0.0) || tolerance > 1.0) {
     return Status::InvalidArgument("tolerance must lie in (0, 1]");
   }
-  if (options.rerank_batch == 0) {
+  if (rerank_batch == 0) {
     return Status::InvalidArgument("rerank_batch must be positive");
   }
   const size_t n = table.num_items();
-  const double budget = options.tolerance * static_cast<double>(n);
+  const double budget = tolerance * static_cast<double>(n);
   const auto max_suppressed = static_cast<size_t>(
-      std::floor(options.max_suppressed_fraction * static_cast<double>(n)));
+      std::floor(max_fraction * static_cast<double>(n)));
 
-  SuppressionReport report;
-  report.items_before = n;
+  defense::DefensePlan plan;
+  plan.items_before = n;
 
   std::vector<bool> alive(n, true);
   ANONSAFE_ASSIGN_OR_RETURN(SubdomainRisk risk,
                             AnalyzeSubdomain(table, alive));
-  report.oe_before = risk.oe;
+  plan.oe_before = risk.oe;
 
   while (risk.oe > budget) {
-    if (report.suppressed.size() >= max_suppressed ||
+    if (plan.suppressed.size() >= max_suppressed ||
         risk.ranked_original_ids.empty()) {
       return Status::FailedPrecondition(
           "suppression cap reached (" +
-          std::to_string(report.suppressed.size()) +
+          std::to_string(plan.suppressed.size()) +
           " items) before the tolerance was met; use a frequency-merge "
           "defense instead");
     }
-    size_t batch = std::min(options.rerank_batch,
-                            risk.ranked_original_ids.size());
-    batch = std::min(batch, max_suppressed - report.suppressed.size());
+    size_t batch = std::min(rerank_batch, risk.ranked_original_ids.size());
+    batch = std::min(batch, max_suppressed - plan.suppressed.size());
     if (batch == 0) batch = 1;
     for (size_t i = 0; i < batch; ++i) {
       ItemId victim = risk.ranked_original_ids[i];
       alive[victim] = false;
-      report.suppressed.push_back(victim);
+      plan.suppressed.push_back(victim);
     }
     ANONSAFE_ASSIGN_OR_RETURN(risk, AnalyzeSubdomain(table, alive));
   }
 
-  report.oe_after = risk.oe;
-  report.items_after = n - report.suppressed.size();
+  plan.oe_after = risk.oe;
+  plan.residual_ranked = std::move(risk.ranked_original_ids);
+  plan.items_after = n - plan.suppressed.size();
   uint64_t total = 0, lost = 0;
   for (ItemId x = 0; x < n; ++x) total += table.support(x);
-  for (ItemId x : report.suppressed) lost += table.support(x);
-  report.occurrence_loss =
+  for (ItemId x : plan.suppressed) lost += table.support(x);
+  plan.occurrence_loss =
       total == 0 ? 0.0
                  : static_cast<double>(lost) / static_cast<double>(total);
+  return plan;
+}
+
+/// Legacy view of a suppression plan (the one-release transition shape).
+SuppressionReport ToSuppressionReport(defense::DefensePlan plan) {
+  SuppressionReport report;
+  report.suppressed = std::move(plan.suppressed);
+  report.items_before = plan.items_before;
+  report.items_after = plan.items_after;
+  report.oe_before = plan.oe_before;
+  report.oe_after = plan.oe_after;
+  report.occurrence_loss = plan.occurrence_loss;
   return report;
+}
+
+}  // namespace
+
+Result<SuppressionReport> PlanSuppression(const FrequencyTable& table,
+                                          const SuppressionOptions& options) {
+  defense::DefenseParams params;
+  params.Set("tolerance", options.tolerance);
+  params.Set("max_suppressed_fraction", options.max_suppressed_fraction);
+  params.Set("rerank_batch", static_cast<double>(options.rerank_batch));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefensePlan plan,
+      defense::DefenseScheme::Find("suppression")->Plan(table, params));
+  return ToSuppressionReport(std::move(plan));
 }
 
 Result<Database> ApplySuppression(const Database& db,
@@ -123,4 +155,65 @@ Result<Database> ApplySuppression(const Database& db,
   return out;
 }
 
+namespace defense {
+namespace {
+
+class SuppressionScheme final : public DefenseScheme {
+ public:
+  const char* name() const override { return "suppression"; }
+
+  /// A tolerance ladder from strict to lenient. Infeasible rungs (cap
+  /// reached first) surface as FailedPrecondition from Plan, which the
+  /// optimizer records as infeasible candidates rather than errors.
+  std::vector<DefenseParams> ParamSpace(
+      const FrequencyTable& table) const override {
+    static constexpr double kLadder[] = {0.02, 0.05, 0.08, 0.12,
+                                         0.18, 0.25, 0.35, 0.5};
+    std::vector<DefenseParams> space;
+    if (table.num_items() == 0) return space;
+    for (double tolerance : kLadder) {
+      DefenseParams params;
+      params.Set("tolerance", tolerance);
+      space.push_back(std::move(params));
+    }
+    return space;
+  }
+
+  Result<DefensePlan> Plan(const FrequencyTable& table,
+                           const DefenseParams& params) const override {
+    ANONSAFE_RETURN_IF_ERROR(internal::CheckAllowedParams(
+        params, {"tolerance", "max_suppressed_fraction", "rerank_batch"},
+        name()));
+    Result<DefensePlan> plan = PlanSuppressionCore(
+        table, params.GetOr("tolerance", 0.1),
+        params.GetOr("max_suppressed_fraction", 0.5),
+        static_cast<size_t>(params.GetOr("rerank_batch", 8.0)));
+    if (!plan.ok()) return plan.status();
+    plan->scheme = name();
+    plan->params = params;
+    return plan;
+  }
+
+  /// Suppression is deterministic — `rng` is unused.
+  Result<Database> Apply(const Database& db, const DefensePlan& plan,
+                         Rng* rng) const override {
+    (void)rng;
+    if (plan.scheme != name()) {
+      return Status::InvalidArgument("plan was produced by scheme '" +
+                                     plan.scheme + "', not '" + name() + "'");
+    }
+    return ApplySuppression(db, plan.suppressed);
+  }
+};
+
+}  // namespace
+
+namespace internal {
+
+std::unique_ptr<DefenseScheme> MakeSuppressionScheme() {
+  return std::make_unique<SuppressionScheme>();
+}
+
+}  // namespace internal
+}  // namespace defense
 }  // namespace anonsafe

@@ -41,6 +41,11 @@ struct SuppressionOptions {
 
 /// \brief Plans a suppression: which items to drop so the remaining
 /// release passes `tolerance`. Pure planning — no database is modified.
+///
+/// \deprecated Transition wrapper (one release) over
+/// `defense::DefenseScheme::Find("suppression")->Plan(table, {tolerance,
+/// max_suppressed_fraction, rerank_batch})`; see the migration table in
+/// docs/DEFENSE.md.
 Result<SuppressionReport> PlanSuppression(
     const FrequencyTable& table, const SuppressionOptions& options = {});
 

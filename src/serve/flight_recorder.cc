@@ -19,6 +19,10 @@ json::Value RequestSummaryToJson(const RequestSummary& summary) {
     v.Set("estimator", json::Value(summary.estimator));
   }
   v.Set("outcome", json::Value(summary.outcome));
+  if (summary.candidates > 0) {
+    v.Set("candidates", json::Value(uint64_t{summary.candidates}));
+    v.Set("frontier_size", json::Value(uint64_t{summary.frontier_size}));
+  }
   v.Set("queue_ms", json::Value(summary.queue_ms));
   v.Set("exec_ms", json::Value(summary.exec_ms));
   v.Set("total_ms", json::Value(summary.total_ms));

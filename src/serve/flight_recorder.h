@@ -21,6 +21,11 @@ struct RequestSummary {
   std::string dataset;       ///< dataset hash/key when the verb had one
   std::string estimator;     ///< from RiskReport provenance (assess_risk)
   std::string outcome;       ///< "ok" or the protocol error code
+  /// Defense-sweep provenance (recommend_defense): candidates scored
+  /// and frontier points found — the first numbers to look at when a
+  /// sweep is slow. 0/0 for every other verb.
+  uint64_t candidates = 0;
+  uint64_t frontier_size = 0;
   double queue_ms = 0.0;     ///< admission wait (0 when never admitted)
   double exec_ms = 0.0;      ///< verb execution (0 when refused)
   double total_ms = 0.0;     ///< wall time from line in to response out

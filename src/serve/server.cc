@@ -10,6 +10,7 @@
 #include "core/oestimate.h"
 #include "core/risk_report.h"
 #include "core/similarity.h"
+#include "defense/optimizer.h"
 #include "estimator/estimator.h"
 #include "graph/simd_kernels.h"
 #include "obs/export.h"
@@ -459,6 +460,20 @@ json::Value Server::RunWithContext(Job* job) {
         }
       }
     }
+    if (request.verb == "recommend_defense") {
+      if (const json::Value* frontier = outcome->Find("frontier")) {
+        if (const json::Value* v = frontier->Find("num_candidates")) {
+          if (v->is_number()) {
+            record->candidates = static_cast<uint64_t>(v->AsDouble());
+          }
+        }
+        if (const json::Value* v = frontier->Find("frontier_size")) {
+          if (v->is_number()) {
+            record->frontier_size = static_cast<uint64_t>(v->AsDouble());
+          }
+        }
+      }
+    }
   }
 
   // Slow-request autopsy: the merged span tree, as a warn log line,
@@ -533,6 +548,12 @@ void Server::Complete(std::unique_ptr<Job> job, json::Value response) {
     }
     if (!record.estimator.empty()) {
       fields.emplace_back("estimator", json::Value(record.estimator));
+    }
+    if (record.candidates > 0) {
+      fields.emplace_back("candidates",
+                          json::Value(uint64_t{record.candidates}));
+      fields.emplace_back("frontier_size",
+                          json::Value(uint64_t{record.frontier_size}));
     }
     fields.emplace_back("queue_ms", json::Value(record.queue_ms));
     fields.emplace_back("exec_ms", json::Value(record.exec_ms));
@@ -653,6 +674,15 @@ void Server::BuildRegistry() {
        kVerbV2Only,
        [this](const Request& req, exec::ExecContext* ctx) {
          return HandleAssessRiskBatch(req.params, ctx);
+       }});
+  registry_.Register(
+      {"recommend_defense",
+       {{"dataset", Type::kString, true},
+        {"ryser_cutoff", Type::kNumber},
+        {"prefer_sampler", Type::kBool}},
+       kVerbV2Only,
+       [this](const Request& req, exec::ExecContext* ctx) {
+         return HandleRecommendDefense(req.params, ctx);
        }});
   registry_.Register(
       {"oestimate",
@@ -816,6 +846,36 @@ Result<json::Value> Server::HandleAssessRiskBatch(const json::Value& params,
   json::Value result = json::Value::Object();
   result.Set("dataset", json::Value(key));
   result.Set("items", std::move(out_items));
+  return result;
+}
+
+Result<json::Value> Server::HandleRecommendDefense(const json::Value& params,
+                                                   exec::ExecContext* ctx) {
+  obs::ScopedTimer timer("serve.recommend_defense");
+  ANONSAFE_ASSIGN_OR_RETURN(std::string key, params.GetString("dataset"));
+  std::shared_ptr<const CachedDataset> ds = cache_.Find(key);
+  if (ds == nullptr) {
+    return Status::NotFound("dataset '" + key +
+                            "' is not resident; call load_dataset first");
+  }
+  defense::OptimizerOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      double cutoff,
+      params.GetNumberOr("ryser_cutoff",
+                         static_cast<double>(options.planner.ryser_cutoff)));
+  options.planner.ryser_cutoff = static_cast<size_t>(cutoff);
+  ANONSAFE_ASSIGN_OR_RETURN(options.planner.prefer_sampler,
+                            params.GetBoolOr("prefer_sampler", false));
+  // The sweep itself parallelizes on the request's context (threads,
+  // cancellation, deadline) and seeds every candidate from the request
+  // seed — so the `frontier` document is byte-identical to the CLI's
+  // `recommend-defense --json` at the same seed, for any thread count.
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefenseFrontier frontier,
+      defense::RecommendDefense(ds->data.database, options, ctx));
+  json::Value result = json::Value::Object();
+  result.Set("dataset", json::Value(key));
+  result.Set("frontier", frontier.ToJson());
   return result;
 }
 

@@ -201,6 +201,8 @@ class Server {
                                        exec::ExecContext* ctx);
   Result<json::Value> HandleAssessRiskBatch(const json::Value& params,
                                             exec::ExecContext* ctx);
+  Result<json::Value> HandleRecommendDefense(const json::Value& params,
+                                             exec::ExecContext* ctx);
   Result<json::Value> HandleOEstimate(const json::Value& params,
                                       exec::ExecContext* ctx);
   Result<json::Value> HandleSimilarity(const json::Value& params,

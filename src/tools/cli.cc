@@ -15,7 +15,9 @@
 #include "core/per_item_risk.h"
 #include "core/recipe.h"
 #include "defense/group_merge.h"
+#include "defense/optimizer.h"
 #include "defense/suppression.h"
+#include "exec/exec.h"
 #include "core/risk_report.h"
 #include "core/similarity.h"
 #include "data/fimi_io.h"
@@ -31,6 +33,8 @@
 #include "serve/server.h"
 #include "serve/transport.h"
 #include "util/cpu.h"
+#include "util/csv_writer.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
 
@@ -541,6 +545,86 @@ Status RunDefend(const CliInvocation& cli, std::ostream& out) {
   return Status::InvalidArgument("--mode must be 'merge' or 'suppress'");
 }
 
+Status RunRecommendDefense(const CliInvocation& cli, std::ostream& out) {
+  ANONSAFE_RETURN_IF_ERROR(RequirePositional(cli, 1));
+  ANONSAFE_ASSIGN_OR_RETURN(uint64_t seed, FlagAsUint64(cli, "seed", 7));
+  ANONSAFE_ASSIGN_OR_RETURN(uint64_t threads, FlagAsUint64(cli, "threads", 1));
+  ANONSAFE_ASSIGN_OR_RETURN(LabeledDatabase data,
+                            ReadFimiFile(cli.positional[0]));
+
+  defense::OptimizerOptions options;
+  ANONSAFE_ASSIGN_OR_RETURN(
+      uint64_t cutoff,
+      FlagAsUint64(cli, "ryser-cutoff", options.planner.ryser_cutoff));
+  options.planner.ryser_cutoff = static_cast<size_t>(cutoff);
+  if (cli.flags.count("prefer-sampler") > 0) {
+    options.planner.prefer_sampler = true;
+  }
+
+  exec::ExecOptions exec_options;
+  exec_options.seed = seed;
+  exec_options.threads = static_cast<size_t>(threads);
+  exec::ExecContext ctx(exec_options);
+  ANONSAFE_ASSIGN_OR_RETURN(
+      defense::DefenseFrontier frontier,
+      defense::RecommendDefense(data.database, options, &ctx));
+
+  if (cli.flags.count("json") > 0) {
+    out << frontier.ToJson().Dump() << "\n";
+    return Status::OK();
+  }
+  if (auto it = cli.flags.find("csv"); it != cli.flags.end()) {
+    CsvWriter csv({"index", "scheme", "params", "feasible", "on_frontier",
+                   "expected_cracks", "total_loss", "exact", "k_anonymity",
+                   "reason"});
+    for (const defense::CandidateScore& c : frontier.candidates) {
+      csv.AddRow({std::to_string(c.index), c.scheme, c.params.ToString(),
+                  c.feasible ? "1" : "0", c.on_frontier ? "1" : "0",
+                  c.feasible ? json::NumberToString(c.expected_cracks) : "",
+                  c.feasible ? json::NumberToString(c.utility.total_loss)
+                             : "",
+                  c.feasible ? (c.exact ? "1" : "0") : "",
+                  c.feasible ? std::to_string(c.k_anonymity) : "",
+                  c.reason});
+    }
+    if (it->second == "true") {
+      out << csv.ToString();
+    } else {
+      ANONSAFE_RETURN_IF_ERROR(csv.WriteFile(it->second));
+      out << "wrote " << frontier.candidates.size() << " candidates to "
+          << it->second << "\n";
+    }
+    return Status::OK();
+  }
+
+  size_t feasible = 0;
+  for (const defense::CandidateScore& c : frontier.candidates) {
+    if (c.feasible) ++feasible;
+  }
+  out << "swept " << frontier.candidates.size() << " candidates ("
+      << feasible << " feasible) across "
+      << defense::DefenseScheme::All().size() << " schemes\n"
+      << "baseline: " << TablePrinter::Fmt(frontier.baseline_cracks, 2)
+      << " expected cracks of " << frontier.num_items << " items"
+      << (frontier.baseline_exact ? " (exact)" : " (approximate)") << "\n"
+      << "Pareto frontier (" << frontier.frontier.size() << " points):\n";
+  TablePrinter t({"#", "scheme", "params", "E[cracks]", "total loss",
+                  "exact"});
+  for (size_t rank = 0; rank < frontier.frontier.size(); ++rank) {
+    const defense::CandidateScore& c =
+        frontier.candidates[frontier.frontier[rank]];
+    t.AddRow({TablePrinter::Fmt(rank + 1), c.scheme, c.params.ToString(),
+              TablePrinter::Fmt(c.expected_cracks, 2),
+              TablePrinter::Fmt(c.utility.total_loss, 4),
+              c.exact ? "yes" : "no"});
+  }
+  t.Print(out);
+  out << "replay any point with DefenseScheme::Find(scheme)->Plan/Apply at "
+         "seed "
+      << frontier.seed << " (see docs/DEFENSE.md)\n";
+  return Status::OK();
+}
+
 Status DispatchCommand(const CliInvocation& cli, std::ostream& out) {
   if (cli.command == "stats") return RunStats(cli, out);
   if (cli.command == "assess") return RunAssess(cli, out);
@@ -552,6 +636,9 @@ Status DispatchCommand(const CliInvocation& cli, std::ostream& out) {
   if (cli.command == "generate") return RunGenerate(cli, out);
   if (cli.command == "risk") return RunRisk(cli, out);
   if (cli.command == "defend") return RunDefend(cli, out);
+  if (cli.command == "recommend-defense") {
+    return RunRecommendDefense(cli, out);
+  }
   if (cli.command == "belief") return RunBelief(cli, out);
   if (cli.command == "mine") return RunMine(cli, out);
   if (cli.command == "attack") return RunAttack(cli, out);
@@ -724,6 +811,12 @@ std::string CliUsage() {
       "       [--min-support=0.1] [--min-confidence=0] [--top=20]\n"
       "  attack <file.dat> <belief-file> [--top=10] evaluate a hacker model\n"
       "  defend <in.dat> <out.dat> [--tolerance=0.1] [--mode=merge|suppress]\n"
+      "  recommend-defense <file.dat> [--seed=7] [--threads=1] [--json]\n"
+      "        [--csv[=path]] [--ryser-cutoff=22] [--prefer-sampler]\n"
+      "                                        sweep every registered\n"
+      "                                        defense scheme and print the\n"
+      "                                        risk-utility Pareto frontier\n"
+      "                                        (see docs/DEFENSE.md)\n"
       "  anonymize <in.dat> <out.dat> [--seed=]\n"
       "  generate <BENCHMARK> <out.dat> [--scale=1.0] [--seed=]\n"
       "        BENCHMARK: CONNECT PUMSB ACCIDENTS RETAIL MUSHROOM CHESS\n"
