@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "core/oestimate.h"
 #include "defense/group_merge.h"
+#include "defense/scheme.h"
 #include "mining/miner.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
@@ -77,7 +78,10 @@ int main() {
                  "distortion", "jaccard"});
   for (double factor : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
     double gap = base_gap * factor;
-    auto report = MergeGroupsBelowGap(*table, gap);
+    defense::DefenseParams merge_params;
+    merge_params.Set("gap", gap);
+    auto report =
+        defense::DefenseScheme::Find("group_merge")->Plan(*table, merge_params);
     if (!report.ok()) {
       std::cerr << report.status() << "\n";
       return 1;

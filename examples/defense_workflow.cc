@@ -3,8 +3,8 @@
 // constructive follow-up implemented by the defense module:
 //
 //   1. assess (Fig. 8)            -> verdict: too risky
-//   2. DefendToTolerance          -> cheapest group-merge reaching tau
-//   3. ApplySupportChanges        -> realize it on the actual data
+//   2. group_merge scheme Plan    -> cheapest group-merge reaching tau
+//   3. scheme Apply               -> realize it on the actual data
 //   4. re-assess                  -> verdict: disclose
 //   5. measure the price          -> support distortion + mining fidelity
 //
@@ -16,7 +16,7 @@
 #include "core/recipe.h"
 #include "data/frequency.h"
 #include "datagen/profile.h"
-#include "defense/group_merge.h"
+#include "defense/scheme.h"
 #include "mining/miner.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
@@ -79,10 +79,12 @@ int main() {
   }
 
   // -- 2. Find the cheapest merge reaching the tolerance.
-  DefenseOptions defense;
-  defense.tolerance = recipe.tolerance;
-  defense.point_valued_criterion = true;  // paranoid owner
-  auto plan = DefendToTolerance(*table, defense);
+  const defense::DefenseScheme* scheme =
+      defense::DefenseScheme::Find("group_merge");
+  defense::DefenseParams defense;
+  defense.Set("tolerance", recipe.tolerance);
+  defense.Set("point_valued", 1.0);  // paranoid owner
+  auto plan = scheme->Plan(*table, defense);
   if (!plan.ok()) return Fail(plan.status());
   std::cout << "[2] Defense plan: merge groups closer than "
             << TablePrinter::FmtG(plan->merged_gap, 3) << " -> "
@@ -93,7 +95,7 @@ int main() {
             << " edits)\n\n";
 
   // -- 3. Apply it to the transactions.
-  auto defended = ApplySupportChanges(*db, plan->new_supports, &rng);
+  auto defended = scheme->Apply(*db, *plan, &rng);
   if (!defended.ok()) return Fail(defended.status());
 
   // -- 4. Re-assess.

@@ -47,6 +47,13 @@
 # and the all-cores run and non-empty; the speedup is informational.
 # Emits BENCH_defense.json.
 #
+# Then bench_adversary (the Figure 8 recipe once per registered
+# adversary on the bisection fixture): results must be bit-identical
+# across thread counts and the default interval adversary must hold
+# within 1.5x of the BM_AssessRiskBisection/8192 baseline — the
+# registry indirection must not tax the historical hot path. Emits
+# BENCH_adversary.json.
+#
 # It then runs bench_planner (the block-decomposed
 # estimator against the monolithic direct method, docs/ESTIMATORS.md)
 # and emits BENCH_planner.json with the measured speedups. The planner
@@ -368,6 +375,72 @@ PY
   rm -f "$defense_raw"
 else
   echo "check_perf: defense SKIP ($DEFENSE_BENCH not built)" >&2
+fi
+
+# ------------------------------------------- adversary registry harness
+# bench_adversary runs the Figure 8 recipe once per registered adversary
+# on the BM_AssessRiskBisection/8192 fixture. Gates: every adversary's
+# result is bit-identical between 1 and 8 threads, and the default
+# interval adversary — which now routes through the registry — holds
+# within 1.5x of the BM_AssessRiskBisection/8192 kernel baseline (the
+# headroom covers wall-clock-vs-cpu-time and harness noise; a real
+# registry-indirection regression on the bisection hot path is what it
+# catches). Non-default adversaries are informational (vs_interval
+# overhead ratio). Emits BENCH_adversary.json.
+ADVERSARY_BENCH="${ADVERSARY_BENCH:-build/bench/bench_adversary}"
+if [[ -x "$ADVERSARY_BENCH" ]]; then
+  adversary_raw="$(mktemp)"
+  "$ADVERSARY_BENCH" >"$adversary_raw" \
+    || { echo "check_perf: FAIL: bench_adversary exited non-zero (adversary \
+results not bit-identical across thread counts?)" >&2
+         rm -f "$adversary_raw"; exit 1; }
+  python3 - "$adversary_raw" "$BASELINE" "BENCH_adversary.json" <<'PY'
+import json, sys
+
+raw_path, baseline_path, out_path = sys.argv[1:4]
+with open(raw_path) as f:
+    report = json.load(f)
+try:
+    with open(baseline_path) as f:
+        base_ns = json.load(f).get("baseline_ns", {}) \
+                      .get("BM_AssessRiskBisection/8192")
+except FileNotFoundError:
+    base_ns = None
+
+failures = []
+interval = report["adversaries"].get("interval")
+if interval is None:
+    failures.append("interval adversary missing from bench_adversary output")
+elif base_ns is not None:
+    ratio = (interval["median_ms"] * 1e6) / base_ns
+    interval["vs_bisection_baseline"] = round(ratio, 3)
+    if ratio > 1.5:
+        failures.append(
+            f"interval adversary AssessRisk {interval['median_ms']:.1f}ms is "
+            f"{ratio:.2f}x the BM_AssessRiskBisection/8192 baseline "
+            f"({base_ns / 1e6:.1f}ms); gate: <= 1.5x — the registry "
+            f"indirection regressed the default hot path")
+
+for name, e in report["adversaries"].items():
+    print(f"check_perf: adversary {name}: {e['median_ms']:.1f}ms "
+          f"({e['vs_interval']:.2f}x vs interval), decision={e['decision']}, "
+          f"thread_identical={str(e['thread_identical']).lower()}")
+if not report["bit_identical"]:
+    failures.append("adversary results not bit-identical across thread counts")
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+if failures:
+    for msg in failures:
+        print(f"check_perf: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+print(f"check_perf: OK ({out_path} written)")
+PY
+  rm -f "$adversary_raw"
+else
+  echo "check_perf: adversary SKIP ($ADVERSARY_BENCH not built)" >&2
 fi
 
 # ------------------------------------------------ planner vs monolithic

@@ -35,6 +35,7 @@ scripts/check_metrics.sh
 scripts/check_obs.sh
 scripts/check_serve.sh
 scripts/check_defense.sh
+scripts/check_adversary.sh
 scripts/check_plan.sh
 scripts/check_tsan.sh
 scripts/check_perf.sh

@@ -1,0 +1,191 @@
+#include "adversary/adversary.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace anonsafe {
+namespace adversary {
+
+void AdversaryParams::Set(const std::string& name, double value) {
+  for (auto& [key, v] : values) {
+    if (key == name) {
+      v = value;
+      return;
+    }
+  }
+  values.emplace_back(name, value);
+}
+
+const double* AdversaryParams::Find(const std::string& name) const {
+  for (const auto& [key, v] : values) {
+    if (key == name) return &v;
+  }
+  return nullptr;
+}
+
+double AdversaryParams::GetOr(const std::string& name, double fallback) const {
+  const double* v = Find(name);
+  return v == nullptr ? fallback : *v;
+}
+
+Result<double> AdversaryParams::Get(const std::string& name) const {
+  const double* v = Find(name);
+  if (v == nullptr) {
+    return Status::InvalidArgument("missing adversary parameter '" + name +
+                                   "'");
+  }
+  return *v;
+}
+
+std::string AdversaryParams::ToString() const {
+  std::string out;
+  for (const auto& [key, v] : values) {
+    if (!out.empty()) out += ",";
+    out += key + "=" + json::NumberToString(v);
+  }
+  return out;
+}
+
+json::Value AdversaryParams::ToJson() const {
+  json::Value obj = json::Value::Object();
+  for (const auto& [key, v] : values) obj.Set(key, json::Value(v));
+  return obj;
+}
+
+Result<AdversaryParams> AdversaryParams::FromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("adversary params must be a JSON object");
+  }
+  AdversaryParams params;
+  for (const auto& [key, member] : value.members()) {
+    if (!member.is_number()) {
+      return Status::InvalidArgument("adversary param '" + key +
+                                     "' must be a number");
+    }
+    params.Set(key, member.AsDouble());
+  }
+  return params;
+}
+
+std::string AdversaryModel::SpecString() const {
+  std::string spec = adversary;
+  std::string p = params.ToString();
+  if (!p.empty()) spec += ":" + p;
+  return spec;
+}
+
+json::Value AdversaryDescription::ToJson() const {
+  json::Value obj = json::Value::Object();
+  obj.Set("name", json::Value(name));
+  obj.Set("summary", json::Value(summary));
+  obj.Set("weighted", json::Value(weighted));
+  obj.Set("supports_exact", json::Value(supports_exact));
+  json::Value names = json::Value::Array();
+  for (const std::string& p : params) names.Append(json::Value(p));
+  obj.Set("params", std::move(names));
+  return obj;
+}
+
+const std::vector<const Adversary*>& Adversary::All() {
+  // Built on first use, fixed order so every listing and sweep
+  // enumerates models identically. Function-local statics (not leaked
+  // heap blocks) so LeakSanitizer stays quiet across the test suite.
+  static const std::vector<std::unique_ptr<Adversary>> owner = [] {
+    std::vector<std::unique_ptr<Adversary>> v;
+    v.push_back(internal::MakeIntervalAdversary());
+    v.push_back(internal::MakeProbabilisticAdversary());
+    v.push_back(internal::MakeExactSupportAdversary());
+    return v;
+  }();
+  static const std::vector<const Adversary*> view = [] {
+    std::vector<const Adversary*> v;
+    v.reserve(owner.size());
+    for (const auto& a : owner) v.push_back(a.get());
+    return v;
+  }();
+  return view;
+}
+
+const Adversary* Adversary::Find(const std::string& name) {
+  for (const Adversary* a : All()) {
+    if (name == a->name()) return a;
+  }
+  return nullptr;
+}
+
+std::string AdversarySpec::ToString() const {
+  std::string out = name;
+  std::string p = params.ToString();
+  if (!p.empty()) out += ":" + p;
+  return out;
+}
+
+Result<AdversarySpec> ParseAdversarySpec(const std::string& spec) {
+  AdversarySpec out;
+  std::string rest;
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    out.name = spec;
+  } else {
+    out.name = spec.substr(0, colon);
+    rest = spec.substr(colon + 1);
+  }
+  if (out.name.empty()) {
+    return Status::InvalidArgument("empty adversary name in spec '" + spec +
+                                   "'");
+  }
+  const Adversary* adv = Adversary::Find(out.name);
+  if (adv == nullptr) {
+    std::string known;
+    for (const Adversary* a : Adversary::All()) {
+      if (!known.empty()) known += ", ";
+      known += a->name();
+    }
+    return Status::InvalidArgument("unknown adversary '" + out.name +
+                                   "' (known: " + known + ")");
+  }
+  size_t pos = 0;
+  while (pos < rest.size()) {
+    size_t comma = rest.find(',', pos);
+    std::string token = comma == std::string::npos
+                            ? rest.substr(pos)
+                            : rest.substr(pos, comma - pos);
+    pos = comma == std::string::npos ? rest.size() : comma + 1;
+    size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("malformed adversary param '" + token +
+                                     "' (expected name=value)");
+    }
+    std::string key = token.substr(0, eq);
+    std::string text = token.substr(eq + 1);
+    char* end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      return Status::InvalidArgument("adversary param '" + key +
+                                     "' has non-numeric value '" + text +
+                                     "'");
+    }
+    out.params.Set(key, value);
+  }
+  ANONSAFE_RETURN_IF_ERROR(adv->ValidateParams(out.params));
+  return out;
+}
+
+namespace internal {
+
+Status CheckAllowedParams(const AdversaryParams& params,
+                          const std::vector<std::string>& allowed,
+                          const char* adversary) {
+  for (const auto& [key, value] : params.values) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      return Status::InvalidArgument("unknown parameter '" + key +
+                                     "' for adversary '" + adversary + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+}  // namespace adversary
+}  // namespace anonsafe

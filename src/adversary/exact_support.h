@@ -1,0 +1,44 @@
+#ifndef ANONSAFE_ADVERSARY_EXACT_SUPPORT_H_
+#define ANONSAFE_ADVERSARY_EXACT_SUPPORT_H_
+
+#include <vector>
+
+#include "adversary/adversary.h"
+#include "data/database.h"
+#include "data/frequency.h"
+#include "graph/permanent.h"
+#include "util/result.h"
+
+namespace anonsafe {
+namespace adversary {
+
+/// \brief The items the exact-support adversary pins, in worst-case
+/// order: ascending size of the item's frequency group (items in small
+/// groups are the most identifying to know exactly), ties by item id.
+/// Clamped to the domain size. Deterministic.
+std::vector<ItemId> SelectExactSupportItems(const FrequencyGroups& groups,
+                                            size_t k);
+
+/// \brief Result of the full worst-case composition with the powerset
+/// support-oracle attack.
+struct ExactSupportAttack {
+  std::vector<ItemId> known_items;  ///< the k pinned items, selection order
+  CrackDistribution distribution;   ///< exact, over consistent mappings
+};
+
+/// \brief Composes the exact-support adversary (`k` from `params`,
+/// default 1) with the `powerset/` constrained attack: the k selected
+/// items get point frequency intervals, every pair among them is
+/// additionally constrained to its exact pair frequency from the
+/// support oracle, and the consistent mappings are enumerated by
+/// backtracking. This is the full "adversary knows k supports exactly,
+/// including co-occurrences" stress test; tiny instances only
+/// (OutOfRange beyond `max_matchings`).
+Result<ExactSupportAttack> RunExactSupportAttack(
+    const Database& db, const AdversaryParams& params,
+    uint64_t max_matchings = 5'000'000);
+
+}  // namespace adversary
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_ADVERSARY_EXACT_SUPPORT_H_

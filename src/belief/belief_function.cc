@@ -1,5 +1,6 @@
 #include "belief/belief_function.h"
 
+#include <cmath>
 #include <string>
 
 namespace anonsafe {
@@ -8,6 +9,13 @@ Result<BeliefFunction> BeliefFunction::Create(
     std::vector<BeliefInterval> intervals) {
   for (size_t x = 0; x < intervals.size(); ++x) {
     const BeliefInterval& iv = intervals[x];
+    // NaN bounds would otherwise fall into the inverted-interval branch
+    // (every comparison is false) with a message sending the caller to
+    // the wrong fix; say what is actually wrong.
+    if (!std::isfinite(iv.lo) || !std::isfinite(iv.hi)) {
+      return Status::InvalidArgument("non-finite interval bound for item " +
+                                     std::to_string(x));
+    }
     if (!(iv.lo <= iv.hi)) {
       return Status::InvalidArgument("inverted interval for item " +
                                      std::to_string(x));

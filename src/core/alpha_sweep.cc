@@ -93,6 +93,7 @@ AlphaCompliancySweep::ProbeCache AlphaCompliancySweep::MakeProbeCache(
 Result<double> AlphaCompliancySweep::RunOEstimateFromCache(
     const FrequencyGroups& observed, const ProbeCache& cache, size_t run,
     double alpha, const std::vector<bool>* interest,
+    const std::vector<adversary::ItemWeight>* weights,
     const OEstimateOptions& options) const {
   const size_t n = num_items();
   alpha = std::clamp(alpha, 0.0, 1.0);
@@ -118,6 +119,13 @@ Result<double> AlphaCompliancySweep::RunOEstimateFromCache(
     }
   }
   obs::CountIf("anonsafe_stab_cache_hits_total", n);
+  if (weights != nullptr) {
+    ANONSAFE_ASSIGN_OR_RETURN(
+        OEstimateResult oe,
+        ComputeOEstimateFromRangesWeighted(observed, ranges.vec(), mask,
+                                           *weights, options));
+    return oe.expected_cracks;
+  }
   ANONSAFE_ASSIGN_OR_RETURN(
       OEstimateResult oe,
       ComputeOEstimateFromRanges(observed, ranges.vec(), mask, options));
@@ -126,18 +134,23 @@ Result<double> AlphaCompliancySweep::RunOEstimateFromCache(
 
 Result<double> AlphaCompliancySweep::AverageOEstimate(
     const FrequencyGroups& observed, const ProbeCache& cache, double alpha,
-    const OEstimateOptions& options, exec::ExecContext* ctx) const {
+    const OEstimateOptions& options, exec::ExecContext* ctx,
+    const std::vector<adversary::ItemWeight>* weights) const {
   ANONSAFE_SCOPED_TIMER("core.alpha_sweep_avg");
   if (cache.base.size() != num_items() ||
       cache.displaced.size() != num_items()) {
     return Status::InvalidArgument("probe cache size mismatch");
+  }
+  if (weights != nullptr && weights->size() != num_items()) {
+    return Status::InvalidArgument("adversary weights size mismatch");
   }
   ANONSAFE_ASSIGN_OR_RETURN(
       double sum, exec::ParallelSumChunks(
                       ctx, num_runs(), /*grain=*/1,
                       [&](size_t begin, size_t /*end*/) -> Result<double> {
                         return RunOEstimateFromCache(observed, cache, begin,
-                                                     alpha, nullptr, options);
+                                                     alpha, nullptr, weights,
+                                                     options);
                       }));
   return sum / static_cast<double>(num_runs());
 }
@@ -160,6 +173,7 @@ Result<double> AlphaCompliancySweep::AverageOEstimateForItems(
                       [&](size_t begin, size_t /*end*/) -> Result<double> {
                         return RunOEstimateFromCache(observed, cache, begin,
                                                      alpha, &interest,
+                                                     /*weights=*/nullptr,
                                                      options);
                       }));
   return sum / static_cast<double>(num_runs());

@@ -73,10 +73,17 @@ class AlphaCompliancySweep {
   /// above, but each run replays the precomputed stab ranges instead of
   /// re-stabbing every interval and materializing a belief function.
   /// `cache` must come from `MakeProbeCache(observed)`.
-  Result<double> AverageOEstimate(const FrequencyGroups& observed,
-                                  const ProbeCache& cache, double alpha,
-                                  const OEstimateOptions& options = {},
-                                  exec::ExecContext* ctx = nullptr) const;
+  ///
+  /// `weights` (optional) carries a weighted adversary model's per-item
+  /// weights: compliant items are then summed with the weighted
+  /// outdegree instead of 1/O_x. Displaced items are masked out of the
+  /// sum either way, so their (base-range-aligned) weights never apply
+  /// to a displaced range. Null reproduces the historical uniform path
+  /// bit-for-bit.
+  Result<double> AverageOEstimate(
+      const FrequencyGroups& observed, const ProbeCache& cache, double alpha,
+      const OEstimateOptions& options = {}, exec::ExecContext* ctx = nullptr,
+      const std::vector<adversary::ItemWeight>* weights = nullptr) const;
 
   /// \brief Same, but additionally restricted to items with
   /// `interest[x]` true (the Lemma 4 "items of interest" scenario): each
@@ -101,12 +108,13 @@ class AlphaCompliancySweep {
   AlphaCompliantBelief BeliefAtImpl(size_t run, double alpha) const;
 
   /// Shared core of the cached overloads: one run's restricted
-  /// O-estimate from replayed stab ranges.
-  Result<double> RunOEstimateFromCache(const FrequencyGroups& observed,
-                                       const ProbeCache& cache, size_t run,
-                                       double alpha,
-                                       const std::vector<bool>* interest,
-                                       const OEstimateOptions& options) const;
+  /// O-estimate from replayed stab ranges (weighted when `weights` is
+  /// non-null).
+  Result<double> RunOEstimateFromCache(
+      const FrequencyGroups& observed, const ProbeCache& cache, size_t run,
+      double alpha, const std::vector<bool>* interest,
+      const std::vector<adversary::ItemWeight>* weights,
+      const OEstimateOptions& options) const;
 
   AlphaCompliancySweep(BeliefFunction base,
                        std::vector<BeliefInterval> displaced,

@@ -7,13 +7,18 @@
 namespace anonsafe {
 namespace {
 
-/// Shared tail: propagation + restricted 1/O_x sum over a built
-/// structure. Both the belief-driven and the precomputed-ranges entry
-/// points land here, so the two paths cannot drift apart numerically.
-Result<OEstimateResult> FinishImpl(ConsistencyStructure cs,
-                                   const std::vector<bool>* include,
-                                   const OEstimateOptions& options,
-                                   exec::ExecContext* ctx) {
+/// Shared tail: propagation + restricted crack-probability sum over a
+/// built structure. Both the belief-driven and the precomputed-ranges
+/// entry points land here, so the paths cannot drift apart numerically.
+///
+/// With null `weights` each alive item contributes the paper's uniform
+/// 1/O_x. With weights (a weighted adversary model) it contributes
+/// w_x(g_x) / Σ_{g ∈ range} w_x(g)·remaining(g) — the weighted
+/// outdegree, which is exactly 1/O_x when all weights are equal.
+Result<OEstimateResult> FinishImpl(
+    ConsistencyStructure cs, const std::vector<bool>* include,
+    const std::vector<adversary::ItemWeight>* weights,
+    const OEstimateOptions& options, exec::ExecContext* ctx) {
   obs::ScopedTimer timer("core.oestimate");
   OEstimateResult out;
   if (options.propagate) {
@@ -43,9 +48,28 @@ Result<OEstimateResult> FinishImpl(ConsistencyStructure cs,
             ++p.dead;
             continue;
           }
-          if (cs.item_forced(x)) ++p.forced;
-          size_t degree = cs.outdegree(x);
-          p.cracks += 1.0 / static_cast<double>(degree);
+          if (cs.item_forced(x)) {
+            ++p.forced;
+            p.cracks += 1.0;  // propagation pinned it: a certain crack
+            continue;
+          }
+          if (weights == nullptr) {
+            size_t degree = cs.outdegree(x);
+            p.cracks += 1.0 / static_cast<double>(degree);
+            continue;
+          }
+          const adversary::ItemWeight& iw = (*weights)[x];
+          const auto [lo, hi] = cs.item_range(x);
+          double denom = 0.0;
+          for (size_t g = lo; g <= hi; ++g) {
+            const size_t j = g - iw.lo_group;
+            if (j >= iw.w.size()) continue;  // range beyond the window
+            denom +=
+                iw.w[j] * static_cast<double>(cs.group_remaining(g));
+          }
+          // Alive means some group in range still has remaining items,
+          // and adversary weights are strictly positive, so denom > 0.
+          p.cracks += iw.true_weight / denom;
         }
         return Status::OK();
       });
@@ -79,7 +103,16 @@ Result<OEstimateResult> ComputeImpl(const FrequencyGroups& observed,
   ANONSAFE_ASSIGN_OR_RETURN(
       ConsistencyStructure cs,
       ConsistencyStructure::Build(observed, belief, ctx));
-  return FinishImpl(std::move(cs), include, options, ctx);
+  return FinishImpl(std::move(cs), include, /*weights=*/nullptr, options,
+                    ctx);
+}
+
+Status CheckWeights(const std::vector<adversary::ItemWeight>& weights,
+                    size_t num_items) {
+  if (weights.size() != num_items) {
+    return Status::InvalidArgument("adversary weights size mismatch");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -109,7 +142,38 @@ Result<OEstimateResult> ComputeOEstimateFromRanges(
   ANONSAFE_ASSIGN_OR_RETURN(
       ConsistencyStructure cs,
       ConsistencyStructure::BuildFromRanges(observed, ranges));
-  return FinishImpl(std::move(cs), &include, options, ctx);
+  return FinishImpl(std::move(cs), &include, /*weights=*/nullptr, options,
+                    ctx);
+}
+
+Result<OEstimateResult> ComputeOEstimateForModel(
+    const FrequencyGroups& observed, const adversary::AdversaryModel& model,
+    const OEstimateOptions& options, exec::ExecContext* ctx) {
+  if (!model.weighted()) {
+    return ComputeOEstimate(observed, model.belief, options, ctx);
+  }
+  ANONSAFE_RETURN_IF_ERROR(
+      CheckWeights(model.weights, model.belief.num_items()));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      ConsistencyStructure cs,
+      ConsistencyStructure::Build(observed, model.belief, ctx));
+  return FinishImpl(std::move(cs), nullptr, &model.weights, options, ctx);
+}
+
+Result<OEstimateResult> ComputeOEstimateFromRangesWeighted(
+    const FrequencyGroups& observed,
+    const std::vector<ItemStabRange>& ranges,
+    const std::vector<bool>& include,
+    const std::vector<adversary::ItemWeight>& weights,
+    const OEstimateOptions& options, exec::ExecContext* ctx) {
+  if (include.size() != ranges.size()) {
+    return Status::InvalidArgument("include mask size mismatch");
+  }
+  ANONSAFE_RETURN_IF_ERROR(CheckWeights(weights, ranges.size()));
+  ANONSAFE_ASSIGN_OR_RETURN(
+      ConsistencyStructure cs,
+      ConsistencyStructure::BuildFromRanges(observed, ranges));
+  return FinishImpl(std::move(cs), &include, &weights, options, ctx);
 }
 
 }  // namespace anonsafe

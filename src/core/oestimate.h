@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "belief/belief_function.h"
 #include "data/frequency.h"
 #include "util/result.h"
@@ -80,6 +81,36 @@ Result<OEstimateResult> ComputeOEstimateFromRanges(
     const FrequencyGroups& observed,
     const std::vector<ItemStabRange>& ranges,
     const std::vector<bool>& include, const OEstimateOptions& options = {},
+    exec::ExecContext* ctx = nullptr);
+
+/// \brief O-estimate of a bound adversary model: the uniform 1/O_x path
+/// for unweighted models (bit-identical to `ComputeOEstimate` on
+/// `model.belief`), the weighted outdegree for weighted ones. This is
+/// the seam the Fig. 8 recipe dispatches through — core code consumes
+/// the adversary's consistency support instead of reaching into
+/// `BeliefInterval` directly.
+///
+/// Weighted crack probability of an alive item x with window weights w:
+///   p_x = w_x(g_x) / Σ_{g ∈ range(x)} w_x(g) · remaining(g)
+/// which reduces to the paper's 1/O_x when all weights are equal.
+/// Forced items still count 1, dead items 0 — propagation is structural
+/// and weight-independent.
+Result<OEstimateResult> ComputeOEstimateForModel(
+    const FrequencyGroups& observed, const adversary::AdversaryModel& model,
+    const OEstimateOptions& options = {}, exec::ExecContext* ctx = nullptr);
+
+/// \brief Weighted restricted O-estimate from precomputed stab ranges —
+/// the weighted counterpart of `ComputeOEstimateFromRanges`, used by the
+/// α bisection when the bound adversary is weighted. `weights` must
+/// have one entry per item, each aligned with the item's *base* stab
+/// range; only included items are summed, so displaced (masked-out)
+/// items never consult their weights.
+Result<OEstimateResult> ComputeOEstimateFromRangesWeighted(
+    const FrequencyGroups& observed,
+    const std::vector<ItemStabRange>& ranges,
+    const std::vector<bool>& include,
+    const std::vector<adversary::ItemWeight>& weights,
+    const OEstimateOptions& options = {},
     exec::ExecContext* ctx = nullptr);
 
 }  // namespace anonsafe

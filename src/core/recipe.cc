@@ -86,21 +86,46 @@ Status ValidateRecipeOptions(const RecipeOptions& options) {
       options.estimator == EstimatorKind::kExact) {
     ANONSAFE_RETURN_IF_ERROR(ValidatePlannerOptions(options.planner));
   }
+  const adversary::Adversary* adv =
+      adversary::Adversary::Find(options.adversary);
+  if (adv == nullptr) {
+    std::string known;
+    for (const adversary::Adversary* a : adversary::Adversary::All()) {
+      if (!known.empty()) known += ", ";
+      known += a->name();
+    }
+    return Status::InvalidArgument("unknown adversary '" + options.adversary +
+                                   "' (known: " + known + ")");
+  }
+  ANONSAFE_RETURN_IF_ERROR(adv->ValidateParams(options.adversary_params));
+  if (adv->Describe().weighted && options.estimator != EstimatorKind::kOe) {
+    // Weighted consistency has no planner/exact/sampler semantics yet;
+    // refusing here beats silently dropping the weights.
+    return Status::Unimplemented(
+        std::string("adversary '") + adv->name() +
+        "' produces weighted models, which only estimator=oe supports");
+  }
   return Status::OK();
 }
 
 /// \brief The cross-call cache behind repeated AssessRisk runs on one
-/// table. Every entry is a deterministic function of (table, seed, runs),
-/// so a reader can safely compute with a snapshot taken under the lock
-/// while another request fills the remaining slots.
+/// table. Every entry is a deterministic function of (table, adversary
+/// spec, seed, runs), so a reader can safely compute with a snapshot
+/// taken under the lock while another request fills the remaining slots.
 struct RecipeArtifacts {
   std::mutex mu;
 
   std::shared_ptr<const FrequencyGroups> groups;  // of the table
-  std::shared_ptr<const BeliefFunction> base;     // δ_med interval belief
+
+  // Bound adversary model, keyed on the adversary spec and the δ it was
+  // bound at — requests alternating adversaries rebuild rather than
+  // replay a foreign model.
+  std::string adversary_key;
+  std::shared_ptr<const adversary::AdversaryModel> model;
   double base_delta_med = 0.0;
 
-  // Sweep + probe stab cache, keyed on the exec knobs that shaped them.
+  // Sweep + probe stab cache, keyed on the exec knobs (and, via
+  // adversary_key above, the base belief) that shaped them.
   uint64_t sweep_seed = 0;
   size_t sweep_runs = 0;
   std::shared_ptr<const AlphaCompliancySweep> sweep;
@@ -116,25 +141,28 @@ namespace {
 /// Consistent snapshot of the artifact pointers (cheap: shared_ptr copies).
 struct ArtifactsView {
   std::shared_ptr<const FrequencyGroups> groups;
-  std::shared_ptr<const BeliefFunction> base;
+  std::shared_ptr<const adversary::AdversaryModel> model;
   double base_delta_med = 0.0;
   std::shared_ptr<const AlphaCompliancySweep> sweep;
   std::shared_ptr<const AlphaCompliancySweep::ProbeCache> probes;
 };
 
 ArtifactsView SnapshotArtifacts(RecipeArtifacts* artifacts,
-                                const exec::ExecOptions& exec_options) {
+                                const exec::ExecOptions& exec_options,
+                                const std::string& adversary_key) {
   ArtifactsView view;
   if (artifacts == nullptr) return view;
   std::lock_guard<std::mutex> lock(artifacts->mu);
   view.groups = artifacts->groups;
-  view.base = artifacts->base;
-  view.base_delta_med = artifacts->base_delta_med;
-  if (artifacts->sweep != nullptr &&
-      artifacts->sweep_seed == exec_options.seed &&
-      artifacts->sweep_runs == exec_options.runs) {
-    view.sweep = artifacts->sweep;
-    view.probes = artifacts->probes;
+  if (artifacts->adversary_key == adversary_key) {
+    view.model = artifacts->model;
+    view.base_delta_med = artifacts->base_delta_med;
+    if (artifacts->sweep != nullptr &&
+        artifacts->sweep_seed == exec_options.seed &&
+        artifacts->sweep_runs == exec_options.runs) {
+      view.sweep = artifacts->sweep;
+      view.probes = artifacts->probes;
+    }
   }
   return view;
 }
@@ -171,10 +199,21 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   out.tolerance = options.tolerance;
   out.num_items = table.num_items();
   out.estimator = options.estimator;
+  out.adversary = options.adversary;
+  out.adversary_params = options.adversary_params;
   out.crack_budget =
       options.tolerance * static_cast<double>(table.num_items());
 
-  ArtifactsView cached = SnapshotArtifacts(artifacts, exec_options);
+  // Validated above; the registry pointer is a process-lifetime singleton.
+  const adversary::Adversary& adv =
+      *adversary::Adversary::Find(options.adversary);
+  std::string adversary_key = options.adversary;
+  if (!options.adversary_params.values.empty()) {
+    adversary_key += ":" + options.adversary_params.ToString();
+  }
+
+  ArtifactsView cached =
+      SnapshotArtifacts(artifacts, exec_options, adversary_key);
   std::shared_ptr<const FrequencyGroups> groups_ptr = cached.groups;
   if (groups_ptr == nullptr) {
     obs::ScopedTimer build_timer("recipe.group_build");
@@ -210,33 +249,46 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
     }
   }
 
-  // Steps 3-7: compliant interval belief of half-width delta_med, then
-  // the O-estimate under full compliance.
+  // Steps 3-7: bind the adversary at half-width delta_med (the interval
+  // adversary reproduces the historical compliant interval belief
+  // bit-for-bit), then the O-estimate under full compliance.
   ANONSAFE_RETURN_IF_ERROR(CheckCancelled(ctx));
   obs::ScopedTimer interval_timer("recipe.interval_check");
   out.delta_med = groups.MedianGap();
-  std::shared_ptr<const BeliefFunction> base = cached.base;
-  if (base == nullptr || cached.base_delta_med != out.delta_med) {
+  std::shared_ptr<const adversary::AdversaryModel> model = cached.model;
+  if (model == nullptr || cached.base_delta_med != out.delta_med) {
     ANONSAFE_ASSIGN_OR_RETURN(
-        BeliefFunction built,
-        MakeCompliantIntervalBelief(table, out.delta_med));
-    base = std::make_shared<const BeliefFunction>(std::move(built));
+        adversary::AdversaryModel built,
+        adv.Bind(table, groups, out.delta_med, options.adversary_params));
+    model = std::make_shared<const adversary::AdversaryModel>(
+        std::move(built));
     if (artifacts != nullptr) {
       std::lock_guard<std::mutex> lock(artifacts->mu);
-      artifacts->base = base;
+      artifacts->adversary_key = adversary_key;
+      artifacts->model = model;
       artifacts->base_delta_med = out.delta_med;
+      // The sweep (if any) belongs to the previous model; drop it.
+      artifacts->sweep.reset();
+      artifacts->probes.reset();
     }
   } else {
     obs::CountIf("anonsafe_recipe_artifact_hits_total");
   }
+  const BeliefFunction& base = model->belief;
   if (options.estimator == EstimatorKind::kOe) {
-    // The historical default path, untouched: bit-identical to releases
-    // that predate the estimator knob.
+    // The historical default path: for unweighted models this is the
+    // plain O-estimate on the model's belief, bit-identical to releases
+    // that predate the estimator and adversary knobs.
     ANONSAFE_ASSIGN_OR_RETURN(
         OEstimateResult oe,
-        ComputeOEstimate(groups, *base, options.oestimate, ctx));
+        ComputeOEstimateForModel(groups, *model, options.oestimate, ctx));
     out.interval_oe = oe.expected_cracks;
   } else {
+    if (model->weighted()) {
+      return Status::Unimplemented(
+          "adversary '" + model->adversary +
+          "' produces weighted models, which only estimator=oe supports");
+    }
     EstimatorConfig config;
     config.planner = options.planner;
     config.oestimate = options.oestimate;
@@ -244,7 +296,7 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
     std::unique_ptr<CrackEstimator> estimator =
         MakeEstimator(options.estimator, config);
     ANONSAFE_ASSIGN_OR_RETURN(CrackEstimate estimate,
-                              estimator->Estimate(groups, *base, ctx));
+                              estimator->Estimate(groups, base, ctx));
     out.interval_oe = estimate.expected_cracks;
     out.interval_exact = estimate.exact;
     out.interval_blocks = std::move(estimate.blocks);
@@ -275,7 +327,7 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
   if (sweep == nullptr || probe_cache == nullptr) {
     ANONSAFE_ASSIGN_OR_RETURN(
         AlphaCompliancySweep built,
-        AlphaCompliancySweep::Create(table, *base, exec_options.runs,
+        AlphaCompliancySweep::Create(table, base, exec_options.runs,
                                      exec_options.seed));
     sweep = std::make_shared<const AlphaCompliancySweep>(std::move(built));
     // Every probe uses the same two candidate intervals per item; stab
@@ -303,7 +355,9 @@ Result<RecipeResult> AssessRisk(const FrequencyTable& table,
     ANONSAFE_ASSIGN_OR_RETURN(
         double avg_oe,
         sweep->AverageOEstimate(groups, *probe_cache, mid, options.oestimate,
-                                ctx));
+                                ctx,
+                                model->weighted() ? &model->weights
+                                                  : nullptr));
     if (probe.tracing()) {
       probe.Annotate("alpha", TablePrinter::FmtG(mid, 4));
       probe.Annotate("avg_oe", TablePrinter::FmtG(avg_oe, 4));
@@ -341,6 +395,13 @@ Result<RecipeResult> AssessRiskForItems(const FrequencyTable& table,
     // planner has no per-item accounting of foreign blocks yet.
     return Status::InvalidArgument(
         "AssessRiskForItems supports only estimator=oe");
+  }
+  if (options.adversary != "interval") {
+    // The interest-restricted path still builds its own compliant
+    // interval belief; routing it through the adversary registry is
+    // future work.
+    return Status::Unimplemented(
+        "AssessRiskForItems supports only adversary=interval");
   }
   if (interest.size() != table.num_items()) {
     return Status::InvalidArgument("interest mask size mismatch");

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "adversary/adversary.h"
 #include "core/oestimate.h"
 #include "data/database.h"
 #include "data/frequency.h"
@@ -41,6 +42,16 @@ struct RecipeOptions {
   /// Planner knobs, read when `estimator` is kAuto or kExact
   /// (`require_exact` is overridden by the kind).
   PlannerOptions planner;
+
+  /// Attacker model: a registry name from `adversary::Adversary::All()`
+  /// plus its parameters. The default, "interval", is the paper's
+  /// interval-valued belief and reproduces the historical pipeline
+  /// bit-for-bit. Weighted adversaries (e.g. "probabilistic") are only
+  /// valid with `estimator == kOe` — the planner/exact/sampler engines
+  /// have no weighted semantics yet and reject with Unimplemented
+  /// instead of silently dropping the weights.
+  std::string adversary = "interval";
+  adversary::AdversaryParams adversary_params;
 
   /// Shared execution knobs: master seed (default 7), α-probe runs
   /// (default 5, the paper's value), worker threads (default 1).
@@ -85,6 +96,10 @@ struct RecipeResult {
 
   /// Which engine produced `interval_oe` (RecipeOptions::estimator).
   EstimatorKind estimator = EstimatorKind::kOe;
+  /// Which attacker model the run was assessed against (provenance;
+  /// RecipeOptions::adversary echoed back with its bound params).
+  std::string adversary = "interval";
+  adversary::AdversaryParams adversary_params;
   /// True when `interval_oe` is the exact expectation (planner kinds with
   /// every block exact). Always false for kOe/kSampler, and meaningless
   /// when the recipe stopped at step 2 (the check never ran).

@@ -129,6 +129,14 @@ json::Value RiskReport::ToJson() const {
   r.Set("tolerance", json::Value(recipe.tolerance));
   r.Set("crack_budget", json::Value(recipe.crack_budget));
   r.Set("estimator", json::Value(EstimatorKindName(recipe.estimator)));
+  // Adversary provenance arrived with the adversary registry; the
+  // default interval adversary with no params is omitted so documents
+  // from the historical pipeline stay byte-identical.
+  if (recipe.adversary != "interval" ||
+      !recipe.adversary_params.values.empty()) {
+    r.Set("adversary", json::Value(recipe.adversary));
+    r.Set("adversary_params", recipe.adversary_params.ToJson());
+  }
   r.Set("interval_exact", json::Value(recipe.interval_exact));
   if (!recipe.interval_blocks.empty()) {
     json::Value blocks = json::Value::Array();
@@ -219,6 +227,14 @@ Result<RiskReport> RiskReport::FromJson(const json::Value& v) {
                             r->GetStringOr("estimator", "oe"));
   ANONSAFE_ASSIGN_OR_RETURN(report.recipe.estimator,
                             ParseEstimatorKind(estimator_name));
+  // Adversary provenance is omitted for the default interval adversary
+  // (and by documents that predate the registry).
+  ANONSAFE_ASSIGN_OR_RETURN(report.recipe.adversary,
+                            r->GetStringOr("adversary", "interval"));
+  if (const json::Value* ap = r->Find("adversary_params"); ap != nullptr) {
+    ANONSAFE_ASSIGN_OR_RETURN(report.recipe.adversary_params,
+                              adversary::AdversaryParams::FromJson(*ap));
+  }
   ANONSAFE_ASSIGN_OR_RETURN(report.recipe.interval_exact,
                             r->GetBoolOr("interval_exact", false));
   if (const json::Value* blocks = r->Find("interval_blocks");

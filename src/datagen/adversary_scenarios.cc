@@ -1,0 +1,47 @@
+#include "datagen/adversary_scenarios.h"
+
+namespace anonsafe {
+
+const std::vector<AdversaryScenario>& AllAdversaryScenarios() {
+  static const std::vector<AdversaryScenario>* kScenarios =
+      new std::vector<AdversaryScenario>{
+          {"probabilistic_retail", Benchmark::kRetail, 0.02, 20260808,
+           "probabilistic:span=2,sigma=1",
+           "weighted adversary on a sparse profile: many small groups, so "
+           "the +-2-group window rarely collapses to the true group"},
+          {"probabilistic_mushroom_tight", Benchmark::kMushroom, 0.05,
+           20260808, "probabilistic:span=3,sigma=0.5",
+           "tight sigma concentrates mass on the true group; the weighted "
+           "O-estimate approaches the point-valued worst case"},
+          {"exact_support_chess", Benchmark::kChess, 0.05, 20260808,
+           "exact_support:k=2",
+           "two supports known exactly on a dense profile; the known items "
+           "come from the rarest groups, the rest stay ignorant"},
+          {"exact_support_retail_k5", Benchmark::kRetail, 0.02, 20260808,
+           "exact_support:k=5",
+           "five pinned supports on a sparse profile stress the powerset "
+           "composition (pair constraints among the known items)"},
+      };
+  return *kScenarios;
+}
+
+Result<const AdversaryScenario*> FindAdversaryScenario(
+    const std::string& name) {
+  for (const AdversaryScenario& s : AllAdversaryScenarios()) {
+    if (s.name == name) return &s;
+  }
+  std::string known;
+  for (const AdversaryScenario& s : AllAdversaryScenarios()) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  return Status::InvalidArgument("unknown adversary scenario '" + name +
+                                 "' (known: " + known + ")");
+}
+
+Result<Database> MakeScenarioDatabase(const AdversaryScenario& scenario) {
+  Rng rng(scenario.seed);
+  return MakeBenchmarkDatabase(scenario.benchmark, &rng, scenario.scale);
+}
+
+}  // namespace anonsafe

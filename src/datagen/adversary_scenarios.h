@@ -1,0 +1,48 @@
+#ifndef ANONSAFE_DATAGEN_ADVERSARY_SCENARIOS_H_
+#define ANONSAFE_DATAGEN_ADVERSARY_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "datagen/benchmark_profiles.h"
+#include "util/result.h"
+
+namespace anonsafe {
+
+/// \brief A canned (dataset, adversary) pairing for exercising the
+/// adversary registry end to end: a benchmark stand-in at a fixed seed
+/// and scale, plus the `--adversary` spec string to assess it against.
+///
+/// The adversary is carried as its *spec string* ("name" or
+/// "name:k=v,..."), not a bound object, for two reasons: datagen stays
+/// independent of the adversary library (no upward dependency), and the
+/// string is exactly what every surface (CLI flag, serve param,
+/// RiskReport provenance) speaks — a scenario is replayable by pasting
+/// it anywhere.
+struct AdversaryScenario {
+  std::string name;            ///< scenario id, e.g. "probabilistic_retail"
+  Benchmark benchmark;         ///< which Figure 9 stand-in to synthesize
+  double scale = 1.0;          ///< MakeBenchmarkDatabase scale
+  uint64_t seed = 2005;        ///< generator seed (deterministic data)
+  std::string adversary_spec;  ///< e.g. "probabilistic:span=2,sigma=1"
+  std::string notes;           ///< what the pairing stresses
+};
+
+/// \brief The canned scenarios, in fixed order: the probabilistic
+/// adversary against a sparse (RETAIL-like) and a dense (MUSHROOM-like)
+/// profile, and exact-support against a small and a larger k.
+const std::vector<AdversaryScenario>& AllAdversaryScenarios();
+
+/// \brief Lookup by scenario name; InvalidArgument listing the known
+/// names when absent.
+Result<const AdversaryScenario*> FindAdversaryScenario(
+    const std::string& name);
+
+/// \brief Materializes the scenario's database (deterministic: the
+/// scenario pins benchmark, seed and scale).
+Result<Database> MakeScenarioDatabase(const AdversaryScenario& scenario);
+
+}  // namespace anonsafe
+
+#endif  // ANONSAFE_DATAGEN_ADVERSARY_SCENARIOS_H_

@@ -151,41 +151,7 @@ Result<defense::DefensePlan> ToleranceSearchPlan(const FrequencyTable& table,
   return hi_plan;
 }
 
-/// Legacy view of a merge plan (the one-release transition shape).
-DefenseReport ToDefenseReport(defense::DefensePlan plan) {
-  DefenseReport report;
-  report.new_supports = std::move(plan.new_supports);
-  report.groups_before = plan.groups_before;
-  report.groups_after = plan.groups_after;
-  report.l1_distortion = plan.l1_distortion;
-  report.relative_distortion = plan.relative_distortion;
-  report.merged_gap = plan.merged_gap;
-  return report;
-}
-
 }  // namespace
-
-Result<DefenseReport> MergeGroupsBelowGap(const FrequencyTable& table,
-                                          double min_gap) {
-  defense::DefenseParams params;
-  params.Set("gap", min_gap);
-  ANONSAFE_ASSIGN_OR_RETURN(
-      defense::DefensePlan plan,
-      defense::DefenseScheme::Find("group_merge")->Plan(table, params));
-  return ToDefenseReport(std::move(plan));
-}
-
-Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
-                                        const DefenseOptions& options) {
-  defense::DefenseParams params;
-  params.Set("tolerance", options.tolerance);
-  params.Set("point_valued", options.point_valued_criterion ? 1.0 : 0.0);
-  params.Set("iters", static_cast<double>(options.binary_search_iters));
-  ANONSAFE_ASSIGN_OR_RETURN(
-      defense::DefensePlan plan,
-      defense::DefenseScheme::Find("group_merge")->Plan(table, params));
-  return ToDefenseReport(std::move(plan));
-}
 
 Result<Database> ApplySupportChanges(
     const Database& db, const std::vector<SupportCount>& new_supports,

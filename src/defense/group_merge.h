@@ -10,7 +10,7 @@
 
 namespace anonsafe {
 
-/// \brief Outcome of a support-perturbation defense.
+/// Support-perturbation defense.
 ///
 /// The paper's analysis is deliberately about *pure* anonymization, which
 /// never perturbs the data; its conclusion for datasets like CONNECT is
@@ -21,50 +21,12 @@ namespace anonsafe {
 /// frequency groups onto a common support restores camouflage (Lemma 3's
 /// g drops; interval O-estimates drop with it) at the cost of a measured
 /// distortion in item supports.
-struct DefenseReport {
-  std::vector<SupportCount> new_supports;  ///< per item
-  size_t groups_before = 0;
-  size_t groups_after = 0;
-  /// Σ |new_support - old_support| (absolute occurrence edits needed).
-  uint64_t l1_distortion = 0;
-  /// l1_distortion / Σ old_support — the fraction of occurrences touched.
-  double relative_distortion = 0.0;
-  /// The gap threshold actually applied.
-  double merged_gap = 0.0;
-};
-
-/// \brief Merges every run of frequency groups whose consecutive gaps are
-/// all below `min_gap` (in frequency units) onto one support — the
-/// size-weighted median support of the run, which minimizes the L1
-/// distortion among single-support choices.
 ///
-/// \deprecated Transition wrapper (one release) over
-/// `defense::DefenseScheme::Find("group_merge")->Plan(table, {gap})`;
-/// see the migration table in docs/DEFENSE.md.
-Result<DefenseReport> MergeGroupsBelowGap(const FrequencyTable& table,
-                                          double min_gap);
-
-/// \brief Options of the tolerance-driven defense search.
-struct DefenseOptions {
-  double tolerance = 0.1;          ///< τ of the recipe
-  size_t binary_search_iters = 24; ///< gap-threshold bisection steps
-  /// Safety criterion: when true, require the point-valued worst case
-  /// g <= τn (paranoid owner); when false, require the δ_med interval
-  /// O-estimate <= τn (the recipe's step-7 criterion).
-  bool point_valued_criterion = false;
-};
-
-/// \brief Finds (by bisection over the gap threshold) the smallest-
-/// distortion group merge whose perturbed profile passes the chosen
-/// safety criterion at tolerance τ. Fails with FailedPrecondition when
-/// even merging everything into one group cannot pass (never happens for
-/// τ·n >= 1).
-///
-/// \deprecated Transition wrapper (one release) over
-/// `defense::DefenseScheme::Find("group_merge")->Plan(table, {tolerance,
-/// point_valued, iters})`; see the migration table in docs/DEFENSE.md.
-Result<DefenseReport> DefendToTolerance(const FrequencyTable& table,
-                                        const DefenseOptions& options = {});
+/// The planning entry point is the "group_merge" scheme of the
+/// `defense::DefenseScheme` registry (defense/scheme.h): Plan with
+/// {gap} for a fixed gap threshold, {tolerance, point_valued, iters}
+/// for the tolerance-driven bisection. This header keeps only the
+/// database-level applicator the scheme's Apply delegates to.
 
 /// \brief Applies a support change to a concrete database: items gain
 /// occurrences in random transactions that lack them and lose occurrences

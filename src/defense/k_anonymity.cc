@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "defense/group_merge.h"
 #include "defense/scheme.h"
 
 namespace anonsafe {
@@ -66,18 +67,6 @@ Result<defense::DefensePlan> PlanKAnonymityMerge(const FrequencyTable& table,
   return best;
 }
 
-/// Legacy view of a merge plan (the one-release transition shape).
-DefenseReport ToDefenseReport(defense::DefensePlan plan) {
-  DefenseReport report;
-  report.new_supports = std::move(plan.new_supports);
-  report.groups_before = plan.groups_before;
-  report.groups_after = plan.groups_after;
-  report.l1_distortion = plan.l1_distortion;
-  report.relative_distortion = plan.relative_distortion;
-  report.merged_gap = plan.merged_gap;
-  return report;
-}
-
 }  // namespace
 
 size_t FrequencyKAnonymity(const FrequencyGroups& groups) {
@@ -92,18 +81,6 @@ size_t FrequencyKAnonymity(const FrequencyGroups& groups) {
 double KAnonymityCrackBound(size_t num_items, size_t k) {
   if (k == 0) return static_cast<double>(num_items);
   return static_cast<double>(num_items) / static_cast<double>(k);
-}
-
-Result<DefenseReport> DefendToKAnonymity(const FrequencyTable& table,
-                                         size_t k,
-                                         size_t binary_search_iters) {
-  defense::DefenseParams params;
-  params.Set("k", static_cast<double>(k));
-  params.Set("iters", static_cast<double>(binary_search_iters));
-  ANONSAFE_ASSIGN_OR_RETURN(
-      defense::DefensePlan plan,
-      defense::DefenseScheme::Find("k_anonymity")->Plan(table, params));
-  return ToDefenseReport(std::move(plan));
 }
 
 namespace defense {

@@ -2,7 +2,6 @@
 #define ANONSAFE_DEFENSE_K_ANONYMITY_H_
 
 #include "data/frequency.h"
-#include "defense/group_merge.h"
 #include "util/result.h"
 
 namespace anonsafe {
@@ -20,21 +19,11 @@ size_t FrequencyKAnonymity(const FrequencyGroups& groups);
 
 /// \brief The point-valued worst-case bound implied by k-anonymity:
 /// expected cracks <= n / k (tight when every group has exactly size k).
+///
+/// Planning the cheapest merge that reaches a target k is the
+/// "k_anonymity" scheme of the `defense::DefenseScheme` registry:
+/// `Find("k_anonymity")->Plan(table, {k, iters})`.
 double KAnonymityCrackBound(size_t num_items, size_t k);
-
-/// \brief Finds (by bisection over the merge-gap threshold) the cheapest
-/// group merge achieving frequency k-anonymity of at least `k`.
-///
-/// Fails with InvalidArgument for k < 1 or k > n, and with
-/// FailedPrecondition when even the full merge cannot reach k (only
-/// possible when n < k).
-///
-/// \deprecated Transition wrapper (one release) over
-/// `defense::DefenseScheme::Find("k_anonymity")->Plan(table, {k, iters})`;
-/// see the migration table in docs/DEFENSE.md.
-Result<DefenseReport> DefendToKAnonymity(const FrequencyTable& table,
-                                         size_t k,
-                                         size_t binary_search_iters = 24);
 
 }  // namespace anonsafe
 

@@ -108,31 +108,7 @@ Result<defense::DefensePlan> PlanSuppressionCore(const FrequencyTable& table,
   return plan;
 }
 
-/// Legacy view of a suppression plan (the one-release transition shape).
-SuppressionReport ToSuppressionReport(defense::DefensePlan plan) {
-  SuppressionReport report;
-  report.suppressed = std::move(plan.suppressed);
-  report.items_before = plan.items_before;
-  report.items_after = plan.items_after;
-  report.oe_before = plan.oe_before;
-  report.oe_after = plan.oe_after;
-  report.occurrence_loss = plan.occurrence_loss;
-  return report;
-}
-
 }  // namespace
-
-Result<SuppressionReport> PlanSuppression(const FrequencyTable& table,
-                                          const SuppressionOptions& options) {
-  defense::DefenseParams params;
-  params.Set("tolerance", options.tolerance);
-  params.Set("max_suppressed_fraction", options.max_suppressed_fraction);
-  params.Set("rerank_batch", static_cast<double>(options.rerank_batch));
-  ANONSAFE_ASSIGN_OR_RETURN(
-      defense::DefensePlan plan,
-      defense::DefenseScheme::Find("suppression")->Plan(table, params));
-  return ToSuppressionReport(std::move(plan));
-}
 
 Result<Database> ApplySuppression(const Database& db,
                                   const std::vector<ItemId>& suppressed) {

@@ -9,45 +9,20 @@
 
 namespace anonsafe {
 
-/// \brief Outcome of an item-suppression defense.
+/// Item-suppression defense.
 ///
-/// The second defense lever (complementing `MergeGroupsBelowGap`): instead
-/// of perturbing frequencies, remove the most exposed items from the
-/// release entirely — the classic cell-suppression idea of the statistical
-/// disclosure-control literature the paper cites ([17], [11], [9]). Items
-/// whose per-item crack probability is highest (frequency-unique items)
-/// are dropped greedily until the δ_med interval O-estimate over the
-/// remaining items fits the tolerance.
-struct SuppressionReport {
-  std::vector<ItemId> suppressed;  ///< in suppression order
-  size_t items_before = 0;
-  size_t items_after = 0;
-  double oe_before = 0.0;  ///< delta_med interval OE of the full domain
-  double oe_after = 0.0;   ///< same metric over the reduced domain
-  /// Fraction of occurrences removed with the items.
-  double occurrence_loss = 0.0;
-};
-
-/// \brief Options of the suppression search.
-struct SuppressionOptions {
-  double tolerance = 0.1;  ///< τ relative to the ORIGINAL domain size
-  /// Cap on the fraction of items that may be suppressed before giving
-  /// up with FailedPrecondition.
-  double max_suppressed_fraction = 0.5;
-  /// Re-rank after every batch of this many suppressions (suppressing an
-  /// item changes the group structure and thus everyone's outdegrees).
-  size_t rerank_batch = 8;
-};
-
-/// \brief Plans a suppression: which items to drop so the remaining
-/// release passes `tolerance`. Pure planning — no database is modified.
+/// The second defense lever (complementing the "group_merge" scheme):
+/// instead of perturbing frequencies, remove the most exposed items from
+/// the release entirely — the classic cell-suppression idea of the
+/// statistical disclosure-control literature the paper cites ([17],
+/// [11], [9]). Items whose per-item crack probability is highest
+/// (frequency-unique items) are dropped greedily until the δ_med
+/// interval O-estimate over the remaining items fits the tolerance.
 ///
-/// \deprecated Transition wrapper (one release) over
-/// `defense::DefenseScheme::Find("suppression")->Plan(table, {tolerance,
-/// max_suppressed_fraction, rerank_batch})`; see the migration table in
-/// docs/DEFENSE.md.
-Result<SuppressionReport> PlanSuppression(
-    const FrequencyTable& table, const SuppressionOptions& options = {});
+/// Planning lives in the "suppression" scheme of the
+/// `defense::DefenseScheme` registry (defense/scheme.h): Plan with
+/// {tolerance, max_suppressed_fraction, rerank_batch}. This header keeps
+/// only the database-level applicator the scheme's Apply delegates to.
 
 /// \brief Applies a suppression plan to a database: removes the items
 /// from every transaction and drops transactions that become empty. The

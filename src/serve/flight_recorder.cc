@@ -18,6 +18,9 @@ json::Value RequestSummaryToJson(const RequestSummary& summary) {
   if (!summary.estimator.empty()) {
     v.Set("estimator", json::Value(summary.estimator));
   }
+  if (!summary.adversary.empty()) {
+    v.Set("adversary", json::Value(summary.adversary));
+  }
   v.Set("outcome", json::Value(summary.outcome));
   if (summary.candidates > 0) {
     v.Set("candidates", json::Value(uint64_t{summary.candidates}));

@@ -20,6 +20,7 @@ struct RequestSummary {
   std::string tenant;        ///< v2 tenant field (empty for v1/anonymous)
   std::string dataset;       ///< dataset hash/key when the verb had one
   std::string estimator;     ///< from RiskReport provenance (assess_risk)
+  std::string adversary;     ///< adversary provenance (non-default only)
   std::string outcome;       ///< "ok" or the protocol error code
   /// Defense-sweep provenance (recommend_defense): candidates scored
   /// and frontier points found — the first numbers to look at when a

@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "adversary/adversary.h"
 #include "belief/builders.h"
 #include "core/oestimate.h"
 #include "core/risk_report.h"
@@ -99,6 +100,17 @@ Result<json::Value> AssessReportFromParams(const CachedDataset& ds,
                          EstimatorKindName(options.recipe.estimator)));
   ANONSAFE_ASSIGN_OR_RETURN(options.recipe.estimator,
                             ParseEstimatorKind(estimator_name));
+  // Optional adversary spec ("name" or "name:k=v,..."); unknown names or
+  // bad params surface as invalid_params. Provenance comes back under
+  // recipe.adversary / recipe.adversary_params.
+  ANONSAFE_ASSIGN_OR_RETURN(std::string adversary_spec,
+                            params.GetStringOr("adversary", ""));
+  if (!adversary_spec.empty()) {
+    ANONSAFE_ASSIGN_OR_RETURN(adversary::AdversarySpec spec,
+                              adversary::ParseAdversarySpec(adversary_spec));
+    options.recipe.adversary = std::move(spec.name);
+    options.recipe.adversary_params = std::move(spec.params);
+  }
   options.recipe.exec = exec_opts;
   ANONSAFE_ASSIGN_OR_RETURN(
       RiskReport report,
@@ -116,6 +128,7 @@ const std::vector<ParamSpec>& BatchItemParams() {
       {"tolerance", json::Value::Type::kNumber},
       {"include_similarity_curve", json::Value::Type::kBool},
       {"estimator", json::Value::Type::kString},
+      {"adversary", json::Value::Type::kString},
       {"seed", json::Value::Type::kNumber},
       {"runs", json::Value::Type::kNumber},
       {"threads", json::Value::Type::kNumber},
@@ -457,6 +470,11 @@ json::Value Server::RunWithContext(Job* job) {
           if (const json::Value* est = recipe->Find("estimator")) {
             if (est->is_string()) record->estimator = est->AsString();
           }
+          // Present only for non-default adversaries — the absence IS
+          // the interval-adversary provenance.
+          if (const json::Value* adv = recipe->Find("adversary")) {
+            if (adv->is_string()) record->adversary = adv->AsString();
+          }
         }
       }
     }
@@ -548,6 +566,9 @@ void Server::Complete(std::unique_ptr<Job> job, json::Value response) {
     }
     if (!record.estimator.empty()) {
       fields.emplace_back("estimator", json::Value(record.estimator));
+    }
+    if (!record.adversary.empty()) {
+      fields.emplace_back("adversary", json::Value(record.adversary));
     }
     if (record.candidates > 0) {
       fields.emplace_back("candidates",
@@ -663,7 +684,8 @@ void Server::BuildRegistry() {
        {{"dataset", Type::kString, true},
         {"tolerance", Type::kNumber},
         {"include_similarity_curve", Type::kBool},
-        {"estimator", Type::kString}},
+        {"estimator", Type::kString},
+        {"adversary", Type::kString}},
        0,
        [this](const Request& req, exec::ExecContext* ctx) {
          return HandleAssessRisk(req.params, ctx);
@@ -1048,9 +1070,18 @@ json::Value Server::HandleServerInfo() {
   }
 
   json::Value result = json::Value::Object();
+  // The attacker models `assess_risk`'s `adversary` param accepts, with
+  // their capability surface — clients discover them here instead of
+  // hard-coding the registry.
+  json::Value adversaries = json::Value::Array();
+  for (const adversary::Adversary* adv : adversary::Adversary::All()) {
+    adversaries.Append(adv->Describe().ToJson());
+  }
+
   result.Set("server", json::Value("anonsafe-serve"));
   result.Set("schema_versions", std::move(versions));
   result.Set("verbs", std::move(verbs));
+  result.Set("adversaries", std::move(adversaries));
   result.Set("limits", std::move(limits));
   result.Set("tenant_quota", std::move(quota));
   result.Set("simd_isa", json::Value(internal::Kernels().name));

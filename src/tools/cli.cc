@@ -6,6 +6,7 @@
 #include <iostream>
 #include <string>
 
+#include "adversary/adversary.h"
 #include "anonymize/anonymizer.h"
 #include "belief/belief_io.h"
 #include "belief/builders.h"
@@ -16,6 +17,7 @@
 #include "core/recipe.h"
 #include "defense/group_merge.h"
 #include "defense/optimizer.h"
+#include "defense/scheme.h"
 #include "defense/suppression.h"
 #include "exec/exec.h"
 #include "core/risk_report.h"
@@ -48,6 +50,18 @@ Status RequirePositional(const CliInvocation& cli, size_t count) {
         " argument(s), got " + std::to_string(cli.positional.size()) +
         "\n" + CliUsage());
   }
+  return Status::OK();
+}
+
+/// Applies `--adversary=name[:k=v,...]` to recipe options; absent flag
+/// leaves the default (interval) untouched.
+Status ApplyAdversaryFlag(const CliInvocation& cli, RecipeOptions* options) {
+  auto it = cli.flags.find("adversary");
+  if (it == cli.flags.end()) return Status::OK();
+  ANONSAFE_ASSIGN_OR_RETURN(adversary::AdversarySpec spec,
+                            adversary::ParseAdversarySpec(it->second));
+  options->adversary = std::move(spec.name);
+  options->adversary_params = std::move(spec.params);
   return Status::OK();
 }
 
@@ -94,9 +108,18 @@ Status RunAssess(const CliInvocation& cli, std::ostream& out) {
     ANONSAFE_ASSIGN_OR_RETURN(options.estimator,
                               ParseEstimatorKind(it->second));
   }
+  ANONSAFE_RETURN_IF_ERROR(ApplyAdversaryFlag(cli, &options));
   ANONSAFE_ASSIGN_OR_RETURN(RecipeResult result, AssessRisk(table, options));
   out << "decision: " << ToString(result.decision) << "\n"
       << result.Summary() << "\n";
+  if (result.adversary != "interval" ||
+      !result.adversary_params.values.empty()) {
+    out << "adversary: " << result.adversary;
+    if (!result.adversary_params.values.empty()) {
+      out << ":" << result.adversary_params.ToString();
+    }
+    out << "\n";
+  }
   if (options.estimator != EstimatorKind::kOe &&
       result.decision != RecipeDecision::kDiscloseAtPointValued) {
     out << "interval estimator: " << EstimatorKindName(result.estimator)
@@ -125,11 +148,25 @@ Status RunPlan(const CliInvocation& cli, std::ostream& out) {
   options.ryser_cutoff = static_cast<size_t>(cutoff);
   options.prefer_sampler = cli.flags.count("prefer-sampler") > 0;
 
-  ANONSAFE_ASSIGN_OR_RETURN(BeliefFunction belief,
-                            MakeCompliantIntervalBelief(table, delta));
+  adversary::AdversarySpec spec;
+  if (auto it = cli.flags.find("adversary"); it != cli.flags.end()) {
+    ANONSAFE_ASSIGN_OR_RETURN(spec,
+                              adversary::ParseAdversarySpec(it->second));
+  }
+  const adversary::Adversary& adv = *adversary::Adversary::Find(spec.name);
+  if (adv.Describe().weighted) {
+    return Status::Unimplemented(
+        "adversary '" + spec.name +
+        "' produces weighted models, which the planner does not support; "
+        "assess it with --estimator=oe instead");
+  }
+  // The default interval adversary binds exactly the historical
+  // MakeCompliantIntervalBelief(table, delta) call.
+  ANONSAFE_ASSIGN_OR_RETURN(adversary::AdversaryModel model,
+                            adv.Bind(table, groups, delta, spec.params));
   ANONSAFE_ASSIGN_OR_RETURN(
       BipartiteGraph graph,
-      BipartiteGraph::Build(groups, belief, options.max_edges));
+      BipartiteGraph::Build(groups, model.belief, options.max_edges));
   ANONSAFE_ASSIGN_OR_RETURN(BlockPlan plan,
                             PlanBlocks(graph, groups, options));
 
@@ -169,6 +206,7 @@ Status RunReport(const CliInvocation& cli, std::ostream& out) {
     ANONSAFE_ASSIGN_OR_RETURN(options.recipe.estimator,
                               ParseEstimatorKind(it->second));
   }
+  ANONSAFE_RETURN_IF_ERROR(ApplyAdversaryFlag(cli, &options.recipe));
   ANONSAFE_ASSIGN_OR_RETURN(RiskReport report,
                             BuildRiskReport(data.database, options));
   if (cli.flags.count("json") > 0) {
@@ -510,13 +548,14 @@ Status RunDefend(const CliInvocation& cli, std::ostream& out) {
   Rng rng(seed);
 
   if (mode == "merge") {
-    DefenseOptions options;
-    options.tolerance = tolerance;
-    ANONSAFE_ASSIGN_OR_RETURN(DefenseReport plan,
-                              DefendToTolerance(table, options));
-    ANONSAFE_ASSIGN_OR_RETURN(
-        Database defended,
-        ApplySupportChanges(data.database, plan.new_supports, &rng));
+    const defense::DefenseScheme* scheme =
+        defense::DefenseScheme::Find("group_merge");
+    defense::DefenseParams params;
+    params.Set("tolerance", tolerance);
+    ANONSAFE_ASSIGN_OR_RETURN(defense::DefensePlan plan,
+                              scheme->Plan(table, params));
+    ANONSAFE_ASSIGN_OR_RETURN(Database defended,
+                              scheme->Apply(data.database, plan, &rng));
     ANONSAFE_RETURN_IF_ERROR(WriteFimiFile(defended, cli.positional[1]));
     out << "merge defense: " << plan.groups_before << " -> "
         << plan.groups_after << " frequency groups, "
@@ -525,13 +564,14 @@ Status RunDefend(const CliInvocation& cli, std::ostream& out) {
     return Status::OK();
   }
   if (mode == "suppress") {
-    SuppressionOptions options;
-    options.tolerance = tolerance;
-    ANONSAFE_ASSIGN_OR_RETURN(SuppressionReport plan,
-                              PlanSuppression(table, options));
-    ANONSAFE_ASSIGN_OR_RETURN(
-        Database defended,
-        ApplySuppression(data.database, plan.suppressed));
+    const defense::DefenseScheme* scheme =
+        defense::DefenseScheme::Find("suppression");
+    defense::DefenseParams params;
+    params.Set("tolerance", tolerance);
+    ANONSAFE_ASSIGN_OR_RETURN(defense::DefensePlan plan,
+                              scheme->Plan(table, params));
+    ANONSAFE_ASSIGN_OR_RETURN(Database defended,
+                              scheme->Apply(data.database, plan, &rng));
     ANONSAFE_RETURN_IF_ERROR(WriteFimiFile(defended, cli.positional[1]));
     out << "suppression defense: dropped " << plan.suppressed.size()
         << " of " << plan.items_before << " items ("
@@ -788,13 +828,16 @@ std::string CliUsage() {
       "  stats <file.dat>                      dataset statistics\n"
       "  assess <file.dat> [--tolerance=0.1] [--threads=1]\n"
       "         [--estimator=oe|auto|exact|sampler]\n"
+      "         [--adversary=interval|probabilistic|exact_support[:k=v,..]]\n"
       "                                        Fig. 8 Assess-Risk recipe\n"
+      "                                        (see docs/ADVERSARIES.md)\n"
       "  plan <file.dat> [--delta=] [--ryser-cutoff=20] [--prefer-sampler]\n"
+      "       [--adversary=...]\n"
       "                                        preview the estimator plan:\n"
       "                                        per-block method and cost\n"
       "                                        (see docs/ESTIMATORS.md)\n"
       "  report <file.dat> [--tolerance=0.1] [--threads=1] [--json]\n"
-      "         [--estimator=oe|auto|exact|sampler]\n"
+      "         [--estimator=oe|auto|exact|sampler] [--adversary=...]\n"
       "                                        full risk report\n"
       "  serve [--port=N] [--workers=1] [--queue-capacity=16]\n"
       "        [--deadline-ms=0] [--cache-capacity=8] [--max-line-bytes=]\n"

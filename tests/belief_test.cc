@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "belief/belief_function.h"
 #include "belief/builders.h"
 #include "data/frequency.h"
@@ -41,6 +43,28 @@ TEST(BeliefFunctionTest, CreateValidates) {
   EXPECT_TRUE(BeliefFunction::Create({{0.5, 1.2}})
                   .status().IsInvalidArgument());
   EXPECT_TRUE(BeliefFunction::Create({{0.0, 1.0}, {0.5, 0.5}}).ok());
+}
+
+TEST(BeliefFunctionTest, CreateRejectsNonFiniteBounds) {
+  // NaN compares false against every range check, so without an
+  // explicit guard a NaN bound would slip through the inverted/range
+  // validation and poison every downstream stab query.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (BeliefInterval bad :
+       {BeliefInterval{nan, 0.5}, BeliefInterval{0.5, nan},
+        BeliefInterval{nan, nan}, BeliefInterval{0.0, inf},
+        BeliefInterval{-inf, 1.0}}) {
+    auto result = BeliefFunction::Create({{0.2, 0.4}, bad});
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+    // The error names the offending item and the non-finite cause.
+    EXPECT_NE(result.status().message().find("non-finite"),
+              std::string::npos)
+        << result.status().message();
+    EXPECT_NE(result.status().message().find("1"), std::string::npos)
+        << result.status().message();
+  }
 }
 
 TEST(BeliefFunctionTest, PointVsIntervalClassification) {

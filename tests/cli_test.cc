@@ -358,5 +358,60 @@ TEST(CliRunTest, ReportOnSampleFile) {
   EXPECT_NE(out.str().find("Disclosure Risk Report"), std::string::npos);
 }
 
+// ---------------------------------------------------------------- Adversary
+
+TEST(CliRunTest, AssessWithAdversaryPrintsProvenance) {
+  const std::string path = TempPath("cli_adversary.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"assess", path, "--tolerance=0.5",
+                       "--adversary=probabilistic:span=1,sigma=0.5"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("decision:"), std::string::npos);
+  EXPECT_NE(out.str().find("adversary: probabilistic:span=1,sigma=0.5"),
+            std::string::npos)
+      << out.str();
+
+  // The default interval adversary prints no provenance line — the
+  // output stays byte-compatible with the historical CLI.
+  auto plain = ParseCli({"assess", path, "--tolerance=0.5"});
+  ASSERT_TRUE(plain.ok());
+  std::ostringstream plain_out;
+  ASSERT_TRUE(RunCli(*plain, plain_out).ok());
+  EXPECT_EQ(plain_out.str().find("adversary:"), std::string::npos);
+}
+
+TEST(CliRunTest, AssessRejectsUnknownAdversary) {
+  const std::string path = TempPath("cli_adversary_bad.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli({"assess", path, "--adversary=laplace"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  EXPECT_TRUE(RunCli(*cli, out).IsInvalidArgument());
+
+  auto bad_param =
+      ParseCli({"assess", path, "--adversary=probabilistic:sigma=-1"});
+  ASSERT_TRUE(bad_param.ok());
+  std::ostringstream out2;
+  EXPECT_TRUE(RunCli(*bad_param, out2).IsInvalidArgument());
+}
+
+TEST(CliRunTest, ReportJsonCarriesAdversaryProvenance) {
+  const std::string path = TempPath("cli_adversary_json.dat");
+  WriteSampleFile(path);
+  auto cli = ParseCli(
+      {"report", path, "--json", "--adversary=exact_support:k=2"});
+  ASSERT_TRUE(cli.ok());
+  std::ostringstream out;
+  ASSERT_TRUE(RunCli(*cli, out).ok());
+  EXPECT_NE(out.str().find("\"adversary\":\"exact_support\""),
+            std::string::npos)
+      << out.str();
+  EXPECT_NE(out.str().find("\"adversary_params\":{\"k\":2}"),
+            std::string::npos)
+      << out.str();
+}
+
 }  // namespace
 }  // namespace anonsafe

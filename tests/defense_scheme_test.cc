@@ -5,10 +5,8 @@
 
 #include "data/database.h"
 #include "data/frequency.h"
-#include "defense/group_merge.h"
 #include "defense/k_anonymity.h"
 #include "defense/scheme.h"
-#include "defense/suppression.h"
 #include "util/rng.h"
 
 namespace anonsafe {
@@ -107,47 +105,43 @@ TEST(DefenseRegistryTest, UnknownParameterRejected) {
   }
 }
 
-// ------------------------------------------- Wrapper <-> interface parity
+// ----------------------------------------------------------- Plan behavior
 
-TEST(DefenseWrapperTest, GroupMergeGapBitIdentical) {
+TEST(DefensePlanBehaviorTest, GroupMergeGapPlan) {
   FrequencyTable table = Fixture();
-  auto legacy = MergeGroupsBelowGap(table, 0.02);
-  ASSERT_TRUE(legacy.ok());
-
   DefenseParams p;
   p.Set("gap", 0.02);
   auto plan = DefenseScheme::Find("group_merge")->Plan(table, p);
   ASSERT_TRUE(plan.ok());
 
   EXPECT_EQ(plan->scheme, "group_merge");
-  EXPECT_EQ(plan->new_supports, legacy->new_supports);
-  EXPECT_EQ(plan->groups_before, legacy->groups_before);
-  EXPECT_EQ(plan->groups_after, legacy->groups_after);
-  EXPECT_EQ(plan->l1_distortion, legacy->l1_distortion);
-  EXPECT_EQ(plan->relative_distortion, legacy->relative_distortion);
-  EXPECT_EQ(plan->merged_gap, legacy->merged_gap);
+  // The tight run {10, 11, 12} merges to its weighted median.
+  EXPECT_EQ(plan->new_supports, (std::vector<SupportCount>{11, 11, 11, 40}));
+  EXPECT_EQ(plan->groups_before, 4u);
+  EXPECT_EQ(plan->groups_after, 2u);
+  EXPECT_EQ(plan->l1_distortion, 2u);
+  EXPECT_EQ(plan->merged_gap, 0.02);
 }
 
-TEST(DefenseWrapperTest, GroupMergeToleranceBitIdentical) {
+TEST(DefensePlanBehaviorTest, GroupMergeTolerancePlanPassesCriterion) {
   FrequencyTable table = Fixture();
-  DefenseOptions opt;
-  opt.tolerance = 0.3;
-  opt.point_valued_criterion = true;
-  auto legacy = DefendToTolerance(table, opt);
-  ASSERT_TRUE(legacy.ok());
-
   DefenseParams p;
   p.Set("tolerance", 0.3);
   p.Set("point_valued", 1.0);
   auto plan = DefenseScheme::Find("group_merge")->Plan(table, p);
   ASSERT_TRUE(plan.ok());
 
-  EXPECT_EQ(plan->new_supports, legacy->new_supports);
-  EXPECT_EQ(plan->l1_distortion, legacy->l1_distortion);
-  EXPECT_EQ(plan->merged_gap, legacy->merged_gap);
+  // Point-valued criterion: g <= tau * n groups after the merge.
+  auto merged = FrequencyTable::FromSupports(plan->new_supports,
+                                             table.num_transactions());
+  ASSERT_TRUE(merged.ok());
+  EXPECT_LE(FrequencyGroups::Build(*merged).num_groups(),
+            static_cast<size_t>(0.3 * static_cast<double>(
+                                          table.num_items())) +
+                1);
 }
 
-TEST(DefenseWrapperTest, GroupMergeRequiresExactlyOneCriterion) {
+TEST(DefensePlanBehaviorTest, GroupMergeRequiresExactlyOneCriterion) {
   FrequencyTable table = Fixture();
   const DefenseScheme* s = DefenseScheme::Find("group_merge");
   DefenseParams none;
@@ -158,53 +152,48 @@ TEST(DefenseWrapperTest, GroupMergeRequiresExactlyOneCriterion) {
   EXPECT_TRUE(s->Plan(table, both).status().IsInvalidArgument());
 }
 
-TEST(DefenseWrapperTest, KAnonymityBitIdentical) {
+TEST(DefensePlanBehaviorTest, KAnonymityPlanReachesK) {
   FrequencyTable table = Fixture();
-  auto legacy = DefendToKAnonymity(table, 3);
-  ASSERT_TRUE(legacy.ok());
-
   DefenseParams p;
   p.Set("k", 3.0);
   auto plan = DefenseScheme::Find("k_anonymity")->Plan(table, p);
   ASSERT_TRUE(plan.ok());
 
   EXPECT_EQ(plan->scheme, "k_anonymity");
-  EXPECT_EQ(plan->new_supports, legacy->new_supports);
-  EXPECT_EQ(plan->groups_after, legacy->groups_after);
-  EXPECT_EQ(plan->l1_distortion, legacy->l1_distortion);
-  EXPECT_EQ(plan->merged_gap, legacy->merged_gap);
+  auto merged = FrequencyTable::FromSupports(plan->new_supports,
+                                             table.num_transactions());
+  ASSERT_TRUE(merged.ok());
+  EXPECT_GE(FrequencyKAnonymity(FrequencyGroups::Build(*merged)), 3u);
 }
 
-TEST(DefenseWrapperTest, KAnonymityLegacyValidationPreserved) {
+TEST(DefensePlanBehaviorTest, KAnonymityValidation) {
   FrequencyTable table = Fixture();
-  EXPECT_TRUE(DefendToKAnonymity(table, 0).status().IsInvalidArgument());
-  EXPECT_TRUE(DefendToKAnonymity(table, 99).status().IsInvalidArgument());
-  DefenseParams p;  // missing "k"
-  EXPECT_TRUE(DefenseScheme::Find("k_anonymity")
-                  ->Plan(table, p)
-                  .status()
-                  .IsInvalidArgument());
+  const DefenseScheme* s = DefenseScheme::Find("k_anonymity");
+  DefenseParams zero;
+  zero.Set("k", 0.0);
+  EXPECT_TRUE(s->Plan(table, zero).status().IsInvalidArgument());
+  DefenseParams huge;
+  huge.Set("k", 99.0);
+  EXPECT_TRUE(s->Plan(table, huge).status().IsInvalidArgument());
+  DefenseParams missing;  // missing "k"
+  EXPECT_TRUE(s->Plan(table, missing).status().IsInvalidArgument());
 }
 
-TEST(DefenseWrapperTest, SuppressionBitIdentical) {
+TEST(DefensePlanBehaviorTest, SuppressionPlanAccounting) {
   FrequencyTable table = Fixture();
-  SuppressionOptions opt;
-  opt.tolerance = 0.3;
-  auto legacy = PlanSuppression(table, opt);
-  ASSERT_TRUE(legacy.ok());
-
   DefenseParams p;
   p.Set("tolerance", 0.3);
   auto plan = DefenseScheme::Find("suppression")->Plan(table, p);
   ASSERT_TRUE(plan.ok());
 
   EXPECT_EQ(plan->scheme, "suppression");
-  EXPECT_EQ(plan->suppressed, legacy->suppressed);
-  EXPECT_EQ(plan->items_before, legacy->items_before);
-  EXPECT_EQ(plan->items_after, legacy->items_after);
-  EXPECT_EQ(plan->oe_before, legacy->oe_before);
-  EXPECT_EQ(plan->oe_after, legacy->oe_after);
-  EXPECT_EQ(plan->occurrence_loss, legacy->occurrence_loss);
+  EXPECT_EQ(plan->items_before, 4u);
+  EXPECT_EQ(plan->items_after, 4u - plan->suppressed.size());
+  EXPECT_FALSE(plan->suppressed.empty());
+  // The remaining OE fits the budget tau * n over the ORIGINAL domain.
+  EXPECT_LE(plan->oe_after, 0.3 * 4.0);
+  EXPECT_GT(plan->oe_before, plan->oe_after);
+  EXPECT_GT(plan->occurrence_loss, 0.0);
 }
 
 TEST(DefenseWrapperTest, SuppressionSurfacesResidualRanking) {

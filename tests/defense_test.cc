@@ -4,18 +4,37 @@
 #include "data/frequency.h"
 #include "datagen/profile.h"
 #include "defense/group_merge.h"
+#include "defense/scheme.h"
 #include "mining/miner.h"
 #include "util/rng.h"
 
 namespace anonsafe {
 namespace {
 
-// ------------------------------------------------------ MergeGroupsBelowGap
+// The tests drive the defense through the registry, exactly as callers
+// do since the free-function wrappers were retired.
+Result<defense::DefensePlan> MergePlanBelowGap(const FrequencyTable& table,
+                                               double gap) {
+  defense::DefenseParams params;
+  params.Set("gap", gap);
+  return defense::DefenseScheme::Find("group_merge")->Plan(table, params);
+}
+
+Result<defense::DefensePlan> MergePlanToTolerance(const FrequencyTable& table,
+                                                  double tolerance,
+                                                  bool point_valued) {
+  defense::DefenseParams params;
+  params.Set("tolerance", tolerance);
+  params.Set("point_valued", point_valued ? 1.0 : 0.0);
+  return defense::DefenseScheme::Find("group_merge")->Plan(table, params);
+}
+
+// --------------------------------------------------- group_merge {gap}
 
 TEST(MergeGroupsTest, ZeroGapIsIdentity) {
   auto table = FrequencyTable::FromSupports({1, 3, 7, 9}, 20);
   ASSERT_TRUE(table.ok());
-  auto report = MergeGroupsBelowGap(*table, 0.0);
+  auto report = MergePlanBelowGap(*table, 0.0);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->groups_after, 4u);
   EXPECT_EQ(report->l1_distortion, 0u);
@@ -26,7 +45,7 @@ TEST(MergeGroupsTest, MergesCloseRuns) {
   // Supports 10, 11, 12 (gaps 0.01) and 40 (gap 0.28) over m=100.
   auto table = FrequencyTable::FromSupports({10, 11, 12, 40}, 100);
   ASSERT_TRUE(table.ok());
-  auto report = MergeGroupsBelowGap(*table, 0.02);
+  auto report = MergePlanBelowGap(*table, 0.02);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->groups_before, 4u);
   EXPECT_EQ(report->groups_after, 2u);
@@ -42,7 +61,7 @@ TEST(MergeGroupsTest, WeightedMedianMinimizesL1) {
   auto table =
       FrequencyTable::FromSupports({10, 10, 10, 10, 20}, 100);
   ASSERT_TRUE(table.ok());
-  auto report = MergeGroupsBelowGap(*table, 0.2);
+  auto report = MergePlanBelowGap(*table, 0.2);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->groups_after, 1u);
   EXPECT_EQ(report->new_supports,
@@ -53,15 +72,15 @@ TEST(MergeGroupsTest, WeightedMedianMinimizesL1) {
 TEST(MergeGroupsTest, DistortionAccounting) {
   auto table = FrequencyTable::FromSupports({10, 12}, 100);
   ASSERT_TRUE(table.ok());
-  auto report = MergeGroupsBelowGap(*table, 0.05);
+  auto report = MergePlanBelowGap(*table, 0.05);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->l1_distortion, 2u);  // 10 or 12 -> weighted median 10
   EXPECT_NEAR(report->relative_distortion, 2.0 / 22.0, 1e-12);
-  EXPECT_TRUE(MergeGroupsBelowGap(*table, -1.0).status()
+  EXPECT_TRUE(MergePlanBelowGap(*table, -1.0).status()
                   .IsInvalidArgument());
 }
 
-// -------------------------------------------------------- DefendToTolerance
+// --------------------------------------------- group_merge {tolerance}
 
 TEST(DefendTest, AlreadySafeNeedsNoPerturbation) {
   // 3 groups, 30 items, tolerance 0.2: g = 3 <= 6 already.
@@ -70,10 +89,7 @@ TEST(DefendTest, AlreadySafeNeedsNoPerturbation) {
   ASSERT_TRUE(profile.ok());
   auto table = FrequencyTable::FromSupports(profile->ItemSupports(), 100);
   ASSERT_TRUE(table.ok());
-  DefenseOptions opt;
-  opt.tolerance = 0.2;
-  opt.point_valued_criterion = true;
-  auto report = DefendToTolerance(*table, opt);
+  auto report = MergePlanToTolerance(*table, 0.2, /*point_valued=*/true);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->l1_distortion, 0u);
 }
@@ -84,10 +100,7 @@ TEST(DefendTest, ReachesPointValuedBudget) {
   for (size_t i = 0; i < 20; ++i) supports[i] = 10 + 5 * i;
   auto table = FrequencyTable::FromSupports(supports, 200);
   ASSERT_TRUE(table.ok());
-  DefenseOptions opt;
-  opt.tolerance = 0.25;
-  opt.point_valued_criterion = true;
-  auto report = DefendToTolerance(*table, opt);
+  auto report = MergePlanToTolerance(*table, 0.25, /*point_valued=*/true);
   ASSERT_TRUE(report.ok());
   EXPECT_LE(report->groups_after, 5u);
   EXPECT_GT(report->l1_distortion, 0u);
@@ -102,12 +115,8 @@ TEST(DefendTest, OEstimateCriterionIsLessAggressive) {
   for (size_t i = 0; i < 40; ++i) supports[i] = 5 + 7 * i;
   auto table = FrequencyTable::FromSupports(supports, 400);
   ASSERT_TRUE(table.ok());
-  DefenseOptions paranoid, relaxed;
-  paranoid.tolerance = relaxed.tolerance = 0.15;
-  paranoid.point_valued_criterion = true;
-  relaxed.point_valued_criterion = false;
-  auto hard = DefendToTolerance(*table, paranoid);
-  auto soft = DefendToTolerance(*table, relaxed);
+  auto hard = MergePlanToTolerance(*table, 0.15, /*point_valued=*/true);
+  auto soft = MergePlanToTolerance(*table, 0.15, /*point_valued=*/false);
   ASSERT_TRUE(hard.ok());
   ASSERT_TRUE(soft.ok());
   // The interval criterion is implied by the point-valued one, never the
@@ -122,10 +131,7 @@ TEST(DefendTest, TighterToleranceCostsMoreDistortion) {
   ASSERT_TRUE(table.ok());
   uint64_t prev = 0;
   for (double tol : {0.5, 0.3, 0.15, 0.07}) {
-    DefenseOptions opt;
-    opt.tolerance = tol;
-    opt.point_valued_criterion = true;
-    auto report = DefendToTolerance(*table, opt);
+    auto report = MergePlanToTolerance(*table, tol, /*point_valued=*/true);
     ASSERT_TRUE(report.ok()) << "tol=" << tol;
     EXPECT_GE(report->l1_distortion, prev) << "tol=" << tol;
     prev = report->l1_distortion;
@@ -135,11 +141,10 @@ TEST(DefendTest, TighterToleranceCostsMoreDistortion) {
 TEST(DefendTest, ValidatesTolerance) {
   auto table = FrequencyTable::FromSupports({5, 10}, 100);
   ASSERT_TRUE(table.ok());
-  DefenseOptions opt;
-  opt.tolerance = 0.0;
-  EXPECT_TRUE(DefendToTolerance(*table, opt).status().IsInvalidArgument());
-  opt.tolerance = 0.1;  // budget = 0.2 < 1 crack
-  EXPECT_TRUE(DefendToTolerance(*table, opt).status()
+  EXPECT_TRUE(MergePlanToTolerance(*table, 0.0, false).status()
+                  .IsInvalidArgument());
+  // budget = 0.2 < 1 crack
+  EXPECT_TRUE(MergePlanToTolerance(*table, 0.1, false).status()
                   .IsFailedPrecondition());
 }
 
@@ -203,12 +208,10 @@ TEST(DefenseIntegrationTest, DefendedDatabasePassesTheRecipe) {
   ASSERT_TRUE(before.ok());
   EXPECT_EQ(before->decision, RecipeDecision::kAlphaBound);  // unsafe
 
-  DefenseOptions defense;
-  defense.tolerance = 0.2;
-  defense.point_valued_criterion = true;
-  auto report = DefendToTolerance(*table, defense);
+  auto report = MergePlanToTolerance(*table, 0.2, /*point_valued=*/true);
   ASSERT_TRUE(report.ok());
-  auto defended_db = ApplySupportChanges(*db, report->new_supports, &rng);
+  auto defended_db = defense::DefenseScheme::Find("group_merge")
+                         ->Apply(*db, *report, &rng);
   ASSERT_TRUE(defended_db.ok());
 
   auto after = AssessRiskOnDatabase(*defended_db, recipe);
@@ -233,7 +236,7 @@ TEST(DefenseIntegrationTest, SmallPerturbationKeepsFrequentItems) {
   auto table = FrequencyTable::Compute(*db);
   ASSERT_TRUE(table.ok());
 
-  auto report = MergeGroupsBelowGap(*table, 0.02);
+  auto report = MergePlanBelowGap(*table, 0.02);
   ASSERT_TRUE(report.ok());
   EXPECT_LT(report->relative_distortion, 0.1);
   auto defended = ApplySupportChanges(*db, report->new_supports, &rng);

@@ -254,6 +254,91 @@ TEST(DeterminismTest, PlannerMatchesDirectAcrossThreadCounts) {
   }
 }
 
+// ---------------------------------------- Adversary-seam differential
+
+// The adversary registry must be invisible for the default model: on
+// 200 random frequency profiles the full recipe — which now routes its
+// belief construction through `Adversary::Find("interval")->Bind` —
+// must be bit-identical across 1/4/8 threads AND reproduce the legacy
+// replica computed inline here: the compliant interval belief at the
+// recipe's own δ_med fed to ComputeOEstimate. Every quantity is the
+// same IEEE arithmetic on both sides, so EXPECT_EQ, not EXPECT_NEAR.
+TEST(DeterminismTest, IntervalAdversaryMatchesLegacyAcrossThreadCounts) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 40 + rng.UniformUint64(21);  // n in [40, 60]
+    std::vector<SupportCount> supports(n);
+    for (size_t i = 0; i < n; ++i) {
+      supports[i] = static_cast<SupportCount>(1 + rng.UniformUint64(500));
+    }
+    auto table = FrequencyTable::FromSupports(std::move(supports), 1000);
+    ASSERT_TRUE(table.ok()) << "trial " << trial;
+
+    std::vector<RecipeResult> results;
+    for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+      RecipeOptions options;
+      options.exec.threads = threads;
+      auto r = AssessRisk(*table, options);
+      ASSERT_TRUE(r.ok()) << "trial " << trial << ", " << threads
+                          << " threads: " << r.status();
+      results.push_back(*r);
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].decision, results[0].decision) << trial;
+      EXPECT_EQ(results[i].interval_oe, results[0].interval_oe) << trial;
+      EXPECT_EQ(results[i].alpha_max, results[0].alpha_max) << trial;
+      EXPECT_EQ(results[i].delta_med, results[0].delta_med) << trial;
+    }
+    EXPECT_EQ(results[0].adversary, "interval") << trial;
+
+    if (results[0].decision == RecipeDecision::kDiscloseAtPointValued) {
+      continue;  // the interval check never ran; nothing to replicate
+    }
+    FrequencyGroups groups = FrequencyGroups::Build(*table);
+    auto belief = MakeCompliantIntervalBelief(*table, results[0].delta_med);
+    ASSERT_TRUE(belief.ok()) << "trial " << trial;
+    auto legacy = ComputeOEstimate(groups, *belief);
+    ASSERT_TRUE(legacy.ok()) << "trial " << trial;
+    EXPECT_EQ(results[0].interval_oe, legacy->expected_cracks) << trial;
+  }
+}
+
+// The non-default adversaries make the same bit-identity promise: the
+// weighted O-estimate reduction uses fixed per-chunk slots like the
+// uniform one, and exact-support binding is pure selection.
+TEST(DeterminismTest, NonIntervalAdversariesBitIdenticalAcrossThreadCounts) {
+  auto table = MakeProfile(300, 19);
+  ASSERT_TRUE(table.ok());
+
+  RecipeOptions probabilistic;
+  probabilistic.adversary = "probabilistic";
+  probabilistic.adversary_params.Set("span", 2.0);
+  probabilistic.adversary_params.Set("sigma", 1.0);
+
+  RecipeOptions exact_support;
+  exact_support.adversary = "exact_support";
+  exact_support.adversary_params.Set("k", 12.0);
+
+  for (const RecipeOptions& base : {probabilistic, exact_support}) {
+    std::vector<RecipeResult> results;
+    for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+      RecipeOptions options = base;
+      options.exec.threads = threads;
+      auto r = AssessRisk(*table, options);
+      ASSERT_TRUE(r.ok()) << base.adversary << ", " << threads
+                          << " threads: " << r.status();
+      results.push_back(*r);
+    }
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].decision, results[0].decision) << base.adversary;
+      EXPECT_EQ(results[i].interval_oe, results[0].interval_oe)
+          << base.adversary;
+      EXPECT_EQ(results[i].alpha_max, results[0].alpha_max) << base.adversary;
+      EXPECT_EQ(results[i].delta_med, results[0].delta_med) << base.adversary;
+    }
+  }
+}
+
 // --------------------------------------------- Validation regressions
 
 TEST(ValidationTest, RecipeRejectsMalformedOptions) {

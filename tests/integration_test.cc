@@ -17,7 +17,7 @@
 #include "data/frequency.h"
 #include "data/sampling.h"
 #include "datagen/benchmark_profiles.h"
-#include "defense/group_merge.h"
+#include "defense/scheme.h"
 #include "graph/matching_sampler.h"
 #include "util/rng.h"
 
@@ -127,12 +127,14 @@ TEST(EndToEndPipelineTest, ReportDefendReport) {
 
   auto table = FrequencyTable::Compute(*db);
   ASSERT_TRUE(table.ok());
-  DefenseOptions defense;
-  defense.tolerance = 0.15;
-  defense.point_valued_criterion = true;
-  auto plan = DefendToTolerance(*table, defense);
+  const defense::DefenseScheme* scheme =
+      defense::DefenseScheme::Find("group_merge");
+  defense::DefenseParams defense;
+  defense.Set("tolerance", 0.15);
+  defense.Set("point_valued", 1.0);
+  auto plan = scheme->Plan(*table, defense);
   ASSERT_TRUE(plan.ok());
-  auto defended = ApplySupportChanges(*db, plan->new_supports, &rng);
+  auto defended = scheme->Apply(*db, *plan, &rng);
   ASSERT_TRUE(defended.ok());
 
   auto after = BuildRiskReport(*defended, report_options);

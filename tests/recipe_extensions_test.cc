@@ -4,10 +4,18 @@
 #include "data/frequency.h"
 #include "datagen/profile.h"
 #include "defense/k_anonymity.h"
+#include "defense/scheme.h"
 #include "util/rng.h"
 
 namespace anonsafe {
 namespace {
+
+Result<defense::DefensePlan> KAnonymityPlan(const FrequencyTable& table,
+                                            size_t k) {
+  defense::DefenseParams params;
+  params.Set("k", static_cast<double>(k));
+  return defense::DefenseScheme::Find("k_anonymity")->Plan(table, params);
+}
 
 // ----------------------------------------------------- FrequencyKAnonymity
 
@@ -51,7 +59,7 @@ TEST(KAnonymityTest, BoundIsValidForPointValuedWorstCase) {
   }
 }
 
-TEST(DefendToKAnonymityTest, ReachesRequestedK) {
+TEST(KAnonymitySchemeTest, ReachesRequestedK) {
   std::vector<SupportCount> supports;
   for (size_t i = 0; i < 24; ++i) {
     supports.push_back(static_cast<SupportCount>(10 + 7 * i));
@@ -59,7 +67,7 @@ TEST(DefendToKAnonymityTest, ReachesRequestedK) {
   auto table = FrequencyTable::FromSupports(supports, 400);
   ASSERT_TRUE(table.ok());
   for (size_t k : {2u, 4u, 8u}) {
-    auto report = DefendToKAnonymity(*table, k);
+    auto report = KAnonymityPlan(*table, k);
     ASSERT_TRUE(report.ok()) << "k=" << k;
     auto merged = FrequencyTable::FromSupports(report->new_supports, 400);
     ASSERT_TRUE(merged.ok());
@@ -67,7 +75,7 @@ TEST(DefendToKAnonymityTest, ReachesRequestedK) {
   }
 }
 
-TEST(DefendToKAnonymityTest, MonotoneDistortionInK) {
+TEST(KAnonymitySchemeTest, MonotoneDistortionInK) {
   std::vector<SupportCount> supports;
   for (size_t i = 0; i < 30; ++i) {
     supports.push_back(static_cast<SupportCount>(5 + 9 * i));
@@ -76,19 +84,19 @@ TEST(DefendToKAnonymityTest, MonotoneDistortionInK) {
   ASSERT_TRUE(table.ok());
   uint64_t prev = 0;
   for (size_t k : {1u, 2u, 5u, 10u, 30u}) {
-    auto report = DefendToKAnonymity(*table, k);
+    auto report = KAnonymityPlan(*table, k);
     ASSERT_TRUE(report.ok()) << "k=" << k;
     EXPECT_GE(report->l1_distortion, prev) << "k=" << k;
     prev = report->l1_distortion;
   }
 }
 
-TEST(DefendToKAnonymityTest, Validation) {
+TEST(KAnonymitySchemeTest, Validation) {
   auto table = FrequencyTable::FromSupports({1, 2, 3}, 10);
   ASSERT_TRUE(table.ok());
-  EXPECT_TRUE(DefendToKAnonymity(*table, 0).status().IsInvalidArgument());
-  EXPECT_TRUE(DefendToKAnonymity(*table, 4).status().IsInvalidArgument());
-  auto identity = DefendToKAnonymity(*table, 1);
+  EXPECT_TRUE(KAnonymityPlan(*table, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(KAnonymityPlan(*table, 4).status().IsInvalidArgument());
+  auto identity = KAnonymityPlan(*table, 1);
   ASSERT_TRUE(identity.ok());
   EXPECT_EQ(identity->l1_distortion, 0u);
 }

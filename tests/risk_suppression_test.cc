@@ -5,11 +5,23 @@
 #include "core/per_item_risk.h"
 #include "data/frequency.h"
 #include "datagen/profile.h"
+#include "defense/scheme.h"
 #include "defense/suppression.h"
 #include "util/rng.h"
 
 namespace anonsafe {
 namespace {
+
+Result<defense::DefensePlan> SuppressionPlan(const FrequencyTable& table,
+                                             double tolerance,
+                                             double max_fraction = 0.5,
+                                             double rerank_batch = 8.0) {
+  defense::DefenseParams params;
+  params.Set("tolerance", tolerance);
+  params.Set("max_suppressed_fraction", max_fraction);
+  params.Set("rerank_batch", rerank_batch);
+  return defense::DefenseScheme::Find("suppression")->Plan(table, params);
+}
 
 // -------------------------------------------------------------- PerItemRisk
 
@@ -102,9 +114,8 @@ TEST(SuppressionTest, PlanReachesTolerance) {
   auto table = FrequencyTable::FromSupports(profile->ItemSupports(), 1000);
   ASSERT_TRUE(table.ok());
 
-  SuppressionOptions opt;
-  opt.tolerance = 0.1;  // budget = 4 cracks over n = 40
-  auto plan = PlanSuppression(*table, opt);
+  // budget = 4 cracks over n = 40
+  auto plan = SuppressionPlan(*table, 0.1);
   ASSERT_TRUE(plan.ok());
   EXPECT_GT(plan->oe_before, 4.0);
   EXPECT_LE(plan->oe_after, 4.0 + 1e-9);
@@ -119,9 +130,7 @@ TEST(SuppressionTest, AlreadySafeSuppressesNothing) {
   auto table = FrequencyTable::FromSupports(
       std::vector<SupportCount>(30, 7), 100);  // one big group
   ASSERT_TRUE(table.ok());
-  SuppressionOptions opt;
-  opt.tolerance = 0.2;
-  auto plan = PlanSuppression(*table, opt);
+  auto plan = SuppressionPlan(*table, 0.2);
   ASSERT_TRUE(plan.ok());
   EXPECT_TRUE(plan->suppressed.empty());
   EXPECT_EQ(plan->items_after, 30u);
@@ -135,21 +144,19 @@ TEST(SuppressionTest, CapStopsHopelessCases) {
   for (size_t i = 0; i < 20; ++i) supports[i] = 10 + 40 * i;
   auto table = FrequencyTable::FromSupports(supports, 1000);
   ASSERT_TRUE(table.ok());
-  SuppressionOptions opt;
-  opt.tolerance = 0.05;  // budget = 1 crack
-  opt.max_suppressed_fraction = 0.2;
-  EXPECT_TRUE(PlanSuppression(*table, opt).status().IsFailedPrecondition());
+  // budget = 1 crack, cap at 20% of items
+  EXPECT_TRUE(SuppressionPlan(*table, 0.05, /*max_fraction=*/0.2)
+                  .status()
+                  .IsFailedPrecondition());
 }
 
 TEST(SuppressionTest, ValidatesOptions) {
   auto table = FrequencyTable::FromSupports({1, 2}, 10);
   ASSERT_TRUE(table.ok());
-  SuppressionOptions opt;
-  opt.tolerance = 0.0;
-  EXPECT_TRUE(PlanSuppression(*table, opt).status().IsInvalidArgument());
-  opt = SuppressionOptions{};
-  opt.rerank_batch = 0;
-  EXPECT_TRUE(PlanSuppression(*table, opt).status().IsInvalidArgument());
+  EXPECT_TRUE(SuppressionPlan(*table, 0.0).status().IsInvalidArgument());
+  EXPECT_TRUE(SuppressionPlan(*table, 0.1, 0.5, /*rerank_batch=*/0.0)
+                  .status()
+                  .IsInvalidArgument());
 }
 
 TEST(ApplySuppressionTest, RemovesItemsAndEmptyTransactions) {
@@ -181,9 +188,8 @@ TEST(SuppressionIntegrationTest, AppliedDatabasePassesTolerance) {
   auto table = FrequencyTable::Compute(*db);
   ASSERT_TRUE(table.ok());
 
-  SuppressionOptions opt;
-  opt.tolerance = 0.15;
-  auto plan = PlanSuppression(*table, opt);
+  const double tolerance = 0.15;
+  auto plan = SuppressionPlan(*table, tolerance);
   ASSERT_TRUE(plan.ok());
   auto released = ApplySuppression(*db, plan->suppressed);
   ASSERT_TRUE(released.ok());
@@ -208,7 +214,7 @@ TEST(SuppressionIntegrationTest, AppliedDatabasePassesTolerance) {
   ASSERT_TRUE(oe.ok());
   // Within the planned budget, with slack for dropped-empty-transaction
   // frequency shifts.
-  double budget = opt.tolerance * static_cast<double>(plan->items_before);
+  double budget = tolerance * static_cast<double>(plan->items_before);
   EXPECT_LE(oe->expected_cracks, budget * 1.25 + 0.5);
 }
 

@@ -313,6 +313,43 @@ TEST(ServeTest, AssessRiskBitIdenticalToCli) {
   }
 }
 
+TEST(ServeTest, AdversaryReportsBitIdenticalToCli) {
+  // The adversary seam spans three surfaces — CLI flag, serve param,
+  // report provenance. For every registered adversary the serve report
+  // document must be byte-identical to `report --json --adversary=...`.
+  const std::string path = WriteDatasetFile();
+  for (const std::string spec :
+       {std::string("interval"), std::string("probabilistic:span=1,sigma=0.5"),
+        std::string("exact_support:k=2")}) {
+    CliInvocation cli;
+    cli.command = "report";
+    cli.positional = {path};
+    cli.flags["json"] = "true";
+    cli.flags["adversary"] = spec;
+    std::ostringstream cli_out;
+    ASSERT_TRUE(RunCli(cli, cli_out).ok()) << spec;
+    std::string cli_line = cli_out.str();
+    ASSERT_FALSE(cli_line.empty()) << spec;
+    cli_line.pop_back();  // trailing newline
+
+    Server server;
+    json::Value load =
+        Send(server,
+             "{\"schema_version\":1,\"verb\":\"load_dataset\","
+             "\"params\":{\"path\":\"" + path + "\"}}");
+    ASSERT_TRUE(IsOk(load)) << spec;
+    auto key = load.Find("result")->GetString("dataset");
+    ASSERT_TRUE(key.ok());
+    json::Value assess =
+        Send(server, "{\"schema_version\":1,\"verb\":\"assess_risk\","
+                     "\"params\":{\"dataset\":\"" + *key +
+                         "\",\"adversary\":\"" + spec + "\"}}");
+    ASSERT_TRUE(IsOk(assess)) << spec;
+    EXPECT_EQ(assess.Find("result")->Find("report")->Dump(), cli_line)
+        << spec;
+  }
+}
+
 TEST(ServeTest, ConcurrentClientsShareOneCachedDataset) {
   ServerOptions options;
   options.workers = 4;

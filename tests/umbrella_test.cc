@@ -95,7 +95,10 @@ TEST(UmbrellaTest, WholeApiFlows) {
   ASSERT_TRUE(pair_belief.Constrain(0, 1, {0.0, 1.0}).ok());
 
   // defense
-  auto plan = MergeGroupsBelowGap(*table, 0.0);
+  defense::DefenseParams merge_params;
+  merge_params.Set("gap", 0.0);
+  auto plan =
+      defense::DefenseScheme::Find("group_merge")->Plan(*table, merge_params);
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan->l1_distortion, 0u);
 
